@@ -1,0 +1,38 @@
+//! Criterion bench for E1: Example 2.1 on the Figure 1 database —
+//! closed form vs lifted vs grounded vs world enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let p = [0.1, 0.2, 0.3];
+    let q = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let (db, _) = pdb_data::generators::fig1(p, q);
+    let sentence =
+        pdb_logic::parse_fo("forall x. forall y. (S(x,y) -> R(x))").unwrap();
+
+    let mut g = c.benchmark_group("e1_example21");
+    g.bench_function("closed_form", |b| {
+        b.iter(|| {
+            let (p, q) = (black_box(p), black_box(q));
+            (p[0] + (1.0 - p[0]) * (1.0 - q[0]) * (1.0 - q[1]))
+                * (p[1] + (1.0 - p[1]) * (1.0 - q[2]) * (1.0 - q[3]) * (1.0 - q[4]))
+                * (1.0 - q[5])
+        })
+    });
+    g.bench_function("lifted", |b| {
+        b.iter(|| pdb_lifted::probability_fo(black_box(&sentence), &db).unwrap())
+    });
+    g.bench_function("grounded_dpll", |b| {
+        b.iter(|| pdb_wmc::probability_of_query(black_box(&sentence), &db))
+    });
+    g.bench_function("world_enumeration", |b| {
+        b.iter(|| {
+            pdb_lineage::eval::brute_force_probability(black_box(&sentence), &db)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for E2: grounded DPLL cost of `H₀` as `n` grows —
+//! the empirical face of Theorem 2.2's #P-hardness (expect exponential
+//! per-iteration time growth across the group).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let h0 = pdb_logic::parse_fo("forall x. forall y. (R(x) | S(x,y) | T(y))")
+        .unwrap();
+    let mut g = c.benchmark_group("e2_h0_dpll");
+    g.sample_size(10);
+    for n in [2u64, 4, 6, 8] {
+        let mut rng = StdRng::seed_from_u64(n * 31);
+        let db = pdb_data::generators::bipartite(n, 1.0, (0.3, 0.7), &mut rng);
+        let idx = db.index();
+        let lin = pdb_lineage::lineage(&h0, &db, &idx);
+        let probs: Vec<f64> = idx.iter().map(|(_, r)| r.prob).collect();
+        let cnf =
+            pdb_lineage::Cnf::from_expr_direct(&lin, probs.len() as u32).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                pdb_wmc::Dpll::new(
+                    black_box(&cnf),
+                    probs.clone(),
+                    pdb_wmc::DpllOptions::default(),
+                )
+                .run()
+                .probability
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench for E4: inclusion/exclusion evaluation cost — `Q_J` and
+//! the `AB ∨ BC ∨ CD` cancellation query across database sizes (expect
+//! polynomial, near-linear growth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn chain_db(n: u64) -> pdb_data::TupleDb {
+    let mut rng = StdRng::seed_from_u64(n);
+    pdb_data::generators::random_tid(
+        n,
+        &[
+            pdb_data::generators::RelationSpec::new("A", 1, (n / 2).max(1) as usize),
+            pdb_data::generators::RelationSpec::new("B", 1, (n / 2).max(1) as usize),
+            pdb_data::generators::RelationSpec::new("C", 1, (n / 2).max(1) as usize),
+            pdb_data::generators::RelationSpec::new("D", 1, (n / 2).max(1) as usize),
+        ],
+        (0.1, 0.9),
+        &mut rng,
+    )
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let chain =
+        pdb_logic::parse_ucq("[A(x), B(y)] | [B(y), C(z)] | [C(z), D(w)]").unwrap();
+    let mut g = c.benchmark_group("e4_ie_chain");
+    for n in [16u64, 64, 256] {
+        let db = chain_db(n);
+        g.throughput(Throughput::Elements(db.tuple_count() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                pdb_lifted::LiftedEngine::new(&db)
+                    .probability_ucq(black_box(&chain))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_qj(c: &mut Criterion) {
+    let qj = pdb_logic::parse_cq("R(x), S(x,y), T(u), S(u,v)").unwrap();
+    let mut g = c.benchmark_group("e4_qj");
+    for n in [4u64, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(n);
+        let db = pdb_data::generators::random_tid(
+            n,
+            &[
+                pdb_data::generators::RelationSpec::new("R", 1, n as usize / 2),
+                pdb_data::generators::RelationSpec::new("S", 2, n as usize * 2),
+                pdb_data::generators::RelationSpec::new("T", 1, n as usize / 2),
+            ],
+            (0.2, 0.8),
+            &mut rng,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                pdb_lifted::LiftedEngine::new(&db)
+                    .probability_cq(black_box(&qj))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_qj);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench for E5: extensional plan execution and the Theorem 6.1
+//! bound computation (safe plan, unsafe plan, all-plans bounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdb_logic::Var;
+use pdb_plans::{bounds, execute, Plan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_plans(c: &mut Criterion) {
+    let atoms = pdb_logic::parse_cq("R(x), S(x,y)").unwrap().atoms().to_vec();
+    let plan1 = Plan::project(
+        [],
+        Plan::join(Plan::Scan(atoms[0].clone()), Plan::Scan(atoms[1].clone())),
+    );
+    let plan2 = Plan::project(
+        [],
+        Plan::join(
+            Plan::Scan(atoms[0].clone()),
+            Plan::project([Var::new("x")], Plan::Scan(atoms[1].clone())),
+        ),
+    );
+    let mut g = c.benchmark_group("e5_plan_execution");
+    for n in [10u64, 100, 1000] {
+        let mut rng = StdRng::seed_from_u64(n);
+        let db = pdb_data::generators::star(n, 1, 4, 0.0, &mut rng);
+        // star uses S1; rebuild plans on its atoms.
+        let atoms = pdb_logic::parse_cq("R(x), S1(x,y)").unwrap().atoms().to_vec();
+        let p1 = Plan::project(
+            [],
+            Plan::join(Plan::Scan(atoms[0].clone()), Plan::Scan(atoms[1].clone())),
+        );
+        let p2 = Plan::project(
+            [],
+            Plan::join(
+                Plan::Scan(atoms[0].clone()),
+                Plan::project([Var::new("x")], Plan::Scan(atoms[1].clone())),
+            ),
+        );
+        g.throughput(Throughput::Elements(db.tuple_count() as u64));
+        g.bench_with_input(BenchmarkId::new("unsafe_plan1", n), &n, |b, _| {
+            b.iter(|| execute(black_box(&p1), &db).boolean_prob())
+        });
+        g.bench_with_input(BenchmarkId::new("safe_plan2", n), &n, |b, _| {
+            b.iter(|| execute(black_box(&p2), &db).boolean_prob())
+        });
+    }
+    g.finish();
+    let _ = (plan1, plan2);
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let cq = pdb_logic::parse_cq("R(x), S(x,y), T(y)").unwrap();
+    let mut g = c.benchmark_group("e5_theorem61_bounds");
+    for n in [2u64, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(n);
+        let db = pdb_data::generators::bipartite(n, 0.8, (0.1, 0.9), &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| bounds::bounds(black_box(&cq), &db))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plans, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion bench for E6: knowledge-compilation costs — OBDD compilation
+//! on the easy/hard sides of Theorem 7.1(i) and DPLL trace construction for
+//! the `Q_W` family of 7.1(ii).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb_compile::{order, Obdd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_obdd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_obdd_hierarchical");
+    for n in [8u64, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(n);
+        let db = pdb_data::generators::star(n, 1, 2, 0.5, &mut rng);
+        let idx = db.index();
+        let lin = pdb_lineage::ucq_dnf_lineage(
+            &pdb_logic::parse_ucq("R(x), S1(x,y)").unwrap(),
+            &db,
+            &idx,
+        )
+        .to_expr();
+        let ord = order::hierarchical_order(&idx);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Obdd::compile(black_box(&lin), &ord).size())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e6_obdd_nonhierarchical");
+    g.sample_size(10);
+    for n in [3u64, 4, 5] {
+        let mut rng = StdRng::seed_from_u64(n);
+        let db = pdb_data::generators::bipartite(n, 1.0, (0.5, 0.5), &mut rng);
+        let idx = db.index();
+        let lin = pdb_lineage::ucq_dnf_lineage(
+            &pdb_logic::parse_ucq("R(x), S(x,y), T(y)").unwrap(),
+            &db,
+            &idx,
+        )
+        .to_expr();
+        let ord = order::hierarchical_order(&idx);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Obdd::compile(black_box(&lin), &ord).size())
+        });
+    }
+    g.finish();
+}
+
+fn bench_qw_trace(c: &mut Criterion) {
+    use rand::Rng;
+    let qw = pdb_logic::parse_ucq(
+        "[R(x0), S1(x0,y0)] | [S1(x1,y1), S2(x1,y1)] | [S2(x2,y2), T(y2)]",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("e6_qw_decision_dnnf");
+    g.sample_size(10);
+    for n in [2u64, 3, 4] {
+        let mut rng = StdRng::seed_from_u64(n * 3);
+        let mut db = pdb_data::TupleDb::new();
+        for x in 0..n {
+            db.insert("R", [x], rng.gen_range(0.2..0.8));
+            db.insert("T", [n + x], rng.gen_range(0.2..0.8));
+            for y in 0..n {
+                db.insert("S1", [x, n + y], rng.gen_range(0.2..0.8));
+                db.insert("S2", [x, n + y], rng.gen_range(0.2..0.8));
+            }
+        }
+        let idx = db.index();
+        let lin = pdb_lineage::ucq_dnf_lineage(&qw, &db, &idx).to_expr();
+        let probs: Vec<f64> = idx.iter().map(|(_, r)| r.prob).collect();
+        let cnf = pdb_lineage::Cnf::from_negated_dnf(&lin, probs.len() as u32);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                pdb_wmc::Dpll::new(
+                    black_box(&cnf),
+                    probs.clone(),
+                    pdb_wmc::DpllOptions {
+                        record_trace: true,
+                        ..Default::default()
+                    },
+                )
+                .run()
+                .trace
+                .unwrap()
+                .reachable_size()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_obdd, bench_qw_trace);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for E7: symmetric-database algorithms — the H₀ closed
+//! form (quadratic) and the FO² cell algorithm (polynomial, degree = #cells
+//! − 1) across domain sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb_data::SymmetricDb;
+use pdb_symmetric::{h0_probability, wfomc_probability, Fo2Query};
+use std::hint::black_box;
+
+fn bench_h0(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_h0_closed_form");
+    for n in [100u64, 400, 1600] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| h0_probability(black_box(n), 0.3, 0.999, 0.4))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cell(c: &mut Criterion) {
+    let matrix = pdb_logic::parse_fo("R(x) | S(x,y) | T(y)").unwrap();
+    let q = Fo2Query::forall_forall(matrix);
+    let mut g = c.benchmark_group("e7_fo2_cell_algorithm");
+    g.sample_size(10);
+    for n in [8u64, 16, 24] {
+        let mut db = SymmetricDb::new(n);
+        db.set_relation("R", 1, 0.3)
+            .set_relation("S", 2, 0.9)
+            .set_relation("T", 1, 0.4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| wfomc_probability(black_box(&q), &db))
+        });
+    }
+    g.finish();
+
+    // Skolemization path: ∀x∃y S(x,y) — 1 binary pred + 1 Skolem unary.
+    let q_ex = Fo2Query::forall_exists(pdb_logic::parse_fo("S(x,y)").unwrap());
+    let mut g = c.benchmark_group("e7_fo2_skolemized");
+    for n in [16u64, 64, 256] {
+        let mut db = SymmetricDb::new(n);
+        db.set_relation("S", 2, 0.15);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| wfomc_probability(black_box(&q_ex), &db))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_h0, bench_cell);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for E8: MLN inference — exact MLN semantics vs the
+//! Proposition 3.1 translation with grounded conditional inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdb_mln::{conditional_grounded, translate, Mln};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let q = pdb_logic::parse_fo(
+        "exists m. exists e. Manager(m,e) & HighlyCompensated(m)",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("e8_mln_manager");
+    g.sample_size(10);
+    for n in [1u64, 2] {
+        let mln = Mln::manager_example(n);
+        let t = translate(&mln);
+        g.bench_with_input(BenchmarkId::new("mln_enumeration", n), &n, |b, _| {
+            b.iter(|| mln.probability(black_box(&q)))
+        });
+        g.bench_with_input(BenchmarkId::new("translated_grounded", n), &n, |b, _| {
+            b.iter(|| conditional_grounded(black_box(&q), &t.gamma, &t.db))
+        });
+    }
+    // The translation itself scales to larger domains even when full
+    // enumeration cannot: bench the grounded conditional alone at n = 3.
+    let mln3 = Mln::manager_example(3);
+    let t3 = translate(&mln3);
+    g.bench_function("translated_grounded/3", |b| {
+        b.iter(|| conditional_grounded(black_box(&q), &t3.gamma, &t3.db))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

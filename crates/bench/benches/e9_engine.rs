@@ -1,0 +1,53 @@
+//! Criterion bench for E9: the end-to-end engine cascade on a mixed
+//! workload, with and without the lifted fast path, plus the Karp–Luby
+//! estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdb_core::{ProbDb, QueryOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let db = ProbDb::from_tuple_db(pdb_data::generators::bipartite(
+        5,
+        0.8,
+        (0.2, 0.8),
+        &mut rng,
+    ));
+    let liftable = pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y)").unwrap();
+    let hard =
+        pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y) & T(y)").unwrap();
+
+    let mut g = c.benchmark_group("e9_engine_cascade");
+    g.bench_function("liftable/full_cascade", |b| {
+        b.iter(|| {
+            db.query_fo(black_box(&liftable), &QueryOptions::default())
+                .unwrap()
+                .probability
+        })
+    });
+    g.bench_function("liftable/lifted_disabled", |b| {
+        let opts = QueryOptions {
+            disable_lifted: true,
+            ..Default::default()
+        };
+        b.iter(|| db.query_fo(black_box(&liftable), &opts).unwrap().probability)
+    });
+    g.bench_function("hard/grounded", |b| {
+        b.iter(|| db.query_fo(black_box(&hard), &QueryOptions::default()).unwrap().probability)
+    });
+    g.bench_function("hard/karp_luby_50k", |b| {
+        let opts = QueryOptions {
+            exact_budget: 1,
+            samples: 50_000,
+            ..Default::default()
+        };
+        b.iter(|| db.query_fo(black_box(&hard), &opts).unwrap().probability)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! E3 — Theorem 4.3: the dichotomy for self-join-free CQs.
+//!
+//! Paper claim: hierarchical ⇒ `PQE(Q)` polynomial (lifted inference
+//! succeeds and scales); non-hierarchical ⇒ #P-hard (grounded inference
+//! blows up). We run a query suite through (a) the classifier, (b) lifted
+//! inference across growing `n` (hierarchical side), and (c) grounded
+//! inference across growing `n` (hard side), reporting the scaling shapes.
+
+use crate::{fmt_dur, Effort};
+use pdb_data::generators;
+use pdb_logic::parse_cq;
+use pdb_lifted::{classify_sjf_cq, Complexity, LiftedEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write;
+use std::time::Instant;
+
+/// Runs E3.
+pub fn run(effort: Effort) -> String {
+    let mut out = String::new();
+
+    // --- (a) the classifier on a suite --------------------------------------
+    writeln!(out, "classifier (Theorem 4.3, AC⁰ test):").unwrap();
+    writeln!(out, "{:<38} {:>14} {:>14}", "query", "hierarchical", "complexity").unwrap();
+    for q in [
+        "R(x)",
+        "R(x), S(x,y)",
+        "R(x), S(x,y), U(x,y,z)",
+        "S(x,y), T(y)",
+        "A(x), B(y)",
+        "R(x), S(x,y), T(y)",
+        "R(x), S(x,y), T(y), U(x,y)",
+    ] {
+        let cq = parse_cq(q).unwrap();
+        let c = classify_sjf_cq(&cq);
+        writeln!(
+            out,
+            "{:<38} {:>14} {:>14}",
+            q,
+            cq.is_hierarchical(),
+            match c {
+                Complexity::PolynomialTime => "PTIME",
+                Complexity::SharpPHard => "#P-hard",
+                Complexity::Unknown => "?",
+            }
+        )
+        .unwrap();
+    }
+
+    // --- (b) lifted scaling on the hierarchical query ----------------------
+    let ns: Vec<u64> = match effort {
+        Effort::Quick => vec![10, 40, 160],
+        Effort::Full => vec![10, 40, 160, 640, 2560],
+    };
+    writeln!(out, "\nlifted inference on R(x), S(x,y) (hierarchical):").unwrap();
+    writeln!(out, "{:>8} {:>10} {:>12} {:>10}", "n", "tuples", "p", "time").unwrap();
+    let cq = parse_cq("R(x), S(x,y)").unwrap();
+    for &n in &ns {
+        let mut rng = StdRng::seed_from_u64(n);
+        let db = generators::star(n, 1, 3, 0.0, &mut rng);
+        // star names the binary relation S1; rename query accordingly.
+        let q = parse_cq("R(x), S1(x,y)").unwrap();
+        let t0 = Instant::now();
+        let p = LiftedEngine::new(&db).probability_cq(&q).expect("liftable");
+        let dur = t0.elapsed();
+        writeln!(
+            out,
+            "{:>8} {:>10} {:>12.6} {:>10}",
+            n,
+            db.tuple_count(),
+            p,
+            fmt_dur(dur)
+        )
+        .unwrap();
+    }
+    let _ = cq;
+
+    // --- (c) grounded scaling on the hard query ----------------------------
+    let ns: Vec<u64> = match effort {
+        Effort::Quick => vec![2, 4, 6],
+        Effort::Full => vec![2, 4, 6, 8, 10, 12],
+    };
+    writeln!(out, "\ngrounded inference on R(x), S(x,y), T(y) (#P-hard):").unwrap();
+    writeln!(out, "{:>8} {:>10} {:>12} {:>10}", "n", "tuples", "p", "time").unwrap();
+    for &n in &ns {
+        let mut rng = StdRng::seed_from_u64(n);
+        let db = generators::bipartite(n, 1.0, (0.3, 0.7), &mut rng);
+        let u = pdb_logic::parse_ucq("R(x), S(x,y), T(y)").unwrap();
+        let idx = db.index();
+        let lin = pdb_lineage::ucq_dnf_lineage(&u, &db, &idx).to_expr();
+        let probs: Vec<f64> = idx.iter().map(|(_, r)| r.prob).collect();
+        let t0 = Instant::now();
+        let (p, _) =
+            pdb_wmc::probability_of_expr(&lin, &probs, pdb_wmc::DpllOptions::default());
+        let dur = t0.elapsed();
+        writeln!(
+            out,
+            "{:>8} {:>10} {:>12.6} {:>10}",
+            n,
+            db.tuple_count(),
+            p,
+            fmt_dur(dur)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nshape check: lifted time grows ~linearly in tuples; grounded time \
+         on the hard side grows exponentially in n (the dichotomy)."
+    )
+    .unwrap();
+    print!("{out}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e3_runs() {
+        let report = super::run(crate::Effort::Quick);
+        assert!(report.contains("#P-hard"));
+    }
+}

@@ -1,0 +1,132 @@
+//! E4 — §5: the inclusion/exclusion rule and cancellation.
+//!
+//! Paper claims: (a) the basic rules fail on `Q_J`, yet `Q_J` is polynomial
+//! once inclusion/exclusion is added (Theorem 5.1); (b) cancellation is
+//! essential — in `AB ∨ BC ∨ CD` the two `±ABCD` expansion terms must
+//! cancel *before* evaluation. We validate both, check against brute force
+//! at small scale, and show polynomial scaling of the I/E evaluation.
+
+use crate::{fmt_dur, Effort};
+use pdb_data::{generators, TupleDb};
+use pdb_logic::{parse_cq, parse_ucq};
+use pdb_lifted::LiftedEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write;
+use std::time::Instant;
+
+fn chain_db(n: u64, seed: u64) -> TupleDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::random_tid(
+        n,
+        &[
+            generators::RelationSpec::new("A", 1, (n / 2).max(1) as usize),
+            generators::RelationSpec::new("B", 1, (n / 2).max(1) as usize),
+            generators::RelationSpec::new("C", 1, (n / 2).max(1) as usize),
+            generators::RelationSpec::new("D", 1, (n / 2).max(1) as usize),
+        ],
+        (0.1, 0.9),
+        &mut rng,
+    )
+}
+
+/// Runs E4.
+pub fn run(effort: Effort) -> String {
+    let mut out = String::new();
+
+    // --- Q_J: agreement with ground truth + rule statistics ----------------
+    let qj = parse_cq("R(x), S(x,y), T(u), S(u,v)").unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let db = generators::random_tid(
+        3,
+        &[
+            generators::RelationSpec::new("R", 1, 2),
+            generators::RelationSpec::new("S", 2, 4),
+            generators::RelationSpec::new("T", 1, 2),
+        ],
+        (0.2, 0.8),
+        &mut rng,
+    );
+    let mut engine = LiftedEngine::new(&db);
+    let t0 = Instant::now();
+    let lifted = engine.probability_cq(&qj).expect("Q_J liftable with I/E");
+    let t_lifted = t0.elapsed();
+    let brute = pdb_lineage::eval::brute_force_probability(&qj.to_fo(), &db);
+    let stats = engine.stats();
+    writeln!(out, "Q_J = R(x), S(x,y), T(u), S(u,v):").unwrap();
+    writeln!(out, "  lifted p = {lifted:.10} ({}) vs brute {brute:.10}", fmt_dur(t_lifted)).unwrap();
+    writeln!(
+        out,
+        "  rules fired: indep={} separator={} I/E={} dual-expansions={} \
+         terms={} cancelled={}",
+        stats.independent_splits,
+        stats.separator_expansions,
+        stats.inclusion_exclusion,
+        stats.dual_expansions,
+        stats.ie_terms,
+        stats.ie_cancellations
+    )
+    .unwrap();
+    assert!((lifted - brute).abs() < 1e-9);
+
+    // --- AB ∨ BC ∨ CD: cancellation ----------------------------------------
+    let chain = parse_ucq("[A(x), B(y)] | [B(y), C(z)] | [C(z), D(w)]").unwrap();
+    let db = chain_db(4, 3);
+    let mut engine = LiftedEngine::new(&db);
+    let lifted = engine.probability_ucq(&chain).expect("chain liftable");
+    let brute = pdb_lineage::eval::brute_force_probability(&chain.to_fo(), &db);
+    let stats = engine.stats();
+    writeln!(out, "\nAB ∨ BC ∨ CD:").unwrap();
+    writeln!(out, "  lifted p = {lifted:.10} vs brute {brute:.10}").unwrap();
+    writeln!(
+        out,
+        "  I/E terms generated = {}, cancelled before evaluation = {} \
+         (the ±ABCD pair)",
+        stats.ie_terms, stats.ie_cancellations
+    )
+    .unwrap();
+    assert!((lifted - brute).abs() < 1e-9);
+    assert!(stats.ie_cancellations > 0);
+
+    // --- scaling of I/E evaluation -----------------------------------------
+    let ns: Vec<u64> = match effort {
+        Effort::Quick => vec![8, 32, 128],
+        Effort::Full => vec![8, 32, 128, 512, 2048],
+    };
+    writeln!(out, "\nscaling of lifted I/E on AB ∨ BC ∨ CD:").unwrap();
+    writeln!(out, "{:>8} {:>10} {:>12} {:>10}", "n", "tuples", "p", "time").unwrap();
+    for &n in &ns {
+        let db = chain_db(n, n);
+        let t0 = Instant::now();
+        let p = LiftedEngine::new(&db)
+            .probability_ucq(&chain)
+            .expect("liftable");
+        let dur = t0.elapsed();
+        writeln!(
+            out,
+            "{:>8} {:>10} {:>12.6} {:>10}",
+            n,
+            db.tuple_count(),
+            p,
+            fmt_dur(dur)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nshape check: evaluation stays polynomial (near-linear) in the \
+         database; the hard ABCD term was never evaluated."
+    )
+    .unwrap();
+    print!("{out}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e4_runs() {
+        let report = super::run(crate::Effort::Quick);
+        assert!(report.contains("cancelled"));
+    }
+}

@@ -1,0 +1,185 @@
+//! E6 — Theorem 7.1 / Figure 2: query compilation sizes.
+//!
+//! Paper claims:
+//! * (i-a) hierarchical sjf CQs have OBDDs **linear** in `n` (under the
+//!   grouped order);
+//! * (i-b) non-hierarchical ones have OBDDs of size `≥ (2ⁿ−1)/n` under
+//!   *every* order — we measure exponential growth under three orders;
+//! * (ii) there are poly-time UCQs whose decision-DNNFs (DPLL traces) are
+//!   `2^Ω(√n)` — we measure the trace blow-up on the `Q_W` family. (Full
+//!   Dalvi–Suciu lattice inference computes `Q_W` in PTIME; our rule set
+//!   conservatively reports `Unknown` for it — see DESIGN.md §6 — so the
+//!   PTIME side of the separation is cited, not measured.)
+//! * Figure 2's circuits are reconstructed and verified in `pdb-compile`.
+
+use crate::{fmt_dur, Effort};
+use pdb_compile::{order, DecisionDnnf, Obdd};
+use pdb_data::generators;
+use pdb_logic::parse_ucq;
+use pdb_lineage::{ucq_dnf_lineage, Cnf};
+use pdb_wmc::{Dpll, DpllOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write;
+use std::time::Instant;
+
+/// Runs E6.
+pub fn run(effort: Effort) -> String {
+    let mut out = String::new();
+
+    // --- (i-a) hierarchical: linear OBDDs ----------------------------------
+    let ns: Vec<u64> = match effort {
+        Effort::Quick => vec![2, 4, 8, 16],
+        Effort::Full => vec![2, 4, 8, 16, 32, 64],
+    };
+    writeln!(out, "(i-a) OBDD of R(x), S1(x,y) under the grouped order:").unwrap();
+    writeln!(out, "{:>6} {:>8} {:>10} {:>12}", "n", "tuples", "obdd", "size/tuple").unwrap();
+    for &n in &ns {
+        let mut rng = StdRng::seed_from_u64(n);
+        let db = generators::star(n, 1, 2, 0.5, &mut rng);
+        let idx = db.index();
+        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S1(x,y)").unwrap(), &db, &idx)
+            .to_expr();
+        let obdd = Obdd::compile(&lin, &order::hierarchical_order(&idx));
+        writeln!(
+            out,
+            "{:>6} {:>8} {:>10} {:>12.2}",
+            n,
+            idx.len(),
+            obdd.size(),
+            obdd.size() as f64 / idx.len() as f64
+        )
+        .unwrap();
+    }
+
+    // --- (i-b) non-hierarchical: exponential under every order -------------
+    let ns: Vec<u64> = match effort {
+        Effort::Quick => vec![2, 3, 4, 5],
+        Effort::Full => vec![2, 3, 4, 5, 6, 7],
+    };
+    writeln!(
+        out,
+        "\n(i-b) OBDD of R(x), S(x,y), T(y) (complete bipartite), three orders:"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "n", "tuples", "grouped", "identity", "rel-major", "(2ⁿ−1)/n"
+    )
+    .unwrap();
+    for &n in &ns {
+        let mut rng = StdRng::seed_from_u64(n);
+        let db = generators::bipartite(n, 1.0, (0.5, 0.5), &mut rng);
+        let idx = db.index();
+        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S(x,y), T(y)").unwrap(), &db, &idx)
+            .to_expr();
+        let grouped = Obdd::compile(&lin, &order::hierarchical_order(&idx)).size();
+        let identity = Obdd::compile(&lin, &order::identity_order(idx.len() as u32)).size();
+        let relmajor = Obdd::compile(&lin, &order::relation_major_order(&idx)).size();
+        let bound = ((1u64 << n) - 1) as f64 / n as f64;
+        writeln!(
+            out,
+            "{:>6} {:>8} {:>10} {:>10} {:>10} {:>12.1}",
+            n, idx.len(), grouped, identity, relmajor, bound
+        )
+        .unwrap();
+    }
+
+    // --- (ii) decision-DNNF blow-up on the Q_W family ----------------------
+    let ns: Vec<u64> = match effort {
+        Effort::Quick => vec![2, 3, 4, 5],
+        Effort::Full => vec![2, 3, 4, 5, 6, 7, 8],
+    };
+    writeln!(
+        out,
+        "\n(ii) DPLL trace (decision-DNNF) of Q_W = [R,S1] ∨ [S1,S2] ∨ [S2,T]:"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>8} {:>12} {:>12} {:>10}",
+        "n", "tuples", "trace size", "decisions", "time"
+    )
+    .unwrap();
+    let qw = parse_ucq(
+        "[R(x0), S1(x0,y0)] | [S1(x1,y1), S2(x1,y1)] | [S2(x2,y2), T(y2)]",
+    )
+    .unwrap();
+    for &n in &ns {
+        let mut rng = StdRng::seed_from_u64(n * 3);
+        let mut db = pdb_data::TupleDb::new();
+        use rand::Rng;
+        for x in 0..n {
+            db.insert("R", [x], rng.gen_range(0.2..0.8));
+            db.insert("T", [n + x], rng.gen_range(0.2..0.8));
+            for y in 0..n {
+                db.insert("S1", [x, n + y], rng.gen_range(0.2..0.8));
+                db.insert("S2", [x, n + y], rng.gen_range(0.2..0.8));
+            }
+        }
+        let idx = db.index();
+        let lin = ucq_dnf_lineage(&qw, &db, &idx).to_expr();
+        let probs: Vec<f64> = idx.iter().map(|(_, r)| r.prob).collect();
+        let cnf = Cnf::from_negated_dnf(&lin, probs.len() as u32);
+        let t0 = Instant::now();
+        let result = Dpll::new(
+            &cnf,
+            probs,
+            DpllOptions {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .run();
+        let dur = t0.elapsed();
+        let trace = result.trace.expect("trace recorded");
+        let dd = DecisionDnnf::from_trace(&trace);
+        writeln!(
+            out,
+            "{:>6} {:>8} {:>12} {:>12} {:>10}",
+            n,
+            idx.len(),
+            dd.size(),
+            result.stats.decisions,
+            fmt_dur(dur)
+        )
+        .unwrap();
+    }
+    // --- Figure 2 reconstruction ------------------------------------------
+    let fbdd = pdb_compile::fig2::fig2a_fbdd();
+    let dd = pdb_compile::fig2::fig2b_decision_dnnf();
+    dd.validate().expect("Fig. 2(b) invariants");
+    writeln!(
+        out,
+        "\nFigure 2 reconstruction: (a) FBDD for (¬X)YZ ∨ XY ∨ XZ — {} \
+         decision nodes; (b) decision-DNNF for (¬X)YZU ∨ XYZ ∨ XZU — {} \
+         decisions, {} ∧-nodes (Z? shared). Both verified to compute their \
+         formulas on all assignments (unit tests in pdb-compile::fig2).",
+        fbdd.decision_count(),
+        dd.decision_count(),
+        dd.and_count()
+    )
+    .unwrap();
+
+    writeln!(
+        out,
+        "\nshape check: (i-a) size/tuple is flat (linear OBDDs); (i-b) sizes \
+         at least double per +1 in n under every order, tracking (2ⁿ−1)/n; \
+         (ii) the trace grows super-polynomially — Beame et al.'s 2^Ω(√n) — \
+         while PQE(Q_W) itself is polynomial (lattice-based lifted \
+         inference, outside our rule set; cf. DESIGN.md §6)."
+    )
+    .unwrap();
+    print!("{out}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e6_runs() {
+        let report = super::run(crate::Effort::Quick);
+        assert!(report.contains("decision-DNNF"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Exact BID query evaluation via the selector-chain encoding.
+//!
+//! A block with alternatives `t₁ … t_k` (probabilities `p₁ … p_k`, mass ≤ 1)
+//! is simulated by *independent* selector variables `X₁ … X_k`:
+//!
+//! `p(Xᵢ) = pᵢ / (1 − p₁ − … − pᵢ₋₁)`    (chain rule)
+//!
+//! and `tᵢ present ⟺ ¬X₁ ∧ … ∧ ¬Xᵢ₋₁ ∧ Xᵢ`. Exactly one of the `k + 1`
+//! outcomes (each tuple, or none) occurs, with exactly the block's
+//! probabilities — so grounding the query with each atom resolved to its
+//! presence expression reduces BID inference to ordinary weighted model
+//! counting over a TID, which `pdb-wmc` handles.
+
+use crate::model::BidDb;
+use pdb_lineage::BoolExpr;
+use pdb_data::{Tuple, TupleId};
+use pdb_logic::Fo;
+use std::collections::HashMap;
+
+/// The selector encoding of a BID database: per-tuple presence expressions
+/// over independent selector variables.
+pub struct SelectorEncoding {
+    /// Probability of each selector variable.
+    pub selector_probs: Vec<f64>,
+    /// `(relation, tuple) → presence expression`.
+    presence: HashMap<(String, Tuple), BoolExpr>,
+}
+
+impl SelectorEncoding {
+    /// Builds the encoding for a database.
+    pub fn new(db: &BidDb) -> SelectorEncoding {
+        let mut selector_probs = Vec::new();
+        let mut presence = HashMap::new();
+        for rel in db.relations() {
+            for (_, block) in rel.blocks() {
+                let mut remaining = 1.0f64;
+                let mut prior_negations: Vec<BoolExpr> = Vec::new();
+                for (t, p) in &block.alternatives {
+                    let id = TupleId(selector_probs.len() as u32);
+                    let cond = if remaining <= 0.0 {
+                        0.0 // degenerate fully-saturated block tail
+                    } else {
+                        (p / remaining).min(1.0)
+                    };
+                    selector_probs.push(cond);
+                    let mut parts = prior_negations.clone();
+                    parts.push(BoolExpr::var(id));
+                    presence.insert(
+                        (rel.name().to_string(), t.clone()),
+                        BoolExpr::and_all(parts),
+                    );
+                    prior_negations.push(BoolExpr::var(id).negate());
+                    remaining -= p;
+                }
+            }
+        }
+        SelectorEncoding {
+            selector_probs,
+            presence,
+        }
+    }
+
+    /// The presence expression of a fact (FALSE for impossible facts).
+    pub fn presence_of(&self, relation: &str, tuple: &Tuple) -> BoolExpr {
+        self.presence
+            .get(&(relation.to_string(), tuple.clone()))
+            .cloned()
+            .unwrap_or(BoolExpr::FALSE)
+    }
+
+    /// Number of selector variables.
+    pub fn num_selectors(&self) -> usize {
+        self.selector_probs.len()
+    }
+}
+
+/// Exact `p_D(Q)` over a BID database: ground the sentence with the
+/// selector resolver, then count with DPLL.
+///
+/// ```
+/// use pdb_bid::BidDb;
+/// let mut db = BidDb::new();
+/// db.insert("City", 1, [1, 10], 0.6); // customer 1: city 10…
+/// db.insert("City", 1, [1, 11], 0.3); // …xor city 11
+/// let q = pdb_logic::parse_fo("exists c. City(1,c)").unwrap();
+/// assert!((pdb_bid::probability(&q, &db) - 0.9).abs() < 1e-12);
+/// ```
+pub fn probability(fo: &Fo, db: &BidDb) -> f64 {
+    assert!(fo.is_sentence(), "BID queries must be sentences");
+    let enc = SelectorEncoding::new(db);
+    let dom: Vec<u64> = db.domain().into_iter().collect();
+    let lineage = pdb_lineage::lineage_with(fo, &dom, &|atom| {
+        let t = Tuple::new(
+            atom.ground_tuple()
+                .expect("grounding substitutes all variables"),
+        );
+        enc.presence_of(atom.predicate.name(), &t)
+    });
+    let (p, _) = pdb_wmc::probability_of_expr(
+        &lineage,
+        &enc.selector_probs,
+        pdb_wmc::DpllOptions::default(),
+    );
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::brute_force_probability;
+    use pdb_num::assert_close;
+    use pdb_logic::parse_fo;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn city_db() -> BidDb {
+        let mut db = BidDb::new();
+        db.insert("City", 1, [1, 10], 0.6);
+        db.insert("City", 1, [1, 11], 0.3);
+        db.insert("City", 1, [2, 10], 0.5);
+        db.insert("Vip", 1, [10], 0.4);
+        db
+    }
+
+    #[test]
+    fn selector_chain_reproduces_marginals() {
+        let db = city_db();
+        let enc = SelectorEncoding::new(&db);
+        assert_eq!(enc.num_selectors(), 4);
+        // Marginal of City(1,11) through the encoding = 0.3.
+        let e = enc.presence_of("City", &Tuple::from([1, 11]));
+        let p = pdb_wmc::brute::expr_probability(&e, &enc.selector_probs);
+        assert_close(p, 0.3, 1e-12);
+        // And the alternatives are exclusive: p(both) = 0.
+        let both = BoolExpr::and_all([
+            enc.presence_of("City", &Tuple::from([1, 10])),
+            enc.presence_of("City", &Tuple::from([1, 11])),
+        ]);
+        assert_close(
+            pdb_wmc::brute::expr_probability(&both, &enc.selector_probs),
+            0.0,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn impossible_facts_are_false() {
+        let db = city_db();
+        let enc = SelectorEncoding::new(&db);
+        assert_eq!(enc.presence_of("City", &Tuple::from([9, 9])), BoolExpr::FALSE);
+        assert_eq!(enc.presence_of("Zzz", &Tuple::from([1])), BoolExpr::FALSE);
+    }
+
+    #[test]
+    fn inference_matches_brute_force_on_query_suite() {
+        let db = city_db();
+        for q in [
+            "exists c. City(1, c)",
+            "exists x. exists c. City(x,c) & Vip(c)",
+            "forall x. forall c. (City(x,c) -> Vip(c))",
+            "City(1,10) | City(1,11)",
+            "!City(2,10)",
+            "exists c. City(1,c) & City(2,c)", // same city correlation
+        ] {
+            let fo = parse_fo(q).unwrap();
+            let fast = probability(&fo, &db);
+            let brute = brute_force_probability(&fo, &db);
+            assert_close(fast, brute, 1e-9);
+        }
+    }
+
+    #[test]
+    fn randomized_cross_check() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut db = BidDb::new();
+            // Random BID relation: 3 keys, up to 3 alternatives each.
+            for key in 0..3u64 {
+                let alts = rng.gen_range(1..=3);
+                let mut remaining = 1.0f64;
+                for a in 0..alts {
+                    let p = rng.gen_range(0.0..remaining * 0.8);
+                    db.insert("R", 1, [key, 10 + a], p);
+                    remaining -= p;
+                }
+            }
+            // And an independent unary relation (blocks of size 1).
+            for v in 10..13u64 {
+                db.insert("U", 1, [v], rng.gen_range(0.1..0.9));
+            }
+            for q in [
+                "exists k. exists v. R(k,v) & U(v)",
+                "forall k. forall v. (R(k,v) -> U(v))",
+            ] {
+                let fo = parse_fo(q).unwrap();
+                assert_close(
+                    probability(&fo, &db),
+                    brute_force_probability(&fo, &db),
+                    1e-9,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_blocks_always_pick_a_tuple() {
+        let mut db = BidDb::new();
+        db.insert("R", 1, [1, 10], 0.5);
+        db.insert("R", 1, [1, 11], 0.5); // mass exactly 1
+        let fo = parse_fo("exists c. R(1,c)").unwrap();
+        assert_close(probability(&fo, &db), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn tid_degenerate_case_agrees_with_tid_engine() {
+        // key_arity == arity ⇒ independent tuples; compare with pdb-wmc on
+        // the equivalent TID.
+        let mut bid = BidDb::new();
+        bid.insert("R", 1, [1], 0.3);
+        bid.insert("R", 1, [2], 0.8);
+        let mut tid = pdb_data::TupleDb::new();
+        tid.insert("R", [1], 0.3);
+        tid.insert("R", [2], 0.8);
+        let fo = parse_fo("exists x. R(x)").unwrap();
+        assert_close(
+            probability(&fo, &bid),
+            pdb_wmc::probability_of_query(&fo, &tid),
+            1e-12,
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The BID representation.
+
+use pdb_data::{Const, Tuple};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One block: mutually exclusive alternatives sharing a key.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Block {
+    /// The alternatives `(tuple, probability)`; probabilities sum to ≤ 1.
+    pub alternatives: Vec<(Tuple, f64)>,
+}
+
+impl Block {
+    /// Total probability mass of the block (≤ 1; the rest is "no tuple").
+    pub fn mass(&self) -> f64 {
+        self.alternatives.iter().map(|(_, p)| p).sum()
+    }
+}
+
+/// A BID relation: blocks keyed by the first `key_arity` attributes.
+#[derive(Clone, Debug)]
+pub struct BidRelation {
+    name: String,
+    arity: usize,
+    key_arity: usize,
+    blocks: BTreeMap<Vec<Const>, Block>,
+}
+
+impl BidRelation {
+    /// Creates an empty BID relation. `key_arity ≤ arity`; with
+    /// `key_arity == arity` every tuple is its own block and the relation
+    /// degenerates to tuple-independence.
+    pub fn new(name: &str, arity: usize, key_arity: usize) -> BidRelation {
+        assert!(key_arity <= arity, "key must be a prefix of the schema");
+        BidRelation {
+            name: name.to_string(),
+            arity,
+            key_arity,
+            blocks: BTreeMap::new(),
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of key columns.
+    pub fn key_arity(&self) -> usize {
+        self.key_arity
+    }
+
+    /// Adds an alternative. Panics if the block's mass would exceed 1
+    /// (beyond f64 slack).
+    pub fn insert(&mut self, tuple: impl Into<Tuple>, p: f64) {
+        let tuple = tuple.into();
+        assert_eq!(tuple.arity(), self.arity, "arity mismatch in {}", self.name);
+        assert!(p >= 0.0, "BID probabilities are standard");
+        let key: Vec<Const> = tuple.values()[..self.key_arity].to_vec();
+        let block = self.blocks.entry(key).or_default();
+        assert!(
+            block.mass() + p <= 1.0 + 1e-9,
+            "block mass exceeds 1 in {}",
+            self.name
+        );
+        block.alternatives.push((tuple, p));
+    }
+
+    /// Iterates blocks in key order.
+    pub fn blocks(&self) -> impl Iterator<Item = (&Vec<Const>, &Block)> {
+        self.blocks.iter()
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of alternative tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.blocks.values().map(|b| b.alternatives.len()).sum()
+    }
+
+    /// The marginal probability of a specific tuple.
+    pub fn prob(&self, tuple: &Tuple) -> f64 {
+        if tuple.arity() != self.arity {
+            return 0.0;
+        }
+        let key: Vec<Const> = tuple.values()[..self.key_arity].to_vec();
+        self.blocks
+            .get(&key)
+            .and_then(|b| {
+                b.alternatives
+                    .iter()
+                    .find(|(t, _)| t == tuple)
+                    .map(|(_, p)| *p)
+            })
+            .unwrap_or(0.0)
+    }
+}
+
+/// A database of BID relations.
+#[derive(Clone, Debug, Default)]
+pub struct BidDb {
+    relations: BTreeMap<String, BidRelation>,
+    extra_domain: std::collections::BTreeSet<Const>,
+}
+
+impl BidDb {
+    /// An empty database.
+    pub fn new() -> BidDb {
+        BidDb::default()
+    }
+
+    /// Declares (or fetches) a relation.
+    pub fn relation_mut(&mut self, name: &str, arity: usize, key_arity: usize) -> &mut BidRelation {
+        let rel = self
+            .relations
+            .entry(name.to_string())
+            .or_insert_with(|| BidRelation::new(name, arity, key_arity));
+        assert_eq!(rel.arity(), arity, "conflicting arity for {name}");
+        assert_eq!(rel.key_arity(), key_arity, "conflicting key for {name}");
+        rel
+    }
+
+    /// Convenience insert.
+    pub fn insert(&mut self, name: &str, key_arity: usize, tuple: impl Into<Tuple>, p: f64) {
+        let tuple = tuple.into();
+        self.relation_mut(name, tuple.arity(), key_arity).insert(tuple, p);
+    }
+
+    /// Looks up a relation.
+    pub fn relation(&self, name: &str) -> Option<&BidRelation> {
+        self.relations.get(name)
+    }
+
+    /// Iterates relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &BidRelation> {
+        self.relations.values()
+    }
+
+    /// Extends the domain explicitly.
+    pub fn extend_domain(&mut self, consts: impl IntoIterator<Item = Const>) {
+        self.extra_domain.extend(consts);
+    }
+
+    /// The finite domain: active ∪ explicit.
+    pub fn domain(&self) -> std::collections::BTreeSet<Const> {
+        let mut dom = self.extra_domain.clone();
+        for rel in self.relations.values() {
+            for (_, block) in rel.blocks() {
+                for (t, _) in &block.alternatives {
+                    dom.extend(t.values().iter().copied());
+                }
+            }
+        }
+        dom
+    }
+
+    /// Total number of alternative tuples across relations.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.values().map(BidRelation::tuple_count).sum()
+    }
+}
+
+impl fmt::Display for BidDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in self.relations.values() {
+            writeln!(
+                f,
+                "{}/{} (key {}): {} blocks",
+                rel.name(),
+                rel.arity(),
+                rel.key_arity(),
+                rel.block_count()
+            )?;
+            for (key, block) in rel.blocks() {
+                writeln!(f, "  key {key:?} (mass {:.3}):", block.mass())?;
+                for (t, p) in &block.alternatives {
+                    writeln!(f, "    {t}  P={p}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_group_by_key_prefix() {
+        let mut r = BidRelation::new("City", 2, 1);
+        r.insert([1, 10], 0.6); // customer 1 lives in city 10…
+        r.insert([1, 11], 0.3); // …or city 11
+        r.insert([2, 10], 0.9);
+        assert_eq!(r.block_count(), 2);
+        assert_eq!(r.tuple_count(), 3);
+        assert_eq!(r.prob(&Tuple::from([1, 11])), 0.3);
+        assert_eq!(r.prob(&Tuple::from([1, 12])), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block mass exceeds 1")]
+    fn mass_is_capped() {
+        let mut r = BidRelation::new("R", 1, 1);
+        r.insert([1], 0.7);
+        r.insert([1], 0.5);
+    }
+
+    #[test]
+    fn full_key_degenerates_to_tid() {
+        let mut r = BidRelation::new("R", 2, 2);
+        r.insert([1, 2], 0.7);
+        r.insert([1, 3], 0.9); // different full key: separate block, ok
+        assert_eq!(r.block_count(), 2);
+    }
+
+    #[test]
+    fn db_assembles_relations() {
+        let mut db = BidDb::new();
+        db.insert("City", 1, [1, 10], 0.6);
+        db.insert("City", 1, [1, 11], 0.3);
+        db.insert("Vip", 1, [10], 0.5);
+        assert_eq!(db.tuple_count(), 3);
+        assert_eq!(db.domain().len(), 3);
+        assert!(db.relation("City").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting key")]
+    fn key_conflicts_detected() {
+        let mut db = BidDb::new();
+        db.insert("R", 1, [1, 2], 0.5);
+        db.insert("R", 2, [1, 3], 0.5);
+    }
+}

@@ -1,0 +1,203 @@
+//! Possible worlds of a BID database: one choice per block.
+//!
+//! A world picks, independently per block, either one alternative (with its
+//! probability) or *no tuple* (with the residual mass `1 − Σ pᵢ`).
+
+use crate::model::BidDb;
+use pdb_data::Tuple;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// A possible world: the set of present `(relation, tuple)` facts.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BidWorld {
+    facts: BTreeSet<(String, Tuple)>,
+}
+
+impl BidWorld {
+    /// Is the fact present?
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
+        // Avoid the owned-key allocation on the hot path by scanning when
+        // small; worlds here are tiny test artifacts, so a direct lookup
+        // with a constructed key is fine.
+        self.facts.contains(&(relation.to_string(), tuple.clone()))
+    }
+
+    /// Number of present facts.
+    pub fn size(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Iterates the facts.
+    pub fn iter(&self) -> impl Iterator<Item = &(String, Tuple)> {
+        self.facts.iter()
+    }
+}
+
+/// A flattened block during enumeration: owning relation, alternatives,
+/// and the residual "no tuple" mass.
+type FlatBlock = (String, Vec<(Tuple, f64)>, f64);
+
+/// Enumerates all `(world, probability)` pairs. The number of worlds is
+/// `∏_blocks (alternatives + 1)`; refuses beyond 2²⁰ worlds.
+pub fn enumerate(db: &BidDb) -> Vec<(BidWorld, f64)> {
+    // Collect blocks as (relation, alternatives).
+    let mut blocks: Vec<FlatBlock> = Vec::new();
+    let mut world_count: f64 = 1.0;
+    for rel in db.relations() {
+        for (_, block) in rel.blocks() {
+            world_count *= (block.alternatives.len() + 1) as f64;
+            blocks.push((
+                rel.name().to_string(),
+                block.alternatives.clone(),
+                1.0 - block.mass(),
+            ));
+        }
+    }
+    assert!(
+        world_count <= (1 << 20) as f64,
+        "BID world enumeration would produce {world_count} worlds"
+    );
+    let mut out = vec![(BidWorld::default(), 1.0)];
+    for (rel, alts, none_mass) in blocks {
+        let mut next = Vec::with_capacity(out.len() * (alts.len() + 1));
+        for (world, p) in &out {
+            // Option: no tuple from this block.
+            next.push((world.clone(), p * none_mass));
+            for (t, tp) in &alts {
+                let mut w = world.clone();
+                w.facts.insert((rel.clone(), t.clone()));
+                next.push((w, p * tp));
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Samples one world (block choices independent).
+pub fn sample(db: &BidDb, rng: &mut impl Rng) -> BidWorld {
+    let mut world = BidWorld::default();
+    for rel in db.relations() {
+        for (_, block) in rel.blocks() {
+            let mut u: f64 = rng.gen();
+            for (t, p) in &block.alternatives {
+                if u < *p {
+                    world.facts.insert((rel.name().to_string(), t.clone()));
+                    break;
+                }
+                u -= p;
+            }
+            // Falling through = the "no tuple" outcome.
+        }
+    }
+    world
+}
+
+/// Exact `p(Q)` by world enumeration: the ground truth for BID inference.
+pub fn brute_force_probability(fo: &pdb_logic::Fo, db: &BidDb) -> f64 {
+    let dom: Vec<u64> = db.domain().into_iter().collect();
+    let mut total = 0.0;
+    for (world, p) in enumerate(db) {
+        if holds(fo, &world, &dom) {
+            total += p;
+        }
+    }
+    total
+}
+
+fn holds(fo: &pdb_logic::Fo, world: &BidWorld, dom: &[u64]) -> bool {
+    use pdb_logic::{Fo, Term};
+    match fo {
+        Fo::True => true,
+        Fo::False => false,
+        Fo::Atom(a) => {
+            let t = Tuple::new(a.ground_tuple().expect("ground atoms only"));
+            world.contains(a.predicate.name(), &t)
+        }
+        Fo::Not(inner) => !holds(inner, world, dom),
+        Fo::And(parts) => parts.iter().all(|p| holds(p, world, dom)),
+        Fo::Or(parts) => parts.iter().any(|p| holds(p, world, dom)),
+        Fo::Forall(v, body) => dom
+            .iter()
+            .all(|&a| holds(&body.substitute(v, &Term::Const(a)), world, dom)),
+        Fo::Exists(v, body) => dom
+            .iter()
+            .any(|&a| holds(&body.substitute(v, &Term::Const(a)), world, dom)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn city_db() -> BidDb {
+        let mut db = BidDb::new();
+        db.insert("City", 1, [1, 10], 0.6);
+        db.insert("City", 1, [1, 11], 0.3);
+        db.insert("City", 1, [2, 10], 0.5);
+        db
+    }
+
+    #[test]
+    fn enumeration_counts_and_normalizes() {
+        let db = city_db();
+        let worlds = enumerate(&db);
+        // Block 1 has 3 options (10, 11, none), block 2 has 2.
+        assert_eq!(worlds.len(), 6);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_exclusion_within_blocks() {
+        let db = city_db();
+        for (w, p) in enumerate(&db) {
+            let both = w.contains("City", &Tuple::from([1, 10]))
+                && w.contains("City", &Tuple::from([1, 11]));
+            assert!(!both, "block alternatives are exclusive (p={p})");
+        }
+    }
+
+    #[test]
+    fn marginals_match_block_probabilities() {
+        let db = city_db();
+        let t = Tuple::from([1, 11]);
+        let marginal: f64 = enumerate(&db)
+            .into_iter()
+            .filter(|(w, _)| w.contains("City", &t))
+            .map(|(_, p)| p)
+            .sum();
+        assert!((marginal - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_exclusivity_and_marginals() {
+        let db = city_db();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 20_000;
+        let mut count_10 = 0;
+        for _ in 0..trials {
+            let w = sample(&db, &mut rng);
+            assert!(
+                !(w.contains("City", &Tuple::from([1, 10]))
+                    && w.contains("City", &Tuple::from([1, 11])))
+            );
+            if w.contains("City", &Tuple::from([1, 10])) {
+                count_10 += 1;
+            }
+        }
+        let freq = count_10 as f64 / trials as f64;
+        assert!((freq - 0.6).abs() < 0.02, "freq={freq}");
+    }
+
+    #[test]
+    fn brute_force_on_a_disjunction() {
+        // p(∃c City(1,c)) = 0.6 + 0.3 = 0.9 (block mass).
+        let db = city_db();
+        let fo = pdb_logic::parse_fo("exists c. City(1, c)").unwrap();
+        assert!((brute_force_probability(&fo, &db) - 0.9).abs() < 1e-12);
+    }
+}

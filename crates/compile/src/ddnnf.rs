@@ -1,0 +1,531 @@
+//! Decision-DNNFs and d-DNNFs.
+//!
+//! A *decision-DNNF* is an FBDD extended with independent-∧ nodes — exactly
+//! the trace language of DPLL with caching and components (§7). A *d-DNNF*
+//! is the general circuit form: ∨-nodes with *disjoint* children, ∧-nodes
+//! with *independent* children, negation only at the leaves. Expanding every
+//! decision node `⟨v, hi, lo⟩` into `(v ∧ hi) ∨ (¬v ∧ lo)` turns a
+//! decision-DNNF into a d-DNNF whose ∨-disjointness is guaranteed by the
+//! guard literals.
+
+use pdb_wmc::{Trace, TraceNode, TraceNodeId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Node of a [`DecisionDnnf`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DdnnfNode {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Shannon decision on a variable.
+    Decision {
+        /// Decision variable.
+        var: u32,
+        /// Child under `var = 1`.
+        hi: u32,
+        /// Child under `var = 0`.
+        lo: u32,
+    },
+    /// Independent conjunction (children over disjoint variable sets).
+    And {
+        /// Child node indices.
+        children: Vec<u32>,
+    },
+}
+
+/// A decision-DNNF circuit (DAG, arena-allocated).
+#[derive(Clone, Debug)]
+pub struct DecisionDnnf {
+    nodes: Vec<DdnnfNode>,
+    root: u32,
+}
+
+impl DecisionDnnf {
+    /// Builds from raw nodes; `root` indexes into `nodes`.
+    pub fn new(nodes: Vec<DdnnfNode>, root: u32) -> DecisionDnnf {
+        assert!((root as usize) < nodes.len());
+        DecisionDnnf { nodes, root }
+    }
+
+    /// Converts a DPLL trace (Huang–Darwiche: the trace *is* the circuit).
+    pub fn from_trace(trace: &Trace) -> DecisionDnnf {
+        let nodes = trace
+            .nodes()
+            .iter()
+            .map(|n| match n {
+                TraceNode::True => DdnnfNode::True,
+                TraceNode::False => DdnnfNode::False,
+                TraceNode::Decision { var, hi, lo } => DdnnfNode::Decision {
+                    var: *var,
+                    hi: hi.0,
+                    lo: lo.0,
+                },
+                TraceNode::And { children } => DdnnfNode::And {
+                    children: children.iter().map(|c: &TraceNodeId| c.0).collect(),
+                },
+            })
+            .collect();
+        DecisionDnnf::new(nodes, trace.root().0)
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The node arena.
+    pub fn nodes(&self) -> &[DdnnfNode] {
+        &self.nodes
+    }
+
+    fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut seen[i as usize], true) {
+                continue;
+            }
+            match &self.nodes[i as usize] {
+                DdnnfNode::True | DdnnfNode::False => {}
+                DdnnfNode::Decision { hi, lo, .. } => {
+                    stack.push(*hi);
+                    stack.push(*lo);
+                }
+                DdnnfNode::And { children } => stack.extend(children.iter().copied()),
+            }
+        }
+        seen
+    }
+
+    /// Number of reachable nodes (the Theorem 7.1 size measure).
+    pub fn size(&self) -> usize {
+        self.reachable().iter().filter(|&&b| b).count()
+    }
+
+    /// Number of reachable decision nodes.
+    pub fn decision_count(&self) -> usize {
+        let seen = self.reachable();
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| seen[*i] && matches!(n, DdnnfNode::Decision { .. }))
+            .count()
+    }
+
+    /// Number of reachable independent-∧ nodes.
+    pub fn and_count(&self) -> usize {
+        let seen = self.reachable();
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| seen[*i] && matches!(n, DdnnfNode::And { .. }))
+            .count()
+    }
+
+    /// Evaluates the circuit on an assignment.
+    pub fn eval(&self, assignment: &dyn Fn(u32) -> bool) -> bool {
+        fn go(d: &DecisionDnnf, i: u32, a: &dyn Fn(u32) -> bool) -> bool {
+            match &d.nodes[i as usize] {
+                DdnnfNode::True => true,
+                DdnnfNode::False => false,
+                DdnnfNode::Decision { var, hi, lo } => {
+                    if a(*var) {
+                        go(d, *hi, a)
+                    } else {
+                        go(d, *lo, a)
+                    }
+                }
+                DdnnfNode::And { children } => children.iter().all(|&c| go(d, c, a)),
+            }
+        }
+        go(self, self.root, assignment)
+    }
+
+    /// Weighted model count (probability) in one memoized pass.
+    pub fn probability(&self, probs: &[f64]) -> f64 {
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        self.prob_rec(self.root, probs, &mut memo)
+    }
+
+    fn prob_rec(&self, i: u32, probs: &[f64], memo: &mut HashMap<u32, f64>) -> f64 {
+        if let Some(&p) = memo.get(&i) {
+            return p;
+        }
+        let p = match &self.nodes[i as usize] {
+            DdnnfNode::True => 1.0,
+            DdnnfNode::False => 0.0,
+            DdnnfNode::Decision { var, hi, lo } => {
+                let pv = probs[*var as usize];
+                pv * self.prob_rec(*hi, probs, memo)
+                    + (1.0 - pv) * self.prob_rec(*lo, probs, memo)
+            }
+            DdnnfNode::And { children } => children
+                .iter()
+                .map(|&c| self.prob_rec(c, probs, memo))
+                .product(),
+        };
+        memo.insert(i, p);
+        p
+    }
+
+    /// The variables below each node (memoized); used to validate the
+    /// independence of ∧-children and the read-once property.
+    fn vars_below(&self, i: u32, memo: &mut HashMap<u32, BTreeSet<u32>>) -> BTreeSet<u32> {
+        if let Some(s) = memo.get(&i) {
+            return s.clone();
+        }
+        let s = match &self.nodes[i as usize] {
+            DdnnfNode::True | DdnnfNode::False => BTreeSet::new(),
+            DdnnfNode::Decision { var, hi, lo } => {
+                let mut s = self.vars_below(*hi, memo);
+                s.extend(self.vars_below(*lo, memo));
+                s.insert(*var);
+                s
+            }
+            DdnnfNode::And { children } => {
+                let mut s = BTreeSet::new();
+                for &c in children {
+                    s.extend(self.vars_below(c, memo));
+                }
+                s
+            }
+        };
+        memo.insert(i, s.clone());
+        s
+    }
+
+    /// Checks the structural invariants: ∧-children have pairwise-disjoint
+    /// variable sets, and no path reads a decision variable twice.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut memo = HashMap::new();
+        let seen = self.reachable();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !seen[i] {
+                continue;
+            }
+            match n {
+                DdnnfNode::And { children } => {
+                    let sets: Vec<BTreeSet<u32>> = children
+                        .iter()
+                        .map(|&c| self.vars_below(c, &mut memo))
+                        .collect();
+                    for a in 0..sets.len() {
+                        for b in a + 1..sets.len() {
+                            if !sets[a].is_disjoint(&sets[b]) {
+                                return Err(format!(
+                                    "∧-node {i} has dependent children"
+                                ));
+                            }
+                        }
+                    }
+                }
+                DdnnfNode::Decision { var, hi, lo }
+                    if (self.vars_below(*hi, &mut memo).contains(var)
+                        || self.vars_below(*lo, &mut memo).contains(var))
+                    => {
+                        return Err(format!(
+                            "decision node {i} re-reads its variable x{var}"
+                        ));
+                    }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands into a general [`Ddnnf`].
+    pub fn to_ddnnf(&self) -> Ddnnf {
+        let mut out = Ddnnf::default();
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        let root = self.expand(self.root, &mut out, &mut map);
+        out.root = root;
+        out
+    }
+
+    fn expand(&self, i: u32, out: &mut Ddnnf, map: &mut HashMap<u32, u32>) -> u32 {
+        if let Some(&r) = map.get(&i) {
+            return r;
+        }
+        let r = match &self.nodes[i as usize] {
+            DdnnfNode::True => out.push(DNode::True),
+            DdnnfNode::False => out.push(DNode::False),
+            DdnnfNode::Decision { var, hi, lo } => {
+                let hi = self.expand(*hi, out, map);
+                let lo = self.expand(*lo, out, map);
+                let pos = out.push(DNode::Lit {
+                    var: *var,
+                    positive: true,
+                });
+                let neg = out.push(DNode::Lit {
+                    var: *var,
+                    positive: false,
+                });
+                let left = out.push(DNode::And {
+                    children: vec![pos, hi],
+                });
+                let right = out.push(DNode::And {
+                    children: vec![neg, lo],
+                });
+                out.push(DNode::Or {
+                    children: vec![left, right],
+                })
+            }
+            DdnnfNode::And { children } => {
+                let kids: Vec<u32> = children
+                    .iter()
+                    .map(|&c| self.expand(c, out, map))
+                    .collect();
+                out.push(DNode::And { children: kids })
+            }
+        };
+        map.insert(i, r);
+        r
+    }
+}
+
+/// Node of a general d-DNNF circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DNode {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// A literal (negation only at the leaves, per the d-DNNF definition).
+    Lit {
+        /// Variable id.
+        var: u32,
+        /// Polarity.
+        positive: bool,
+    },
+    /// Independent conjunction.
+    And {
+        /// Children indices.
+        children: Vec<u32>,
+    },
+    /// Disjoint ("deterministic") disjunction.
+    Or {
+        /// Children indices.
+        children: Vec<u32>,
+    },
+}
+
+/// A d-DNNF circuit.
+#[derive(Clone, Debug, Default)]
+pub struct Ddnnf {
+    nodes: Vec<DNode>,
+    root: u32,
+}
+
+impl Ddnnf {
+    fn push(&mut self, n: DNode) -> u32 {
+        self.nodes.push(n);
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// The node arena.
+    pub fn nodes(&self) -> &[DNode] {
+        &self.nodes
+    }
+
+    /// The root index.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Number of reachable nodes.
+    pub fn size(&self) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        let mut count = 0;
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut seen[i as usize], true) {
+                continue;
+            }
+            count += 1;
+            match &self.nodes[i as usize] {
+                DNode::And { children } | DNode::Or { children } => {
+                    stack.extend(children.iter().copied())
+                }
+                _ => {}
+            }
+        }
+        count
+    }
+
+    /// Evaluates the circuit.
+    pub fn eval(&self, assignment: &dyn Fn(u32) -> bool) -> bool {
+        fn go(d: &Ddnnf, i: u32, a: &dyn Fn(u32) -> bool) -> bool {
+            match &d.nodes[i as usize] {
+                DNode::True => true,
+                DNode::False => false,
+                DNode::Lit { var, positive } => a(*var) == *positive,
+                DNode::And { children } => children.iter().all(|&c| go(d, c, a)),
+                DNode::Or { children } => children.iter().any(|&c| go(d, c, a)),
+            }
+        }
+        go(self, self.root, assignment)
+    }
+
+    /// Weighted model count: ∨ sums (children are disjoint events), ∧
+    /// multiplies (children are independent) — rules (12) and (13).
+    pub fn probability(&self, probs: &[f64]) -> f64 {
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        fn go(d: &Ddnnf, i: u32, probs: &[f64], memo: &mut HashMap<u32, f64>) -> f64 {
+            if let Some(&p) = memo.get(&i) {
+                return p;
+            }
+            let p = match &d.nodes[i as usize] {
+                DNode::True => 1.0,
+                DNode::False => 0.0,
+                DNode::Lit { var, positive } => {
+                    let pv = probs[*var as usize];
+                    if *positive {
+                        pv
+                    } else {
+                        1.0 - pv
+                    }
+                }
+                DNode::And { children } => children
+                    .iter()
+                    .map(|&c| go(d, c, probs, memo))
+                    .product(),
+                DNode::Or { children } => {
+                    children.iter().map(|&c| go(d, c, probs, memo)).sum()
+                }
+            };
+            memo.insert(i, p);
+            p
+        }
+        go(self, self.root, probs, &mut memo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_data::TupleId;
+    use pdb_num::assert_close;
+    use pdb_lineage::{BoolExpr, Cnf};
+    use pdb_wmc::{brute, Dpll, DpllOptions};
+
+    fn v(i: u32) -> BoolExpr {
+        BoolExpr::var(TupleId(i))
+    }
+
+    fn trace_of(expr: &BoolExpr, n: u32, components: bool) -> (Trace, f64) {
+        // Count ¬expr (negated monotone DNF) with trace recording.
+        let cnf = Cnf::from_negated_dnf(expr, n);
+        let result = Dpll::new(
+            &cnf,
+            vec![0.5; n as usize],
+            DpllOptions {
+                components,
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .run();
+        (result.trace.unwrap(), result.probability)
+    }
+
+    #[test]
+    fn from_trace_preserves_semantics_and_count() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(2), v(3)]),
+        ]);
+        let (trace, p) = trace_of(&f, 4, true);
+        let dd = DecisionDnnf::from_trace(&trace);
+        dd.validate().unwrap();
+        for mask in 0u32..16 {
+            let a = |var: u32| mask >> var & 1 == 1;
+            // The trace computes ¬f.
+            assert_eq!(dd.eval(&a), !f.eval(&|t| a(t.0)));
+        }
+        assert_close(dd.probability(&[0.5; 4]), p, 1e-12);
+    }
+
+    #[test]
+    fn component_traces_contain_and_nodes() {
+        // Two fully independent blocks force a component split.
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(2), v(3)]),
+        ]);
+        let (trace, _) = trace_of(&f, 4, true);
+        let dd = DecisionDnnf::from_trace(&trace);
+        assert!(dd.and_count() >= 1, "expected a component ∧-node");
+        let (trace_nc, _) = trace_of(&f, 4, false);
+        let dd_nc = DecisionDnnf::from_trace(&trace_nc);
+        assert_eq!(dd_nc.and_count(), 0, "components disabled");
+        dd_nc.validate().unwrap();
+    }
+
+    #[test]
+    fn probability_matches_brute_force_weighted() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(1), v(2)]),
+        ]);
+        let probs = [0.3, 0.6, 0.8];
+        let cnf = Cnf::from_negated_dnf(&f, 3);
+        let result = Dpll::new(
+            &cnf,
+            probs.to_vec(),
+            DpllOptions {
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .run();
+        let dd = DecisionDnnf::from_trace(&result.trace.unwrap());
+        let expected = 1.0 - brute::expr_probability(&f, &probs);
+        assert_close(dd.probability(&probs), expected, 1e-12);
+    }
+
+    #[test]
+    fn ddnnf_expansion_preserves_everything() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(2), v(3)]),
+        ]);
+        let (trace, _) = trace_of(&f, 4, true);
+        let dd = DecisionDnnf::from_trace(&trace);
+        let circuit = dd.to_ddnnf();
+        let probs = [0.1, 0.9, 0.4, 0.6];
+        assert_close(circuit.probability(&probs), dd.probability(&probs), 1e-12);
+        for mask in 0u32..16 {
+            let a = |var: u32| mask >> var & 1 == 1;
+            assert_eq!(circuit.eval(&a), dd.eval(&a), "mask={mask}");
+        }
+        // Expansion adds Or/Lit nodes.
+        assert!(circuit.size() >= dd.size());
+    }
+
+    #[test]
+    fn validate_rejects_dependent_and() {
+        // Hand-build an invalid circuit: And over two decisions on the SAME var.
+        let nodes = vec![
+            DdnnfNode::True,                                  // 0
+            DdnnfNode::False,                                 // 1
+            DdnnfNode::Decision { var: 0, hi: 0, lo: 1 },     // 2
+            DdnnfNode::Decision { var: 0, hi: 1, lo: 0 },     // 3
+            DdnnfNode::And { children: vec![2, 3] },          // 4
+        ];
+        let dd = DecisionDnnf::new(nodes, 4);
+        assert!(dd.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_repeated_reads() {
+        let nodes = vec![
+            DdnnfNode::True,                              // 0
+            DdnnfNode::False,                             // 1
+            DdnnfNode::Decision { var: 0, hi: 0, lo: 1 }, // 2
+            DdnnfNode::Decision { var: 0, hi: 2, lo: 1 }, // 3 re-reads x0
+        ];
+        let dd = DecisionDnnf::new(nodes, 3);
+        assert!(dd.validate().is_err());
+    }
+}

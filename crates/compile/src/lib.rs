@@ -1,0 +1,28 @@
+//! # pdb-compile — knowledge compilation targets (§7)
+//!
+//! Query compilation converts a lineage into a circuit from which weighted
+//! model counts are read off in time linear in the circuit. This crate
+//! implements the representations of §7 and Figure 2 and the conversions
+//! between them:
+//!
+//! * [`obdd::Obdd`] — reduced *Ordered* BDDs with a unique table and an
+//!   `apply` combinator; Theorem 7.1(i) is about their sizes,
+//! * [`fbdd::Fbdd`] — *Free* BDDs (each path reads a variable once); built
+//!   from DPLL traces without components,
+//! * [`ddnnf::DecisionDnnf`] — FBDDs extended with independent-∧ nodes: the
+//!   trace language of DPLL with caching *and* components (Theorem 7.1(ii)),
+//! * [`ddnnf::Ddnnf`] — general d-DNNF circuits (disjoint-∨ / independent-∧ /
+//!   leaf-¬), obtained from decision-DNNFs by expanding decisions,
+//! * [`fig2`] — the two circuits of Figure 2, constructed verbatim,
+//! * [`order`] — variable-order heuristics, including the hierarchical
+//!   grouping that yields the linear-size OBDDs of Theorem 7.1(i-a).
+
+pub mod ddnnf;
+pub mod fbdd;
+pub mod fig2;
+pub mod obdd;
+pub mod order;
+
+pub use ddnnf::{Ddnnf, DecisionDnnf};
+pub use fbdd::Fbdd;
+pub use obdd::Obdd;

@@ -1,0 +1,355 @@
+//! Reduced Ordered Binary Decision Diagrams.
+//!
+//! An OBDD reads variables in one global order on every path; reduction
+//! (unique table + node elision) makes it canonical for that order. The
+//! dichotomy of Theorem 7.1(i) is about OBDD sizes of CQ lineages:
+//! hierarchical self-join-free CQs have linear-size OBDDs under the right
+//! order; non-hierarchical ones are exponential under *every* order.
+
+use pdb_lineage::BoolExpr;
+use std::collections::HashMap;
+
+/// Node reference: 0 = false terminal, 1 = true terminal, else internal.
+pub type Ref = u32;
+
+const FALSE: Ref = 0;
+const TRUE: Ref = 1;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Node {
+    /// Position in the variable order (not the variable id).
+    level: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// A reduced OBDD manager plus a root, compiled from one formula.
+#[derive(Clone, Debug)]
+pub struct Obdd {
+    nodes: Vec<Node>, // indices 0/1 reserved for terminals (dummy entries)
+    unique: HashMap<Node, Ref>,
+    /// `order[level]` = variable id read at that level.
+    order: Vec<u32>,
+    level_of: HashMap<u32, u32>,
+    root: Ref,
+}
+
+impl Obdd {
+    /// Compiles `expr` under the variable `order` (a permutation of a
+    /// superset of the formula's variables; variables missing from the order
+    /// cause a panic).
+    pub fn compile(expr: &BoolExpr, order: &[u32]) -> Obdd {
+        let level_of: HashMap<u32, u32> = order
+            .iter()
+            .enumerate()
+            .map(|(l, &v)| (v, l as u32))
+            .collect();
+        let mut obdd = Obdd {
+            nodes: vec![
+                Node {
+                    level: u32::MAX,
+                    lo: FALSE,
+                    hi: FALSE,
+                },
+                Node {
+                    level: u32::MAX,
+                    lo: TRUE,
+                    hi: TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            order: order.to_vec(),
+            level_of,
+            root: FALSE,
+        };
+        let mut memo = HashMap::new();
+        let nnf = expr.nnf();
+        obdd.root = obdd.build(&nnf, &mut memo);
+        obdd
+    }
+
+    /// The root reference.
+    pub fn root(&self) -> Ref {
+        self.root
+    }
+
+    /// The variable order used.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    fn mk(&mut self, level: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { level, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = self.nodes.len() as Ref;
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    fn build(&mut self, expr: &BoolExpr, memo: &mut HashMap<BoolExpr, Ref>) -> Ref {
+        if let Some(&r) = memo.get(expr) {
+            return r;
+        }
+        let r = match expr {
+            BoolExpr::Const(true) => TRUE,
+            BoolExpr::Const(false) => FALSE,
+            BoolExpr::Var(v) => {
+                let level = *self
+                    .level_of
+                    .get(&v.0)
+                    .unwrap_or_else(|| panic!("variable x{} missing from order", v.0));
+                self.mk(level, FALSE, TRUE)
+            }
+            BoolExpr::Not(inner) => match inner.as_ref() {
+                BoolExpr::Var(v) => {
+                    let level = *self
+                        .level_of
+                        .get(&v.0)
+                        .unwrap_or_else(|| panic!("variable x{} missing from order", v.0));
+                    self.mk(level, TRUE, FALSE)
+                }
+                _ => unreachable!("compile() normalizes to NNF first"),
+            },
+            BoolExpr::And(parts) => {
+                let mut acc = TRUE;
+                for p in parts {
+                    let q = self.build(p, memo);
+                    acc = self.apply_and(acc, q, &mut HashMap::new());
+                    if acc == FALSE {
+                        break;
+                    }
+                }
+                acc
+            }
+            BoolExpr::Or(parts) => {
+                let mut acc = FALSE;
+                for p in parts {
+                    let q = self.build(p, memo);
+                    acc = self.apply_or(acc, q, &mut HashMap::new());
+                    if acc == TRUE {
+                        break;
+                    }
+                }
+                acc
+            }
+        };
+        memo.insert(expr.clone(), r);
+        r
+    }
+
+    fn apply_and(&mut self, f: Ref, g: Ref, memo: &mut HashMap<(Ref, Ref), Ref>) -> Ref {
+        match (f, g) {
+            (FALSE, _) | (_, FALSE) => return FALSE,
+            (TRUE, x) | (x, TRUE) => return x,
+            _ => {}
+        }
+        let key = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let (nf, ng) = (self.nodes[f as usize], self.nodes[g as usize]);
+        let level = nf.level.min(ng.level);
+        let (f_lo, f_hi) = if nf.level == level { (nf.lo, nf.hi) } else { (f, f) };
+        let (g_lo, g_hi) = if ng.level == level { (ng.lo, ng.hi) } else { (g, g) };
+        let lo = self.apply_and(f_lo, g_lo, memo);
+        let hi = self.apply_and(f_hi, g_hi, memo);
+        let r = self.mk(level, lo, hi);
+        memo.insert(key, r);
+        r
+    }
+
+    fn apply_or(&mut self, f: Ref, g: Ref, memo: &mut HashMap<(Ref, Ref), Ref>) -> Ref {
+        match (f, g) {
+            (TRUE, _) | (_, TRUE) => return TRUE,
+            (FALSE, x) | (x, FALSE) => return x,
+            _ => {}
+        }
+        let key = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let (nf, ng) = (self.nodes[f as usize], self.nodes[g as usize]);
+        let level = nf.level.min(ng.level);
+        let (f_lo, f_hi) = if nf.level == level { (nf.lo, nf.hi) } else { (f, f) };
+        let (g_lo, g_hi) = if ng.level == level { (ng.lo, ng.hi) } else { (g, g) };
+        let lo = self.apply_or(f_lo, g_lo, memo);
+        let hi = self.apply_or(f_hi, g_hi, memo);
+        let r = self.mk(level, lo, hi);
+        memo.insert(key, r);
+        r
+    }
+
+    /// Number of internal (decision) nodes reachable from the root — the
+    /// size measure of Theorem 7.1.
+    pub fn size(&self) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        let mut count = 0;
+        while let Some(r) = stack.pop() {
+            if r <= TRUE || std::mem::replace(&mut seen[r as usize], true) {
+                continue;
+            }
+            count += 1;
+            let n = self.nodes[r as usize];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Evaluates the OBDD on an assignment.
+    pub fn eval(&self, assignment: &dyn Fn(u32) -> bool) -> bool {
+        let mut r = self.root;
+        while r > TRUE {
+            let n = self.nodes[r as usize];
+            let var = self.order[n.level as usize];
+            r = if assignment(var) { n.hi } else { n.lo };
+        }
+        r == TRUE
+    }
+
+    /// Weighted model count in one bottom-up pass: `probs[var]` is the
+    /// probability of that variable. Elided levels contribute a factor of 1
+    /// in probability semantics, so no skip-correction is needed.
+    pub fn probability(&self, probs: &[f64]) -> f64 {
+        let mut memo: HashMap<Ref, f64> = HashMap::new();
+        self.prob_rec(self.root, probs, &mut memo)
+    }
+
+    fn prob_rec(&self, r: Ref, probs: &[f64], memo: &mut HashMap<Ref, f64>) -> f64 {
+        match r {
+            FALSE => return 0.0,
+            TRUE => return 1.0,
+            _ => {}
+        }
+        if let Some(&p) = memo.get(&r) {
+            return p;
+        }
+        let n = self.nodes[r as usize];
+        let var = self.order[n.level as usize];
+        let pv = probs[var as usize];
+        let p = pv * self.prob_rec(n.hi, probs, memo)
+            + (1.0 - pv) * self.prob_rec(n.lo, probs, memo);
+        memo.insert(r, p);
+        p
+    }
+
+    /// Unweighted model count over `num_vars` variables.
+    pub fn model_count(&self, num_vars: u32) -> f64 {
+        let probs = vec![0.5; self.order.len().max(num_vars as usize)];
+        self.probability(&probs) * 2f64.powi(num_vars as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_data::TupleId;
+    use pdb_num::assert_close;
+    use pdb_wmc::brute;
+
+    fn v(i: u32) -> BoolExpr {
+        BoolExpr::var(TupleId(i))
+    }
+
+    fn ident_order(n: u32) -> Vec<u32> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn terminals_and_single_vars() {
+        let t = Obdd::compile(&BoolExpr::TRUE, &[]);
+        assert_eq!(t.size(), 0);
+        assert!(t.eval(&|_| false));
+        let x = Obdd::compile(&v(0), &ident_order(1));
+        assert_eq!(x.size(), 1);
+        assert!(x.eval(&|_| true));
+        assert!(!x.eval(&|_| false));
+        let nx = Obdd::compile(&v(0).negate(), &ident_order(1));
+        assert!(nx.eval(&|_| false));
+    }
+
+    #[test]
+    fn canonical_reduction_merges_equivalent() {
+        // x0 | (x0 & x1) == x0: reduced OBDD has one node.
+        let f = BoolExpr::or_all([v(0), BoolExpr::and_all([v(0), v(1)])]);
+        let obdd = Obdd::compile(&f, &ident_order(2));
+        assert_eq!(obdd.size(), 1);
+    }
+
+    #[test]
+    fn semantics_preserved_exhaustively() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1).negate()]),
+            BoolExpr::and_all([v(1), v(2)]),
+            v(3).negate(),
+        ]);
+        let obdd = Obdd::compile(&f, &ident_order(4));
+        for mask in 0u32..16 {
+            let a = |var: u32| mask >> var & 1 == 1;
+            assert_eq!(obdd.eval(&a), f.eval(&|t| a(t.0)), "mask={mask}");
+        }
+    }
+
+    #[test]
+    fn probability_matches_brute_force() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(2), v(3)]),
+        ]);
+        let probs = [0.2, 0.7, 0.4, 0.9];
+        let obdd = Obdd::compile(&f, &ident_order(4));
+        assert_close(
+            obdd.probability(&probs),
+            brute::expr_probability(&f, &probs),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn model_count() {
+        // x0 | x1 has 3 models over 2 vars.
+        let f = BoolExpr::or_all([v(0), v(1)]);
+        let obdd = Obdd::compile(&f, &ident_order(2));
+        assert_close(obdd.model_count(2), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn order_sensitivity_classic_example() {
+        // f = (x0&x1) | (x2&x3) | (x4&x5): pair-adjacent order is linear,
+        // interleaved order blows up exponentially (classic result).
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(2), v(3)]),
+            BoolExpr::and_all([v(4), v(5)]),
+        ]);
+        let good = Obdd::compile(&f, &[0, 1, 2, 3, 4, 5]);
+        let bad = Obdd::compile(&f, &[0, 2, 4, 1, 3, 5]);
+        assert!(good.size() < bad.size(), "{} vs {}", good.size(), bad.size());
+        // Both still compute f.
+        for mask in 0u32..64 {
+            let a = |var: u32| mask >> var & 1 == 1;
+            assert_eq!(good.eval(&a), bad.eval(&a));
+        }
+    }
+
+    #[test]
+    fn eval_ignores_unmentioned_vars() {
+        let f = v(2);
+        let obdd = Obdd::compile(&f, &ident_order(5));
+        assert!(obdd.eval(&|var| var == 2));
+        assert_close(obdd.probability(&[0.9, 0.9, 0.3, 0.9, 0.9]), 0.3, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from order")]
+    fn missing_variable_in_order_panics() {
+        let _ = Obdd::compile(&v(7), &ident_order(3));
+    }
+}

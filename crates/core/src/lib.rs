@@ -1,0 +1,545 @@
+//! # pdb-core — the probabilistic database engine
+//!
+//! The facade tying the workspace together into the system the paper
+//! describes. [`ProbDb`] owns a tuple-independent database and answers
+//! `PQE` with a strategy cascade mirroring the paper's architecture:
+//!
+//! 1. **Lifted inference** (§5, `pdb-lifted`) — polynomial time whenever the
+//!    rules apply; exact.
+//! 2. **Grounded inference** (§7, `pdb-lineage` + `pdb-wmc`) — lineage plus
+//!    DPLL with components and caching; exact for *every* FO sentence, may
+//!    be exponential. A decision budget bounds the blow-up.
+//! 3. **Approximation** — for self-join-free CQs, the §6 all-plans upper
+//!    bound and oblivious lower bound (`pdb-plans`); for monotone queries,
+//!    the Karp–Luby FPRAS (`pdb-wmc`).
+//!
+//! Every answer reports which engine produced it ([`Method`]), so the
+//! experiment harness can ablate the cascade.
+
+use pdb_logic::{Cq, Fo, Ucq};
+use pdb_data::{Tuple, TupleDb};
+use pdb_wmc::DpllOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use pdb_lifted::{classify_sjf_cq, classify_ucq, Complexity};
+
+/// Which engine produced an answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Lifted inference (extensional rules, §5).
+    Lifted,
+    /// A provably safe extensional plan (§6).
+    SafePlan,
+    /// Grounded inference: lineage + DPLL model counting (§7).
+    Grounded,
+    /// Karp–Luby sampling plus (when available) plan bounds (§6).
+    Approximate,
+}
+
+/// An answer to a `PQE` instance.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// The (estimated) marginal probability `p_D(Q)`.
+    pub probability: f64,
+    /// The engine that produced it.
+    pub method: Method,
+    /// For approximate answers: the `(lower, upper)` plan bounds, when the
+    /// query is a self-join-free CQ.
+    pub bounds: Option<(f64, f64)>,
+    /// For approximate answers: the estimator's standard error.
+    pub std_error: Option<f64>,
+}
+
+/// One row of a non-Boolean query answer: values for the head variables and
+/// the marginal probability of that answer tuple.
+#[derive(Clone, Debug)]
+pub struct AnswerTuple {
+    /// The head-variable values, in head order.
+    pub values: Vec<u64>,
+    /// `p_D(Q[values/head])`.
+    pub probability: f64,
+    /// The engine that evaluated this answer's Boolean query.
+    pub method: Method,
+}
+
+/// Knobs for [`ProbDb::query_fo`].
+#[derive(Clone, Debug)]
+pub struct QueryOptions {
+    /// Skip the lifted engine (ablation).
+    pub disable_lifted: bool,
+    /// DPLL decision budget before falling back to approximation
+    /// (0 = unlimited: grounded inference runs to completion).
+    pub exact_budget: u64,
+    /// Samples for the Karp–Luby estimator.
+    pub samples: u64,
+    /// RNG seed for the estimator.
+    pub seed: u64,
+}
+
+impl Default for QueryOptions {
+    fn default() -> QueryOptions {
+        QueryOptions {
+            disable_lifted: false,
+            exact_budget: 2_000_000,
+            samples: 200_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Errors from the engine.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// The query text failed to parse.
+    Parse(pdb_logic::ParseError),
+    /// No engine could evaluate the query under the given options.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<pdb_logic::ParseError> for EngineError {
+    fn from(e: pdb_logic::ParseError) -> EngineError {
+        EngineError::Parse(e)
+    }
+}
+
+/// A probabilistic database with the full query-evaluation cascade.
+#[derive(Clone, Debug, Default)]
+pub struct ProbDb {
+    db: TupleDb,
+}
+
+impl ProbDb {
+    /// An empty database.
+    pub fn new() -> ProbDb {
+        ProbDb::default()
+    }
+
+    /// Wraps an existing [`TupleDb`].
+    pub fn from_tuple_db(db: TupleDb) -> ProbDb {
+        ProbDb { db }
+    }
+
+    /// The underlying database.
+    pub fn tuple_db(&self) -> &TupleDb {
+        &self.db
+    }
+
+    /// Inserts a tuple with probability `p` (relation declared on first use).
+    pub fn insert(&mut self, relation: &str, tuple: impl Into<Tuple>, p: f64) {
+        self.db.insert(relation, tuple, p);
+    }
+
+    /// Extends the domain beyond the active one (matters for ∀ queries).
+    pub fn extend_domain(&mut self, consts: impl IntoIterator<Item = u64>) {
+        self.db.extend_domain(consts);
+    }
+
+    /// Parses and answers a query in the workspace's FO syntax.
+    pub fn query(&self, text: &str) -> Result<Answer, EngineError> {
+        let fo = pdb_logic::parse_fo(text)?;
+        self.query_fo(&fo, &QueryOptions::default())
+    }
+
+    /// Answers a Boolean FO sentence with the full cascade.
+    pub fn query_fo(&self, fo: &Fo, opts: &QueryOptions) -> Result<Answer, EngineError> {
+        if !fo.is_sentence() {
+            return Err(EngineError::Unsupported(
+                "only Boolean queries (sentences) are supported".into(),
+            ));
+        }
+        // 1. Lifted inference.
+        if !opts.disable_lifted {
+            if let Ok(p) = pdb_lifted::probability_fo(fo, &self.db) {
+                return Ok(Answer {
+                    probability: p,
+                    method: Method::Lifted,
+                    bounds: None,
+                    std_error: None,
+                });
+            }
+        }
+        // 2. Grounded inference with a decision budget.
+        let index = self.db.index();
+        let lineage = pdb_lineage::lineage(fo, &self.db, &index);
+        let probs: Vec<f64> = index.iter().map(|(_, r)| r.prob).collect();
+        let dpll_opts = DpllOptions {
+            max_decisions: opts.exact_budget,
+            ..Default::default()
+        };
+        if let Some(p) = try_exact(&lineage, &probs, dpll_opts) {
+            return Ok(Answer {
+                probability: p,
+                method: Method::Grounded,
+                bounds: None,
+                std_error: None,
+            });
+        }
+        // 3. Approximation: Karp–Luby over the monotone DNF (plus plan
+        //    bounds when the query is a single self-join-free CQ).
+        let Some(ucq) = fo.to_ucq() else {
+            return Err(EngineError::Unsupported(
+                "exact budget exhausted and the query is not a monotone ∃* \
+                 sentence; no estimator applies"
+                    .into(),
+            ));
+        };
+        let dnf = pdb_lineage::ucq_dnf_lineage(&ucq, &self.db, &index);
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let est = pdb_wmc::karp_luby::estimate(&dnf, &probs, opts.samples, &mut rng);
+        let bounds = match ucq.disjuncts() {
+            [only] if !only.has_self_join() && only.atoms().len() <= 6 => {
+                let b = pdb_plans::bounds::bounds(only, &self.db);
+                Some((b.lower, b.upper))
+            }
+            _ => None,
+        };
+        // The raw estimator is unbiased but can leave [0,1] (and the plan
+        // bounds); clamping into any interval known to contain p_D(Q) only
+        // reduces the error.
+        let mut probability = est.value.clamp(0.0, 1.0);
+        if let Some((lo, hi)) = bounds {
+            probability = probability.clamp(lo, hi);
+        }
+        Ok(Answer {
+            probability,
+            method: Method::Approximate,
+            bounds,
+            std_error: Some(est.std_error),
+        })
+    }
+
+    /// Answers a UCQ (monotone ∃* fragment) via the cascade.
+    pub fn query_ucq(&self, ucq: &Ucq, opts: &QueryOptions) -> Result<Answer, EngineError> {
+        self.query_fo(&ucq.to_fo(), opts)
+    }
+
+    /// Evaluates a **non-Boolean** CQ: returns each answer tuple over the
+    /// `head` variables with its marginal probability (the paper's "compute
+    /// the probability of each item in the answer", §1).
+    ///
+    /// Each candidate answer `a⃗` is found by an ordinary join; its
+    /// probability is the Boolean query `Q[a⃗/head]`, evaluated through the
+    /// cascade. Answers are sorted by decreasing probability.
+    pub fn query_answers(
+        &self,
+        cq: &Cq,
+        head: &[pdb_logic::Var],
+        opts: &QueryOptions,
+    ) -> Result<Vec<AnswerTuple>, EngineError> {
+        let vars = cq.variables();
+        for h in head {
+            if !vars.contains(h) {
+                return Err(EngineError::Unsupported(format!(
+                    "head variable {h} does not occur in the query"
+                )));
+            }
+        }
+        let candidates = pdb_lineage::cq_answer_bindings(cq, head, &self.db);
+        let mut out = Vec::with_capacity(candidates.len());
+        for values in candidates {
+            let mut bound = cq.clone();
+            for (v, &c) in head.iter().zip(&values) {
+                bound = bound.substitute(v, &pdb_logic::Term::Const(c));
+            }
+            let answer = self.query_fo(&bound.to_fo(), opts)?;
+            out.push(AnswerTuple {
+                values,
+                probability: answer.probability,
+                method: answer.method,
+            });
+        }
+        out.sort_by(|a, b| b.probability.total_cmp(&a.probability));
+        Ok(out)
+    }
+
+    /// Answers a Boolean CQ via the cascade.
+    pub fn query_cq(&self, cq: &Cq, opts: &QueryOptions) -> Result<Answer, EngineError> {
+        self.query_fo(&cq.to_fo(), opts)
+    }
+
+    /// The data complexity of a UCQ per the dichotomy classifiers.
+    pub fn classify(&self, ucq: &Ucq) -> Complexity {
+        classify_ucq(ucq)
+    }
+
+    /// Open-world evaluation (§9, OpenPDB): unlisted tuples have unknown
+    /// probability in `[0, λ]`, so a **monotone** query's probability is an
+    /// interval. Returns `(lower, upper)`: the closed-world answer and the
+    /// answer on the λ-completion. Non-monotone queries are rejected (their
+    /// extremes need not sit at the endpoint completions).
+    pub fn query_open_world(
+        &self,
+        fo: &Fo,
+        lambda: f64,
+        opts: &QueryOptions,
+    ) -> Result<(Answer, Answer), EngineError> {
+        if !fo.is_monotone() {
+            return Err(EngineError::Unsupported(
+                "open-world intervals require a monotone query".into(),
+            ));
+        }
+        let lower = self.query_fo(fo, opts)?;
+        let completed = ProbDb::from_tuple_db(pdb_data::openworld::lambda_completion(
+            &self.db, lambda,
+        ));
+        let upper = completed.query_fo(fo, opts)?;
+        Ok((lower, upper))
+    }
+}
+
+/// Runs the exact counter under a budget; `None` when aborted.
+fn try_exact(
+    lineage: &pdb_lineage::BoolExpr,
+    probs: &[f64],
+    opts: DpllOptions,
+) -> Option<f64> {
+    use pdb_lineage::{BoolExpr, Cnf};
+    let n = probs.len() as u32;
+    match lineage {
+        BoolExpr::Const(b) => Some(if *b { 1.0 } else { 0.0 }),
+        _ if lineage.is_monotone_dnf() => {
+            let cnf = Cnf::from_negated_dnf(lineage, n);
+            let r = pdb_wmc::Dpll::new(&cnf, probs.to_vec(), opts).run();
+            (!r.aborted).then_some(1.0 - r.probability)
+        }
+        _ => match Cnf::from_expr_direct(lineage, n) {
+            Some(cnf) => {
+                let r = pdb_wmc::Dpll::new(&cnf, probs.to_vec(), opts).run();
+                (!r.aborted).then_some(r.probability)
+            }
+            None => {
+                let cnf = Cnf::tseitin(lineage, n);
+                let aux = cnf.aux_vars();
+                let mut all = probs.to_vec();
+                all.resize(cnf.num_vars as usize, 0.5);
+                let r = pdb_wmc::Dpll::new(&cnf, all, opts).run();
+                (!r.aborted).then(|| r.probability * 2f64.powi(aux as i32))
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_num::assert_close;
+
+    fn fig1_db() -> ProbDb {
+        let (db, _) = pdb_data::generators::fig1_concrete();
+        ProbDb::from_tuple_db(db)
+    }
+
+    #[test]
+    fn liftable_queries_use_the_lifted_engine() {
+        let db = fig1_db();
+        let a = db.query("exists x. exists y. R(x) & S(x,y)").unwrap();
+        assert_eq!(a.method, Method::Lifted);
+        let truth = pdb_lineage::eval::brute_force_probability(
+            &pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y)").unwrap(),
+            db.tuple_db(),
+        );
+        assert_close(a.probability, truth, 1e-10);
+    }
+
+    #[test]
+    fn hard_queries_fall_back_to_grounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let db = ProbDb::from_tuple_db(pdb_data::generators::bipartite(
+            2,
+            1.0,
+            (0.2, 0.8),
+            &mut rng,
+        ));
+        let a = db
+            .query("exists x. exists y. R(x) & S(x,y) & T(y)")
+            .unwrap();
+        assert_eq!(a.method, Method::Grounded);
+        let truth = pdb_lineage::eval::brute_force_probability(
+            &pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y) & T(y)").unwrap(),
+            db.tuple_db(),
+        );
+        assert_close(a.probability, truth, 1e-10);
+    }
+
+    #[test]
+    fn ablation_can_disable_lifted() {
+        let db = fig1_db();
+        let fo = pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y)").unwrap();
+        let opts = QueryOptions {
+            disable_lifted: true,
+            ..Default::default()
+        };
+        let a = db.query_fo(&fo, &opts).unwrap();
+        assert_eq!(a.method, Method::Grounded);
+        let lifted = db.query_fo(&fo, &QueryOptions::default()).unwrap();
+        assert_close(a.probability, lifted.probability, 1e-10);
+    }
+
+    #[test]
+    fn tiny_budget_forces_approximation_with_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let db = ProbDb::from_tuple_db(pdb_data::generators::bipartite(
+            6,
+            0.8,
+            (0.2, 0.8),
+            &mut rng,
+        ));
+        let fo = pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y) & T(y)").unwrap();
+        let opts = QueryOptions {
+            exact_budget: 2,
+            samples: 30_000,
+            ..Default::default()
+        };
+        let a = db.query_fo(&fo, &opts).unwrap();
+        assert_eq!(a.method, Method::Approximate);
+        let (lo, hi) = a.bounds.expect("sjf CQ gets plan bounds");
+        assert!(lo <= hi);
+        assert!(
+            a.probability >= lo - 0.05 && a.probability <= hi + 0.05,
+            "estimate {} outside [{lo}, {hi}]",
+            a.probability
+        );
+        assert!(a.std_error.is_some());
+    }
+
+    #[test]
+    fn universal_queries_work_end_to_end() {
+        let db = fig1_db();
+        let a = db
+            .query("forall x. forall y. (S(x,y) -> R(x))")
+            .unwrap();
+        // Example 2.1 is liftable.
+        assert_eq!(a.method, Method::Lifted);
+        let p = [0.1, 0.2, 0.3];
+        let q = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+        let expected = (p[0] + (1.0 - p[0]) * (1.0 - q[0]) * (1.0 - q[1]))
+            * (p[1] + (1.0 - p[1]) * (1.0 - q[2]) * (1.0 - q[3]) * (1.0 - q[4]))
+            * (1.0 - q[5]);
+        assert_close(a.probability, expected, 1e-10);
+    }
+
+    #[test]
+    fn mixed_prefix_goes_grounded() {
+        let mut db = ProbDb::new();
+        db.insert("S", [0, 0], 0.5);
+        db.insert("S", [0, 1], 0.5);
+        db.insert("S", [1, 1], 0.25);
+        let a = db.query("forall x. exists y. S(x,y)").unwrap();
+        assert_eq!(a.method, Method::Grounded);
+        let truth = pdb_lineage::eval::brute_force_probability(
+            &pdb_logic::parse_fo("forall x. exists y. S(x,y)").unwrap(),
+            db.tuple_db(),
+        );
+        assert_close(a.probability, truth, 1e-10);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let db = ProbDb::new();
+        assert!(matches!(db.query("R(x) @@@"), Err(EngineError::Parse(_))));
+        assert!(matches!(
+            db.query("R(x)"), // free variable
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn non_boolean_answers_with_probabilities() {
+        let db = fig1_db();
+        // Q(x) :- R(x), S(x,y): which roots have a child?
+        let cq = pdb_logic::parse_cq("R(x), S(x,y)").unwrap();
+        let head = [pdb_logic::Var::new("x")];
+        let answers = db
+            .query_answers(&cq, &head, &QueryOptions::default())
+            .unwrap();
+        // Roots a1 (id 0) and a2 (id 1) have children in R∩S; a4 is not in R.
+        assert_eq!(answers.len(), 2);
+        for a in &answers {
+            // p(answer) = p(R(a)) · (1 ⊕ children): check against brute force.
+            let mut bound = cq.clone();
+            bound = bound.substitute(&head[0], &pdb_logic::Term::Const(a.values[0]));
+            let truth = pdb_lineage::eval::brute_force_probability(
+                &bound.to_fo(),
+                db.tuple_db(),
+            );
+            assert_close(a.probability, truth, 1e-10);
+        }
+        // Sorted by decreasing probability.
+        assert!(answers[0].probability >= answers[1].probability);
+    }
+
+    #[test]
+    fn open_world_intervals_bracket_and_grow_with_lambda() {
+        let mut db = ProbDb::new();
+        db.insert("R", [0], 0.5);
+        db.insert("S", [0, 1], 0.4);
+        db.extend_domain([0, 1]);
+        let fo = pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y)").unwrap();
+        let (lo, hi) = db
+            .query_open_world(&fo, 0.2, &QueryOptions::default())
+            .unwrap();
+        assert!(lo.probability <= hi.probability);
+        // λ = 0 collapses the interval.
+        let (lo0, hi0) = db
+            .query_open_world(&fo, 0.0, &QueryOptions::default())
+            .unwrap();
+        assert_close(lo0.probability, hi0.probability, 1e-12);
+        // Larger λ widens the upper bound.
+        let (_, hi_big) = db
+            .query_open_world(&fo, 0.5, &QueryOptions::default())
+            .unwrap();
+        assert!(hi_big.probability >= hi.probability);
+        // Upper bound verified against brute force on the completion.
+        let completed =
+            pdb_data::openworld::lambda_completion(db.tuple_db(), 0.2);
+        assert_close(
+            hi.probability,
+            pdb_lineage::eval::brute_force_probability(&fo, &completed),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn open_world_rejects_non_monotone() {
+        let mut db = ProbDb::new();
+        db.insert("R", [0], 0.5);
+        let fo = pdb_logic::parse_fo("!R(0)").unwrap();
+        assert!(db
+            .query_open_world(&fo, 0.1, &QueryOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn non_boolean_rejects_unknown_head() {
+        let db = fig1_db();
+        let cq = pdb_logic::parse_cq("R(x)").unwrap();
+        let err = db
+            .query_answers(&cq, &[pdb_logic::Var::new("z")], &QueryOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)));
+    }
+
+    #[test]
+    fn classification_is_exposed() {
+        let db = ProbDb::new();
+        let easy = pdb_logic::parse_ucq("R(x), S(x,y)").unwrap();
+        let hard = pdb_logic::parse_ucq("R(x), S(x,y), T(y)").unwrap();
+        assert_eq!(db.classify(&easy), Complexity::PolynomialTime);
+        assert_eq!(db.classify(&hard), Complexity::SharpPHard);
+    }
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+}

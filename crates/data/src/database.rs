@@ -1,0 +1,306 @@
+//! The tuple-independent database and its global tuple numbering.
+
+use crate::{Const, Relation, Tuple};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Identifier of one possible tuple within a [`TupleIndex`] snapshot; these
+/// are the Boolean variables `X_i` of lineages (§7).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The id as a usize (for indexing).
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A tuple-independent probabilistic database: named relations plus an
+/// explicit finite domain `DOM`.
+///
+/// The domain defaults to the active domain (constants mentioned in tuples)
+/// but can be extended with [`TupleDb::extend_domain`] — universal queries
+/// quantify over all of `DOM`, so "extra" constants matter (Example 2.1).
+#[derive(Clone, Debug, Default)]
+pub struct TupleDb {
+    relations: BTreeMap<String, Relation>,
+    extra_domain: BTreeSet<Const>,
+}
+
+impl TupleDb {
+    /// An empty database.
+    pub fn new() -> TupleDb {
+        TupleDb::default()
+    }
+
+    /// Declares (or returns) a relation with the given name and arity.
+    pub fn relation_mut(&mut self, name: &str, arity: usize) -> &mut Relation {
+        let rel = self
+            .relations
+            .entry(name.to_string())
+            .or_insert_with(|| Relation::new(name, arity));
+        assert_eq!(rel.arity(), arity, "conflicting arity for relation {name}");
+        rel
+    }
+
+    /// Inserts a tuple with probability `p` into `name` (declared on first
+    /// use with the tuple's arity).
+    pub fn insert(&mut self, name: &str, tuple: impl Into<Tuple>, p: f64) {
+        let tuple = tuple.into();
+        self.relation_mut(name, tuple.arity()).insert(tuple, p);
+    }
+
+    /// Looks up a relation.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Iterates relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// The marginal probability of a ground fact (0 when absent, per the
+    /// closed-world convention of §2).
+    pub fn prob(&self, name: &str, tuple: &Tuple) -> f64 {
+        self.relations
+            .get(name)
+            .map(|r| r.prob(tuple))
+            .unwrap_or(0.0)
+    }
+
+    /// Adds constants to `DOM` beyond the active domain.
+    pub fn extend_domain(&mut self, consts: impl IntoIterator<Item = Const>) {
+        self.extra_domain.extend(consts);
+    }
+
+    /// The finite domain `DOM`: active domain ∪ explicitly added constants.
+    pub fn domain(&self) -> BTreeSet<Const> {
+        let mut dom = self.extra_domain.clone();
+        for rel in self.relations.values() {
+            dom.extend(rel.active_domain());
+        }
+        dom
+    }
+
+    /// Total number of stored (possible) tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Takes a stable snapshot numbering every stored tuple; lineages and
+    /// possible worlds are expressed against this index.
+    pub fn index(&self) -> TupleIndex {
+        let mut refs = Vec::with_capacity(self.tuple_count());
+        let mut by_key = HashMap::with_capacity(self.tuple_count());
+        for rel in self.relations.values() {
+            for (t, p) in rel.iter() {
+                let id = TupleId(refs.len() as u32);
+                by_key.insert((rel.name().to_string(), t.clone()), id);
+                refs.push(TupleRef {
+                    relation: rel.name().to_string(),
+                    tuple: t.clone(),
+                    prob: p,
+                });
+            }
+        }
+        TupleIndex { refs, by_key }
+    }
+
+    /// The complemented database `D̄` used for duality (§2): every tuple of
+    /// `Tup(DOM)` (for the given schema) is materialized with probability
+    /// `1 − p`. Absent tuples had `p = 0`, so they appear with probability 1.
+    ///
+    /// Materializes `|DOM|^arity` tuples per relation — intended for the
+    /// modest domains where ∀*-by-duality is exercised.
+    pub fn complemented(&self) -> TupleDb {
+        let dom: Vec<Const> = self.domain().into_iter().collect();
+        let mut out = TupleDb::new();
+        out.extend_domain(dom.iter().copied());
+        for rel in self.relations.values() {
+            let target = out.relation_mut(rel.name(), rel.arity());
+            for tuple in all_tuples(&dom, rel.arity()) {
+                let p = rel.prob(&tuple);
+                target.insert(tuple, 1.0 - p);
+            }
+        }
+        out
+    }
+}
+
+/// Enumerates `dom^arity` as tuples (row-major order).
+pub fn all_tuples(dom: &[Const], arity: usize) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(dom.len().pow(arity as u32));
+    let mut current = vec![0usize; arity];
+    loop {
+        out.push(Tuple::new(
+            current.iter().map(|&i| dom[i]).collect::<Vec<_>>(),
+        ));
+        // Odometer increment.
+        let mut pos = arity;
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            current[pos] += 1;
+            if current[pos] < dom.len() {
+                break;
+            }
+            current[pos] = 0;
+        }
+        if arity == 0 {
+            return out;
+        }
+    }
+}
+
+/// A stored fact: relation name, tuple, probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TupleRef {
+    /// Owning relation's name.
+    pub relation: String,
+    /// The tuple.
+    pub tuple: Tuple,
+    /// Its marginal probability.
+    pub prob: f64,
+}
+
+/// A stable numbering of every possible tuple of a [`TupleDb`] snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct TupleIndex {
+    refs: Vec<TupleRef>,
+    by_key: HashMap<(String, Tuple), TupleId>,
+}
+
+impl TupleIndex {
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// True iff no tuples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// The fact behind an id.
+    pub fn get(&self, id: TupleId) -> &TupleRef {
+        &self.refs[id.index()]
+    }
+
+    /// The probability of the fact behind an id.
+    pub fn prob(&self, id: TupleId) -> f64 {
+        self.refs[id.index()].prob
+    }
+
+    /// Finds the id of a ground fact, if it is a possible tuple.
+    pub fn id_of(&self, relation: &str, tuple: &Tuple) -> Option<TupleId> {
+        // Avoid allocating the key when possible: fall back to a scan only
+        // for the (rare) miss path is not needed; build the key directly.
+        self.by_key
+            .get(&(relation.to_string(), tuple.clone()))
+            .copied()
+    }
+
+    /// Iterates `(id, fact)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &TupleRef)> {
+        self.refs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (TupleId(i as u32), r))
+    }
+}
+
+impl fmt::Display for TupleDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in self.relations.values() {
+            write!(f, "{rel}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_db() -> TupleDb {
+        let mut db = TupleDb::new();
+        db.insert("R", [1], 0.5);
+        db.insert("R", [2], 0.25);
+        db.insert("S", [1, 2], 0.75);
+        db
+    }
+
+    #[test]
+    fn insert_and_prob() {
+        let db = small_db();
+        assert_eq!(db.prob("R", &Tuple::from([1])), 0.5);
+        assert_eq!(db.prob("R", &Tuple::from([9])), 0.0);
+        assert_eq!(db.prob("Z", &Tuple::from([1])), 0.0);
+        assert_eq!(db.tuple_count(), 3);
+    }
+
+    #[test]
+    fn domain_is_active_plus_extra() {
+        let mut db = small_db();
+        assert_eq!(db.domain(), BTreeSet::from([1, 2]));
+        db.extend_domain([7]);
+        assert_eq!(db.domain(), BTreeSet::from([1, 2, 7]));
+    }
+
+    #[test]
+    fn index_numbers_tuples_stably() {
+        let db = small_db();
+        let idx = db.index();
+        assert_eq!(idx.len(), 3);
+        // Relations iterate in name order (R before S), insertion order
+        // within.
+        assert_eq!(idx.get(TupleId(0)).relation, "R");
+        assert_eq!(idx.get(TupleId(0)).tuple, Tuple::from([1]));
+        assert_eq!(idx.get(TupleId(2)).relation, "S");
+        assert_eq!(
+            idx.id_of("R", &Tuple::from([2])),
+            Some(TupleId(1))
+        );
+        assert_eq!(idx.id_of("R", &Tuple::from([3])), None);
+        assert_eq!(idx.prob(TupleId(2)), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting arity")]
+    fn arity_conflicts_detected() {
+        let mut db = TupleDb::new();
+        db.insert("R", [1], 0.5);
+        db.insert("R", [1, 2], 0.5);
+    }
+
+    #[test]
+    fn all_tuples_row_major() {
+        let ts = all_tuples(&[0, 1], 2);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts[0], Tuple::from([0, 0]));
+        assert_eq!(ts[3], Tuple::from([1, 1]));
+        // Arity 0: the single empty tuple.
+        assert_eq!(all_tuples(&[0, 1], 0), vec![Tuple::from([])]);
+    }
+
+    #[test]
+    fn complemented_materializes_missing_tuples() {
+        let db = small_db(); // DOM = {1, 2}
+        let c = db.complemented();
+        // R gains tuple (2 total in DOM¹); S gains 3 (4 total in DOM²).
+        assert_eq!(c.relation("R").unwrap().len(), 2);
+        assert_eq!(c.relation("S").unwrap().len(), 4);
+        assert_eq!(c.prob("R", &Tuple::from([1])), 0.5);
+        assert_eq!(c.prob("S", &Tuple::from([1, 2])), 0.25);
+        // Previously-absent tuple now has probability 1.
+        assert_eq!(c.prob("S", &Tuple::from([2, 2])), 1.0);
+        // Complementing twice restores the original probabilities.
+        let cc = c.complemented();
+        assert_eq!(cc.prob("R", &Tuple::from([1])), 0.5);
+        assert_eq!(cc.prob("S", &Tuple::from([2, 2])), 0.0);
+    }
+}

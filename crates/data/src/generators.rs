@@ -1,0 +1,292 @@
+//! Workload generators and paper fixtures.
+//!
+//! Every experiment in the harness draws its data from here: the verbatim
+//! Fig. 1 instance, random TIDs over arbitrary schemas, and the bipartite
+//! `R(x), S(x,y), T(y)` instances on which `H₀` (Theorem 2.2) and the
+//! dichotomy experiments run.
+
+use crate::database::TupleDb;
+use crate::symbol::SymbolTable;
+use rand::Rng;
+
+/// The Fig. 1 database: `R = {a₁:p₁, a₂:p₂, a₃:p₃}` and
+/// `S = {(a₁,b₁):q₁, (a₁,b₂):q₂, (a₂,b₃):q₃, (a₂,b₄):q₄, (a₂,b₅):q₅,
+/// (a₄,b₆):q₆}`. Returns the database plus the symbol table mapping the
+/// paper's constant names.
+pub fn fig1(p: [f64; 3], q: [f64; 6]) -> (TupleDb, SymbolTable) {
+    let mut sym = SymbolTable::new();
+    let a: Vec<u64> = (1..=4).map(|i| sym.intern(&format!("a{i}"))).collect();
+    let b: Vec<u64> = (1..=6).map(|i| sym.intern(&format!("b{i}"))).collect();
+    let mut db = TupleDb::new();
+    db.insert("R", [a[0]], p[0]);
+    db.insert("R", [a[1]], p[1]);
+    db.insert("R", [a[2]], p[2]);
+    db.insert("S", [a[0], b[0]], q[0]);
+    db.insert("S", [a[0], b[1]], q[1]);
+    db.insert("S", [a[1], b[2]], q[2]);
+    db.insert("S", [a[1], b[3]], q[3]);
+    db.insert("S", [a[1], b[4]], q[4]);
+    db.insert("S", [a[3], b[5]], q[5]);
+    (db, sym)
+}
+
+/// The Fig. 1 instance with the concrete probabilities used throughout the
+/// examples: `pᵢ = i/10`, `qⱼ = j/10`.
+pub fn fig1_concrete() -> (TupleDb, SymbolTable) {
+    fig1(
+        [0.1, 0.2, 0.3],
+        [0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+    )
+}
+
+/// A random bipartite instance for `H₀`/`R(x),S(x,y),T(y)`-style queries:
+/// unary `R` over `{0..n}`, unary `T` over `{n..2n}`, and `S ⊆ R×T` where
+/// each of the `n²` pairs is kept with probability `density`. All tuple
+/// probabilities are drawn uniformly from `prob_range`.
+pub fn bipartite(
+    n: u64,
+    density: f64,
+    prob_range: (f64, f64),
+    rng: &mut impl Rng,
+) -> TupleDb {
+    let mut db = TupleDb::new();
+    let mut p = || rng_range(prob_range, rng);
+    for x in 0..n {
+        let pr = p();
+        db.insert("R", [x], pr);
+    }
+    for y in n..2 * n {
+        let pt = p();
+        db.insert("T", [y], pt);
+    }
+    for x in 0..n {
+        for y in n..2 * n {
+            if rng.gen_bool(density.clamp(0.0, 1.0)) {
+                let ps = rng_range(prob_range, rng);
+                db.insert("S", [x, y], ps);
+            }
+        }
+    }
+    db.extend_domain(0..2 * n);
+    db
+}
+
+fn rng_range(range: (f64, f64), rng: &mut impl Rng) -> f64 {
+    if range.0 == range.1 {
+        range.0
+    } else {
+        rng.gen_range(range.0..range.1)
+    }
+}
+
+/// The Provan–Ball PP2CNF reduction instance for `H₀` (Theorem 2.2).
+///
+/// `Φ = ⋀_{(i,j) ∈ E} (Xᵢ ∨ Yⱼ)` is encoded over a single domain `{0..n}`:
+/// `R(i)` plays `Xᵢ` and `T(j)` plays `Yⱼ` (probabilities from
+/// `prob_range`); `S(i,j)` is **certain** (`p = 1`) for every non-edge —
+/// satisfying that pair's `H₀` clause outright — and absent for edges, so
+/// `p(H₀) = p(Φ)`, the weighted PP2CNF count. Each pair is an edge with
+/// probability `edge_density`.
+pub fn pp2cnf(
+    n: u64,
+    edge_density: f64,
+    prob_range: (f64, f64),
+    rng: &mut impl Rng,
+) -> TupleDb {
+    let mut db = TupleDb::new();
+    for x in 0..n {
+        let p = rng_range(prob_range, rng);
+        db.insert("R", [x], p);
+        let p = rng_range(prob_range, rng);
+        db.insert("T", [x], p);
+    }
+    for x in 0..n {
+        for y in 0..n {
+            if !rng.gen_bool(edge_density.clamp(0.0, 1.0)) {
+                db.insert("S", [x, y], 1.0); // non-edge: clause pre-satisfied
+            }
+        }
+    }
+    db.extend_domain(0..n);
+    db
+}
+
+/// Specification of one relation in a random schema.
+#[derive(Clone, Debug)]
+pub struct RelationSpec {
+    /// Relation name.
+    pub name: String,
+    /// Arity.
+    pub arity: usize,
+    /// Number of tuples to draw (without replacement when possible).
+    pub tuples: usize,
+}
+
+impl RelationSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, arity: usize, tuples: usize) -> RelationSpec {
+        RelationSpec {
+            name: name.to_string(),
+            arity,
+            tuples,
+        }
+    }
+}
+
+/// A random TID over domain `{0..n}`: for each spec, draws distinct random
+/// tuples with probabilities uniform in `prob_range`.
+pub fn random_tid(
+    n: u64,
+    specs: &[RelationSpec],
+    prob_range: (f64, f64),
+    rng: &mut impl Rng,
+) -> TupleDb {
+    let mut db = TupleDb::new();
+    db.extend_domain(0..n);
+    for spec in specs {
+        let capacity = (n as u128).pow(spec.arity as u32);
+        let want = (spec.tuples as u128).min(capacity) as usize;
+        let rel = db.relation_mut(&spec.name, spec.arity);
+        let mut seen = std::collections::HashSet::new();
+        let mut attempts = 0usize;
+        while seen.len() < want && attempts < want * 64 + 256 {
+            attempts += 1;
+            let t: Vec<u64> = (0..spec.arity).map(|_| rng.gen_range(0..n)).collect();
+            if seen.insert(t.clone()) {
+                let p = rng_range(prob_range, rng);
+                rel.insert(t, p);
+            }
+        }
+    }
+    db
+}
+
+/// A "star" instance for hierarchical queries `R(x), S₁(x,y₁), …, S_k(x,y_k)`:
+/// `R` over `{0..n}` and each `Sᵢ` containing `(x, y)` pairs with `fanout`
+/// children per root.
+pub fn star(n: u64, k: usize, fanout: u64, prob: f64, rng: &mut impl Rng) -> TupleDb {
+    let mut db = TupleDb::new();
+    for x in 0..n {
+        let p = if prob > 0.0 { prob } else { rng.gen_range(0.05..0.95) };
+        db.insert("R", [x], p);
+    }
+    for i in 1..=k {
+        let name = format!("S{i}");
+        for x in 0..n {
+            for j in 0..fanout {
+                let y = n + x * fanout + j;
+                let p = if prob > 0.0 { prob } else { rng.gen_range(0.05..0.95) };
+                db.insert(&name, [x, y], p);
+            }
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tuple;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig1_matches_paper_shape() {
+        let (db, sym) = fig1([0.1, 0.2, 0.3], [0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
+        assert_eq!(db.tuple_count(), 9);
+        assert_eq!(db.relation("R").unwrap().len(), 3);
+        assert_eq!(db.relation("S").unwrap().len(), 6);
+        // a4 occurs in S but not in R — the paper's dangling tuple.
+        let a4 = sym.lookup("a4").unwrap();
+        let b6 = sym.lookup("b6").unwrap();
+        assert_eq!(db.prob("S", &Tuple::from([a4, b6])), 0.9);
+        assert_eq!(db.prob("R", &Tuple::from([a4])), 0.0);
+        // Domain contains all 10 constants.
+        assert_eq!(db.domain().len(), 10);
+    }
+
+    #[test]
+    fn bipartite_has_expected_structure() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let db = bipartite(5, 1.0, (0.5, 0.5), &mut rng);
+        assert_eq!(db.relation("R").unwrap().len(), 5);
+        assert_eq!(db.relation("T").unwrap().len(), 5);
+        assert_eq!(db.relation("S").unwrap().len(), 25);
+        assert_eq!(db.prob("S", &Tuple::from([0, 5])), 0.5);
+        // R and T ranges are disjoint.
+        let rdom: std::collections::BTreeSet<u64> = db
+            .relation("R")
+            .unwrap()
+            .iter()
+            .map(|(t, _)| t.get(0))
+            .collect();
+        let tdom: std::collections::BTreeSet<u64> = db
+            .relation("T")
+            .unwrap()
+            .iter()
+            .map(|(t, _)| t.get(0))
+            .collect();
+        assert!(rdom.is_disjoint(&tdom));
+    }
+
+    #[test]
+    fn bipartite_density_zero_has_empty_s() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let db = bipartite(4, 0.0, (0.1, 0.9), &mut rng);
+        assert!(db.relation("S").is_none() || db.relation("S").unwrap().is_empty());
+    }
+
+    #[test]
+    fn random_tid_respects_specs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let db = random_tid(
+            10,
+            &[
+                RelationSpec::new("R", 1, 5),
+                RelationSpec::new("S", 2, 20),
+            ],
+            (0.1, 0.9),
+            &mut rng,
+        );
+        assert_eq!(db.relation("R").unwrap().len(), 5);
+        assert_eq!(db.relation("S").unwrap().len(), 20);
+        for rel in db.relations() {
+            for (_, p) in rel.iter() {
+                assert!((0.1..0.9).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn random_tid_caps_at_capacity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Only 3 distinct unary tuples exist over a domain of 3.
+        let db = random_tid(3, &[RelationSpec::new("R", 1, 100)], (0.5, 0.5), &mut rng);
+        assert_eq!(db.relation("R").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn pp2cnf_encodes_the_reduction() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let db = pp2cnf(3, 0.5, (0.3, 0.7), &mut rng);
+        // R and T over the same domain of size 3.
+        assert_eq!(db.relation("R").unwrap().len(), 3);
+        assert_eq!(db.relation("T").unwrap().len(), 3);
+        // Every stored S tuple is certain.
+        if let Some(s) = db.relation("S") {
+            for (_, p) in s.iter() {
+                assert_eq!(p, 1.0);
+            }
+        }
+        assert_eq!(db.domain().len(), 3);
+    }
+
+    #[test]
+    fn star_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let db = star(4, 2, 3, 0.5, &mut rng);
+        assert_eq!(db.relation("R").unwrap().len(), 4);
+        assert_eq!(db.relation("S1").unwrap().len(), 12);
+        assert_eq!(db.relation("S2").unwrap().len(), 12);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pdb-data — tuple-independent databases and possible worlds
+//!
+//! The storage substrate of `probdb`. A *probabilistic database* is a
+//! distribution over `2^Tup`; the representable class implemented here is the
+//! paper's TID (§2): every tuple is an independent event carrying its marginal
+//! probability in a `P` column, eq. (3) defines world probabilities.
+//!
+//! * [`TupleDb`] — named relations with a probability per tuple, an explicit
+//!   finite domain `DOM`, and a stable global [`TupleId`] numbering (the
+//!   Boolean variables of lineages),
+//! * [`World`] — one possible world as a bitset over [`TupleId`]s, with exact
+//!   probability per eq. (3); [`worlds::enumerate`] and [`worlds::sample`]
+//!   realize the "randomly sample each tuple" semantics of Fig. 1,
+//! * [`SymmetricDb`] — §8 symmetric databases (one probability per relation,
+//!   *all* `Tup` tuples possible),
+//! * [`generators`] — workload generators for the experiment harness and the
+//!   verbatim Fig. 1 instance,
+//! * [`openworld`] — the §9 OpenPDB λ-completion (interval semantics),
+//! * [`SymbolTable`] — pretty names (`a₁`, `b₃`, …) for domain constants.
+//!
+//! Probabilities are intentionally *not* clamped to `[0,1]`: §3 and the
+//! appendix rely on non-standard probabilities (e.g. negative weights) that
+//! become standard only after conditioning.
+
+pub mod database;
+pub mod generators;
+pub mod openworld;
+pub mod relation;
+pub mod symbol;
+pub mod symmetric;
+pub mod tuple;
+pub mod worlds;
+
+pub use database::{all_tuples, TupleDb, TupleId, TupleIndex, TupleRef};
+pub use relation::Relation;
+pub use symbol::SymbolTable;
+pub use symmetric::SymmetricDb;
+pub use tuple::Tuple;
+pub use worlds::World;
+
+/// A domain constant (convention shared with `pdb-logic`).
+pub type Const = u64;

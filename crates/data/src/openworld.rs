@@ -1,0 +1,76 @@
+//! Open-world probabilistic databases (§9, Ceylan–Darwiche–Van den Broeck).
+//!
+//! The closed-world convention of §2 gives every unlisted tuple probability
+//! exactly 0. An *OpenPDB* relaxes this: unlisted tuples have an unknown
+//! probability in `[0, λ]`. Query probabilities become intervals; for
+//! *monotone* queries the extremes are attained at the endpoint completions:
+//!
+//! * lower bound — the closed-world database itself (`p = 0` everywhere),
+//! * upper bound — the `λ`-completion, with every missing tuple of
+//!   `Tup(DOM)` materialized at `λ`.
+
+use crate::database::TupleDb;
+use crate::Const;
+
+/// The `λ`-completion of a database: every tuple of `Tup(DOM)` missing from
+/// a relation is materialized with probability `lambda`.
+///
+/// The schema is taken from the existing relations; the domain is
+/// `db.domain()`. Materializes `|DOM|^arity` tuples per relation — the same
+/// cost profile as [`TupleDb::complemented`].
+pub fn lambda_completion(db: &TupleDb, lambda: f64) -> TupleDb {
+    assert!(
+        (0.0..=1.0).contains(&lambda),
+        "λ must be a standard probability"
+    );
+    let dom: Vec<Const> = db.domain().into_iter().collect();
+    let mut out = db.clone();
+    let names: Vec<(String, usize)> = db
+        .relations()
+        .map(|r| (r.name().to_string(), r.arity()))
+        .collect();
+    for (name, arity) in names {
+        let existing = db.relation(&name).expect("listed above").clone();
+        let rel = out.relation_mut(&name, arity);
+        for tuple in crate::database::all_tuples(&dom, arity) {
+            if !existing.contains(&tuple) {
+                rel.insert(tuple, lambda);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tuple;
+
+    #[test]
+    fn completion_fills_missing_tuples_only() {
+        let mut db = TupleDb::new();
+        db.insert("R", [0], 0.7);
+        db.extend_domain([0, 1]);
+        let c = lambda_completion(&db, 0.1);
+        assert_eq!(c.relation("R").unwrap().len(), 2);
+        assert_eq!(c.prob("R", &Tuple::from([0])), 0.7, "existing untouched");
+        assert_eq!(c.prob("R", &Tuple::from([1])), 0.1, "missing at λ");
+    }
+
+    #[test]
+    fn lambda_zero_is_closed_world() {
+        let mut db = TupleDb::new();
+        db.insert("S", [0, 1], 0.5);
+        let c = lambda_completion(&db, 0.0);
+        // Materialized, but with probability 0 — semantically closed world.
+        assert_eq!(c.prob("S", &Tuple::from([1, 0])), 0.0);
+        assert_eq!(c.prob("S", &Tuple::from([0, 1])), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "standard probability")]
+    fn rejects_invalid_lambda() {
+        let db = TupleDb::new();
+        let _ = lambda_completion(&db, 1.5);
+    }
+}

@@ -1,0 +1,81 @@
+//! Human-readable names for domain constants.
+//!
+//! Domain elements are `u64`s internally; a [`SymbolTable`] maps back and
+//! forth to names like the paper's `a1, …, a4, b1, …, b6` so examples and
+//! experiment output read like the figures.
+
+use crate::Const;
+use std::collections::HashMap;
+
+/// A bidirectional constant ↔ name mapping.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, Const>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning its constant (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Const {
+        if let Some(&c) = self.by_name.get(name) {
+            return c;
+        }
+        let c = self.names.len() as Const;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), c);
+        c
+    }
+
+    /// Looks up a name's constant, if interned.
+    pub fn lookup(&self, name: &str) -> Option<Const> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a constant; falls back to the numeral for unknown ids.
+    pub fn name(&self, c: Const) -> String {
+        self.names
+            .get(c as usize)
+            .cloned()
+            .unwrap_or_else(|| c.to_string())
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a1");
+        let b = t.intern("b1");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("a1"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_naming() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a1");
+        assert_eq!(t.lookup("a1"), Some(a));
+        assert_eq!(t.lookup("zzz"), None);
+        assert_eq!(t.name(a), "a1");
+        assert_eq!(t.name(999), "999");
+    }
+}

@@ -1,0 +1,126 @@
+//! Symmetric probabilistic databases (§8).
+//!
+//! A database is *symmetric* when, for every relation symbol `R`, **all**
+//! tuples of `Tup` over the domain have the same probability `p_R` — not just
+//! the stored ones. A [`SymmetricDb`] is therefore fully described by the
+//! domain size `n` and one probability per relation; `PQE` over it is a
+//! *symmetric weighted first-order model counting* problem whose input is
+//! essentially unary (`#P₁` territory, Theorem 8.2).
+
+use crate::database::TupleDb;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symmetric database: domain `{0, …, n−1}` and per-relation probability.
+#[derive(Clone, Debug, Default)]
+pub struct SymmetricDb {
+    n: u64,
+    relations: BTreeMap<String, (usize, f64)>,
+}
+
+impl SymmetricDb {
+    /// Creates a symmetric database over domain `{0, …, n−1}`.
+    pub fn new(n: u64) -> SymmetricDb {
+        SymmetricDb {
+            n,
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// Domain size `n`.
+    pub fn domain_size(&self) -> u64 {
+        self.n
+    }
+
+    /// Declares relation `name` with the given arity and tuple probability.
+    pub fn set_relation(&mut self, name: &str, arity: usize, p: f64) -> &mut Self {
+        self.relations.insert(name.to_string(), (arity, p));
+        self
+    }
+
+    /// The (arity, probability) of a relation, if declared.
+    pub fn relation(&self, name: &str) -> Option<(usize, f64)> {
+        self.relations.get(name).copied()
+    }
+
+    /// Iterates `(name, arity, probability)` in name order.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, usize, f64)> {
+        self.relations
+            .iter()
+            .map(|(n, (a, p))| (n.as_str(), *a, *p))
+    }
+
+    /// Total number of possible tuples, `Σ_R n^arity(R)`.
+    pub fn tuple_count(&self) -> u64 {
+        self.relations
+            .values()
+            .map(|(a, _)| self.n.pow(*a as u32))
+            .sum()
+    }
+
+    /// Materializes the symmetric database as an explicit [`TupleDb`]
+    /// (every tuple of `Tup` stored). Only sensible for small `n` — used to
+    /// cross-check the lifted symmetric algorithms against brute force.
+    pub fn materialize(&self) -> TupleDb {
+        let dom: Vec<u64> = (0..self.n).collect();
+        let mut db = TupleDb::new();
+        db.extend_domain(dom.iter().copied());
+        for (name, &(arity, p)) in &self.relations {
+            let rel = db.relation_mut(name, arity);
+            for t in crate::database::all_tuples(&dom, arity) {
+                rel.insert(t, p);
+            }
+        }
+        db
+    }
+}
+
+impl fmt::Display for SymmetricDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "symmetric database, |DOM| = {}", self.n)?;
+        for (name, arity, p) in self.relations() {
+            writeln!(f, "  {name}/{arity}: p = {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tuple;
+
+    #[test]
+    fn declaration_and_lookup() {
+        let mut s = SymmetricDb::new(3);
+        s.set_relation("R", 1, 0.5).set_relation("S", 2, 0.1);
+        assert_eq!(s.relation("R"), Some((1, 0.5)));
+        assert_eq!(s.relation("Z"), None);
+        assert_eq!(s.tuple_count(), 3 + 9);
+    }
+
+    #[test]
+    fn materialization_covers_all_of_tup() {
+        let mut s = SymmetricDb::new(2);
+        s.set_relation("S", 2, 0.25);
+        let db = s.materialize();
+        let rel = db.relation("S").unwrap();
+        assert_eq!(rel.len(), 4);
+        for (_, p) in rel.iter() {
+            assert_eq!(p, 0.25);
+        }
+        assert_eq!(db.prob("S", &Tuple::from([1, 0])), 0.25);
+        assert_eq!(db.domain().len(), 2);
+    }
+
+    #[test]
+    fn uniform_probabilities_on_a_subset_is_not_symmetric() {
+        // The paper's caveat: assigning equal probabilities to *stored*
+        // tuples does not make a database symmetric, because missing tuples
+        // have probability 0. Materialized symmetric DBs store every tuple.
+        let mut s = SymmetricDb::new(3);
+        s.set_relation("R", 1, 0.5);
+        let db = s.materialize();
+        assert_eq!(db.relation("R").unwrap().len(), 3); // all of Tup
+    }
+}

@@ -1,0 +1,103 @@
+//! Tuples of domain constants.
+
+use crate::Const;
+use std::fmt;
+
+/// An immutable tuple of domain constants.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Box<[Const]>);
+
+impl Tuple {
+    /// Builds a tuple from constants.
+    pub fn new(values: impl Into<Vec<Const>>) -> Tuple {
+        Tuple(values.into().into_boxed_slice())
+    }
+
+    /// The tuple's values.
+    pub fn values(&self) -> &[Const] {
+        &self.0
+    }
+
+    /// The tuple's arity.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The value at position `i`.
+    pub fn get(&self, i: usize) -> Const {
+        self.0[i]
+    }
+
+    /// Projects the tuple onto the given positions (in the given order).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i]).collect())
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<Const>> for Tuple {
+    fn from(v: Vec<Const>) -> Tuple {
+        Tuple::new(v)
+    }
+}
+
+impl From<&[Const]> for Tuple {
+    fn from(v: &[Const]) -> Tuple {
+        Tuple::new(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[Const; N]> for Tuple {
+    fn from(v: [Const; N]) -> Tuple {
+        Tuple::new(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::from([1, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(1), 2);
+        assert_eq!(t.values(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Tuple::from([1, 2]), Tuple::new(vec![1, 2]));
+        assert_ne!(Tuple::from([1, 2]), Tuple::from([2, 1]));
+    }
+
+    #[test]
+    fn projection_reorders() {
+        let t = Tuple::from([10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), Tuple::from([30, 10]));
+        assert_eq!(t.project(&[]), Tuple::from([]));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(format!("{}", Tuple::from([4, 5])), "(4,5)");
+    }
+}

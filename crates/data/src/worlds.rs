@@ -1,0 +1,189 @@
+//! Possible worlds: subsets of the possible tuples.
+//!
+//! A world `W ⊆ Tup` is a bitset over the [`TupleId`]s of a snapshot
+//! [`TupleIndex`]. Its probability is eq. (3):
+//! `p(W) = ∏_{t∈W} p(t) · ∏_{t∉W} (1 − p(t))`.
+//! [`enumerate`] drives the brute-force ground truth used all over the test
+//! suites; [`sample`] implements the generative semantics of Fig. 1.
+
+use crate::database::{TupleId, TupleIndex};
+use rand::Rng;
+
+/// One possible world, as a bitset over tuple ids.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct World {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl World {
+    /// The empty world over `len` possible tuples.
+    pub fn empty(len: usize) -> World {
+        World {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds a world from the low bits of `mask` (for enumeration; requires
+    /// `len ≤ 64`).
+    pub fn from_mask(mask: u64, len: usize) -> World {
+        assert!(len <= 64, "from_mask supports at most 64 tuples");
+        World {
+            bits: vec![mask],
+            len,
+        }
+    }
+
+    /// Number of possible tuples this world ranges over.
+    pub fn universe_len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff tuple `id` is present.
+    pub fn contains(&self, id: TupleId) -> bool {
+        let i = id.index();
+        debug_assert!(i < self.len);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Adds or removes a tuple.
+    pub fn set(&mut self, id: TupleId, present: bool) {
+        let i = id.index();
+        assert!(i < self.len);
+        if present {
+            self.bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of tuples present.
+    pub fn size(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the present tuple ids.
+    pub fn iter(&self) -> impl Iterator<Item = TupleId> + '_ {
+        (0..self.len)
+            .map(|i| TupleId(i as u32))
+            .filter(|id| self.contains(*id))
+    }
+
+    /// The world's probability under the TID semantics, eq. (3).
+    pub fn probability(&self, index: &TupleIndex) -> f64 {
+        let mut p = 1.0;
+        for (id, fact) in index.iter() {
+            p *= if self.contains(id) {
+                fact.prob
+            } else {
+                1.0 - fact.prob
+            };
+        }
+        p
+    }
+}
+
+/// Enumerates all `2^n` possible worlds of the index. Panics above 30 tuples
+/// (the brute-force ground truth is only meant for small instances).
+pub fn enumerate(index: &TupleIndex) -> impl Iterator<Item = World> + '_ {
+    let n = index.len();
+    assert!(
+        n <= 30,
+        "world enumeration is exponential; refusing {n} tuples (max 30)"
+    );
+    (0u64..(1u64 << n)).map(move |mask| World::from_mask(mask, n))
+}
+
+/// Samples one world tuple-by-tuple, independently (Fig. 1 semantics).
+/// Probabilities are clamped into `[0,1]` for sampling purposes.
+pub fn sample(index: &TupleIndex, rng: &mut impl Rng) -> World {
+    let mut w = World::empty(index.len());
+    for (id, fact) in index.iter() {
+        let p = fact.prob.clamp(0.0, 1.0);
+        if rng.gen_bool(p) {
+            w.set(id, true);
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TupleDb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_tuple_db() -> TupleDb {
+        let mut db = TupleDb::new();
+        db.insert("R", [1], 0.5);
+        db.insert("R", [2], 0.25);
+        db
+    }
+
+    #[test]
+    fn bitset_operations() {
+        let mut w = World::empty(100);
+        assert_eq!(w.size(), 0);
+        w.set(TupleId(3), true);
+        w.set(TupleId(99), true);
+        assert!(w.contains(TupleId(3)));
+        assert!(w.contains(TupleId(99)));
+        assert!(!w.contains(TupleId(4)));
+        assert_eq!(w.size(), 2);
+        w.set(TupleId(3), false);
+        assert_eq!(w.size(), 1);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![TupleId(99)]);
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let db = two_tuple_db();
+        let idx = db.index();
+        let total: f64 = enumerate(&idx).map(|w| w.probability(&idx)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn specific_world_probability() {
+        let db = two_tuple_db();
+        let idx = db.index();
+        // World containing only R(1): 0.5 * (1 - 0.25)
+        let mut w = World::empty(2);
+        w.set(idx.id_of("R", &crate::Tuple::from([1])).unwrap(), true);
+        assert!((w.probability(&idx) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_count() {
+        let db = two_tuple_db();
+        let idx = db.index();
+        assert_eq!(enumerate(&idx).count(), 4);
+    }
+
+    #[test]
+    fn sampling_frequency_approximates_probability() {
+        let db = two_tuple_db();
+        let idx = db.index();
+        let id = idx.id_of("R", &crate::Tuple::from([1])).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        let hits = (0..trials)
+            .filter(|_| sample(&idx, &mut rng).contains(id))
+            .count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.02, "freq={freq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn enumeration_refuses_large_universes() {
+        let mut db = TupleDb::new();
+        for i in 0..31 {
+            db.insert("R", [i], 0.5);
+        }
+        let idx = db.index();
+        let _ = enumerate(&idx).count();
+    }
+}

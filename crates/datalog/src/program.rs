@@ -1,0 +1,162 @@
+//! Datalog programs: rules, parsing, and static checks.
+
+use pdb_logic::{parse_cq, Atom, ParseError, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One positive datalog rule `Head(x⃗) <- B₁(…), …, B_k(…)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// The head atom (its predicate is intensional).
+    pub head: Atom,
+    /// The body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Range restriction: every head variable occurs in the body.
+    pub fn is_range_restricted(&self) -> bool {
+        let body_vars: BTreeSet<&Var> =
+            self.body.iter().flat_map(|a| a.variables()).collect();
+        self.head.variables().all(|v| body_vars.contains(v))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <- ", self.head)?;
+        for (i, b) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A positive datalog program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// The intensional predicates (appearing in some head).
+    pub fn idb_predicates(&self) -> BTreeSet<String> {
+        self.rules
+            .iter()
+            .map(|r| r.head.predicate.name().to_string())
+            .collect()
+    }
+
+    /// The extensional predicates (body-only).
+    pub fn edb_predicates(&self) -> BTreeSet<String> {
+        let idb = self.idb_predicates();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .map(|a| a.predicate.name().to_string())
+            .filter(|p| !idb.contains(p))
+            .collect()
+    }
+
+    /// True iff some rule's body mentions an IDB predicate (recursion or
+    /// at least rule chaining).
+    pub fn has_idb_dependencies(&self) -> bool {
+        let idb = self.idb_predicates();
+        self.rules
+            .iter()
+            .any(|r| r.body.iter().any(|a| idb.contains(a.predicate.name())))
+    }
+}
+
+/// Parses a program: rules `Head(args) <- Atom, Atom.` separated by periods;
+/// `#`-comments and blank lines ignored. Facts (`Head(1,2).` without a body)
+/// are not supported — put certain facts in the database with `p = 1`.
+pub fn parse_program(input: &str) -> Result<Program, String> {
+    let mut rules = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let line = line.strip_suffix('.').ok_or_else(|| {
+            format!("line {}: rules must end with a period", lineno + 1)
+        })?;
+        let (head_text, body_text) = line.split_once("<-").ok_or_else(|| {
+            format!("line {}: expected `Head <- Body`", lineno + 1)
+        })?;
+        let head_cq = parse_cq(head_text.trim())
+            .map_err(|e: ParseError| format!("line {}: head: {e}", lineno + 1))?;
+        let [head] = head_cq.atoms() else {
+            return Err(format!("line {}: head must be a single atom", lineno + 1));
+        };
+        let body_cq = parse_cq(body_text.trim())
+            .map_err(|e| format!("line {}: body: {e}", lineno + 1))?;
+        let rule = Rule {
+            head: head.clone(),
+            body: body_cq.atoms().to_vec(),
+        };
+        if !rule.is_range_restricted() {
+            return Err(format!(
+                "line {}: head variables must occur in the body ({rule})",
+                lineno + 1
+            ));
+        }
+        rules.push(rule);
+    }
+    Ok(Program { rules })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC: &str = "
+        # transitive closure
+        Path(x,y) <- Edge(x,y).
+        Path(x,z) <- Path(x,y), Edge(y,z).
+    ";
+
+    #[test]
+    fn parses_transitive_closure() {
+        let p = parse_program(TC).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.idb_predicates(), ["Path".to_string()].into());
+        assert_eq!(p.edb_predicates(), ["Edge".to_string()].into());
+        assert!(p.has_idb_dependencies());
+        // Body atoms are kept in canonical (sorted) order.
+        assert_eq!(
+            p.rules[1].to_string(),
+            "Path(x,z) <- Edge(y,z), Path(x,y)."
+        );
+    }
+
+    #[test]
+    fn nonrecursive_programs() {
+        let p = parse_program("Out(x) <- R(x), S(x,y).").unwrap();
+        assert!(!p.has_idb_dependencies());
+    }
+
+    #[test]
+    fn range_restriction_enforced() {
+        let err = parse_program("Out(x,z) <- R(x).").unwrap_err();
+        assert!(err.contains("head variables"));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported_with_lines() {
+        assert!(parse_program("Path(x,y) <- Edge(x,y)").unwrap_err().contains("period"));
+        assert!(parse_program("Path(x,y).").unwrap_err().contains("Head <- Body"));
+        assert!(parse_program("A(x), B(x) <- R(x).").unwrap_err().contains("single atom"));
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let p = parse_program("Reach(y) <- Edge(0, y).\nReach(z) <- Reach(y), Edge(y,z).")
+            .unwrap();
+        assert_eq!(p.rules.len(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! The dichotomy classifiers (§4).
+//!
+//! * [`classify_sjf_cq`] — Theorem 4.3: a self-join-free CQ is polynomial
+//!   time iff it is hierarchical, otherwise #P-hard; the decision itself is
+//!   a trivial syntactic check (the theorem places it in AC⁰).
+//! * [`classify_ucq`] — rule-based liftability for arbitrary UCQs: the
+//!   lifted rules' applicability depends only on the query's syntax, so we
+//!   run the engine once against a tiny *canonical database* (every relation
+//!   fully materialized over a two-element domain). Success proves membership
+//!   in polynomial time (the same rule applications replay on any database);
+//!   failure proves #P-hardness only in the self-join-free CQ case and
+//!   otherwise reports [`Complexity::Unknown`] — our rule set implements
+//!   shattering-light cancellation rather than the full Dalvi–Suciu
+//!   lattice, so it is sound but not complete on all of UCQ (see DESIGN.md).
+
+use crate::engine::LiftedEngine;
+use pdb_data::{all_tuples, TupleDb};
+use pdb_logic::{Cq, Ucq};
+
+/// The data complexity of `PQE(Q)` as determined by the classifiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Complexity {
+    /// `PQE(Q)` is computable in polynomial time (a lifted plan exists).
+    PolynomialTime,
+    /// `PQE(Q)` is #P-hard.
+    SharpPHard,
+    /// The classifier cannot decide with its (incomplete) rule set.
+    Unknown,
+}
+
+/// Theorem 4.3 for self-join-free conjunctive queries.
+///
+/// Panics if the query has a self-join (the theorem does not apply there —
+/// see the `R(x,y),R(y,z)` counterexample in §4).
+pub fn classify_sjf_cq(cq: &Cq) -> Complexity {
+    assert!(
+        !cq.has_self_join(),
+        "Theorem 4.3 applies to self-join-free queries only"
+    );
+    if cq.is_hierarchical() {
+        Complexity::PolynomialTime
+    } else {
+        Complexity::SharpPHard
+    }
+}
+
+/// Builds the canonical two-constant database for a query: every relation
+/// fully materialized over `{0, 1} ∪ constants(Q)` with probability 1/2.
+pub fn canonical_db(ucq: &Ucq) -> TupleDb {
+    let mut dom: Vec<u64> = vec![0, 1];
+    for d in ucq.disjuncts() {
+        for c in d.constants() {
+            if !dom.contains(&c) {
+                dom.push(c);
+            }
+        }
+    }
+    let mut db = TupleDb::new();
+    db.extend_domain(dom.iter().copied());
+    for pred in ucq.predicates() {
+        let rel = db.relation_mut(pred.name(), pred.arity());
+        for t in all_tuples(&dom, pred.arity()) {
+            rel.insert(t, 0.5);
+        }
+    }
+    db
+}
+
+/// Rule-based classification of a UCQ.
+pub fn classify_ucq(ucq: &Ucq) -> Complexity {
+    let db = canonical_db(ucq);
+    let mut engine = LiftedEngine::new(&db);
+    if engine.probability_ucq(ucq).is_ok() {
+        return Complexity::PolynomialTime;
+    }
+    // Rules failed. For a single self-join-free CQ that is a hardness proof.
+    if let [only] = ucq.disjuncts() {
+        if !only.has_self_join() {
+            return Complexity::SharpPHard;
+        }
+    }
+    Complexity::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_logic::{parse_cq, parse_ucq};
+
+    #[test]
+    fn theorem_4_3_examples() {
+        assert_eq!(
+            classify_sjf_cq(&parse_cq("R(x), S(x,y)").unwrap()),
+            Complexity::PolynomialTime
+        );
+        assert_eq!(
+            classify_sjf_cq(&parse_cq("R(x), S(x,y), T(y)").unwrap()),
+            Complexity::SharpPHard
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-join-free")]
+    fn theorem_4_3_rejects_self_joins() {
+        let _ = classify_sjf_cq(&parse_cq("R(x,y), R(y,z)").unwrap());
+    }
+
+    #[test]
+    fn classify_ucq_poly_examples() {
+        for q in [
+            "R(x), S(x,y)",
+            "[R(x)] | [T(y)]",
+            "[R(x), S(x,y)] | [T(u), S(u,v)]",
+            "R(x), S(x,y), T(u), S(u,v)", // Q_J
+            "[A(x), B(y)] | [B(y), C(z)] | [C(z), D(w)]", // needs cancellation
+        ] {
+            assert_eq!(
+                classify_ucq(&parse_ucq(q).unwrap()),
+                Complexity::PolynomialTime,
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn classify_ucq_hard_examples() {
+        // Self-join-free non-hierarchical CQ: provably #P-hard.
+        assert_eq!(
+            classify_ucq(&parse_ucq("R(x), S(x,y), T(y)").unwrap()),
+            Complexity::SharpPHard
+        );
+    }
+
+    #[test]
+    fn classify_ucq_unknown_for_stuck_self_joins() {
+        // Hierarchical with self-join, known hard but beyond Theorem 4.3;
+        // our rules get stuck and must not overclaim.
+        assert_eq!(
+            classify_ucq(&parse_ucq("R(x,y), R(y,z)").unwrap()),
+            Complexity::Unknown
+        );
+    }
+
+    #[test]
+    fn canonical_db_covers_constants() {
+        let ucq = parse_ucq("R(x), S(x, 5)").unwrap();
+        let db = canonical_db(&ucq);
+        assert!(db.domain().contains(&5));
+        // S fully materialized over a 3-element domain: 9 tuples.
+        assert_eq!(db.relation("S").unwrap().len(), 9);
+    }
+
+    #[test]
+    fn classification_agrees_with_hierarchy_on_sjf_cqs() {
+        for q in [
+            "R(x)",
+            "R(x), S(x,y)",
+            "R(x), S(x,y), U(x,y,z)",
+            "R(x), S(x,y), T(y)",
+            "A(x), B(y)",
+        ] {
+            let cq = parse_cq(q).unwrap();
+            let by_theorem = classify_sjf_cq(&cq);
+            let by_rules = classify_ucq(&Ucq::single(cq));
+            assert_eq!(by_theorem, by_rules, "query {q}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Lifted inference for unate FO sentences (the Theorem 4.1 / 5.1 fragment).
+//!
+//! A unate sentence with quantifier prefix `∃*` or `∀*` reduces to a UCQ:
+//!
+//! 1. negatively-occurring symbols `R` are replaced by primed symbols `R'`
+//!    whose tuples carry the complemented probabilities `1 − p` over all of
+//!    `Tup(DOM)` (the rewrite described under Theorem 4.1),
+//! 2. an `∃*` sentence's matrix distributes into a UCQ directly;
+//! 3. a `∀*` sentence is evaluated through its §2 *dual*:
+//!    `p_D(Q) = 1 − p_D̄(dual(Q))`, where `D̄` complements every tuple
+//!    probability (materializing the finitely many missing tuples).
+
+use crate::engine::{LiftedEngine, NotLiftable};
+use pdb_data::{all_tuples, Const, TupleDb};
+use pdb_logic::{Fo, fo::QuantifierPrefix};
+
+/// `p_D(Q)` for a unate FO sentence with `∃*` or `∀*` prefix, by lifted
+/// inference. Errors with [`NotLiftable`] when the sentence is outside the
+/// fragment or the rules get stuck.
+pub fn probability_fo(fo: &Fo, db: &TupleDb) -> Result<f64, NotLiftable> {
+    if !fo.is_sentence() {
+        return Err(NotLiftable {
+            query: format!("{fo:?}"),
+            reason: "query has free variables".into(),
+        });
+    }
+    if !fo.is_unate() {
+        return Err(NotLiftable {
+            query: format!("{fo:?}"),
+            reason: "sentence is not unate (some symbol occurs with both \
+                     polarities); Theorem 4.1 fragment required"
+                .into(),
+        });
+    }
+    // Flip negative symbols to primed positives with complemented
+    // probabilities.
+    let (mono, flipped) = fo.unate_to_monotone();
+    let mut db2 = db.clone();
+    let dom: Vec<Const> = db.domain().into_iter().collect();
+    for pred in &flipped {
+        let orig = pred.name();
+        let primed = pred.primed();
+        // R' holds every tuple of Tup(DOM) with probability 1 − p.
+        for tuple in all_tuples(&dom, pred.arity()) {
+            let p = db.prob(orig, &tuple);
+            db2.insert(primed.name(), tuple, 1.0 - p);
+        }
+    }
+    // Make sure every predicate of the query exists (possibly empty) so that
+    // complementation can materialize it.
+    for pred in mono.predicates() {
+        db2.relation_mut(pred.name(), pred.arity());
+    }
+    let prenex = mono.prenex();
+    match prenex.quantifier_prefix() {
+        QuantifierPrefix::None | QuantifierPrefix::ExistsStar => {
+            let ucq = prenex.to_ucq().ok_or_else(|| NotLiftable {
+                query: format!("{prenex:?}"),
+                reason: "matrix did not normalize to a UCQ".into(),
+            })?;
+            LiftedEngine::new(&db2).probability_ucq(&ucq)
+        }
+        QuantifierPrefix::ForallStar => {
+            // p_D(Q) = 1 − p_D̄(dual(Q)).
+            let dual = prenex.dual();
+            let ucq = dual.to_ucq().ok_or_else(|| NotLiftable {
+                query: format!("{dual:?}"),
+                reason: "dual matrix did not normalize to a UCQ".into(),
+            })?;
+            let complemented = db2.complemented();
+            let p = LiftedEngine::new(&complemented).probability_ucq(&ucq)?;
+            Ok(1.0 - p)
+        }
+        QuantifierPrefix::Mixed => Err(NotLiftable {
+            query: format!("{prenex:?}"),
+            reason: "quantifier prefix mixes ∃ and ∀; outside the Theorem \
+                     4.1 fragment"
+                .into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_data::generators;
+    use pdb_num::assert_close;
+    use pdb_logic::parse_fo;
+    use pdb_lineage::eval::brute_force_probability;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn example_2_1_inclusion_constraint() {
+        // Q = ∀x∀y (S(x,y) ⇒ R(x)) on Fig. 1 with symbolic probabilities:
+        // p_D(Q) must equal the paper's closed form.
+        let p = [0.1, 0.2, 0.3];
+        let q = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+        let (db, _) = generators::fig1(p, q);
+        let sentence = parse_fo("forall x. forall y. (S(x,y) -> R(x))").unwrap();
+        let expected = (p[0] + (1.0 - p[0]) * (1.0 - q[0]) * (1.0 - q[1]))
+            * (p[1] + (1.0 - p[1]) * (1.0 - q[2]) * (1.0 - q[3]) * (1.0 - q[4]))
+            * (1.0 - q[5]);
+        let lifted = probability_fo(&sentence, &db).expect("Example 2.1 is liftable");
+        assert_close(lifted, expected, 1e-10);
+    }
+
+    #[test]
+    fn forall_star_monotone_queries() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut db = generators::random_tid(
+            3,
+            &[
+                generators::RelationSpec::new("R", 1, 2),
+                generators::RelationSpec::new("S", 2, 4),
+            ],
+            (0.2, 0.8),
+            &mut rng,
+        );
+        db.extend_domain(0..3);
+        for q in [
+            "forall x. R(x)",
+            "forall x. forall y. (R(x) | S(x,y))",
+        ] {
+            let fo = parse_fo(q).unwrap();
+            let lifted = probability_fo(&fo, &db).expect("liftable ∀* query");
+            let brute = brute_force_probability(&fo, &db);
+            assert_close(lifted, brute, 1e-10);
+        }
+    }
+
+    #[test]
+    fn exists_star_goes_through_engine() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let db = generators::random_tid(
+            3,
+            &[
+                generators::RelationSpec::new("R", 1, 2),
+                generators::RelationSpec::new("S", 2, 4),
+            ],
+            (0.2, 0.8),
+            &mut rng,
+        );
+        let fo = parse_fo("exists x. exists y. R(x) & S(x,y)").unwrap();
+        let lifted = probability_fo(&fo, &db).unwrap();
+        assert_close(lifted, brute_force_probability(&fo, &db), 1e-10);
+    }
+
+    #[test]
+    fn unate_with_negation() {
+        // ∃x (R(x) ∧ ¬T(x)): unate (T negative only).
+        let mut db = TupleDb::new();
+        db.insert("R", [0], 0.6);
+        db.insert("R", [1], 0.3);
+        db.insert("T", [0], 0.5);
+        let fo = parse_fo("exists x. R(x) & !T(x)").unwrap();
+        let lifted = probability_fo(&fo, &db).unwrap();
+        assert_close(lifted, brute_force_probability(&fo, &db), 1e-10);
+    }
+
+    #[test]
+    fn non_unate_rejected() {
+        let mut db = TupleDb::new();
+        db.insert("R", [0], 0.5);
+        db.insert("S", [0], 0.5);
+        db.insert("T", [0], 0.5);
+        let fo = parse_fo("forall x. ((R(x) -> S(x)) & (S(x) -> T(x)))").unwrap();
+        let err = probability_fo(&fo, &db).unwrap_err();
+        assert!(err.reason.contains("unate"));
+    }
+
+    #[test]
+    fn mixed_prefix_rejected() {
+        let mut db = TupleDb::new();
+        db.insert("S", [0, 0], 0.5);
+        let fo = parse_fo("forall x. exists y. S(x,y)").unwrap();
+        let err = probability_fo(&fo, &db).unwrap_err();
+        assert!(err.reason.contains("prefix"));
+    }
+
+    #[test]
+    fn h0_is_rejected_as_not_liftable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let db = generators::bipartite(2, 1.0, (0.3, 0.7), &mut rng);
+        let h0 = parse_fo("forall x. forall y. (R(x) | S(x,y) | T(y))").unwrap();
+        assert!(probability_fo(&h0, &db).is_err());
+        // …but grounded inference still gets it right (cross-check):
+        let brute = brute_force_probability(&h0, &db);
+        let grounded = pdb_wmc::probability_of_query(&h0, &db);
+        assert_close(grounded, brute, 1e-10);
+    }
+
+    #[test]
+    fn soft_constraint_shape_from_section_3() {
+        // Γ = ∀m∀e (R(m,e) ∨ ¬Manager(m,e) ∨ HighlyCompensated(m)):
+        // unate ∀* sentence — exactly the §3 constraint.
+        let mut db = TupleDb::new();
+        for m in 0..2u64 {
+            for e in 0..2u64 {
+                db.insert("Manager", [m, e], 0.5);
+                db.insert("R", [m, e], 1.0 / 2.9);
+            }
+            db.insert("HighlyCompensated", [m], 0.5);
+        }
+        let gamma = parse_fo(
+            "forall m. forall e. (R(m,e) | !Manager(m,e) | HighlyCompensated(m))",
+        )
+        .unwrap();
+        let lifted = probability_fo(&gamma, &db).expect("Γ is liftable");
+        let brute = brute_force_probability(&gamma, &db);
+        assert_close(lifted, brute, 1e-10);
+    }
+}

@@ -1,0 +1,35 @@
+//! # pdb-lifted — lifted inference (§4–§5)
+//!
+//! *Lifted inference* computes `p_D(Q)` by recursing on the **first-order
+//! syntax** of the query, never materializing the lineage. It always runs in
+//! polynomial time in the database — but only applies when the rules' side
+//! conditions hold. This crate implements the paper's rule set:
+//!
+//! * rule (7) and its dual — independent ∧ / ∨ over syntactically
+//!   independent subqueries (disjoint relation symbols),
+//! * rule (8) and its dual — separator-variable decomposition,
+//! * the **inclusion/exclusion rule** (10) with *cancellation*: expansion
+//!   terms are conjoined, core-minimized, grouped by logical equivalence
+//!   (Chandra–Merlin homomorphisms), and dropped when their signed
+//!   coefficients sum to zero — the mechanism §5 calls "absolutely
+//!   necessary" for queries like `AB ∨ BC ∨ CD`,
+//! * the dual expansion `p(⋀ᵢ) = Σ_S (−1)^{|S|+1} p(⋁_{i∈S})` that connects
+//!   conjunctive components back to unions.
+//!
+//! [`engine::LiftedEngine`] is sound: when it returns a probability it is
+//! the exact `p_D(Q)` (validated against brute force throughout the test
+//! suite). It is complete on the paper's query families; on queries where
+//! the rules do not apply it returns [`engine::NotLiftable`] and the caller
+//! (e.g. `pdb-core`) falls back to grounded inference — the architecture the
+//! paper prescribes for "the other queries".
+//!
+//! [`classify`] hosts the dichotomy classifiers (Theorem 4.3 for self-join-
+//! free CQs; rule-based liftability for UCQs and unate sentences).
+
+pub mod classify;
+pub mod engine;
+pub mod fo_entry;
+
+pub use classify::{classify_sjf_cq, classify_ucq, Complexity};
+pub use engine::{LiftedEngine, LiftedStats, NotLiftable};
+pub use fo_entry::probability_fo;

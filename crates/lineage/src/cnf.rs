@@ -1,0 +1,455 @@
+//! Clause-form (CNF) representation for the model counters.
+//!
+//! The DPLL-style counters of `pdb-wmc` operate on CNF. UCQ lineages are
+//! *monotone DNF*, so their negations are already CNF
+//! ([`Cnf::from_negated_dnf`]); `p(F) = 1 − p(¬F)`. Universal (∀*) lineages
+//! are CNF directly. Arbitrary formulas go through a Tseitin transform
+//! ([`Cnf::tseitin`]); its auxiliary variables are *functionally determined*
+//! by the tuple variables, so weighted counts are preserved when the
+//! auxiliaries carry the neutral weight pair `(1, 1)` (see `pdb-wmc`).
+
+use crate::expr::BoolExpr;
+use pdb_data::TupleId;
+use std::fmt;
+
+/// A literal: variable index with a sign.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(i32);
+
+impl Lit {
+    /// Positive literal of variable `v`.
+    pub fn pos(v: u32) -> Lit {
+        Lit(v as i32 + 1)
+    }
+
+    /// Negative literal of variable `v`.
+    pub fn neg(v: u32) -> Lit {
+        Lit(-(v as i32 + 1))
+    }
+
+    /// The variable index.
+    pub fn var(&self) -> u32 {
+        (self.0.unsigned_abs()) - 1
+    }
+
+    /// True iff the literal is positive.
+    pub fn is_pos(&self) -> bool {
+        self.0 > 0
+    }
+
+    /// The complementary literal.
+    pub fn negated(&self) -> Lit {
+        Lit(-self.0)
+    }
+
+    /// Whether the literal is satisfied by assigning `value` to its variable.
+    pub fn satisfied_by(&self, value: bool) -> bool {
+        self.is_pos() == value
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "x{}", self.var())
+        } else {
+            write!(f, "!x{}", self.var())
+        }
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Clause(pub Vec<Lit>);
+
+impl Clause {
+    /// Builds a clause, sorting and deduplicating its literals.
+    pub fn new(mut lits: Vec<Lit>) -> Clause {
+        lits.sort();
+        lits.dedup();
+        Clause(lits)
+    }
+
+    /// The literals.
+    pub fn lits(&self) -> &[Lit] {
+        &self.0
+    }
+
+    /// True iff the clause contains both a literal and its negation.
+    pub fn is_tautology(&self) -> bool {
+        self.0
+            .iter()
+            .any(|l| self.0.binary_search(&l.negated()).is_ok())
+    }
+
+    /// True iff the clause is empty (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A CNF formula over variables `0 … num_vars−1`.
+///
+/// Variables `< orig_vars` correspond to tuple ids; variables `≥ orig_vars`
+/// (if any) are Tseitin auxiliaries.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    /// The clauses (tautologies removed).
+    pub clauses: Vec<Clause>,
+    /// Total number of variables (original + auxiliary).
+    pub num_vars: u32,
+    /// Number of original (tuple) variables; auxiliaries start here.
+    pub orig_vars: u32,
+}
+
+impl Cnf {
+    /// Builds a CNF, dropping tautological clauses.
+    pub fn new(clauses: Vec<Clause>, num_vars: u32) -> Cnf {
+        let clauses = clauses.into_iter().filter(|c| !c.is_tautology()).collect();
+        Cnf {
+            clauses,
+            num_vars,
+            orig_vars: num_vars,
+        }
+    }
+
+    /// Number of auxiliary (Tseitin) variables.
+    pub fn aux_vars(&self) -> u32 {
+        self.num_vars - self.orig_vars
+    }
+
+    /// Evaluates the CNF under an assignment of **all** variables.
+    pub fn eval(&self, assignment: &dyn Fn(u32) -> bool) -> bool {
+        self.clauses.iter().all(|c| {
+            c.lits()
+                .iter()
+                .any(|l| l.satisfied_by(assignment(l.var())))
+        })
+    }
+
+    /// The negation of a monotone DNF as CNF: each DNF term
+    /// `x_{i1} ∧ … ∧ x_{ik}` becomes the clause `¬x_{i1} ∨ … ∨ ¬x_{ik}`.
+    ///
+    /// `num_vars` must cover every variable in the formula (pass the tuple
+    /// count of the database index). Panics if the input is not monotone DNF.
+    pub fn from_negated_dnf(dnf: &BoolExpr, num_vars: u32) -> Cnf {
+        assert!(dnf.is_monotone_dnf(), "from_negated_dnf needs monotone DNF");
+        fn term_clause(e: &BoolExpr) -> Clause {
+            match e {
+                BoolExpr::Var(v) => Clause::new(vec![Lit::neg(v.0)]),
+                BoolExpr::And(parts) => Clause::new(
+                    parts
+                        .iter()
+                        .map(|p| match p {
+                            BoolExpr::Var(v) => Lit::neg(v.0),
+                            _ => unreachable!("checked by is_monotone_dnf"),
+                        })
+                        .collect(),
+                ),
+                _ => unreachable!("checked by is_monotone_dnf"),
+            }
+        }
+        let clauses = match dnf {
+            BoolExpr::Const(true) => vec![Clause::new(vec![])], // ¬true = false
+            BoolExpr::Const(false) => vec![],                   // ¬false = true
+            BoolExpr::Or(parts) => parts.iter().map(term_clause).collect(),
+            term => vec![term_clause(term)],
+        };
+        Cnf::new(clauses, num_vars)
+    }
+
+    /// Direct conversion when the expression is already an `And` of `Or`s of
+    /// literals; returns `None` otherwise.
+    pub fn from_expr_direct(expr: &BoolExpr, num_vars: u32) -> Option<Cnf> {
+        fn literal(e: &BoolExpr) -> Option<Lit> {
+            match e {
+                BoolExpr::Var(v) => Some(Lit::pos(v.0)),
+                BoolExpr::Not(inner) => match inner.as_ref() {
+                    BoolExpr::Var(v) => Some(Lit::neg(v.0)),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        fn clause(e: &BoolExpr) -> Option<Clause> {
+            match e {
+                BoolExpr::Or(parts) => Some(Clause::new(
+                    parts.iter().map(literal).collect::<Option<Vec<_>>>()?,
+                )),
+                lit => Some(Clause::new(vec![literal(lit)?])),
+            }
+        }
+        let clauses = match expr {
+            BoolExpr::Const(true) => vec![],
+            BoolExpr::Const(false) => vec![Clause::new(vec![])],
+            BoolExpr::And(parts) => parts
+                .iter()
+                .map(clause)
+                .collect::<Option<Vec<_>>>()?,
+            other => vec![clause(other)?],
+        };
+        Some(Cnf::new(clauses, num_vars))
+    }
+
+    /// Tseitin transform of an arbitrary formula, asserting it true.
+    ///
+    /// Every internal gate gets a fresh auxiliary variable defined by
+    /// biconditional clauses, so each assignment of the original variables
+    /// extends to exactly one model — weighted counts are preserved when
+    /// auxiliaries weigh `(1, 1)`.
+    pub fn tseitin(expr: &BoolExpr, num_vars: u32) -> Cnf {
+        let nnf = expr.nnf();
+        let mut clauses: Vec<Clause> = Vec::new();
+        let mut next = num_vars;
+        // Returns the literal representing the subformula.
+        fn encode(
+            e: &BoolExpr,
+            clauses: &mut Vec<Clause>,
+            next: &mut u32,
+        ) -> Result<Lit, bool> {
+            match e {
+                BoolExpr::Const(b) => Err(*b),
+                BoolExpr::Var(v) => Ok(Lit::pos(v.0)),
+                BoolExpr::Not(inner) => match inner.as_ref() {
+                    BoolExpr::Var(v) => Ok(Lit::neg(v.0)),
+                    _ => {
+                        // NNF guarantees negations sit on variables only.
+                        unreachable!("tseitin input must be in NNF")
+                    }
+                },
+                BoolExpr::And(parts) => {
+                    let mut lits = Vec::with_capacity(parts.len());
+                    for p in parts {
+                        match encode(p, clauses, next) {
+                            Ok(l) => lits.push(l),
+                            Err(true) => {}
+                            Err(false) => return Err(false),
+                        }
+                    }
+                    if lits.is_empty() {
+                        return Err(true);
+                    }
+                    let g = *next;
+                    *next += 1;
+                    // g ↔ ⋀ lits
+                    for &l in &lits {
+                        clauses.push(Clause::new(vec![Lit::neg(g), l]));
+                    }
+                    let mut big: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+                    big.push(Lit::pos(g));
+                    clauses.push(Clause::new(big));
+                    Ok(Lit::pos(g))
+                }
+                BoolExpr::Or(parts) => {
+                    let mut lits = Vec::with_capacity(parts.len());
+                    for p in parts {
+                        match encode(p, clauses, next) {
+                            Ok(l) => lits.push(l),
+                            Err(false) => {}
+                            Err(true) => return Err(true),
+                        }
+                    }
+                    if lits.is_empty() {
+                        return Err(false);
+                    }
+                    let g = *next;
+                    *next += 1;
+                    // g ↔ ⋁ lits
+                    for &l in &lits {
+                        clauses.push(Clause::new(vec![Lit::pos(g), l.negated()]));
+                    }
+                    let mut big = lits.clone();
+                    big.push(Lit::neg(g));
+                    clauses.push(Clause::new(big));
+                    Ok(Lit::pos(g))
+                }
+            }
+        }
+        match encode(&nnf, &mut clauses, &mut next) {
+            Ok(root) => clauses.push(Clause::new(vec![root])),
+            Err(true) => {}
+            Err(false) => clauses.push(Clause::new(vec![])),
+        }
+        let mut cnf = Cnf::new(clauses, next);
+        cnf.orig_vars = num_vars;
+        cnf
+    }
+
+    /// Evaluates against a truth assignment of the *original* variables by
+    /// extending it over the auxiliaries via the defining clauses. Intended
+    /// for tests; runs unit propagation over the auxiliaries.
+    pub fn eval_original(&self, assignment: &dyn Fn(TupleId) -> bool) -> Option<bool> {
+        if self.aux_vars() == 0 {
+            return Some(self.eval(&|v| assignment(TupleId(v))));
+        }
+        // Propagate: repeatedly find clauses with all-but-one literal false.
+        let mut value: Vec<Option<bool>> = (0..self.num_vars)
+            .map(|v| {
+                if v < self.orig_vars {
+                    Some(assignment(TupleId(v)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        loop {
+            let mut progress = false;
+            for c in &self.clauses {
+                let mut unassigned = None;
+                let mut satisfied = false;
+                let mut count_unassigned = 0;
+                for l in c.lits() {
+                    match value[l.var() as usize] {
+                        Some(v) if l.satisfied_by(v) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            count_unassigned += 1;
+                            unassigned = Some(*l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match count_unassigned {
+                    0 => return Some(false),
+                    1 => {
+                        let l = unassigned.unwrap();
+                        value[l.var() as usize] = Some(l.is_pos());
+                        progress = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        if value.iter().all(Option::is_some) {
+            Some(true)
+        } else {
+            None // shouldn't happen for Tseitin-defined auxiliaries
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> BoolExpr {
+        BoolExpr::var(TupleId(i))
+    }
+
+    #[test]
+    fn literal_encoding() {
+        let p = Lit::pos(3);
+        let n = Lit::neg(3);
+        assert_eq!(p.var(), 3);
+        assert_eq!(n.var(), 3);
+        assert!(p.is_pos());
+        assert!(!n.is_pos());
+        assert_eq!(p.negated(), n);
+        assert!(p.satisfied_by(true));
+        assert!(n.satisfied_by(false));
+    }
+
+    #[test]
+    fn clause_tautology_detection() {
+        assert!(Clause::new(vec![Lit::pos(0), Lit::neg(0)]).is_tautology());
+        assert!(!Clause::new(vec![Lit::pos(0), Lit::neg(1)]).is_tautology());
+    }
+
+    #[test]
+    fn negated_dnf_roundtrip() {
+        // F = (x0 & x1) | x2; ¬F = (!x0 | !x1) & !x2
+        let f = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]), v(2)]);
+        let cnf = Cnf::from_negated_dnf(&f, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        for mask in 0u32..8 {
+            let assignment = |id: u32| mask >> id & 1 == 1;
+            assert_eq!(
+                cnf.eval(&assignment),
+                !f.eval(&|t| assignment(t.0)),
+                "mask={mask}"
+            );
+        }
+    }
+
+    #[test]
+    fn negated_dnf_constants() {
+        let t = Cnf::from_negated_dnf(&BoolExpr::TRUE, 0);
+        assert!(!t.eval(&|_| false)); // ¬true unsatisfiable
+        let f = Cnf::from_negated_dnf(&BoolExpr::FALSE, 0);
+        assert!(f.eval(&|_| false));
+    }
+
+    #[test]
+    fn direct_conversion_of_cnf_shaped_exprs() {
+        // (x0 | !x1) & x2
+        let e = BoolExpr::and_all([BoolExpr::or_all([v(0), v(1).negate()]), v(2)]);
+        let cnf = Cnf::from_expr_direct(&e, 3).unwrap();
+        assert_eq!(cnf.clauses.len(), 2);
+        for mask in 0u32..8 {
+            let assignment = |id: u32| mask >> id & 1 == 1;
+            assert_eq!(cnf.eval(&assignment), e.eval(&|t| assignment(t.0)));
+        }
+        // DNF-shaped expression is not directly convertible.
+        let dnf = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]), v(2)]);
+        assert!(Cnf::from_expr_direct(&dnf, 3).is_none());
+    }
+
+    #[test]
+    fn tseitin_preserves_models() {
+        // XOR-ish: (x0 & !x1) | (!x0 & x1)
+        let e = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1).negate()]),
+            BoolExpr::and_all([v(0).negate(), v(1)]),
+        ]);
+        let cnf = Cnf::tseitin(&e, 2);
+        assert!(cnf.aux_vars() > 0);
+        for mask in 0u32..4 {
+            let assignment = |id: TupleId| mask >> id.0 & 1 == 1;
+            let expected = e.eval(&assignment);
+            assert_eq!(cnf.eval_original(&assignment), Some(expected), "mask={mask}");
+        }
+    }
+
+    #[test]
+    fn tseitin_constant_formulas() {
+        let t = Cnf::tseitin(&BoolExpr::TRUE, 2);
+        assert_eq!(t.eval_original(&|_| false), Some(true));
+        let f = Cnf::tseitin(&BoolExpr::FALSE, 2);
+        assert_eq!(f.eval_original(&|_| false), Some(false));
+    }
+
+    #[test]
+    fn tseitin_unique_extension() {
+        // For weighted counting, each original assignment must extend to at
+        // most one satisfying assignment of the auxiliaries. With defining
+        // biconditionals this holds; spot-check by brute force.
+        let e = BoolExpr::and_all([BoolExpr::or_all([v(0), v(1)]), v(2)]);
+        let cnf = Cnf::tseitin(&e, 3);
+        let aux = cnf.aux_vars();
+        for mask in 0u32..8 {
+            let mut extensions = 0;
+            for aux_mask in 0u32..(1 << aux) {
+                let assignment = |v: u32| {
+                    if v < 3 {
+                        mask >> v & 1 == 1
+                    } else {
+                        aux_mask >> (v - 3) & 1 == 1
+                    }
+                };
+                if cnf.eval(&assignment) {
+                    extensions += 1;
+                }
+            }
+            let expected = e.eval(&|t| mask >> t.0 & 1 == 1);
+            assert_eq!(extensions, u32::from(expected), "mask={mask}");
+        }
+    }
+}

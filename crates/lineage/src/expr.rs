@@ -1,0 +1,314 @@
+//! Boolean formula trees over tuple variables.
+
+use pdb_data::TupleId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A Boolean formula whose variables are [`TupleId`]s (one per possible
+/// tuple, as in the appendix's lineage definition).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// A constant.
+    Const(bool),
+    /// A tuple variable `X_i`.
+    Var(TupleId),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<BoolExpr>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// The constant true.
+    pub const TRUE: BoolExpr = BoolExpr::Const(true);
+    /// The constant false.
+    pub const FALSE: BoolExpr = BoolExpr::Const(false);
+
+    /// A variable.
+    pub fn var(id: TupleId) -> BoolExpr {
+        BoolExpr::Var(id)
+    }
+
+    /// Negation with immediate constant folding and double-negation removal.
+    pub fn negate(self) -> BoolExpr {
+        match self {
+            BoolExpr::Const(b) => BoolExpr::Const(!b),
+            BoolExpr::Not(inner) => *inner,
+            other => BoolExpr::Not(Box::new(other)),
+        }
+    }
+
+    /// Smart conjunction: folds constants and flattens nested `And`s.
+    pub fn and_all(parts: impl IntoIterator<Item = BoolExpr>) -> BoolExpr {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                BoolExpr::Const(true) => {}
+                BoolExpr::Const(false) => return BoolExpr::FALSE,
+                BoolExpr::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => BoolExpr::TRUE,
+            1 => flat.pop().unwrap(),
+            _ => BoolExpr::And(flat),
+        }
+    }
+
+    /// Smart disjunction: folds constants and flattens nested `Or`s.
+    pub fn or_all(parts: impl IntoIterator<Item = BoolExpr>) -> BoolExpr {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                BoolExpr::Const(false) => {}
+                BoolExpr::Const(true) => return BoolExpr::TRUE,
+                BoolExpr::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => BoolExpr::FALSE,
+            1 => flat.pop().unwrap(),
+            _ => BoolExpr::Or(flat),
+        }
+    }
+
+    /// Evaluates under a truth assignment.
+    pub fn eval(&self, assignment: &dyn Fn(TupleId) -> bool) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Var(v) => assignment(*v),
+            BoolExpr::Not(inner) => !inner.eval(assignment),
+            BoolExpr::And(parts) => parts.iter().all(|p| p.eval(assignment)),
+            BoolExpr::Or(parts) => parts.iter().any(|p| p.eval(assignment)),
+        }
+    }
+
+    /// Evaluates on a possible world.
+    pub fn eval_world(&self, world: &pdb_data::World) -> bool {
+        self.eval(&|id| world.contains(id))
+    }
+
+    /// The set of variables mentioned.
+    pub fn vars(&self) -> BTreeSet<TupleId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<TupleId>) {
+        match self {
+            BoolExpr::Const(_) => {}
+            BoolExpr::Var(v) => {
+                out.insert(*v);
+            }
+            BoolExpr::Not(inner) => inner.collect_vars(out),
+            BoolExpr::And(parts) | BoolExpr::Or(parts) => {
+                for p in parts {
+                    p.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Node count of the tree (size of the formula).
+    pub fn size(&self) -> usize {
+        match self {
+            BoolExpr::Const(_) | BoolExpr::Var(_) => 1,
+            BoolExpr::Not(inner) => 1 + inner.size(),
+            BoolExpr::And(parts) | BoolExpr::Or(parts) => {
+                1 + parts.iter().map(BoolExpr::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Negation normal form (negations pushed to the variables).
+    pub fn nnf(&self) -> BoolExpr {
+        fn go(e: &BoolExpr, negate: bool) -> BoolExpr {
+            match (e, negate) {
+                (BoolExpr::Const(b), n) => BoolExpr::Const(*b != n),
+                (BoolExpr::Var(v), false) => BoolExpr::Var(*v),
+                (BoolExpr::Var(v), true) => BoolExpr::Not(Box::new(BoolExpr::Var(*v))),
+                (BoolExpr::Not(inner), n) => go(inner, !n),
+                (BoolExpr::And(parts), false) => {
+                    BoolExpr::and_all(parts.iter().map(|p| go(p, false)))
+                }
+                (BoolExpr::And(parts), true) => {
+                    BoolExpr::or_all(parts.iter().map(|p| go(p, true)))
+                }
+                (BoolExpr::Or(parts), false) => {
+                    BoolExpr::or_all(parts.iter().map(|p| go(p, false)))
+                }
+                (BoolExpr::Or(parts), true) => {
+                    BoolExpr::and_all(parts.iter().map(|p| go(p, true)))
+                }
+            }
+        }
+        go(self, false)
+    }
+
+    /// Substitutes a variable by a constant and simplifies.
+    pub fn assign(&self, var: TupleId, value: bool) -> BoolExpr {
+        match self {
+            BoolExpr::Const(b) => BoolExpr::Const(*b),
+            BoolExpr::Var(v) => {
+                if *v == var {
+                    BoolExpr::Const(value)
+                } else {
+                    BoolExpr::Var(*v)
+                }
+            }
+            BoolExpr::Not(inner) => inner.assign(var, value).negate(),
+            BoolExpr::And(parts) => {
+                BoolExpr::and_all(parts.iter().map(|p| p.assign(var, value)))
+            }
+            BoolExpr::Or(parts) => {
+                BoolExpr::or_all(parts.iter().map(|p| p.assign(var, value)))
+            }
+        }
+    }
+
+    /// True iff the formula is syntactically a monotone DNF
+    /// (`Or` of `And`s of plain variables, possibly degenerate).
+    pub fn is_monotone_dnf(&self) -> bool {
+        fn is_term(e: &BoolExpr) -> bool {
+            match e {
+                BoolExpr::Var(_) => true,
+                BoolExpr::And(parts) => parts.iter().all(|p| matches!(p, BoolExpr::Var(_))),
+                _ => false,
+            }
+        }
+        match self {
+            BoolExpr::Const(_) => true,
+            BoolExpr::Or(parts) => parts.iter().all(is_term),
+            other => is_term(other),
+        }
+    }
+}
+
+impl fmt::Debug for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Const(b) => write!(f, "{b}"),
+            BoolExpr::Var(v) => write!(f, "x{}", v.0),
+            BoolExpr::Not(inner) => write!(f, "!{inner:?}"),
+            BoolExpr::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{p:?}")?;
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{p:?}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> BoolExpr {
+        BoolExpr::var(TupleId(i))
+    }
+
+    #[test]
+    fn constant_folding_in_constructors() {
+        assert_eq!(
+            BoolExpr::and_all([v(0), BoolExpr::TRUE, v(1)]),
+            BoolExpr::And(vec![v(0), v(1)])
+        );
+        assert_eq!(BoolExpr::and_all([v(0), BoolExpr::FALSE]), BoolExpr::FALSE);
+        assert_eq!(BoolExpr::or_all([v(0), BoolExpr::TRUE]), BoolExpr::TRUE);
+        assert_eq!(BoolExpr::or_all([BoolExpr::FALSE]), BoolExpr::FALSE);
+        assert_eq!(BoolExpr::and_all(std::iter::empty()), BoolExpr::TRUE);
+        assert_eq!(BoolExpr::or_all(std::iter::empty()), BoolExpr::FALSE);
+    }
+
+    #[test]
+    fn flattening() {
+        let nested = BoolExpr::and_all([BoolExpr::And(vec![v(0), v(1)]), v(2)]);
+        assert_eq!(nested, BoolExpr::And(vec![v(0), v(1), v(2)]));
+    }
+
+    #[test]
+    fn negate_folds() {
+        assert_eq!(BoolExpr::TRUE.negate(), BoolExpr::FALSE);
+        assert_eq!(v(0).negate().negate(), v(0));
+    }
+
+    #[test]
+    fn evaluation() {
+        // (x0 & x1) | !x2
+        let f = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]), v(2).negate()]);
+        assert!(f.eval(&|id| id.0 != 2)); // x0=x1=1, x2=0
+        assert!(f.eval(&|_| true)); // all true: first disjunct
+        assert!(!f.eval(&|id| id.0 == 2)); // only x2 true
+    }
+
+    #[test]
+    fn vars_and_size() {
+        let f = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]), v(0).negate()]);
+        assert_eq!(f.vars().len(), 2);
+        assert!(f.size() >= 5);
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        // !(x0 & !x1) = !x0 | x1
+        let f = BoolExpr::and_all([v(0), v(1).negate()]).negate();
+        let nnf = f.nnf();
+        assert_eq!(nnf, BoolExpr::or_all([v(0).negate(), v(1)]));
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]).negate(),
+            v(2),
+        ])
+        .negate();
+        let g = f.nnf();
+        for mask in 0u32..8 {
+            let assignment = |id: TupleId| mask >> id.0 & 1 == 1;
+            assert_eq!(f.eval(&assignment), g.eval(&assignment), "mask={mask}");
+        }
+    }
+
+    #[test]
+    fn assign_simplifies() {
+        let f = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]), v(2)]);
+        assert_eq!(f.assign(TupleId(2), true), BoolExpr::TRUE);
+        assert_eq!(
+            f.assign(TupleId(2), false),
+            BoolExpr::and_all([v(0), v(1)])
+        );
+        let g = f.assign(TupleId(0), false);
+        assert_eq!(g, v(2));
+    }
+
+    #[test]
+    fn monotone_dnf_recognition() {
+        let dnf = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]), v(2)]);
+        assert!(dnf.is_monotone_dnf());
+        assert!(v(0).is_monotone_dnf());
+        assert!(!dnf.negate().is_monotone_dnf());
+        let cnfish = BoolExpr::and_all([BoolExpr::or_all([v(0), v(1)]), v(2)]);
+        assert!(!cnfish.is_monotone_dnf());
+    }
+}

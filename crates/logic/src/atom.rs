@@ -1,0 +1,228 @@
+//! Relational atoms `R(t₁, …, t_k)`.
+
+use crate::term::{Const, Term, Var};
+use std::fmt;
+use std::sync::Arc;
+
+/// A relation symbol with its arity.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate {
+    name: Arc<str>,
+    arity: usize,
+}
+
+impl Predicate {
+    /// Creates a predicate symbol.
+    pub fn new(name: &str, arity: usize) -> Predicate {
+        Predicate {
+            name: Arc::from(name),
+            arity,
+        }
+    }
+
+    /// The symbol's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of argument positions.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// A primed copy (`R'`), used when rewriting unate sentences to monotone
+    /// ones by flipping negated symbols (Theorem 4.1 discussion).
+    pub fn primed(&self) -> Predicate {
+        Predicate {
+            name: Arc::from(format!("{}'", self.name).as_str()),
+            arity: self.arity,
+        }
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// An atom `R(t₁, …, t_k)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The relation symbol.
+    pub predicate: Predicate,
+    /// The argument terms (length = predicate arity).
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom, checking the arity.
+    pub fn new(predicate: Predicate, args: Vec<Term>) -> Atom {
+        assert_eq!(
+            predicate.arity(),
+            args.len(),
+            "atom arity mismatch for {predicate}"
+        );
+        Atom { predicate, args }
+    }
+
+    /// Convenience constructor from a name and terms.
+    pub fn parse_like(name: &str, args: Vec<Term>) -> Atom {
+        Atom::new(Predicate::new(name, args.len()), args)
+    }
+
+    /// Iterates over the variables appearing in the atom (with repeats).
+    pub fn variables(&self) -> impl Iterator<Item = &Var> {
+        self.args.iter().filter_map(Term::as_var)
+    }
+
+    /// True iff `v` appears among the arguments.
+    pub fn contains_var(&self, v: &Var) -> bool {
+        self.variables().any(|w| w == v)
+    }
+
+    /// The positions (0-based) at which `v` occurs.
+    pub fn positions_of(&self, v: &Var) -> Vec<usize> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_var() == Some(v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True iff the atom has no variables.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+
+    /// The constant tuple of a ground atom.
+    pub fn ground_tuple(&self) -> Option<Vec<Const>> {
+        self.args.iter().map(Term::as_const).collect()
+    }
+
+    /// Substitutes `from ↦ to` in every argument.
+    pub fn substitute(&self, from: &Var, to: &Term) -> Atom {
+        Atom {
+            predicate: self.predicate.clone(),
+            args: self
+                .args
+                .iter()
+                .map(|t| t.substitute(from, to))
+                .collect(),
+        }
+    }
+
+    /// Could this atom and `other` ever refer to the same ground tuple?
+    ///
+    /// True iff they use the same predicate and agree on every position
+    /// where *both* carry constants (variables unify with anything). This is
+    /// the overlap test behind shattering-aware independence: on a TID, two
+    /// subqueries are independent when no pair of their atoms may unify.
+    pub fn may_unify(&self, other: &Atom) -> bool {
+        if self.predicate != other.predicate {
+            return false;
+        }
+        self.args.iter().zip(&other.args).all(|(a, b)| match (a, b) {
+            (Term::Const(x), Term::Const(y)) => x == y,
+            _ => true,
+        })
+    }
+
+    /// Applies a full variable renaming/assignment.
+    pub fn apply(&self, map: &dyn Fn(&Var) -> Term) -> Atom {
+        Atom {
+            predicate: self.predicate.clone(),
+            args: self
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => map(v),
+                    c => c.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(name: &str, args: &[Term]) -> Atom {
+        Atom::parse_like(name, args.to_vec())
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_is_enforced() {
+        Atom::new(Predicate::new("R", 2), vec![Term::var("x")]);
+    }
+
+    #[test]
+    fn variable_queries() {
+        let a = atom("S", &[Term::var("x"), Term::var("y"), Term::var("x")]);
+        let x = Var::new("x");
+        assert!(a.contains_var(&x));
+        assert_eq!(a.positions_of(&x), vec![0, 2]);
+        assert_eq!(a.variables().count(), 3);
+        assert!(!a.is_ground());
+    }
+
+    #[test]
+    fn grounding_by_substitution() {
+        let a = atom("S", &[Term::var("x"), Term::var("y")]);
+        let g = a
+            .substitute(&Var::new("x"), &Term::Const(1))
+            .substitute(&Var::new("y"), &Term::Const(2));
+        assert!(g.is_ground());
+        assert_eq!(g.ground_tuple(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn apply_full_assignment() {
+        let a = atom("S", &[Term::var("x"), Term::Const(9)]);
+        let g = a.apply(&|_v| Term::Const(5));
+        assert_eq!(g.ground_tuple(), Some(vec![5, 9]));
+    }
+
+    #[test]
+    fn primed_predicate_keeps_arity() {
+        let p = Predicate::new("R", 3);
+        let q = p.primed();
+        assert_eq!(q.name(), "R'");
+        assert_eq!(q.arity(), 3);
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let a = atom("S", &[Term::var("x"), Term::Const(4)]);
+        assert_eq!(format!("{a}"), "S(x,4)");
+    }
+}

@@ -1,0 +1,389 @@
+//! Boolean conjunctive queries.
+//!
+//! A CQ is `∃x⃗ (R₁(x⃗₁) ∧ … ∧ R_m(x⃗_m))` — we store just the atom list and
+//! treat every variable as existentially quantified (the paper's eq. (6)).
+//! This module implements the analyses of §4–§5:
+//!
+//! * [`Cq::is_hierarchical`] — Definition 4.2, the tractability criterion of
+//!   Theorem 4.3,
+//! * [`Cq::has_self_join`] — distinguishes the dichotomy's applicability,
+//! * [`Cq::connected_components`] — variable-connectivity components (used by
+//!   the independence rule (7) via [`Cq::independent_components`]),
+//! * [`Cq::separator_variables`] — root variables eligible for rule (8).
+
+use crate::atom::{Atom, Predicate};
+use crate::fo::Fo;
+use crate::term::{Const, Term, Var};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A Boolean conjunctive query: an existentially-quantified set of atoms.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cq {
+    atoms: Vec<Atom>,
+}
+
+impl Cq {
+    /// Builds a CQ from its atoms (duplicates are removed; order canonical).
+    pub fn new(mut atoms: Vec<Atom>) -> Cq {
+        atoms.sort();
+        atoms.dedup();
+        Cq { atoms }
+    }
+
+    /// The atoms of the query.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// True iff the query has no atoms (logically `true`).
+    pub fn is_trivial(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// All variables of the query.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.atoms
+            .iter()
+            .flat_map(|a| a.variables().cloned())
+            .collect()
+    }
+
+    /// All constants appearing in the query.
+    pub fn constants(&self) -> BTreeSet<Const> {
+        self.atoms
+            .iter()
+            .flat_map(|a| a.args.iter().filter_map(Term::as_const))
+            .collect()
+    }
+
+    /// All predicate symbols of the query.
+    pub fn predicates(&self) -> BTreeSet<Predicate> {
+        self.atoms.iter().map(|a| a.predicate.clone()).collect()
+    }
+
+    /// `at(x)`: the set of atom indices containing variable `x`.
+    pub fn at(&self, v: &Var) -> BTreeSet<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.contains_var(v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True iff some relation symbol appears in two different atoms.
+    pub fn has_self_join(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.atoms
+            .iter()
+            .any(|a| !seen.insert(a.predicate.clone()))
+    }
+
+    /// Definition 4.2: for every pair of variables `x, y`, the atom sets
+    /// `at(x)` and `at(y)` are comparable or disjoint.
+    pub fn is_hierarchical(&self) -> bool {
+        let vars: Vec<Var> = self.variables().into_iter().collect();
+        let sets: Vec<BTreeSet<usize>> = vars.iter().map(|v| self.at(v)).collect();
+        for i in 0..sets.len() {
+            for j in i + 1..sets.len() {
+                let (a, b) = (&sets[i], &sets[j]);
+                let comparable = a.is_subset(b) || b.is_subset(a);
+                let disjoint = a.is_disjoint(b);
+                if !comparable && !disjoint {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Substitutes a variable by a term in every atom.
+    pub fn substitute(&self, from: &Var, to: &Term) -> Cq {
+        Cq::new(
+            self.atoms
+                .iter()
+                .map(|a| a.substitute(from, to))
+                .collect(),
+        )
+    }
+
+    /// Conjunction of two CQs (atom-set union). Note the result may contain
+    /// self-joins even when the inputs do not — this is exactly how the
+    /// inclusion/exclusion rule generates harder intermediate queries (§5).
+    pub fn conjoin(&self, other: &Cq) -> Cq {
+        let mut atoms = self.atoms.clone();
+        atoms.extend(other.atoms.iter().cloned());
+        Cq::new(atoms)
+    }
+
+    /// Renames every variable with `f` (must be injective to preserve
+    /// semantics).
+    pub fn rename(&self, f: &dyn Fn(&Var) -> Var) -> Cq {
+        Cq::new(
+            self.atoms
+                .iter()
+                .map(|a| a.apply(&|v| Term::Var(f(v))))
+                .collect(),
+        )
+    }
+
+    /// Partitions atoms into *variable-connectivity* components: atoms
+    /// sharing a variable end up together. (Components may still share
+    /// relation symbols — see [`Cq::independent_components`].)
+    pub fn connected_components(&self) -> Vec<Cq> {
+        let n = self.atoms.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                let share = self.atoms[i]
+                    .variables()
+                    .any(|v| self.atoms[j].contains_var(v));
+                if share {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut groups: BTreeMap<usize, Vec<Atom>> = BTreeMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(self.atoms[i].clone());
+        }
+        groups.into_values().map(Cq::new).collect()
+    }
+
+    /// Splits into groups that are *probabilistically independent*: connected
+    /// components merged while some pair of their atoms [`Atom::may_unify`]
+    /// (share a predicate with compatible constants). On a TID,
+    /// `p(Q₁ ∧ Q₂) = p(Q₁)·p(Q₂)` across groups (rule (7)). The overlap test
+    /// is shattering-aware: `S(0,y)` and `S(1,z)` read disjoint tuple sets
+    /// and therefore *are* independent despite the shared symbol.
+    pub fn independent_components(&self) -> Vec<Cq> {
+        let comps = self.connected_components();
+        // Union-find over components keyed by possibly-unifying atoms.
+        let n = comps.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                let overlap = comps[i]
+                    .atoms()
+                    .iter()
+                    .any(|a| comps[j].atoms().iter().any(|b| a.may_unify(b)));
+                if overlap {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut groups: BTreeMap<usize, Vec<Atom>> = BTreeMap::new();
+        for (i, c) in comps.iter().enumerate() {
+            let root = find(&mut parent, i);
+            groups
+                .entry(root)
+                .or_default()
+                .extend(c.atoms().iter().cloned());
+        }
+        groups.into_values().map(Cq::new).collect()
+    }
+
+    /// Separator variables (§5, rule (8)): `x` is a separator if it occurs in
+    /// *every* atom, and for every relation symbol `R`, it occupies the same
+    /// position in all `R`-atoms. Substituting distinct constants for a
+    /// separator yields independent queries.
+    pub fn separator_variables(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        'vars: for v in self.variables() {
+            // Must appear in every atom.
+            if !self.atoms.iter().all(|a| a.contains_var(&v)) {
+                continue;
+            }
+            // Same position per predicate: the R-atoms must share at least
+            // one common position for v (intersection of position sets).
+            let mut pos_by_pred: BTreeMap<Predicate, BTreeSet<usize>> = BTreeMap::new();
+            for a in &self.atoms {
+                let positions: BTreeSet<usize> = a.positions_of(&v).into_iter().collect();
+                pos_by_pred
+                    .entry(a.predicate.clone())
+                    .and_modify(|set| *set = set.intersection(&positions).cloned().collect())
+                    .or_insert(positions);
+            }
+            if pos_by_pred.values().any(BTreeSet::is_empty) {
+                continue 'vars;
+            }
+            out.push(v);
+        }
+        out
+    }
+
+    /// The query as a first-order sentence `∃x⃗ ⋀ atoms`.
+    pub fn to_fo(&self) -> Fo {
+        let body = if self.atoms.is_empty() {
+            Fo::True
+        } else {
+            Fo::And(self.atoms.iter().cloned().map(Fo::Atom).collect())
+        };
+        self.variables()
+            .into_iter()
+            .rev()
+            .fold(body, |acc, v| Fo::Exists(v, Box::new(acc)))
+    }
+}
+
+impl fmt::Debug for Cq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Cq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn hierarchical_examples_from_theorem_4_3() {
+        // R(x), S(x,y) is hierarchical: at(y) ⊂ at(x).
+        assert!(parse_cq("R(x), S(x,y)").unwrap().is_hierarchical());
+        // R(x), S(x,y), T(y) is not: at(x) = {R,S}, at(y) = {S,T} overlap
+        // without containment.
+        assert!(!parse_cq("R(x), S(x,y), T(y)").unwrap().is_hierarchical());
+    }
+
+    #[test]
+    fn hierarchical_self_join_counterexample() {
+        // R(x,y), R(y,z) is hierarchical yet #P-hard (§4) — the test itself
+        // must still report "hierarchical".
+        let q = parse_cq("R(x,y), R(y,z)").unwrap();
+        assert!(q.is_hierarchical());
+        assert!(q.has_self_join());
+    }
+
+    #[test]
+    fn self_join_detection() {
+        assert!(!parse_cq("R(x), S(x,y)").unwrap().has_self_join());
+        assert!(parse_cq("S(x,y), S(y,z)").unwrap().has_self_join());
+    }
+
+    #[test]
+    fn at_sets() {
+        let q = parse_cq("R(x), S(x,y), T(y)").unwrap();
+        let x = Var::new("x");
+        let y = Var::new("y");
+        assert_eq!(q.at(&x).len(), 2);
+        assert_eq!(q.at(&y).len(), 2);
+        let shared: Vec<_> = q.at(&x).intersection(&q.at(&y)).cloned().collect();
+        assert_eq!(shared.len(), 1); // only the S atom
+    }
+
+    #[test]
+    fn connected_components_split_on_variables() {
+        let q = parse_cq("R(x), S(x,y), T(u), U(u,v)").unwrap();
+        let comps = q.connected_components();
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn independent_components_respect_shared_symbols() {
+        // Q_J from §5: R(x),S(x,y) and T(u),S(u,v) share S, hence are NOT
+        // independent even though they share no variables.
+        let q = parse_cq("R(x), S(x,y), T(u), S(u,v)").unwrap();
+        assert_eq!(q.connected_components().len(), 2);
+        assert_eq!(q.independent_components().len(), 1);
+        // Fully disjoint symbols are independent.
+        let q2 = parse_cq("R(x), S(x,y), T(u), U(u,v)").unwrap();
+        assert_eq!(q2.independent_components().len(), 2);
+    }
+
+    #[test]
+    fn separator_variable_found() {
+        // In R(x), S(x,y): x occurs in all atoms, consistently.
+        let q = parse_cq("R(x), S(x,y)").unwrap();
+        let seps = q.separator_variables();
+        assert_eq!(seps, vec![Var::new("x")]);
+    }
+
+    #[test]
+    fn no_separator_in_h0_dual() {
+        // R(x), S(x,y), T(y): neither x nor y occurs in all atoms.
+        let q = parse_cq("R(x), S(x,y), T(y)").unwrap();
+        assert!(q.separator_variables().is_empty());
+    }
+
+    #[test]
+    fn separator_requires_consistent_positions() {
+        // S(x,y), S(y,x): x occurs in both S-atoms but in different positions.
+        let q = parse_cq("S(x,y), S(y,x)").unwrap();
+        assert!(q.separator_variables().is_empty());
+        // S(x,y), S(x,z): x consistently in position 0.
+        let q2 = parse_cq("S(x,y), S(x,z)").unwrap();
+        assert_eq!(q2.separator_variables(), vec![Var::new("x")]);
+    }
+
+    #[test]
+    fn substitution_grounds_atoms() {
+        let q = parse_cq("R(x), S(x,y)").unwrap();
+        let g = q.substitute(&Var::new("x"), &Term::Const(7));
+        assert!(g.atoms().iter().any(|a| a.ground_tuple() == Some(vec![7])));
+        assert_eq!(g.variables().len(), 1);
+    }
+
+    #[test]
+    fn conjoin_can_create_self_joins() {
+        let a = parse_cq("R(x), S(x,y)").unwrap();
+        let b = parse_cq("T(u), S(u,v)").unwrap();
+        let c = a.conjoin(&b);
+        assert!(c.has_self_join());
+        assert_eq!(c.atoms().len(), 4);
+    }
+
+    #[test]
+    fn dedup_on_construction() {
+        let q = parse_cq("R(x), R(x)").unwrap();
+        assert_eq!(q.atoms().len(), 1);
+    }
+
+    #[test]
+    fn to_fo_roundtrip_shape() {
+        let q = parse_cq("R(x), S(x,y)").unwrap();
+        let fo = q.to_fo();
+        assert!(fo.is_sentence());
+        let ucq = fo.to_ucq().unwrap();
+        assert_eq!(ucq.disjuncts().len(), 1);
+        // Prenexing renames variables: compare up to logical equivalence.
+        assert!(crate::hom::equivalent(&ucq.disjuncts()[0], &q));
+    }
+}

@@ -1,0 +1,645 @@
+//! First-order sentences.
+//!
+//! The AST covers the connectives the paper allows when defining duality
+//! (`∧, ∨, ¬, ∃, ∀` — implication is parser sugar), plus constants `true` /
+//! `false`. Key operations:
+//!
+//! * [`Fo::dual`] — the §2 dual (swap `∧↔∨`, `∃↔∀`); `PQE(Q)` and
+//!   `PQE(dual(Q))` are polynomial-time interreducible,
+//! * [`Fo::nnf`] — negation normal form (push `¬` to the atoms),
+//! * [`Fo::prenex`] — prenex normal form with standardized-apart variables,
+//! * [`Fo::polarities`] / [`Fo::is_unate`] — the unate test of Theorem 4.1,
+//! * [`Fo::quantifier_prefix`] — recognizing the `∃*` / `∀*` fragments,
+//! * [`Fo::to_ucq`] — extracting a UCQ from a monotone `∃*` sentence.
+
+use crate::atom::{Atom, Predicate};
+use crate::cq::Cq;
+use crate::term::{Term, Var};
+use crate::ucq::Ucq;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A first-order sentence (or formula, when variables occur free).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Fo {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A relational atom.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Fo>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<Fo>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<Fo>),
+    /// Existential quantification.
+    Exists(Var, Box<Fo>),
+    /// Universal quantification.
+    Forall(Var, Box<Fo>),
+}
+
+/// Occurrence polarity of a predicate symbol within a sentence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Polarity {
+    /// Only positive occurrences.
+    Positive,
+    /// Only negated occurrences.
+    Negative,
+    /// Both kinds of occurrences (the sentence is not unate in this symbol).
+    Mixed,
+}
+
+impl Polarity {
+    fn join(self, other: Polarity) -> Polarity {
+        if self == other {
+            self
+        } else {
+            Polarity::Mixed
+        }
+    }
+}
+
+/// The shape of a quantifier prefix (for prenex sentences).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuantifierPrefix {
+    /// No quantifiers at all (ground sentence).
+    None,
+    /// Only `∃` quantifiers.
+    ExistsStar,
+    /// Only `∀` quantifiers.
+    ForallStar,
+    /// A mix of both.
+    Mixed,
+}
+
+impl Fo {
+    /// Convenience: `¬φ`.
+    #[allow(clippy::should_implement_trait)] // DSL constructor mirroring Fo::and/or
+    pub fn not(self) -> Fo {
+        Fo::Not(Box::new(self))
+    }
+
+    /// Convenience: binary conjunction.
+    pub fn and(self, other: Fo) -> Fo {
+        Fo::And(vec![self, other])
+    }
+
+    /// Convenience: binary disjunction.
+    pub fn or(self, other: Fo) -> Fo {
+        Fo::Or(vec![self, other])
+    }
+
+    /// Convenience: `φ ⇒ ψ`, desugared to `¬φ ∨ ψ`.
+    pub fn implies(self, other: Fo) -> Fo {
+        self.not().or(other)
+    }
+
+    /// Convenience: `∃x φ`.
+    pub fn exists(v: impl Into<Var>, body: Fo) -> Fo {
+        Fo::Exists(v.into(), Box::new(body))
+    }
+
+    /// Convenience: `∀x φ`.
+    pub fn forall(v: impl Into<Var>, body: Fo) -> Fo {
+        Fo::Forall(v.into(), Box::new(body))
+    }
+
+    /// All predicate symbols used in the sentence.
+    pub fn predicates(&self) -> BTreeSet<Predicate> {
+        let mut out = BTreeSet::new();
+        self.visit_atoms(&mut |a| {
+            out.insert(a.predicate.clone());
+        });
+        out
+    }
+
+    /// Calls `f` on every atom in the sentence.
+    pub fn visit_atoms(&self, f: &mut dyn FnMut(&Atom)) {
+        match self {
+            Fo::True | Fo::False => {}
+            Fo::Atom(a) => f(a),
+            Fo::Not(inner) => inner.visit_atoms(f),
+            Fo::And(parts) | Fo::Or(parts) => {
+                for p in parts {
+                    p.visit_atoms(f);
+                }
+            }
+            Fo::Exists(_, body) | Fo::Forall(_, body) => body.visit_atoms(f),
+        }
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        fn go(fo: &Fo, bound: &mut Vec<Var>, out: &mut BTreeSet<Var>) {
+            match fo {
+                Fo::True | Fo::False => {}
+                Fo::Atom(a) => {
+                    for v in a.variables() {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+                Fo::Not(inner) => go(inner, bound, out),
+                Fo::And(parts) | Fo::Or(parts) => {
+                    for p in parts {
+                        go(p, bound, out);
+                    }
+                }
+                Fo::Exists(v, body) | Fo::Forall(v, body) => {
+                    bound.push(v.clone());
+                    go(body, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// True iff the formula has no free variables.
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// Substitutes the *free* occurrences of `from` by `to`.
+    pub fn substitute(&self, from: &Var, to: &Term) -> Fo {
+        match self {
+            Fo::True => Fo::True,
+            Fo::False => Fo::False,
+            Fo::Atom(a) => Fo::Atom(a.substitute(from, to)),
+            Fo::Not(inner) => inner.substitute(from, to).not(),
+            Fo::And(parts) => Fo::And(parts.iter().map(|p| p.substitute(from, to)).collect()),
+            Fo::Or(parts) => Fo::Or(parts.iter().map(|p| p.substitute(from, to)).collect()),
+            Fo::Exists(v, body) => {
+                if v == from {
+                    self.clone() // shadowed; free occurrences end here
+                } else {
+                    Fo::Exists(v.clone(), Box::new(body.substitute(from, to)))
+                }
+            }
+            Fo::Forall(v, body) => {
+                if v == from {
+                    self.clone()
+                } else {
+                    Fo::Forall(v.clone(), Box::new(body.substitute(from, to)))
+                }
+            }
+        }
+    }
+
+    /// The §2 dual: swap `∧ ↔ ∨` and `∃ ↔ ∀`, leaving atoms and `¬` alone.
+    pub fn dual(&self) -> Fo {
+        match self {
+            Fo::True => Fo::False,
+            Fo::False => Fo::True,
+            Fo::Atom(a) => Fo::Atom(a.clone()),
+            Fo::Not(inner) => inner.dual().not(),
+            Fo::And(parts) => Fo::Or(parts.iter().map(Fo::dual).collect()),
+            Fo::Or(parts) => Fo::And(parts.iter().map(Fo::dual).collect()),
+            Fo::Exists(v, body) => Fo::Forall(v.clone(), Box::new(body.dual())),
+            Fo::Forall(v, body) => Fo::Exists(v.clone(), Box::new(body.dual())),
+        }
+    }
+
+    /// Logical negation in negation normal form.
+    pub fn negate_nnf(&self) -> Fo {
+        match self {
+            Fo::True => Fo::False,
+            Fo::False => Fo::True,
+            Fo::Atom(a) => Fo::Atom(a.clone()).not(),
+            Fo::Not(inner) => inner.nnf(),
+            Fo::And(parts) => Fo::Or(parts.iter().map(Fo::negate_nnf).collect()),
+            Fo::Or(parts) => Fo::And(parts.iter().map(Fo::negate_nnf).collect()),
+            Fo::Exists(v, body) => Fo::Forall(v.clone(), Box::new(body.negate_nnf())),
+            Fo::Forall(v, body) => Fo::Exists(v.clone(), Box::new(body.negate_nnf())),
+        }
+    }
+
+    /// Negation normal form: `¬` pushed down to atoms.
+    pub fn nnf(&self) -> Fo {
+        match self {
+            Fo::True | Fo::False | Fo::Atom(_) => self.clone(),
+            Fo::Not(inner) => inner.negate_nnf(),
+            Fo::And(parts) => Fo::And(parts.iter().map(Fo::nnf).collect()),
+            Fo::Or(parts) => Fo::Or(parts.iter().map(Fo::nnf).collect()),
+            Fo::Exists(v, body) => Fo::Exists(v.clone(), Box::new(body.nnf())),
+            Fo::Forall(v, body) => Fo::Forall(v.clone(), Box::new(body.nnf())),
+        }
+    }
+
+    /// Per-symbol polarity map (after implicit NNF).
+    pub fn polarities(&self) -> BTreeMap<Predicate, Polarity> {
+        fn go(fo: &Fo, positive: bool, out: &mut BTreeMap<Predicate, Polarity>) {
+            match fo {
+                Fo::True | Fo::False => {}
+                Fo::Atom(a) => {
+                    let p = if positive {
+                        Polarity::Positive
+                    } else {
+                        Polarity::Negative
+                    };
+                    out.entry(a.predicate.clone())
+                        .and_modify(|old| *old = old.join(p))
+                        .or_insert(p);
+                }
+                Fo::Not(inner) => go(inner, !positive, out),
+                Fo::And(parts) | Fo::Or(parts) => {
+                    for part in parts {
+                        go(part, positive, out);
+                    }
+                }
+                Fo::Exists(_, body) | Fo::Forall(_, body) => go(body, positive, out),
+            }
+        }
+        let mut out = BTreeMap::new();
+        go(self, true, &mut out);
+        out
+    }
+
+    /// The unate test of Theorem 4.1: every symbol occurs with a single
+    /// polarity.
+    pub fn is_unate(&self) -> bool {
+        self.polarities()
+            .values()
+            .all(|p| *p != Polarity::Mixed)
+    }
+
+    /// True iff the sentence is monotone (no negation at all, after NNF).
+    pub fn is_monotone(&self) -> bool {
+        self.polarities()
+            .values()
+            .all(|p| *p == Polarity::Positive)
+    }
+
+    /// Rewrites a unate sentence to a *monotone* one by replacing each
+    /// negatively-occurring symbol `R` with a primed symbol `R'` (whose tuple
+    /// probabilities must be complemented, `t'.P = 1 − t.P`). Returns the
+    /// rewritten sentence and the list of flipped predicates.
+    ///
+    /// Panics if the sentence is not unate.
+    pub fn unate_to_monotone(&self) -> (Fo, Vec<Predicate>) {
+        let pol = self.polarities();
+        assert!(
+            pol.values().all(|p| *p != Polarity::Mixed),
+            "unate_to_monotone requires a unate sentence"
+        );
+        let flipped: Vec<Predicate> = pol
+            .iter()
+            .filter(|(_, p)| **p == Polarity::Negative)
+            .map(|(pred, _)| pred.clone())
+            .collect();
+        fn rewrite(fo: &Fo, flipped: &[Predicate]) -> Fo {
+            match fo {
+                Fo::True => Fo::True,
+                Fo::False => Fo::False,
+                Fo::Atom(a) => Fo::Atom(a.clone()),
+                Fo::Not(inner) => match inner.as_ref() {
+                    Fo::Atom(a) if flipped.contains(&a.predicate) => Fo::Atom(Atom::new(
+                        a.predicate.primed(),
+                        a.args.clone(),
+                    )),
+                    _ => rewrite(inner, flipped).not(),
+                },
+                Fo::And(parts) => Fo::And(parts.iter().map(|p| rewrite(p, flipped)).collect()),
+                Fo::Or(parts) => Fo::Or(parts.iter().map(|p| rewrite(p, flipped)).collect()),
+                Fo::Exists(v, b) => Fo::Exists(v.clone(), Box::new(rewrite(b, flipped))),
+                Fo::Forall(v, b) => Fo::Forall(v.clone(), Box::new(rewrite(b, flipped))),
+            }
+        }
+        let nnf = self.nnf();
+        (rewrite(&nnf, &flipped), flipped)
+    }
+
+    /// Prenex normal form: all quantifiers pulled to the front, with bound
+    /// variables standardized apart. Input is implicitly converted to NNF.
+    pub fn prenex(&self) -> Fo {
+        #[derive(Clone)]
+        enum Q {
+            E(Var),
+            A(Var),
+        }
+        fn go(fo: &Fo, counter: &mut usize, prefix: &mut Vec<Q>) -> Fo {
+            match fo {
+                Fo::True | Fo::False | Fo::Atom(_) => fo.clone(),
+                Fo::Not(inner) => match inner.as_ref() {
+                    // NNF guarantees negation only over atoms.
+                    Fo::Atom(_) => fo.clone(),
+                    _ => unreachable!("prenex input must be in NNF"),
+                },
+                Fo::And(parts) => {
+                    Fo::And(parts.iter().map(|p| go(p, counter, prefix)).collect())
+                }
+                Fo::Or(parts) => Fo::Or(parts.iter().map(|p| go(p, counter, prefix)).collect()),
+                Fo::Exists(v, body) => {
+                    let fresh = v.primed(*counter);
+                    *counter += 1;
+                    let renamed = body.substitute(v, &Term::Var(fresh.clone()));
+                    prefix.push(Q::E(fresh));
+                    go(&renamed, counter, prefix)
+                }
+                Fo::Forall(v, body) => {
+                    let fresh = v.primed(*counter);
+                    *counter += 1;
+                    let renamed = body.substitute(v, &Term::Var(fresh.clone()));
+                    prefix.push(Q::A(fresh));
+                    go(&renamed, counter, prefix)
+                }
+            }
+        }
+        let nnf = self.nnf();
+        let mut counter = 0usize;
+        let mut prefix = Vec::new();
+        let matrix = go(&nnf, &mut counter, &mut prefix);
+        prefix.into_iter().rev().fold(matrix, |acc, q| match q {
+            Q::E(v) => Fo::Exists(v, Box::new(acc)),
+            Q::A(v) => Fo::Forall(v, Box::new(acc)),
+        })
+    }
+
+    /// Classifies the quantifier prefix of a (prenex) sentence. Quantifiers
+    /// nested below connectives count as `Mixed` unless they match the prefix
+    /// shape; use [`Fo::prenex`] first for a canonical answer.
+    pub fn quantifier_prefix(&self) -> QuantifierPrefix {
+        fn leading(fo: &Fo) -> (usize, usize, &Fo) {
+            match fo {
+                Fo::Exists(_, b) => {
+                    let (e, a, rest) = leading(b);
+                    (e + 1, a, rest)
+                }
+                Fo::Forall(_, b) => {
+                    let (e, a, rest) = leading(b);
+                    (e, a + 1, rest)
+                }
+                other => (0, 0, other),
+            }
+        }
+        fn has_quantifier(fo: &Fo) -> bool {
+            match fo {
+                Fo::True | Fo::False | Fo::Atom(_) => false,
+                Fo::Not(i) => has_quantifier(i),
+                Fo::And(ps) | Fo::Or(ps) => ps.iter().any(has_quantifier),
+                Fo::Exists(..) | Fo::Forall(..) => true,
+            }
+        }
+        let (e, a, matrix) = leading(self);
+        if has_quantifier(matrix) {
+            return QuantifierPrefix::Mixed;
+        }
+        match (e, a) {
+            (0, 0) => QuantifierPrefix::None,
+            (_, 0) => QuantifierPrefix::ExistsStar,
+            (0, _) => QuantifierPrefix::ForallStar,
+            _ => QuantifierPrefix::Mixed,
+        }
+    }
+
+    /// Extracts a [`Ucq`] from a monotone `∃*` sentence (after prenexing and
+    /// distributing the matrix to DNF). Returns `None` when the sentence is
+    /// not in that fragment.
+    pub fn to_ucq(&self) -> Option<Ucq> {
+        let p = self.prenex();
+        if !p.is_monotone() {
+            return None;
+        }
+        // Strip the ∃ prefix.
+        let mut matrix = &p;
+        while let Fo::Exists(_, body) = matrix {
+            matrix = body;
+        }
+        if !matches!(
+            matrix.quantifier_prefix(),
+            QuantifierPrefix::None
+        ) {
+            return None;
+        }
+        // Distribute to DNF over atoms.
+        fn dnf(fo: &Fo) -> Option<Vec<Vec<Atom>>> {
+            match fo {
+                Fo::True => Some(vec![vec![]]),
+                Fo::False => Some(vec![]),
+                Fo::Atom(a) => Some(vec![vec![a.clone()]]),
+                Fo::Not(_) => None,
+                Fo::Or(parts) => {
+                    let mut out = Vec::new();
+                    for p in parts {
+                        out.extend(dnf(p)?);
+                    }
+                    Some(out)
+                }
+                Fo::And(parts) => {
+                    let mut acc: Vec<Vec<Atom>> = vec![vec![]];
+                    for p in parts {
+                        let rhs = dnf(p)?;
+                        let mut next = Vec::with_capacity(acc.len() * rhs.len());
+                        for a in &acc {
+                            for b in &rhs {
+                                let mut merged = a.clone();
+                                merged.extend(b.iter().cloned());
+                                next.push(merged);
+                            }
+                        }
+                        acc = next;
+                    }
+                    Some(acc)
+                }
+                Fo::Exists(..) | Fo::Forall(..) => None,
+            }
+        }
+        let clauses = dnf(matrix)?;
+        let disjuncts: Vec<Cq> = clauses.into_iter().map(Cq::new).collect();
+        Some(Ucq::new(disjuncts))
+    }
+}
+
+impl fmt::Debug for Fo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fo::True => write!(f, "true"),
+            Fo::False => write!(f, "false"),
+            Fo::Atom(a) => write!(f, "{a}"),
+            Fo::Not(inner) => write!(f, "!{inner:?}"),
+            Fo::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{p:?}")?;
+                }
+                write!(f, ")")
+            }
+            Fo::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{p:?}")?;
+                }
+                write!(f, ")")
+            }
+            Fo::Exists(v, body) => write!(f, "exists {v}. {body:?}"),
+            Fo::Forall(v, body) => write!(f, "forall {v}. {body:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Fo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_fo;
+
+    #[test]
+    fn dual_of_h0_matches_paper() {
+        // dual(∀x∀y (R(x) ∨ S(x,y) ∨ T(y))) = ∃x∃y (R(x) ∧ S(x,y) ∧ T(y))
+        let h0 = parse_fo("forall x. forall y. (R(x) | S(x,y) | T(y))").unwrap();
+        let expected = parse_fo("exists x. exists y. (R(x) & S(x,y) & T(y))").unwrap();
+        assert_eq!(h0.dual(), expected);
+        // Dual is an involution.
+        assert_eq!(h0.dual().dual(), h0);
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let fo = parse_fo("exists x. R(x,y)").unwrap();
+        let fv = fo.free_vars();
+        assert!(fv.contains(&Var::new("y")));
+        assert!(!fv.contains(&Var::new("x")));
+        assert!(!fo.is_sentence());
+        assert!(parse_fo("exists x. exists y. R(x,y)").unwrap().is_sentence());
+    }
+
+    #[test]
+    fn substitute_respects_shadowing() {
+        let fo = parse_fo("R(x) & (exists x. S(x))").unwrap();
+        let sub = fo.substitute(&Var::new("x"), &Term::Const(3));
+        let expected = parse_fo("R(3) & (exists x. S(x))").unwrap();
+        assert_eq!(sub, expected);
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let fo = parse_fo("!(R(x) & exists y. S(x,y))").unwrap();
+        let nnf = fo.nnf();
+        let expected = parse_fo("!R(x) | (forall y. !S(x,y))").unwrap();
+        assert_eq!(nnf, expected);
+    }
+
+    #[test]
+    fn unate_examples_from_paper() {
+        // ∀x (R(x) ⇒ S(x)) ∧ (R(x) ⇒ T(x)) is unate (R only negative).
+        let u = parse_fo("forall x. ((R(x) -> S(x)) & (R(x) -> T(x)))").unwrap();
+        assert!(u.is_unate());
+        // ∀x (R(x) ⇒ S(x)) ∧ (S(x) ⇒ T(x)) is NOT unate (S mixed).
+        let nu = parse_fo("forall x. ((R(x) -> S(x)) & (S(x) -> T(x)))").unwrap();
+        assert!(!nu.is_unate());
+    }
+
+    #[test]
+    fn monotone_implies_unate() {
+        let m = parse_fo("exists x. R(x) & S(x,x)").unwrap();
+        assert!(m.is_monotone());
+        assert!(m.is_unate());
+    }
+
+    #[test]
+    fn unate_to_monotone_flips_negative_symbols() {
+        let u = parse_fo("forall x. (R(x) -> S(x))").unwrap();
+        let (m, flipped) = u.unate_to_monotone();
+        assert!(m.is_monotone());
+        assert_eq!(flipped.len(), 1);
+        assert_eq!(flipped[0].name(), "R");
+        // The rewritten sentence mentions R' instead of ¬R.
+        assert!(m.predicates().iter().any(|p| p.name() == "R'"));
+    }
+
+    #[test]
+    fn prenex_pulls_quantifiers_out() {
+        let fo = parse_fo("(exists x. R(x)) & (forall y. S(y))").unwrap();
+        let p = fo.prenex();
+        assert_eq!(p.quantifier_prefix(), QuantifierPrefix::Mixed);
+        // Matrix has no quantifiers: stripping the prefix must leave a
+        // quantifier-free formula.
+        let mut m = &p;
+        while let Fo::Exists(_, b) | Fo::Forall(_, b) = m {
+            m = b;
+        }
+        assert_eq!(m.quantifier_prefix(), QuantifierPrefix::None);
+    }
+
+    #[test]
+    fn prenex_standardizes_apart() {
+        // Same bound name used twice must become two distinct variables.
+        let fo = parse_fo("(exists x. R(x)) & (exists x. S(x))").unwrap();
+        let p = fo.prenex();
+        let mut names = Vec::new();
+        let mut m = &p;
+        while let Fo::Exists(v, b) = m {
+            names.push(v.clone());
+            m = b;
+        }
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+    }
+
+    #[test]
+    fn quantifier_prefix_classification() {
+        assert_eq!(
+            parse_fo("exists x. exists y. R(x,y)").unwrap().quantifier_prefix(),
+            QuantifierPrefix::ExistsStar
+        );
+        assert_eq!(
+            parse_fo("forall x. forall y. S(x,y)").unwrap().quantifier_prefix(),
+            QuantifierPrefix::ForallStar
+        );
+        assert_eq!(
+            parse_fo("forall x. exists y. S(x,y)").unwrap().quantifier_prefix(),
+            QuantifierPrefix::Mixed
+        );
+        assert_eq!(
+            parse_fo("R(1)").unwrap().quantifier_prefix(),
+            QuantifierPrefix::None
+        );
+    }
+
+    #[test]
+    fn to_ucq_extracts_disjuncts() {
+        let fo = parse_fo("exists x. exists y. (R(x) & S(x,y)) | (T(x) & S(x,y))").unwrap();
+        let ucq = fo.to_ucq().expect("monotone ∃* sentence");
+        assert_eq!(ucq.disjuncts().len(), 2);
+    }
+
+    #[test]
+    fn to_ucq_rejects_universal() {
+        let fo = parse_fo("forall x. R(x)").unwrap();
+        assert!(fo.to_ucq().is_none());
+    }
+
+    #[test]
+    fn to_ucq_distributes_and_over_or() {
+        // R(x) & (S(x) | T(x)) → two disjuncts.
+        let fo = parse_fo("exists x. R(x) & (S(x) | T(x))").unwrap();
+        let ucq = fo.to_ucq().unwrap();
+        assert_eq!(ucq.disjuncts().len(), 2);
+        for d in ucq.disjuncts() {
+            assert_eq!(d.atoms().len(), 2);
+        }
+    }
+
+    #[test]
+    fn implication_desugars() {
+        let a = parse_fo("R(x) -> S(x)").unwrap();
+        let b = parse_fo("!R(x) | S(x)").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! # pdb-logic — first-order queries and their static analyses
+//!
+//! This crate is the query-language substrate of `probdb`. It implements the
+//! logics the paper works with and every *syntactic* analysis that drives the
+//! probabilistic algorithms:
+//!
+//! * [`fo::Fo`] — first-order sentences with `∧ ∨ ¬ ∃ ∀` (plus `⇒` sugar in
+//!   the parser), duality (§2 "The Dual Query"), negation normal form, prenex
+//!   normal form, and the *unate* test of Theorem 4.1;
+//! * [`cq::Cq`] / [`ucq::Ucq`] — (unions of) Boolean conjunctive queries, with
+//!   the *hierarchical* test of Definition 4.2, self-join detection,
+//!   connected components, and *separator variables* (§5, rule (8));
+//! * [`hom`] — homomorphisms, containment, logical equivalence, and core
+//!   minimization of CQs, which the lifted-inference engine uses to implement
+//!   the cancellation step of the inclusion/exclusion rule;
+//! * [`parser`] — a small recursive-descent parser so examples, tests and
+//!   benches can state queries the way the paper does.
+//!
+//! Everything here is *data complexity*-aware: queries are tiny, so clarity
+//! beats micro-optimization; the per-database hot paths live in other crates.
+
+pub mod atom;
+pub mod cq;
+pub mod fo;
+pub mod hom;
+pub mod parser;
+pub mod term;
+pub mod ucq;
+
+pub use atom::{Atom, Predicate};
+pub use cq::Cq;
+pub use fo::Fo;
+pub use parser::{parse_cq, parse_fo, parse_ucq, ParseError};
+pub use term::{Const, Term, Var};
+pub use ucq::Ucq;

@@ -1,0 +1,557 @@
+//! A small recursive-descent parser for queries.
+//!
+//! Syntax (mirroring how the paper writes queries):
+//!
+//! * FO sentences: `forall x. forall y. (R(x) | S(x,y) | T(y))`,
+//!   `exists x y. R(x) & S(x,y)`, connectives `!`, `&`, `|`, `->`, `<->`,
+//!   constants `true` / `false`.
+//! * Atoms: `Name(t1, …, tn)` with an **uppercase-initial** relation name;
+//!   lowercase-initial identifiers are variables, unsigned integers are
+//!   domain constants.
+//! * CQs: a comma-separated atom list, `R(x), S(x,y)` — all variables are
+//!   implicitly existentially quantified (Boolean query).
+//! * UCQs: bracketed CQs joined with `|`: `[R(x), S(x,y)] | [T(u), S(u,v)]`.
+//!
+//! Quantifiers scope to the end of the current (sub)expression: in
+//! `forall x. R(x) | S(x)` the `∀x` covers the whole disjunction.
+
+use crate::atom::Atom;
+use crate::cq::Cq;
+use crate::fo::Fo;
+use crate::term::Term;
+use crate::ucq::Ucq;
+use std::fmt;
+
+/// A parse failure with a human-readable message and byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+    DArrow,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            '[' => {
+                out.push((Tok::LBracket, i));
+                i += 1;
+            }
+            ']' => {
+                out.push((Tok::RBracket, i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, i));
+                i += 1;
+            }
+            '!' | '~' => {
+                out.push((Tok::Bang, i));
+                i += 1;
+            }
+            '&' => {
+                out.push((Tok::Amp, i));
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'&' {
+                    i += 1; // accept && as &
+                }
+            }
+            '|' => {
+                out.push((Tok::Pipe, i));
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'|' {
+                    i += 1; // accept || as |
+                }
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push((Tok::Arrow, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected '->'".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '<' => {
+                if i + 2 < bytes.len() && &input[i..i + 3] == "<->" {
+                    out.push((Tok::DArrow, i));
+                    i += 3;
+                } else {
+                    return Err(ParseError {
+                        message: "expected '<->'".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u64 = input[start..i].parse().map_err(|_| ParseError {
+                    message: "integer constant too large".into(),
+                    offset: start,
+                })?;
+                out.push((Tok::Int(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                out.push((Tok::Ident(input[start..i].to_string()), start));
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, ParseError> {
+        let toks = tokenize(input)?;
+        let len = input.len();
+        Ok(Parser { toks, pos: 0, len })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|(_, o)| *o).unwrap_or(self.len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.offset(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    // fo := iff
+    fn fo(&mut self) -> Result<Fo, ParseError> {
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Fo, ParseError> {
+        let lhs = self.implies()?;
+        if self.peek() == Some(&Tok::DArrow) {
+            self.bump();
+            let rhs = self.iff()?;
+            // a <-> b  ≡  (a -> b) & (b -> a)
+            Ok(lhs.clone().implies(rhs.clone()).and(rhs.implies(lhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn implies(&mut self) -> Result<Fo, ParseError> {
+        let lhs = self.or()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.bump();
+            let rhs = self.implies()?; // right associative
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Fo, ParseError> {
+        let mut parts = vec![self.and()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.bump();
+            parts.push(self.and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Fo::Or(parts)
+        })
+    }
+
+    fn and(&mut self) -> Result<Fo, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while self.peek() == Some(&Tok::Amp) {
+            self.bump();
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Fo::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Fo, ParseError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(self.unary()?.not())
+            }
+            Some(Tok::Ident(name)) if name == "forall" || name == "exists" => {
+                let is_forall = name == "forall";
+                self.bump();
+                // One or more variable names, then a dot, then the body.
+                let mut vars = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(Tok::Ident(v))
+                            if v.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') =>
+                        {
+                            vars.push(v.clone());
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                if vars.is_empty() {
+                    return Err(self.err("expected variable after quantifier"));
+                }
+                self.expect(&Tok::Dot, "'.' after quantified variables")?;
+                let body = self.fo()?;
+                Ok(vars.into_iter().rev().fold(body, |acc, v| {
+                    if is_forall {
+                        Fo::forall(v.as_str(), acc)
+                    } else {
+                        Fo::exists(v.as_str(), acc)
+                    }
+                }))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Fo, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let inner = self.fo()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(name)) if name == "true" => {
+                self.bump();
+                Ok(Fo::True)
+            }
+            Some(Tok::Ident(name)) if name == "false" => {
+                self.bump();
+                Ok(Fo::False)
+            }
+            Some(Tok::Ident(name))
+                if name.chars().next().is_some_and(char::is_uppercase) =>
+            {
+                Ok(Fo::Atom(self.atom()?))
+            }
+            _ => Err(self.err("expected formula")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(n)) if n.chars().next().is_some_and(char::is_uppercase) => n,
+            _ => return Err(self.err("expected relation name (uppercase)")),
+        };
+        self.expect(&Tok::LParen, "'(' after relation name")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                args.push(self.term()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "')' after atom arguments")?;
+        Ok(Atom::parse_like(&name, args))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Term::Const(n)),
+            Some(Tok::Ident(v))
+                if v.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') =>
+            {
+                Ok(Term::var(&v))
+            }
+            _ => Err(self.err("expected term (variable or integer constant)")),
+        }
+    }
+
+    fn cq(&mut self) -> Result<Cq, ParseError> {
+        let mut atoms = vec![self.atom()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            atoms.push(self.atom()?);
+        }
+        Ok(Cq::new(atoms))
+    }
+
+    fn ucq(&mut self) -> Result<Ucq, ParseError> {
+        // Either a bare CQ, or bracketed CQs joined by '|'.
+        if self.peek() == Some(&Tok::LBracket) {
+            let mut disjuncts = Vec::new();
+            loop {
+                self.expect(&Tok::LBracket, "'['")?;
+                disjuncts.push(self.cq()?);
+                self.expect(&Tok::RBracket, "']'")?;
+                if self.peek() == Some(&Tok::Pipe) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            Ok(Ucq::new(disjuncts))
+        } else {
+            Ok(Ucq::single(self.cq()?))
+        }
+    }
+}
+
+/// Parses a first-order sentence/formula.
+///
+/// ```
+/// use pdb_logic::parse_fo;
+/// let h0 = parse_fo("forall x. forall y. (R(x) | S(x,y) | T(y))").unwrap();
+/// assert!(h0.is_sentence());
+/// assert_eq!(h0.predicates().len(), 3);
+/// ```
+pub fn parse_fo(input: &str) -> Result<Fo, ParseError> {
+    let mut p = Parser::new(input)?;
+    let fo = p.fo()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after formula"));
+    }
+    Ok(fo)
+}
+
+/// Parses a Boolean conjunctive query (comma-separated atoms).
+///
+/// ```
+/// use pdb_logic::parse_cq;
+/// let cq = parse_cq("R(x), S(x,y)").unwrap();
+/// assert!(cq.is_hierarchical()); // Theorem 4.3: PTIME
+/// let hard = parse_cq("R(x), S(x,y), T(y)").unwrap();
+/// assert!(!hard.is_hierarchical()); // #P-hard
+/// ```
+pub fn parse_cq(input: &str) -> Result<Cq, ParseError> {
+    let mut p = Parser::new(input)?;
+    let cq = p.cq()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after conjunctive query"));
+    }
+    Ok(cq)
+}
+
+/// Parses a union of conjunctive queries (`[cq] | [cq] | …`, or a bare CQ).
+pub fn parse_ucq(input: &str) -> Result<Ucq, ParseError> {
+    let mut p = Parser::new(input)?;
+    let ucq = p.ucq()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after union of conjunctive queries"));
+    }
+    Ok(ucq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    #[test]
+    fn parses_h0() {
+        let h0 = parse_fo("forall x. forall y. (R(x) | S(x,y) | T(y))").unwrap();
+        assert!(h0.is_sentence());
+        assert_eq!(h0.predicates().len(), 3);
+    }
+
+    #[test]
+    fn multi_variable_quantifier_sugar() {
+        let a = parse_fo("forall x y. S(x,y)").unwrap();
+        let b = parse_fo("forall x. forall y. S(x,y)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let fo = parse_fo("R(x) & S(x) | T(x)").unwrap();
+        match fo {
+            Fo::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Fo::And(_)));
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_is_right_associative_and_weakest() {
+        let fo = parse_fo("R(x) -> S(x) -> T(x)").unwrap();
+        // R -> (S -> T) = !R | (!S | T)
+        let expected = parse_fo("!R(x) | (!S(x) | T(x))").unwrap();
+        assert_eq!(fo, expected);
+    }
+
+    #[test]
+    fn biconditional_desugars() {
+        let fo = parse_fo("R(x) <-> S(x)").unwrap();
+        let expected = parse_fo("(R(x) -> S(x)) & (S(x) -> R(x))").unwrap();
+        assert_eq!(fo, expected);
+    }
+
+    #[test]
+    fn quantifier_scopes_to_end() {
+        let fo = parse_fo("forall x. R(x) | S(x)").unwrap();
+        assert!(fo.is_sentence(), "∀x must scope over the whole disjunction");
+    }
+
+    #[test]
+    fn constants_and_variables_distinguished() {
+        let cq = parse_cq("R(x, 3)").unwrap();
+        let atom = &cq.atoms()[0];
+        assert_eq!(atom.args[0], Term::var("x"));
+        assert_eq!(atom.args[1], Term::Const(3));
+    }
+
+    #[test]
+    fn parses_cq_lists() {
+        let cq = parse_cq("R(x), S(x,y), T(y)").unwrap();
+        assert_eq!(cq.atoms().len(), 3);
+        assert_eq!(cq.variables().len(), 2);
+    }
+
+    #[test]
+    fn parses_ucq_brackets() {
+        let u = parse_ucq("[R(x), S(x,y)] | [T(u), S(u,v)]").unwrap();
+        assert_eq!(u.disjuncts().len(), 2);
+        let single = parse_ucq("R(x), S(x,y)").unwrap();
+        assert_eq!(single.disjuncts().len(), 1);
+    }
+
+    #[test]
+    fn zero_ary_atoms() {
+        let fo = parse_fo("P() & Q()").unwrap();
+        assert_eq!(fo.predicates().len(), 2);
+    }
+
+    #[test]
+    fn primed_names_are_identifiers() {
+        let cq = parse_cq("R'(x)").unwrap();
+        assert_eq!(cq.atoms()[0].predicate.name(), "R'");
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse_fo("R(x) @").unwrap_err();
+        assert_eq!(err.offset, 5);
+        let err2 = parse_fo("R(x").unwrap_err();
+        assert!(err2.message.contains("')'"));
+    }
+
+    #[test]
+    fn rejects_trailing_input() {
+        assert!(parse_fo("R(x) S(y)").is_err());
+        assert!(parse_cq("R(x) |").is_err());
+    }
+
+    #[test]
+    fn rejects_lowercase_relation() {
+        assert!(parse_cq("r(x)").is_err());
+    }
+
+    #[test]
+    fn double_symbols_accepted() {
+        let a = parse_fo("R(x) && S(x) || T(x)").unwrap();
+        let b = parse_fo("R(x) & S(x) | T(x)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn example_2_1_constraint_parses() {
+        // Q = ∀x∀y (S(x,y) ⇒ R(x))
+        let q = parse_fo("forall x y. (S(x,y) -> R(x))").unwrap();
+        assert!(q.is_sentence());
+        assert!(q.is_unate());
+        let vars: Vec<Var> = q.free_vars().into_iter().collect();
+        assert!(vars.is_empty());
+    }
+}

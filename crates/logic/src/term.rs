@@ -1,0 +1,172 @@
+//! Terms: variables and constants.
+//!
+//! Domain elements are plain `u64`s (`Const`); the mapping to human-readable
+//! names like the paper's `a₁, b₃` lives in `pdb-data`'s symbol table. Query
+//! variables are interned strings — queries are tiny under data complexity,
+//! so ergonomics wins over compactness here.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A domain element. The finite domain `DOM` is a set of these.
+pub type Const = u64;
+
+/// A query variable. Cheap to clone (shared string).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: &str) -> Var {
+        Var(Arc::from(name))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// A fresh variable derived from this one, used when standardizing apart.
+    pub fn primed(&self, n: usize) -> Var {
+        Var(Arc::from(format!("{}_{n}", self.0).as_str()))
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Var {
+        Var::new(s)
+    }
+}
+
+/// A term: either a variable or a domain constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A query variable.
+    Var(Var),
+    /// A domain constant.
+    Const(Const),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    /// Shorthand for a constant term.
+    pub fn constant(c: Const) -> Term {
+        Term::Const(c)
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<Const> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(*c),
+        }
+    }
+
+    /// True iff this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Substitutes `from ↦ to` (leaves other terms untouched).
+    pub fn substitute(&self, from: &Var, to: &Term) -> Term {
+        match self {
+            Term::Var(v) if v == from => to.clone(),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<&str> for Term {
+    fn from(s: &str) -> Term {
+        Term::var(s)
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Term {
+        Term::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_identity_is_by_name() {
+        assert_eq!(Var::new("x"), Var::new("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+    }
+
+    #[test]
+    fn primed_variables_are_fresh() {
+        let x = Var::new("x");
+        assert_ne!(x.primed(0), x);
+        assert_ne!(x.primed(0), x.primed(1));
+        assert_eq!(x.primed(2).name(), "x_2");
+    }
+
+    #[test]
+    fn substitution_replaces_only_target() {
+        let x = Var::new("x");
+        let t = Term::var("x");
+        assert_eq!(t.substitute(&x, &Term::Const(7)), Term::Const(7));
+        let u = Term::var("y");
+        assert_eq!(u.substitute(&x, &Term::Const(7)), Term::var("y"));
+        let c = Term::Const(3);
+        assert_eq!(c.substitute(&x, &Term::Const(7)), Term::Const(3));
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Term::var("x").is_var());
+        assert!(!Term::Const(1).is_var());
+        assert_eq!(Term::Const(4).as_const(), Some(4));
+        assert_eq!(Term::var("x").as_var(), Some(&Var::new("x")));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Term::var("abc")), "abc");
+        assert_eq!(format!("{}", Term::Const(12)), "12");
+    }
+}

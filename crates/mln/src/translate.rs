@@ -1,0 +1,181 @@
+//! The MLN → TID + constraint translation of Proposition 3.1.
+//!
+//! For each soft constraint `(wᵢ, Δᵢ)` with free variables `x⃗ᵢ` we introduce
+//! a fresh relation `Cᵢ/|x⃗ᵢ|` whose tuples all carry probability `1/wᵢ`
+//! (the appendix's second approach in probability units; see the crate docs
+//! for the weight-vs-probability footnote), and the clause
+//! `Γᵢ = ∀x⃗ᵢ (Cᵢ(x⃗ᵢ) ∨ Δᵢ(x⃗ᵢ))`. Original predicates get probability 1/2
+//! on every tuple of `Tup`. Then, for every query `Q` over the original
+//! vocabulary, `p_MLN(Q) = p_D(Q | Γ)` with `Γ = ⋀ᵢ Γᵢ`.
+//!
+//! Hard constraints (`w = ∞`) translate to `p = 0`: the auxiliary tuple can
+//! never fire, so `Γ` forces `Δ` outright. Weights `w < 1` give
+//! probabilities `1/w > 1` — non-standard, and perfectly fine for the
+//! conditional.
+
+use crate::model::Mln;
+use pdb_logic::{Fo, Predicate, Var};
+use pdb_data::{all_tuples, TupleDb};
+
+/// The result of translating an MLN.
+#[derive(Clone, Debug)]
+pub struct Translation {
+    /// The tuple-independent database `D` (original predicates at 1/2,
+    /// auxiliary constraint relations at `1/wᵢ`).
+    pub db: TupleDb,
+    /// The conjunction `Γ` of the per-constraint clauses.
+    pub gamma: Fo,
+    /// The auxiliary predicates introduced, one per soft constraint.
+    pub aux_predicates: Vec<Predicate>,
+}
+
+/// Translates an MLN into a TID plus constraint per Proposition 3.1.
+pub fn translate(mln: &Mln) -> Translation {
+    let mut db = TupleDb::new();
+    db.extend_domain(mln.domain().iter().copied());
+    // Original predicates: probability 1/2 on all of Tup.
+    for pred in mln.predicates() {
+        let rel = db.relation_mut(pred.name(), pred.arity());
+        for t in all_tuples(mln.domain(), pred.arity()) {
+            rel.insert(t, 0.5);
+        }
+    }
+    // One auxiliary relation + clause per constraint.
+    let mut clauses: Vec<Fo> = Vec::new();
+    let mut aux_predicates = Vec::new();
+    for (i, c) in mln.constraints().iter().enumerate() {
+        let free: Vec<Var> = c.formula.free_vars().into_iter().collect();
+        let name = format!("C{i}");
+        let p = if c.weight.is_infinite() {
+            0.0
+        } else {
+            1.0 / c.weight
+        };
+        let rel = db.relation_mut(&name, free.len());
+        for t in all_tuples(mln.domain(), free.len()) {
+            rel.insert(t, p);
+        }
+        aux_predicates.push(Predicate::new(&name, free.len()));
+        // Γᵢ = ∀x⃗ (Cᵢ(x⃗) ∨ Δᵢ)
+        let aux_atom = Fo::Atom(pdb_logic::Atom::new(
+            Predicate::new(&name, free.len()),
+            free.iter()
+                .cloned()
+                .map(pdb_logic::Term::Var)
+                .collect(),
+        ));
+        let body = aux_atom.or(c.formula.clone());
+        let clause = free
+            .into_iter()
+            .rev()
+            .fold(body, |acc, v| Fo::Forall(v, Box::new(acc)));
+        clauses.push(clause);
+    }
+    let gamma = match clauses.len() {
+        0 => Fo::True,
+        1 => clauses.pop().expect("len checked"),
+        _ => Fo::And(clauses),
+    };
+    Translation {
+        db,
+        gamma,
+        aux_predicates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::conditional_brute;
+    use pdb_num::assert_close;
+    use pdb_logic::parse_fo;
+
+    #[test]
+    fn translation_shape_matches_section_3() {
+        // Manager example: Manager/2 and HighlyCompensated/1 at 1/2, C0/2 at
+        // 1/w = 1/3.9, Γ = ∀m∀e (C0(m,e) ∨ ¬Manager(m,e) ∨ HC(m)).
+        let mln = Mln::manager_example(2);
+        let t = translate(&mln);
+        assert_eq!(t.aux_predicates.len(), 1);
+        assert_eq!(t.db.relation("Manager").unwrap().len(), 4);
+        assert_eq!(t.db.relation("HighlyCompensated").unwrap().len(), 2);
+        let c0 = t.db.relation("C0").unwrap();
+        assert_eq!(c0.len(), 4);
+        for (_, p) in c0.iter() {
+            assert_close(p, 1.0 / 3.9, 1e-12);
+        }
+        assert!(t.gamma.is_sentence());
+        assert!(t.gamma.is_unate());
+    }
+
+    #[test]
+    fn proposition_3_1_on_the_manager_example() {
+        // p_MLN(Q) = p_D(Q | Γ) for a suite of queries over the original
+        // vocabulary, domain size 2 (1024 worlds on the translated side).
+        let mln = Mln::manager_example(2);
+        let t = translate(&mln);
+        for q in [
+            "Manager(0,1)",
+            "HighlyCompensated(0)",
+            "Manager(0,1) & HighlyCompensated(0)",
+            "exists m. exists e. Manager(m,e)",
+            "forall m. HighlyCompensated(m)",
+            "exists m. Manager(m,m) & !HighlyCompensated(m)",
+        ] {
+            let fo = parse_fo(q).unwrap();
+            let lhs = mln.probability(&fo);
+            let rhs = conditional_brute(&fo, &t.gamma, &t.db);
+            assert_close(lhs, rhs, 1e-10);
+        }
+    }
+
+    #[test]
+    fn proposition_3_1_with_small_weight() {
+        // w < 1: auxiliary probability 1/w > 1 is non-standard; the
+        // conditional must still match the MLN exactly.
+        let mut mln = Mln::new(vec![0, 1]);
+        mln.add_constraint(0.4, parse_fo("R(x) -> S(x)").unwrap());
+        let t = translate(&mln);
+        let c0 = t.db.relation("C0").unwrap();
+        for (_, p) in c0.iter() {
+            assert_close(p, 2.5, 1e-12);
+            assert!(p > 1.0, "non-standard probability expected");
+        }
+        for q in ["R(0)", "S(1)", "exists x. R(x) & S(x)"] {
+            let fo = parse_fo(q).unwrap();
+            assert_close(
+                mln.probability(&fo),
+                conditional_brute(&fo, &t.gamma, &t.db),
+                1e-10,
+            );
+        }
+    }
+
+    #[test]
+    fn hard_constraints_force_delta() {
+        let mut mln = Mln::new(vec![0]);
+        mln.add_constraint(f64::INFINITY, parse_fo("R(x)").unwrap());
+        let t = translate(&mln);
+        // C0 tuples have probability 0, so Γ can only hold when Δ = R(x)
+        // holds for all x: p(R(0) | Γ) = 1.
+        let p = conditional_brute(&parse_fo("R(0)").unwrap(), &t.gamma, &t.db);
+        assert_close(p, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn multiple_constraints_conjoin() {
+        let mut mln = Mln::new(vec![0, 1]);
+        mln.add_constraint(2.0, parse_fo("R(x) -> S(x)").unwrap());
+        mln.add_constraint(3.0, parse_fo("S(x) -> R(x)").unwrap());
+        let t = translate(&mln);
+        assert_eq!(t.aux_predicates.len(), 2);
+        for q in ["R(0)", "R(0) & S(0)", "exists x. R(x)"] {
+            let fo = parse_fo(q).unwrap();
+            assert_close(
+                mln.probability(&fo),
+                conditional_brute(&fo, &t.gamma, &t.db),
+                1e-10,
+            );
+        }
+    }
+}

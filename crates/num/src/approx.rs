@@ -1,0 +1,58 @@
+//! Floating-point comparison helpers shared by the workspace test suites.
+
+/// Relative error of `actual` against `expected`, falling back to absolute
+/// error when `expected` is (near) zero.
+pub fn rel_err(actual: f64, expected: f64) -> f64 {
+    let diff = (actual - expected).abs();
+    if expected.abs() < 1e-12 {
+        diff
+    } else {
+        diff / expected.abs()
+    }
+}
+
+/// True iff `actual` matches `expected` within relative tolerance `tol`
+/// (absolute tolerance near zero).
+pub fn approx_eq(actual: f64, expected: f64, tol: f64) -> bool {
+    rel_err(actual, expected) <= tol
+}
+
+/// Panics with a descriptive message unless [`approx_eq`] holds.
+#[track_caller]
+pub fn assert_close(actual: f64, expected: f64, tol: f64) {
+    assert!(
+        approx_eq(actual, expected, tol),
+        "assert_close failed: actual={actual:.17e} expected={expected:.17e} \
+         rel_err={:.3e} tol={tol:.3e}",
+        rel_err(actual, expected),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_match() {
+        assert!(approx_eq(1.0, 1.0, 0.0));
+        assert_close(0.25, 0.25, 1e-15);
+    }
+
+    #[test]
+    fn relative_tolerance_scales() {
+        assert!(approx_eq(1e10 + 1.0, 1e10, 1e-9));
+        assert!(!approx_eq(1.1, 1.0, 1e-3));
+    }
+
+    #[test]
+    fn near_zero_uses_absolute() {
+        assert!(approx_eq(1e-15, 0.0, 1e-12));
+        assert!(!approx_eq(1e-3, 0.0, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "assert_close failed")]
+    fn assert_close_panics_on_mismatch() {
+        assert_close(2.0, 1.0, 1e-6);
+    }
+}

@@ -1,0 +1,246 @@
+//! Binomial and multinomial coefficients, exact and in log space.
+//!
+//! The symmetric-database algorithms (§8) sum over cardinality vectors with
+//! binomial/multinomial weights; the FO² cell algorithm needs multinomials
+//! over 1-type counts. Small coefficients are computed exactly in `u128`
+//! (with overflow checks); large ones via `ln Γ`.
+
+use crate::rational::Rational;
+
+/// Exact binomial coefficient `C(n, k)` in `u128`.
+///
+/// Panics on overflow, which for `u128` only happens well past `n = 128` at
+/// central `k`; the exact path is only used by tests and small instances.
+pub fn binomial_exact(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n - i) is divisible by (i + 1) after the multiplication
+        // because acc already holds C(n, i).
+        acc = acc
+            .checked_mul((n - i) as u128)
+            .expect("binomial_exact overflowed u128")
+            / (i as u128 + 1);
+    }
+    acc
+}
+
+/// Exact binomial coefficient as a [`Rational`].
+pub fn binomial_rational(n: u64, k: u64) -> Rational {
+    let b = binomial_exact(n, k);
+    assert!(b <= i128::MAX as u128, "binomial too large for Rational");
+    Rational::integer(b as i128)
+}
+
+/// Natural log of the Gamma function via the Lanczos approximation.
+///
+/// Accurate to ~1e-13 relative error for `x > 0`, which is ample for the
+/// probability computations here (verified against exact factorials in tests).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln(n!)`.
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// `ln C(n, k)`; `-inf` when `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln` of the multinomial coefficient `n! / (k₁!·…·k_m!)`.
+///
+/// Panics unless the parts sum to `n`.
+pub fn ln_multinomial(n: u64, parts: &[u64]) -> f64 {
+    let total: u64 = parts.iter().sum();
+    assert_eq!(total, n, "multinomial parts must sum to n");
+    parts
+        .iter()
+        .fold(ln_factorial(n), |acc, &k| acc - ln_factorial(k))
+}
+
+/// Iterator over all compositions of `n` into `m` non-negative parts.
+///
+/// Used to sweep cardinality vectors (the `k, ℓ` in the §8 formula generalise
+/// to one count per 1-type in the FO² cell algorithm). Yields vectors in
+/// lexicographic order; there are `C(n+m-1, m-1)` of them.
+pub struct Compositions {
+    n: u64,
+    current: Option<Vec<u64>>,
+}
+
+impl Compositions {
+    /// All ways to write `n` as an ordered sum of `m` non-negative integers.
+    pub fn new(n: u64, m: usize) -> Compositions {
+        assert!(m >= 1, "need at least one part");
+        let mut first = vec![0; m];
+        first[m - 1] = n;
+        Compositions {
+            n,
+            current: Some(first),
+        }
+    }
+}
+
+impl Iterator for Compositions {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        let cur = self.current.take()?;
+        let out = cur.clone();
+        let m = cur.len();
+        let mut next = cur;
+        // Lexicographic successor: find the rightmost index j < m-1 whose
+        // suffix still holds mass, move one unit into position j, and push the
+        // rest of that suffix to the tail.
+        let mut j = m - 1;
+        let mut suffix: u64 = 0;
+        let found = loop {
+            if j == 0 {
+                break false;
+            }
+            suffix += next[j];
+            j -= 1;
+            if suffix > 0 {
+                break true;
+            }
+        };
+        if !found {
+            return Some(out); // (n, 0, …, 0) was the last composition.
+        }
+        next[j] += 1;
+        for cell in next[j + 1..].iter_mut() {
+            *cell = 0;
+        }
+        next[m - 1] = suffix - 1;
+        debug_assert_eq!(next.iter().sum::<u64>(), self.n);
+        self.current = Some(next);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::assert_close;
+
+    #[test]
+    fn small_binomials_exact() {
+        assert_eq!(binomial_exact(0, 0), 1);
+        assert_eq!(binomial_exact(5, 2), 10);
+        assert_eq!(binomial_exact(10, 5), 252);
+        assert_eq!(binomial_exact(52, 5), 2_598_960);
+        assert_eq!(binomial_exact(3, 7), 0);
+    }
+
+    #[test]
+    fn pascal_identity_holds() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                assert_eq!(
+                    binomial_exact(n, k),
+                    binomial_exact(n - 1, k - 1) + binomial_exact(n - 1, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..20u64 {
+            fact *= n as f64;
+            assert_close(ln_gamma(n as f64 + 1.0), fact.ln(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact() {
+        for n in 0..60u64 {
+            for k in 0..=n {
+                let exact = binomial_exact(n, k) as f64;
+                assert_close(ln_binomial(n, k), exact.ln(), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ln_binomial_out_of_range() {
+        assert_eq!(ln_binomial(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ln_multinomial_binomial_special_case() {
+        assert_close(ln_multinomial(10, &[3, 7]), ln_binomial(10, 3), 1e-10);
+        assert_close(
+            ln_multinomial(6, &[2, 2, 2]),
+            (90f64).ln(), // 6!/(2!2!2!) = 90
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn compositions_count_and_sum() {
+        let comps: Vec<_> = Compositions::new(4, 3).collect();
+        // C(4+2, 2) = 15 compositions of 4 into 3 parts.
+        assert_eq!(comps.len(), 15);
+        for c in &comps {
+            assert_eq!(c.iter().sum::<u64>(), 4);
+            assert_eq!(c.len(), 3);
+        }
+        // All distinct.
+        let set: std::collections::HashSet<_> = comps.iter().collect();
+        assert_eq!(set.len(), comps.len());
+    }
+
+    #[test]
+    fn compositions_single_part() {
+        let comps: Vec<_> = Compositions::new(7, 1).collect();
+        assert_eq!(comps, vec![vec![7]]);
+    }
+
+    #[test]
+    fn compositions_zero_total() {
+        let comps: Vec<_> = Compositions::new(0, 3).collect();
+        assert_eq!(comps, vec![vec![0, 0, 0]]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Compensated summation.
+//!
+//! Inclusion/exclusion (§5) sums exponentially many signed terms of similar
+//! magnitude; naive `f64` accumulation loses digits exactly where the paper's
+//! cancellation phenomenon lives. [`KahanSum`] implements Neumaier's variant
+//! of Kahan summation, which also handles the case where the incoming term is
+//! larger than the running sum.
+
+/// A running compensated sum.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// An empty (zero) sum.
+    pub fn new() -> KahanSum {
+        KahanSum::default()
+    }
+
+    /// Adds one term.
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl std::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> KahanSum {
+        let mut acc = KahanSum::new();
+        for x in iter {
+            acc.add(x);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_simple_sequences() {
+        let s: KahanSum = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.total(), 6.0);
+    }
+
+    #[test]
+    fn recovers_catastrophic_cancellation() {
+        // 1 + 1e100 - 1e100 == 1 exactly with compensation (Neumaier's
+        // classic example, which plain Kahan gets wrong).
+        let mut s = KahanSum::new();
+        s.add(1.0);
+        s.add(1e100);
+        s.add(-1e100);
+        assert_eq!(s.total(), 1.0);
+    }
+
+    #[test]
+    fn beats_naive_summation() {
+        // Many tiny terms against one big term.
+        let n = 1_000_000;
+        let tiny = 1e-10;
+        let mut naive = 1e10;
+        let mut kahan = KahanSum::new();
+        kahan.add(1e10);
+        for _ in 0..n {
+            naive += tiny;
+            kahan.add(tiny);
+        }
+        let exact = 1e10 + n as f64 * tiny;
+        let kahan_err = (kahan.total() - exact).abs();
+        let naive_err = (naive - exact).abs();
+        assert!(kahan_err <= naive_err);
+        assert!(kahan_err < 1e-6);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().total(), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # pdb-num — numerical substrate for `probdb`
+//!
+//! Probabilistic query evaluation multiplies and sums very many small numbers,
+//! and several of the paper's constructions (Skolemization for FO² model
+//! counting, Markov-Logic factors with weight `w < 1`, inclusion/exclusion)
+//! deliberately use *non-standard* probabilities — negative values or values
+//! above one — that only become standard again after conditioning. This crate
+//! provides the arithmetic the rest of the workspace relies on:
+//!
+//! * [`Rational`] — exact arithmetic over `i128` for ground-truth tests,
+//! * [`LogNum`] — signed log-space numbers for products of thousands of
+//!   factors without underflow,
+//! * [`comb`] — exact and log-space binomial/multinomial coefficients,
+//! * [`KahanSum`] — compensated (Neumaier) summation for long sums,
+//! * [`approx`] — tolerance helpers used throughout the test suites.
+
+pub mod approx;
+pub mod comb;
+pub mod kahan;
+pub mod logspace;
+pub mod rational;
+
+pub use approx::{approx_eq, assert_close, rel_err};
+pub use kahan::KahanSum;
+pub use logspace::LogNum;
+pub use rational::Rational;

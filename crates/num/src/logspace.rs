@@ -1,0 +1,354 @@
+//! Signed log-space numbers.
+//!
+//! Symmetric model counting (§8 of the paper) sums terms like
+//! `C(n,k) C(n,l) p^k (1-p)^(n-k) ... p_S^(n²-kl)`; at `n = 300` the individual
+//! factors under- and overflow `f64` by hundreds of orders of magnitude while
+//! the final probability is a perfectly ordinary number in `[0,1]`.
+//! Inclusion/exclusion and Skolemization additionally require *negative*
+//! terms, so a plain `ln`-representation is not enough: [`LogNum`] carries an
+//! explicit sign next to the natural log of the magnitude.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// Sign of a [`LogNum`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sign {
+    /// Strictly negative value.
+    Negative,
+    /// Exact zero.
+    Zero,
+    /// Strictly positive value.
+    Positive,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+
+    fn combine(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (Sign::Positive, Sign::Positive) | (Sign::Negative, Sign::Negative) => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+}
+
+/// A real number stored as `sign * exp(ln_mag)`.
+///
+/// ```
+/// use pdb_num::LogNum;
+/// // 0.5^10000 underflows f64 but is finite in log space:
+/// let tiny = LogNum::from_f64(0.5).powi(10_000);
+/// assert!(!tiny.is_zero());
+/// // …and signed sums work (needed for inclusion/exclusion):
+/// let s = LogNum::from_f64(1.5) + LogNum::from_f64(-0.5);
+/// assert!((s.to_f64() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LogNum {
+    sign: Sign,
+    /// Natural log of the absolute value; meaningless (−∞ by convention) when zero.
+    ln_mag: f64,
+}
+
+impl LogNum {
+    /// Exact zero.
+    pub const ZERO: LogNum = LogNum {
+        sign: Sign::Zero,
+        ln_mag: f64::NEG_INFINITY,
+    };
+
+    /// Exact one.
+    pub const ONE: LogNum = LogNum {
+        sign: Sign::Positive,
+        ln_mag: 0.0,
+    };
+
+    /// Converts an ordinary float (possibly negative) into log space.
+    pub fn from_f64(x: f64) -> LogNum {
+        if x == 0.0 {
+            LogNum::ZERO
+        } else if x > 0.0 {
+            LogNum {
+                sign: Sign::Positive,
+                ln_mag: x.ln(),
+            }
+        } else {
+            LogNum {
+                sign: Sign::Negative,
+                ln_mag: (-x).ln(),
+            }
+        }
+    }
+
+    /// Builds a positive value directly from its natural logarithm.
+    pub fn from_ln(ln_mag: f64) -> LogNum {
+        LogNum {
+            sign: Sign::Positive,
+            ln_mag,
+        }
+    }
+
+    /// The sign of this value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Natural log of the absolute value (−∞ for zero).
+    pub fn ln_abs(&self) -> f64 {
+        self.ln_mag
+    }
+
+    /// Converts back to `f64`; may under/overflow for extreme magnitudes.
+    pub fn to_f64(&self) -> f64 {
+        match self.sign {
+            Sign::Zero => 0.0,
+            Sign::Positive => self.ln_mag.exp(),
+            Sign::Negative => -self.ln_mag.exp(),
+        }
+    }
+
+    /// True iff the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        matches!(self.sign, Sign::Zero)
+    }
+
+    /// Raises to a non-negative integer power.
+    pub fn powi(&self, exp: u64) -> LogNum {
+        if exp == 0 {
+            return LogNum::ONE;
+        }
+        match self.sign {
+            Sign::Zero => LogNum::ZERO,
+            s => LogNum {
+                sign: if exp.is_multiple_of(2) { s.combine(s) } else { s },
+                ln_mag: self.ln_mag * exp as f64,
+            },
+        }
+    }
+}
+
+impl Mul for LogNum {
+    type Output = LogNum;
+    #[allow(clippy::suspicious_arithmetic_impl)] // log-space: products add magnitudes
+    fn mul(self, rhs: LogNum) -> LogNum {
+        let sign = self.sign.combine(rhs.sign);
+        if matches!(sign, Sign::Zero) {
+            LogNum::ZERO
+        } else {
+            LogNum {
+                sign,
+                ln_mag: self.ln_mag + rhs.ln_mag,
+            }
+        }
+    }
+}
+
+impl MulAssign for LogNum {
+    fn mul_assign(&mut self, rhs: LogNum) {
+        *self = *self * rhs;
+    }
+}
+
+impl Add for LogNum {
+    type Output = LogNum;
+    fn add(self, rhs: LogNum) -> LogNum {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs,
+            (_, Sign::Zero) => self,
+            (a, b) if a == b => {
+                // Same sign: log-sum-exp on magnitudes.
+                let (hi, lo) = if self.ln_mag >= rhs.ln_mag {
+                    (self.ln_mag, rhs.ln_mag)
+                } else {
+                    (rhs.ln_mag, self.ln_mag)
+                };
+                LogNum {
+                    sign: a,
+                    ln_mag: hi + (lo - hi).exp().ln_1p(),
+                }
+            }
+            _ => {
+                // Opposite signs: subtract magnitudes; sign follows the larger.
+                let (big, small) = if self.ln_mag >= rhs.ln_mag {
+                    (self, rhs)
+                } else {
+                    (rhs, self)
+                };
+                if (big.ln_mag - small.ln_mag).abs() == 0.0 {
+                    return LogNum::ZERO;
+                }
+                let diff = big.ln_mag + (-(small.ln_mag - big.ln_mag).exp()).ln_1p();
+                if diff == f64::NEG_INFINITY {
+                    LogNum::ZERO
+                } else {
+                    LogNum {
+                        sign: big.sign,
+                        ln_mag: diff,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl AddAssign for LogNum {
+    fn add_assign(&mut self, rhs: LogNum) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for LogNum {
+    type Output = LogNum;
+    fn sub(self, rhs: LogNum) -> LogNum {
+        self + (-rhs)
+    }
+}
+
+impl Neg for LogNum {
+    type Output = LogNum;
+    fn neg(self) -> LogNum {
+        LogNum {
+            sign: self.sign.flip(),
+            ln_mag: self.ln_mag,
+        }
+    }
+}
+
+impl PartialEq for LogNum {
+    fn eq(&self, other: &LogNum) -> bool {
+        self.partial_cmp(other) == Some(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for LogNum {
+    fn partial_cmp(&self, other: &LogNum) -> Option<Ordering> {
+        match (self.sign, other.sign) {
+            (Sign::Zero, Sign::Zero) => Some(Ordering::Equal),
+            (Sign::Negative, Sign::Zero | Sign::Positive) => Some(Ordering::Less),
+            (Sign::Zero, Sign::Positive) => Some(Ordering::Less),
+            (Sign::Positive, Sign::Zero | Sign::Negative) => Some(Ordering::Greater),
+            (Sign::Zero, Sign::Negative) => Some(Ordering::Greater),
+            (Sign::Positive, Sign::Positive) => self.ln_mag.partial_cmp(&other.ln_mag),
+            (Sign::Negative, Sign::Negative) => other.ln_mag.partial_cmp(&self.ln_mag),
+        }
+    }
+}
+
+impl fmt::Display for LogNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sign {
+            Sign::Zero => write!(f, "0"),
+            Sign::Positive => write!(f, "exp({:.6})", self.ln_mag),
+            Sign::Negative => write!(f, "-exp({:.6})", self.ln_mag),
+        }
+    }
+}
+
+impl std::iter::Sum for LogNum {
+    fn sum<I: Iterator<Item = LogNum>>(iter: I) -> LogNum {
+        iter.fold(LogNum::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::iter::Product for LogNum {
+    fn product<I: Iterator<Item = LogNum>>(iter: I) -> LogNum {
+        iter.fold(LogNum::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::assert_close;
+
+    #[test]
+    fn roundtrip_f64() {
+        for &x in &[0.0, 1.0, -1.0, 0.25, -3.5, 1e-30, -1e30] {
+            assert_close(LogNum::from_f64(x).to_f64(), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn addition_same_sign() {
+        let a = LogNum::from_f64(0.3);
+        let b = LogNum::from_f64(0.7);
+        assert_close((a + b).to_f64(), 1.0, 1e-12);
+        let c = LogNum::from_f64(-2.0);
+        let d = LogNum::from_f64(-3.0);
+        assert_close((c + d).to_f64(), -5.0, 1e-12);
+    }
+
+    #[test]
+    fn addition_opposite_sign() {
+        let a = LogNum::from_f64(5.0);
+        let b = LogNum::from_f64(-3.0);
+        assert_close((a + b).to_f64(), 2.0, 1e-12);
+        assert_close((b + a).to_f64(), 2.0, 1e-12);
+        // Perfect cancellation gives exact zero.
+        assert!((a + (-a)).is_zero());
+    }
+
+    #[test]
+    fn multiplication_and_signs() {
+        let a = LogNum::from_f64(-2.0);
+        let b = LogNum::from_f64(4.0);
+        assert_close((a * b).to_f64(), -8.0, 1e-12);
+        assert_close((a * a).to_f64(), 4.0, 1e-12);
+        assert!((a * LogNum::ZERO).is_zero());
+    }
+
+    #[test]
+    fn powi_handles_parity() {
+        let a = LogNum::from_f64(-0.5);
+        assert_close(a.powi(2).to_f64(), 0.25, 1e-12);
+        assert_close(a.powi(3).to_f64(), -0.125, 1e-12);
+        assert_close(a.powi(0).to_f64(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn survives_extreme_products() {
+        // 0.5^10000 underflows f64 but is finite in log space.
+        let mut acc = LogNum::ONE;
+        let half = LogNum::from_f64(0.5);
+        for _ in 0..10_000 {
+            acc *= half;
+        }
+        assert_close(acc.ln_abs(), 10_000.0 * 0.5f64.ln(), 1e-6);
+        // And dividing (multiplying by 2^10000) brings it back.
+        let two = LogNum::from_f64(2.0);
+        for _ in 0..10_000 {
+            acc *= two;
+        }
+        assert_close(acc.to_f64(), 1.0, 1e-6);
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        let neg = LogNum::from_f64(-1.0);
+        let zero = LogNum::ZERO;
+        let pos = LogNum::from_f64(0.5);
+        assert!(neg < zero && zero < pos && neg < pos);
+        let more_neg = LogNum::from_f64(-2.0);
+        assert!(more_neg < neg);
+    }
+
+    #[test]
+    fn sum_iterator_cancels() {
+        let terms = [
+            LogNum::from_f64(1.0),
+            LogNum::from_f64(2.5),
+            LogNum::from_f64(-3.0),
+        ];
+        let s: LogNum = terms.iter().copied().sum();
+        assert_close(s.to_f64(), 0.5, 1e-12);
+    }
+}

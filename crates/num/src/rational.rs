@@ -1,0 +1,338 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Used as the ground truth in tests: brute-force possible-world enumeration,
+//! Markov-network partition functions, and symmetric model counts are computed
+//! exactly and compared against the `f64` production paths. Overflow is a
+//! programming error in a test fixture, so operations panic on overflow rather
+//! than silently losing exactness.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num/den` with `den > 0`, always kept reduced.
+///
+/// ```
+/// use pdb_num::Rational;
+/// let p = Rational::new(3, 10);
+/// assert_eq!(p + p.complement(), Rational::ONE);
+/// assert_eq!(Rational::new(6, 8), Rational::new(3, 4)); // auto-reduced
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Builds `num/den`, reducing to lowest terms. Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "Rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num.abs(), den.abs()).max(1);
+        Rational {
+            num: sign * num / g,
+            den: den.abs() / g,
+        }
+    }
+
+    /// An integer as a rational.
+    pub fn integer(n: i128) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The (positive) denominator.
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff this value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Converts to `f64`, exactly when representable.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `1 - self`; the probability of the complement event.
+    pub fn complement(&self) -> Rational {
+        Rational::ONE - *self
+    }
+
+    /// The multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "Rational::recip of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Non-negative integer power by repeated squaring.
+    pub fn pow(&self, mut exp: u32) -> Rational {
+        let mut base = *self;
+        let mut acc = Rational::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base * base;
+            }
+        }
+        acc
+    }
+
+    /// True iff the value lies in the standard probability range `[0, 1]`.
+    pub fn is_standard_probability(&self) -> bool {
+        self.num >= 0 && self.num <= self.den
+    }
+
+    fn checked_mul_i128(a: i128, b: i128) -> i128 {
+        a.checked_mul(b).expect("Rational arithmetic overflowed i128")
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce cross terms first to keep intermediates small.
+        let g = gcd(self.den, rhs.den).max(1);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = Rational::checked_mul_i128(self.num, lhs_scale)
+            .checked_add(Rational::checked_mul_i128(rhs.num, rhs_scale))
+            .expect("Rational addition overflowed i128");
+        let den = Rational::checked_mul_i128(self.den, lhs_scale);
+        Rational::new(num, den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to delay overflow.
+        let g1 = gcd(self.num.abs(), rhs.den).max(1);
+        let g2 = gcd(rhs.num.abs(), self.den).max(1);
+        let num = Rational::checked_mul_i128(self.num / g1, rhs.num / g2);
+        let den = Rational::checked_mul_i128(self.den / g2, rhs.den / g1);
+        Rational::new(num, den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a · b⁻¹
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
+        let lhs = Rational::checked_mul_i128(self.num, other.den);
+        let rhs = Rational::checked_mul_i128(other.num, self.den);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Rational {
+        Rational::integer(n as i128)
+    }
+}
+
+impl From<(i64, i64)> for Rational {
+    fn from((n, d): (i64, i64)) -> Rational {
+        Rational::new(n as i128, d as i128)
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::iter::Product for Rational {
+    fn product<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_on_construction() {
+        let r = Rational::new(6, 8);
+        assert_eq!(r.numer(), 3);
+        assert_eq!(r.denom(), 4);
+    }
+
+    #[test]
+    fn normalizes_sign_into_numerator() {
+        let r = Rational::new(1, -2);
+        assert_eq!(r.numer(), -1);
+        assert_eq!(r.denom(), 2);
+        assert_eq!(Rational::new(-1, -2), Rational::new(1, 2));
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let half = Rational::new(1, 2);
+        let third = Rational::new(1, 3);
+        assert_eq!(half + third, Rational::new(5, 6));
+        assert_eq!(half - third, Rational::new(1, 6));
+        assert_eq!(half * third, Rational::new(1, 6));
+        assert_eq!(half / third, Rational::new(3, 2));
+    }
+
+    #[test]
+    fn complement_is_one_minus() {
+        let p = Rational::new(3, 10);
+        assert_eq!(p.complement(), Rational::new(7, 10));
+        assert_eq!(p.complement().complement(), p);
+    }
+
+    #[test]
+    fn pow_by_squaring() {
+        let half = Rational::new(1, 2);
+        assert_eq!(half.pow(0), Rational::ONE);
+        assert_eq!(half.pow(1), half);
+        assert_eq!(half.pow(10), Rational::new(1, 1024));
+        assert_eq!(Rational::new(-2, 3).pow(3), Rational::new(-8, 27));
+    }
+
+    #[test]
+    fn ordering_matches_f64() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(2, 5);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn nonstandard_probabilities_are_detected() {
+        assert!(Rational::new(1, 2).is_standard_probability());
+        assert!(Rational::ZERO.is_standard_probability());
+        assert!(Rational::ONE.is_standard_probability());
+        assert!(!Rational::new(-1, 2).is_standard_probability());
+        assert!(!Rational::new(3, 2).is_standard_probability());
+    }
+
+    #[test]
+    fn to_f64_is_exact_for_dyadic() {
+        assert_eq!(Rational::new(3, 8).to_f64(), 0.375);
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let v = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        let s: Rational = v.iter().copied().sum();
+        assert_eq!(s, Rational::ONE);
+        let p: Rational = v.iter().copied().product();
+        assert_eq!(p, Rational::new(1, 36));
+    }
+
+    #[test]
+    fn cross_reduction_avoids_overflow() {
+        // (a/b) * (b/a) with huge a, b stays exact thanks to cross-reduction.
+        let big = 1i128 << 100;
+        let a = Rational::new(big, 3);
+        let b = Rational::new(3, big);
+        assert_eq!(a * b, Rational::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "recip of zero")]
+    fn recip_of_zero_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+}

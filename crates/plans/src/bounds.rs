@@ -1,0 +1,218 @@
+//! The all-plans upper bound and the oblivious lower bound (Theorem 6.1).
+//!
+//! Upper: every extensional plan over-estimates `p_D(Q)`; the minimum over
+//! all plans is the best such bound.
+//!
+//! Lower: replace each tuple probability by `1 − (1−p)^{1/k}`, where `k` is
+//! the number of times the tuple occurs in the DNF lineage of `Q` on `D`
+//! (computed here with a count over the join results, the paper's
+//! "group-by-count(*) query"). Every plan then **under**-estimates `p_D(Q)`;
+//! the maximum over plans is the best bound. Together:
+//! `Plan_{D₁} ≤ p_D(Q) ≤ Plan_D`.
+
+use crate::enumerate::all_plans;
+use crate::exec::execute;
+use crate::plan::Plan;
+use pdb_logic::{Cq, Ucq};
+use pdb_data::{TupleDb, TupleId};
+
+/// Both bounds plus the witnessing plans.
+#[derive(Clone, Debug)]
+pub struct PlanBounds {
+    /// `min_plans Plan_D` — guaranteed `≥ p_D(Q)`.
+    pub upper: f64,
+    /// `max_plans Plan_{D₁}` — guaranteed `≤ p_D(Q)`.
+    pub lower: f64,
+    /// The plan achieving the upper bound.
+    pub upper_plan: Plan,
+    /// The plan achieving the lower bound.
+    pub lower_plan: Plan,
+    /// Number of plans enumerated.
+    pub plan_count: usize,
+}
+
+/// The all-plans upper bound for a Boolean self-join-free CQ.
+pub fn upper_bound(cq: &Cq, db: &TupleDb) -> (f64, Plan) {
+    let plans = all_plans(cq);
+    plans
+        .into_iter()
+        .map(|p| (execute(&p, db).boolean_prob(), p))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("at least one plan exists")
+}
+
+/// The database `D₁` of Theorem 6.1: `t.P ↦ 1 − (1−t.P)^{1/k_t}` with `k_t`
+/// the tuple's multiplicity in the lineage DNF (tuples outside the lineage
+/// keep their probability — they do not affect the plans).
+pub fn dissociated_db(cq: &Cq, db: &TupleDb) -> TupleDb {
+    let index = db.index();
+    let lineage = pdb_lineage::ucq_dnf_lineage(&Ucq::single(cq.clone()), db, &index);
+    let mut out = db.clone();
+    for (id, fact) in index.iter() {
+        let k = lineage.occurrences(id);
+        if k > 1 {
+            let p = fact.prob;
+            let adjusted = 1.0 - (1.0 - p).powf(1.0 / k as f64);
+            out.insert(&fact.relation, fact.tuple.clone(), adjusted);
+        }
+        let _: TupleId = id;
+    }
+    out
+}
+
+/// The oblivious lower bound: max over plans evaluated on `D₁`.
+pub fn lower_bound(cq: &Cq, db: &TupleDb) -> (f64, Plan) {
+    let d1 = dissociated_db(cq, db);
+    let plans = all_plans(cq);
+    plans
+        .into_iter()
+        .map(|p| (execute(&p, &d1).boolean_prob(), p))
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("at least one plan exists")
+}
+
+/// Computes both bounds.
+///
+/// ```
+/// use pdb_logic::parse_cq;
+/// use pdb_data::TupleDb;
+/// let mut db = TupleDb::new();
+/// db.insert("R", [0], 0.5);
+/// db.insert("S", [0, 1], 0.6);
+/// db.insert("T", [1], 0.7);
+/// let cq = parse_cq("R(x), S(x,y), T(y)").unwrap(); // #P-hard in general
+/// let b = pdb_plans::bounds::bounds(&cq, &db);
+/// assert!(b.lower <= b.upper);
+/// // On this single-derivation instance both bounds are exact:
+/// assert!((b.upper - 0.5 * 0.6 * 0.7).abs() < 1e-12);
+/// ```
+pub fn bounds(cq: &Cq, db: &TupleDb) -> PlanBounds {
+    let plans = all_plans(cq);
+    let plan_count = plans.len();
+    let d1 = dissociated_db(cq, db);
+    let mut upper = f64::INFINITY;
+    let mut lower = f64::NEG_INFINITY;
+    let mut upper_plan = plans[0].clone();
+    let mut lower_plan = plans[0].clone();
+    for p in plans {
+        let u = execute(&p, db).boolean_prob();
+        if u < upper {
+            upper = u;
+            upper_plan = p.clone();
+        }
+        let l = execute(&p, &d1).boolean_prob();
+        if l > lower {
+            lower = l;
+            lower_plan = p;
+        }
+    }
+    PlanBounds {
+        upper,
+        lower,
+        upper_plan,
+        lower_plan,
+        plan_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_num::assert_close;
+    use pdb_logic::parse_cq;
+    use pdb_lineage::eval::brute_force_probability;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_sandwich_the_truth_on_hard_query() {
+        let cq = parse_cq("R(x), S(x,y), T(y)").unwrap();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let db = pdb_data::generators::bipartite(2, 0.9, (0.1, 0.9), &mut rng);
+            let truth = brute_force_probability(&cq.to_fo(), &db);
+            let b = bounds(&cq, &db);
+            assert!(
+                b.lower <= truth + 1e-9 && truth <= b.upper + 1e-9,
+                "seed {seed}: {} ≤ {truth} ≤ {} violated",
+                b.lower,
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_are_tight_for_hierarchical_queries() {
+        // A safe plan exists, so the upper bound equals p_D(Q); the lower
+        // bound also matches because k = 1 for every tuple (each tuple
+        // occurs in at most… R-tuples occur once per S-child, so k > 1 —
+        // only the upper bound is guaranteed tight here).
+        let cq = parse_cq("R(x), S(x,y)").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let db = pdb_data::generators::random_tid(
+            3,
+            &[
+                pdb_data::generators::RelationSpec::new("R", 1, 3),
+                pdb_data::generators::RelationSpec::new("S", 2, 5),
+            ],
+            (0.1, 0.9),
+            &mut rng,
+        );
+        let truth = brute_force_probability(&cq.to_fo(), &db);
+        let (u, _) = upper_bound(&cq, &db);
+        assert_close(u, truth, 1e-10);
+        let (l, _) = lower_bound(&cq, &db);
+        assert!(l <= truth + 1e-9);
+    }
+
+    #[test]
+    fn dissociation_only_touches_repeated_tuples() {
+        let cq = parse_cq("R(x), S(x,y)").unwrap();
+        let mut db = TupleDb::new();
+        db.insert("R", [0], 0.5);
+        db.insert("S", [0, 1], 0.3);
+        db.insert("S", [0, 2], 0.4);
+        let d1 = dissociated_db(&cq, &db);
+        // R(0) occurs in both DNF terms: k = 2.
+        let adjusted = 1.0 - (1.0 - 0.5f64).powf(0.5);
+        assert_close(d1.prob("R", &pdb_data::Tuple::from([0])), adjusted, 1e-12);
+        // S tuples occur once each: unchanged.
+        assert_close(d1.prob("S", &pdb_data::Tuple::from([0, 1])), 0.3, 1e-12);
+    }
+
+    #[test]
+    fn empty_lineage_keeps_db_unchanged_and_bounds_zero() {
+        let cq = parse_cq("R(x), S(x,y), T(y)").unwrap();
+        let mut db = TupleDb::new();
+        db.insert("R", [0], 0.5); // no S, T tuples at all
+        let b = bounds(&cq, &db);
+        assert_close(b.upper, 0.0, 1e-12);
+        assert_close(b.lower, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_picks_the_minimum_plan() {
+        let cq = parse_cq("R(x), S(x,y)").unwrap();
+        let (db, _) = pdb_data::generators::fig1_concrete();
+        let truth = brute_force_probability(&cq.to_fo(), &db);
+        let (u, plan) = upper_bound(&cq, &db);
+        // The minimum over plans must be the safe plan's exact value.
+        assert_close(u, truth, 1e-10);
+        assert!(crate::enumerate::is_safe(&plan));
+    }
+
+    #[test]
+    fn bound_gap_shrinks_with_fewer_shared_tuples() {
+        // With density → 0, S supports at most one term per tuple, k → 1,
+        // and bounds converge.
+        let cq = parse_cq("R(x), S(x,y), T(y)").unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let sparse = pdb_data::generators::bipartite(2, 0.3, (0.2, 0.5), &mut rng);
+        let dense = pdb_data::generators::bipartite(2, 1.0, (0.2, 0.5), &mut rng);
+        let bs = bounds(&cq, &sparse);
+        let bd = bounds(&cq, &dense);
+        let gap_sparse = bs.upper - bs.lower;
+        let gap_dense = bd.upper - bd.lower;
+        assert!(gap_sparse <= gap_dense + 1e-9);
+    }
+}

@@ -1,0 +1,252 @@
+//! Plan enumeration and the safe-plan test.
+//!
+//! For a Boolean self-join-free CQ we enumerate **all** extensional plans:
+//! every binary join tree, with projections placed both eagerly and lazily
+//! (any superset of the attributes required above may be kept). This is the
+//! plan space behind the §6 strategy "generate all plans, return the
+//! minimum" — it contains the paper's `Plan₁` (late projection) and `Plan₂`
+//! (early projection) for `R(x), S(x,y)`.
+//!
+//! [`is_safe`] is the recursive syntactic test: a projection is safe iff
+//! every variable it removes occurs in *every* atom below it (for
+//! self-join-free queries this is the Dalvi–Suciu criterion); joins and
+//! scans are always safe. A safe plan computes exactly `p_D(Q)`, and one
+//! exists iff the query is hierarchical (validated in the tests).
+
+use crate::plan::Plan;
+use pdb_logic::{Atom, Cq, Var};
+use std::collections::BTreeSet;
+
+/// Enumerates all plans for the Boolean query `cq` (output attrs = ∅).
+///
+/// Panics on self-joins (the §6 results are for self-join-free queries) and
+/// guards against blow-up beyond 6 atoms.
+pub fn all_plans(cq: &Cq) -> Vec<Plan> {
+    assert!(
+        !cq.has_self_join(),
+        "plan enumeration requires a self-join-free query"
+    );
+    assert!(
+        cq.atoms().len() <= 6,
+        "plan enumeration is exponential; refusing more than 6 atoms"
+    );
+    assert!(!cq.is_trivial(), "cannot plan the trivial query");
+    plans_for(cq.atoms(), &BTreeSet::new())
+}
+
+fn vars_of(atoms: &[Atom]) -> BTreeSet<Var> {
+    atoms.iter().flat_map(|a| a.variables().cloned()).collect()
+}
+
+/// All plans over `atoms` whose output attributes are exactly `keep`.
+fn plans_for(atoms: &[Atom], keep: &BTreeSet<Var>) -> Vec<Plan> {
+    let mut out = Vec::new();
+    if let [atom] = atoms {
+        let scan = Plan::Scan(atom.clone());
+        if &scan.attrs() == keep {
+            out.push(scan);
+        } else {
+            out.push(Plan::project(keep.iter().cloned(), scan));
+        }
+        return out;
+    }
+    // All unordered two-way partitions of the atom set (mask and its
+    // complement; fix atom 0 on the left to halve the work).
+    let n = atoms.len();
+    for mask in 0u32..(1 << (n - 1)) {
+        // Left = atoms with bit set plus atom 0; right = the rest. Iterating
+        // masks over atoms 1..n with atom 0 always on the left covers every
+        // unordered partition exactly once.
+        let mut left: Vec<Atom> = vec![atoms[0].clone()];
+        let mut right: Vec<Atom> = Vec::new();
+        for (i, atom) in atoms.iter().enumerate().skip(1) {
+            if mask >> (i - 1) & 1 == 1 {
+                left.push(atom.clone());
+            } else {
+                right.push(atom.clone());
+            }
+        }
+        if right.is_empty() {
+            continue;
+        }
+        let lv = vars_of(&left);
+        let rv = vars_of(&right);
+        let shared: BTreeSet<Var> = lv.intersection(&rv).cloned().collect();
+        // Attributes each side must output: the join key plus whatever the
+        // parent needs from that side.
+        let l_min: BTreeSet<Var> = shared
+            .union(&keep.intersection(&lv).cloned().collect())
+            .cloned()
+            .collect();
+        let r_min: BTreeSet<Var> = shared
+            .union(&keep.intersection(&rv).cloned().collect())
+            .cloned()
+            .collect();
+        // Lazy projection: each side may additionally keep any subset of its
+        // remaining variables (projected away later, above the join).
+        for l_keep in supersets(&l_min, &lv) {
+            for r_keep in supersets(&r_min, &rv) {
+                for lp in plans_for(&left, &l_keep) {
+                    for rp in plans_for(&right, &r_keep) {
+                        let join = Plan::join(lp.clone(), rp.clone());
+                        if &join.attrs() == keep {
+                            out.push(join);
+                        } else {
+                            out.push(Plan::project(keep.iter().cloned(), join));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All sets `S` with `min ⊆ S ⊆ max`.
+fn supersets(min: &BTreeSet<Var>, max: &BTreeSet<Var>) -> Vec<BTreeSet<Var>> {
+    let extra: Vec<Var> = max.difference(min).cloned().collect();
+    let mut out = Vec::with_capacity(1 << extra.len());
+    for mask in 0u32..(1 << extra.len()) {
+        let mut s = min.clone();
+        for (i, v) in extra.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                s.insert(v.clone());
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// The §6 safety test: every projection removes only variables occurring in
+/// *every* atom below it.
+pub fn is_safe(plan: &Plan) -> bool {
+    match plan {
+        Plan::Scan(_) => true,
+        Plan::Join(l, r) => is_safe(l) && is_safe(r),
+        Plan::Project(keep, child) => {
+            if !is_safe(child) {
+                return false;
+            }
+            let removed: BTreeSet<Var> = child
+                .attrs()
+                .difference(keep)
+                .cloned()
+                .collect();
+            removed.iter().all(|v| {
+                child.atoms().iter().all(|a| a.contains_var(v))
+            })
+        }
+    }
+}
+
+/// Finds a safe plan if one exists (iff the query is hierarchical).
+pub fn safe_plan(cq: &Cq) -> Option<Plan> {
+    all_plans(cq).into_iter().find(is_safe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use pdb_num::assert_close;
+    use pdb_logic::parse_cq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn enumeration_contains_both_paper_plans() {
+        let cq = parse_cq("R(x), S(x,y)").unwrap();
+        let plans = all_plans(&cq);
+        assert!(plans.len() >= 2);
+        // Plan₂ (early projection) is safe, Plan₁ (late projection) is not.
+        let safe: Vec<_> = plans.iter().filter(|p| is_safe(p)).collect();
+        let unsafe_: Vec<_> = plans.iter().filter(|p| !is_safe(p)).collect();
+        assert!(!safe.is_empty(), "hierarchical query must have a safe plan");
+        assert!(!unsafe_.is_empty(), "lazy projection must appear");
+    }
+
+    #[test]
+    fn safe_plan_exists_iff_hierarchical() {
+        for (q, hierarchical) in [
+            ("R(x), S(x,y)", true),
+            ("R(x), S(x,y), U(x,y,z)", true),
+            ("R(x), S(x,y), T(y)", false),
+            ("A(x), B(y)", true),
+        ] {
+            let cq = parse_cq(q).unwrap();
+            assert_eq!(cq.is_hierarchical(), hierarchical, "fixture {q}");
+            assert_eq!(
+                safe_plan(&cq).is_some(),
+                hierarchical,
+                "safe plan for {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn safe_plans_compute_the_true_probability() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let db = pdb_data::generators::random_tid(
+            3,
+            &[
+                pdb_data::generators::RelationSpec::new("R", 1, 3),
+                pdb_data::generators::RelationSpec::new("S", 2, 5),
+            ],
+            (0.1, 0.9),
+            &mut rng,
+        );
+        let cq = parse_cq("R(x), S(x,y)").unwrap();
+        let truth =
+            pdb_lineage::eval::brute_force_probability(&cq.to_fo(), &db);
+        for plan in all_plans(&cq).iter().filter(|p| is_safe(p)) {
+            assert_close(
+                execute(plan, &db).boolean_prob(),
+                truth,
+                1e-10,
+            );
+        }
+    }
+
+    #[test]
+    fn all_plans_upper_bound_property() {
+        // Theorem 6.1: every plan (safe or not) upper-bounds p_D(Q). Check
+        // on the hard query with several random databases.
+        let cq = parse_cq("R(x), S(x,y), T(y)").unwrap();
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let db = pdb_data::generators::bipartite(2, 0.8, (0.2, 0.8), &mut rng);
+            let truth =
+                pdb_lineage::eval::brute_force_probability(&cq.to_fo(), &db);
+            for plan in all_plans(&cq) {
+                let estimate = execute(&plan, &db).boolean_prob();
+                assert!(
+                    estimate >= truth - 1e-9,
+                    "plan {plan} gave {estimate} < truth {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_counts_are_reasonable() {
+        let two = all_plans(&parse_cq("R(x), S(x,y)").unwrap());
+        assert!(two.len() >= 2 && two.len() <= 16, "got {}", two.len());
+        let three = all_plans(&parse_cq("R(x), S(x,y), T(y)").unwrap());
+        assert!(three.len() > two.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-join-free")]
+    fn self_joins_rejected() {
+        let _ = all_plans(&parse_cq("S(x,y), S(y,z)").unwrap());
+    }
+
+    #[test]
+    fn single_atom_plans() {
+        let cq = parse_cq("R(x)").unwrap();
+        let plans = all_plans(&cq);
+        assert_eq!(plans.len(), 1);
+        assert!(is_safe(&plans[0]));
+    }
+}

@@ -1,0 +1,282 @@
+//! Plan execution with probability-aware operators.
+
+use crate::plan::Plan;
+use pdb_logic::{Term, Var};
+use pdb_data::{Const, TupleDb};
+use std::collections::{BTreeSet, HashMap};
+
+/// An intermediate probabilistic relation: named attributes and rows
+/// carrying a probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PRel {
+    /// Attribute names, in a fixed order.
+    pub attrs: Vec<Var>,
+    /// Rows: attribute values (aligned with `attrs`) plus probability.
+    pub rows: Vec<(Vec<Const>, f64)>,
+}
+
+impl PRel {
+    /// For a Boolean (zero-attribute) result: the probability, with the
+    /// empty result meaning 0.
+    pub fn boolean_prob(&self) -> f64 {
+        assert!(self.attrs.is_empty(), "boolean_prob on non-Boolean relation");
+        match self.rows.as_slice() {
+            [] => 0.0,
+            [(_, p)] => *p,
+            _ => unreachable!("zero-attribute relation has at most one group"),
+        }
+    }
+}
+
+/// `u ⊕ v = 1 − (1−u)(1−v)` — the §6 aggregate.
+pub fn oplus(u: f64, v: f64) -> f64 {
+    1.0 - (1.0 - u) * (1.0 - v)
+}
+
+/// Executes a plan over a database.
+pub fn execute(plan: &Plan, db: &TupleDb) -> PRel {
+    match plan {
+        Plan::Scan(atom) => {
+            // Distinct variables, first-occurrence order.
+            let mut attrs: Vec<Var> = Vec::new();
+            for v in atom.variables() {
+                if !attrs.contains(v) {
+                    attrs.push(v.clone());
+                }
+            }
+            let mut rows = Vec::new();
+            if let Some(rel) = db.relation(atom.predicate.name()) {
+                'tuples: for (t, p) in rel.iter() {
+                    // Constants select; repeated variables filter.
+                    let mut binding: HashMap<&Var, Const> = HashMap::new();
+                    for (i, arg) in atom.args.iter().enumerate() {
+                        match arg {
+                            Term::Const(c) => {
+                                if t.get(i) != *c {
+                                    continue 'tuples;
+                                }
+                            }
+                            Term::Var(v) => match binding.get(v) {
+                                Some(&prev) => {
+                                    if prev != t.get(i) {
+                                        continue 'tuples;
+                                    }
+                                }
+                                None => {
+                                    binding.insert(v, t.get(i));
+                                }
+                            },
+                        }
+                    }
+                    let values: Vec<Const> =
+                        attrs.iter().map(|v| binding[v]).collect();
+                    rows.push((values, p));
+                }
+            }
+            PRel { attrs, rows }
+        }
+        Plan::Join(left, right) => {
+            let l = execute(left, db);
+            let r = execute(right, db);
+            // Shared attributes join; output attrs = l.attrs ++ (r − l).
+            let shared: Vec<(usize, usize)> = l
+                .attrs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| {
+                    r.attrs.iter().position(|w| w == v).map(|j| (i, j))
+                })
+                .collect();
+            let r_extra: Vec<usize> = (0..r.attrs.len())
+                .filter(|j| !shared.iter().any(|(_, sj)| sj == j))
+                .collect();
+            let mut attrs = l.attrs.clone();
+            attrs.extend(r_extra.iter().map(|&j| r.attrs[j].clone()));
+            // Hash the right side on the shared key.
+            let mut index: HashMap<Vec<Const>, Vec<usize>> = HashMap::new();
+            for (ri, (vals, _)) in r.rows.iter().enumerate() {
+                let key: Vec<Const> = shared.iter().map(|&(_, j)| vals[j]).collect();
+                index.entry(key).or_default().push(ri);
+            }
+            let mut rows = Vec::new();
+            for (lvals, lp) in &l.rows {
+                let key: Vec<Const> = shared.iter().map(|&(i, _)| lvals[i]).collect();
+                if let Some(matches) = index.get(&key) {
+                    for &ri in matches {
+                        let (rvals, rp) = &r.rows[ri];
+                        let mut vals = lvals.clone();
+                        vals.extend(r_extra.iter().map(|&j| rvals[j]));
+                        rows.push((vals, lp * rp));
+                    }
+                }
+            }
+            PRel { attrs, rows }
+        }
+        Plan::Project(keep, child) => {
+            let c = execute(child, db);
+            let keep_idx: Vec<usize> = c
+                .attrs
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| keep.contains(v))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(
+                keep_idx.len(),
+                keep.len(),
+                "projection keeps attributes the child does not produce"
+            );
+            let attrs: Vec<Var> = keep_idx.iter().map(|&i| c.attrs[i].clone()).collect();
+            // Group and ⊕-combine; preserve first-seen group order for
+            // determinism.
+            let mut order: Vec<Vec<Const>> = Vec::new();
+            let mut acc: HashMap<Vec<Const>, f64> = HashMap::new();
+            for (vals, p) in &c.rows {
+                let key: Vec<Const> = keep_idx.iter().map(|&i| vals[i]).collect();
+                match acc.get_mut(&key) {
+                    Some(slot) => *slot = oplus(*slot, *p),
+                    None => {
+                        acc.insert(key.clone(), *p);
+                        order.push(key);
+                    }
+                }
+            }
+            let rows: Vec<(Vec<Const>, f64)> = order
+                .into_iter()
+                .map(|key| {
+                    let p = acc[&key];
+                    (key, p)
+                })
+                .collect();
+            PRel { attrs, rows }
+        }
+    }
+}
+
+/// The subset of attributes actually present, as a set (helper for tests).
+pub fn attr_set(rel: &PRel) -> BTreeSet<Var> {
+    rel.attrs.iter().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_num::assert_close;
+    use pdb_logic::parse_cq;
+
+    fn fig1_db() -> (TupleDb, [f64; 3], [f64; 6]) {
+        let p = [0.1, 0.2, 0.3];
+        let q = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+        let (db, _) = pdb_data::generators::fig1(p, q);
+        (db, p, q)
+    }
+
+    fn plan1() -> Plan {
+        // γ⊕( R ⋈x S )
+        let atoms = parse_cq("R(x), S(x,y)").unwrap().atoms().to_vec();
+        Plan::project(
+            [],
+            Plan::join(Plan::Scan(atoms[0].clone()), Plan::Scan(atoms[1].clone())),
+        )
+    }
+
+    fn plan2() -> Plan {
+        // γ⊕( R ⋈x γ⊕x(S) )
+        let atoms = parse_cq("R(x), S(x,y)").unwrap().atoms().to_vec();
+        Plan::project(
+            [],
+            Plan::join(
+                Plan::Scan(atoms[0].clone()),
+                Plan::project([pdb_logic::Var::new("x")], Plan::Scan(atoms[1].clone())),
+            ),
+        )
+    }
+
+    #[test]
+    fn footnote_9_plan1() {
+        // Plan₁ = 1 − (1−p₁q₁)(1−p₁q₂)(1−p₂q₃)(1−p₂q₄)(1−p₂q₅)
+        let (db, p, q) = fig1_db();
+        let result = execute(&plan1(), &db).boolean_prob();
+        let expected = 1.0
+            - (1.0 - p[0] * q[0])
+                * (1.0 - p[0] * q[1])
+                * (1.0 - p[1] * q[2])
+                * (1.0 - p[1] * q[3])
+                * (1.0 - p[1] * q[4]);
+        assert_close(result, expected, 1e-12);
+    }
+
+    #[test]
+    fn footnote_9_plan2() {
+        // Plan₂ = 1 − (1−p₁(1−(1−q₁)(1−q₂)))(1−p₂(1−(1−q₃)(1−q₄)(1−q₅)))
+        let (db, p, q) = fig1_db();
+        let result = execute(&plan2(), &db).boolean_prob();
+        let expected = 1.0
+            - (1.0 - p[0] * (1.0 - (1.0 - q[0]) * (1.0 - q[1])))
+                * (1.0 - p[1] * (1.0 - (1.0 - q[2]) * (1.0 - q[3]) * (1.0 - q[4])));
+        assert_close(result, expected, 1e-12);
+    }
+
+    #[test]
+    fn plan2_is_the_correct_probability() {
+        let (db, _, _) = fig1_db();
+        let q = pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y)").unwrap();
+        let truth = pdb_lineage::eval::brute_force_probability(&q, &db);
+        assert_close(execute(&plan2(), &db).boolean_prob(), truth, 1e-12);
+        // Plan₁ differs (and exceeds) — both plans answer the same ordinary
+        // query but only Plan₂ is safe.
+        let p1 = execute(&plan1(), &db).boolean_prob();
+        assert!(p1 > truth);
+    }
+
+    #[test]
+    fn scan_handles_constants_and_repeats() {
+        let mut db = TupleDb::new();
+        db.insert("S", [0, 0], 0.3);
+        db.insert("S", [0, 1], 0.5);
+        db.insert("S", [1, 1], 0.7);
+        // S(x, x): only the diagonal.
+        let diag = parse_cq("S(x,x)").unwrap().atoms()[0].clone();
+        let rel = execute(&Plan::Scan(diag), &db);
+        assert_eq!(rel.attrs.len(), 1);
+        assert_eq!(rel.rows.len(), 2);
+        // S(0, y): constant selection.
+        let sel = parse_cq("S(0,y)").unwrap().atoms()[0].clone();
+        let rel2 = execute(&Plan::Scan(sel), &db);
+        assert_eq!(rel2.rows.len(), 2);
+    }
+
+    #[test]
+    fn empty_relation_yields_zero() {
+        let db = TupleDb::new();
+        assert_close(execute(&plan1(), &db).boolean_prob(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn oplus_properties() {
+        assert_close(oplus(0.0, 0.5), 0.5, 1e-15);
+        assert_close(oplus(1.0, 0.5), 1.0, 1e-15);
+        assert_close(oplus(0.5, 0.5), 0.75, 1e-15);
+        // Commutative & associative (spot check).
+        assert_close(oplus(0.2, 0.7), oplus(0.7, 0.2), 1e-15);
+        assert_close(
+            oplus(oplus(0.2, 0.3), 0.4),
+            oplus(0.2, oplus(0.3, 0.4)),
+            1e-15,
+        );
+    }
+
+    #[test]
+    fn join_key_alignment() {
+        // Join S(x,y) with T(y): shared y despite different positions.
+        let mut db = TupleDb::new();
+        db.insert("S", [0, 5], 0.5);
+        db.insert("S", [1, 6], 0.5);
+        db.insert("T", [5], 0.4);
+        let atoms = parse_cq("S(x,y), T(y)").unwrap().atoms().to_vec();
+        let join = Plan::join(Plan::Scan(atoms[0].clone()), Plan::Scan(atoms[1].clone()));
+        let rel = execute(&join, &db);
+        assert_eq!(rel.rows.len(), 1);
+        assert_close(rel.rows[0].1, 0.2, 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # pdb-plans — extensional query plans and oblivious bounds (§6)
+//!
+//! Modern engines evaluate a query through a relational-algebra plan; §6
+//! shows how to piggy-back probability computation on any such plan by
+//! giving each operator a simple rule over the `P` column:
+//!
+//! * natural join `⋈` **multiplies** the probabilities of matching rows,
+//! * independent project `γ⊕` combines each group's probabilities with
+//!   `u ⊕ v = 1 − (1−u)(1−v)`.
+//!
+//! A plan whose output equals `p_D(Q)` is a *safe plan*; safe plans exist
+//! exactly for hierarchical queries. The punchline of Theorem 6.1 is that
+//! **every** plan — safe or not — computes an *upper bound* of `p_D(Q)`, and
+//! that rewriting each tuple probability to `1 − (1−p)^{1/k}` (with `k` the
+//! tuple's multiplicity in the lineage DNF) turns any plan into a *lower
+//! bound*. This crate implements:
+//!
+//! * [`plan::Plan`] — the plan algebra (scan / join / independent project),
+//! * [`exec`] — plan execution over a [`pdb_data::TupleDb`],
+//! * [`enumerate`] — exhaustive plan enumeration for Boolean self-join-free
+//!   CQs (eager *and* lazy projection placements, so both `Plan₁` and
+//!   `Plan₂` of the paper's example appear), plus the syntactic safety test,
+//! * [`bounds`] — the all-plans upper bound, the oblivious lower bound, and
+//!   the two footnote-9 closed forms used to validate them.
+
+pub mod bounds;
+pub mod enumerate;
+pub mod exec;
+pub mod plan;
+
+pub use bounds::{lower_bound, upper_bound, PlanBounds};
+pub use enumerate::{all_plans, is_safe, safe_plan};
+pub use exec::{execute, PRel};
+pub use plan::Plan;

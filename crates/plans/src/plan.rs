@@ -1,0 +1,128 @@
+//! The extensional plan algebra.
+
+use pdb_logic::{Atom, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A query plan for a Boolean self-join-free conjunctive query.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Plan {
+    /// Scan an atom's relation (constants select, repeated variables filter).
+    Scan(Atom),
+    /// Natural join on shared attributes; probabilities multiply.
+    Join(Box<Plan>, Box<Plan>),
+    /// Independent project onto `keep`: group rows by the kept attributes
+    /// and combine each group's probabilities with `u ⊕ v = 1−(1−u)(1−v)`.
+    Project(BTreeSet<Var>, Box<Plan>),
+}
+
+impl Plan {
+    /// Convenience join constructor.
+    pub fn join(a: Plan, b: Plan) -> Plan {
+        Plan::Join(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience project constructor.
+    pub fn project(keep: impl IntoIterator<Item = Var>, child: Plan) -> Plan {
+        Plan::Project(keep.into_iter().collect(), Box::new(child))
+    }
+
+    /// The output attributes of the plan.
+    pub fn attrs(&self) -> BTreeSet<Var> {
+        match self {
+            Plan::Scan(a) => a.variables().cloned().collect(),
+            Plan::Join(l, r) => {
+                let mut s = l.attrs();
+                s.extend(r.attrs());
+                s
+            }
+            Plan::Project(keep, _) => keep.clone(),
+        }
+    }
+
+    /// All atoms scanned below this plan.
+    pub fn atoms(&self) -> Vec<&Atom> {
+        match self {
+            Plan::Scan(a) => vec![a],
+            Plan::Join(l, r) => {
+                let mut v = l.atoms();
+                v.extend(r.atoms());
+                v
+            }
+            Plan::Project(_, child) => child.atoms(),
+        }
+    }
+
+    /// Number of operators in the plan.
+    pub fn size(&self) -> usize {
+        match self {
+            Plan::Scan(_) => 1,
+            Plan::Join(l, r) => 1 + l.size() + r.size(),
+            Plan::Project(_, c) => 1 + c.size(),
+        }
+    }
+}
+
+impl fmt::Debug for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Scan(a) => write!(f, "{a}"),
+            Plan::Join(l, r) => write!(f, "({l:?} ⋈ {r:?})"),
+            Plan::Project(keep, c) => {
+                write!(f, "γ⊕[")?;
+                for (i, v) in keep.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]({c:?})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_logic::parse_cq;
+
+    fn atoms(s: &str) -> Vec<Atom> {
+        parse_cq(s).unwrap().atoms().to_vec()
+    }
+
+    #[test]
+    fn attrs_flow_through_operators() {
+        let a = atoms("R(x), S(x,y)");
+        let scan_r = Plan::Scan(a[0].clone());
+        let scan_s = Plan::Scan(a[1].clone());
+        assert_eq!(scan_s.attrs().len(), 2);
+        let join = Plan::join(scan_r.clone(), scan_s.clone());
+        assert_eq!(join.attrs().len(), 2);
+        let proj = Plan::project([Var::new("x")], join.clone());
+        assert_eq!(proj.attrs(), BTreeSet::from([Var::new("x")]));
+        assert_eq!(proj.atoms().len(), 2);
+        assert_eq!(proj.size(), 4);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let a = atoms("R(x), S(x,y)");
+        let plan = Plan::project(
+            [],
+            Plan::join(
+                Plan::Scan(a[0].clone()),
+                Plan::project([Var::new("x")], Plan::Scan(a[1].clone())),
+            ),
+        );
+        let s = format!("{plan}");
+        assert!(s.contains("⋈"));
+        assert!(s.contains("γ⊕"));
+    }
+}

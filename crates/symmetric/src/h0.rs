@@ -1,0 +1,157 @@
+//! The closed-form §8 formula for `H₀` on symmetric databases.
+//!
+//! Condition on `|R| = k` and `|T| = ℓ`. A pair `(i,j)` is already satisfied
+//! when `i ∈ R` or `j ∈ T`; the remaining `(n−k)(n−ℓ)` pairs each need their
+//! `S`-tuple. Hence
+//!
+//! `p(H₀) = Σ_{k,ℓ} C(n,k) C(n,ℓ) p_R^k (1−p_R)^{n−k} p_T^ℓ (1−p_T)^{n−ℓ}
+//!          · p_S^{(n−k)(n−ℓ)}`
+//!
+//! **Paper erratum.** The paper prints the `S`-exponent as `n² − kℓ`
+//! ("all n² tuples must be present except the kℓ tuples where i ∈ R and
+//! j ∈ T"), but a pair is exempt when `i ∈ R` *or* `j ∈ T`, so the exempt
+//! count is `n² − (n−k)(n−ℓ) = kn + ℓn − kℓ`, not `kℓ`. The brute-force
+//! cross-check in this module's tests confirms `(n−k)(n−ℓ)` is the correct
+//! exponent (the printed formula disagrees with enumeration already at
+//! `n = 1`). [`h0_probability_paper_form`] is the same sum re-indexed over
+//! complement sizes, kept to document the equivalence.
+
+use pdb_num::comb::ln_binomial;
+use pdb_num::LogNum;
+
+/// `p(H₀)` over the symmetric database with domain size `n` and relation
+/// probabilities `p_r`, `p_s`, `p_t` — `O(n²)` time, log-space arithmetic.
+///
+/// ```
+/// use pdb_symmetric::h0_probability;
+/// // n = 1: H₀ reduces to R(0) ∨ S(0,0) ∨ T(0).
+/// let p = h0_probability(1, 0.5, 0.5, 0.5);
+/// assert!((p - 0.875).abs() < 1e-12);
+/// // The #P-hard query is polynomial here even at n = 500.
+/// assert!(h0_probability(500, 0.3, 0.99, 0.3).is_finite());
+/// ```
+pub fn h0_probability(n: u64, p_r: f64, p_s: f64, p_t: f64) -> f64 {
+    let mut total = LogNum::ZERO;
+    let lr = LogNum::from_f64(p_r);
+    let lnr = LogNum::from_f64(1.0 - p_r);
+    let lt = LogNum::from_f64(p_t);
+    let lnt = LogNum::from_f64(1.0 - p_t);
+    let ls = LogNum::from_f64(p_s);
+    for k in 0..=n {
+        for l in 0..=n {
+            // |R| = k, |T| = ℓ: the (n−k)(n−ℓ) uncovered pairs need S.
+            let forced = (n - k) * (n - l);
+            let term = LogNum::from_ln(ln_binomial(n, k))
+                * LogNum::from_ln(ln_binomial(n, l))
+                * lr.powi(k)
+                * lnr.powi(n - k)
+                * lt.powi(l)
+                * lnt.powi(n - l)
+                * ls.powi(forced);
+            total += term;
+        }
+    }
+    total.to_f64()
+}
+
+/// The same sum re-indexed over the complement sizes `k = |R̄|`, `ℓ = |T̄|`
+/// (forced pairs `R̄ × T̄`, i.e. exponent `kℓ`). Equal to
+/// [`h0_probability`]; kept for the reproduction tests.
+pub fn h0_probability_paper_form(n: u64, p_r: f64, p_s: f64, p_t: f64) -> f64 {
+    let mut total = LogNum::ZERO;
+    // k, ℓ count the *complements* |R̄|, |T̄| here, so the binomial weights
+    // swap p and 1−p.
+    let lr = LogNum::from_f64(p_r);
+    let lnr = LogNum::from_f64(1.0 - p_r);
+    let lt = LogNum::from_f64(p_t);
+    let lnt = LogNum::from_f64(1.0 - p_t);
+    let ls = LogNum::from_f64(p_s);
+    for k in 0..=n {
+        for l in 0..=n {
+            let forced = k * l; // pairs R̄ × T̄
+            let term = LogNum::from_ln(ln_binomial(n, k))
+                * LogNum::from_ln(ln_binomial(n, l))
+                * lnr.powi(k)
+                * lr.powi(n - k)
+                * lnt.powi(l)
+                * lt.powi(n - l)
+                * ls.powi(forced);
+            total += term;
+        }
+    }
+    total.to_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_num::assert_close;
+    use pdb_logic::parse_fo;
+    use pdb_data::SymmetricDb;
+
+    fn brute_h0(n: u64, p_r: f64, p_s: f64, p_t: f64) -> f64 {
+        let mut s = SymmetricDb::new(n);
+        s.set_relation("R", 1, p_r)
+            .set_relation("S", 2, p_s)
+            .set_relation("T", 1, p_t);
+        let db = s.materialize();
+        let h0 = parse_fo("forall x. forall y. (R(x) | S(x,y) | T(y))").unwrap();
+        pdb_lineage::eval::brute_force_probability(&h0, &db)
+    }
+
+    #[test]
+    fn matches_brute_force_small_n() {
+        for n in 1..=3u64 {
+            for &(pr, ps, pt) in &[(0.5, 0.5, 0.5), (0.2, 0.7, 0.4), (0.9, 0.1, 0.3)] {
+                let closed = h0_probability(n, pr, ps, pt);
+                let brute = brute_h0(n, pr, ps, pt);
+                assert_close(closed, brute, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn two_forms_agree() {
+        for n in [1u64, 2, 3, 5, 10, 25] {
+            for &(pr, ps, pt) in &[(0.5, 0.5, 0.5), (0.3, 0.8, 0.6)] {
+                assert_close(
+                    h0_probability(n, pr, ps, pt),
+                    h0_probability_paper_form(n, pr, ps, pt),
+                    1e-9,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        // p_S = 1: H₀ always holds.
+        assert_close(h0_probability(5, 0.2, 1.0, 0.3), 1.0, 1e-12);
+        // p_R = p_T = 1: H₀ always holds regardless of S.
+        assert_close(h0_probability(5, 1.0, 0.0, 0.3), 1.0, 1e-12);
+        // p_R = p_T = 0 and p_S = 0, n ≥ 1: impossible.
+        assert_close(h0_probability(3, 0.0, 0.0, 0.0), 0.0, 1e-12);
+        // n = 0: vacuously true.
+        assert_close(h0_probability(0, 0.5, 0.5, 0.5), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn large_n_is_stable_and_fast() {
+        // n = 600 ⇒ 360k terms with p_S exponents up to 3.6·10⁵ — log-space
+        // arithmetic must neither under- nor overflow. (Benches go to 2000.)
+        let p = h0_probability(600, 0.5, 0.9999, 0.5);
+        assert!((0.0..=1.0).contains(&p), "p = {p}");
+        // Monotone in p_S.
+        let p_lo = h0_probability(200, 0.5, 0.3, 0.5);
+        let p_hi = h0_probability(200, 0.5, 0.6, 0.5);
+        assert!(p_lo <= p_hi);
+    }
+
+    #[test]
+    fn monotonicity_in_each_probability() {
+        let base = h0_probability(10, 0.3, 0.5, 0.4);
+        assert!(h0_probability(10, 0.5, 0.5, 0.4) >= base);
+        assert!(h0_probability(10, 0.3, 0.7, 0.4) >= base);
+        assert!(h0_probability(10, 0.3, 0.5, 0.6) >= base);
+    }
+}

@@ -1,0 +1,168 @@
+//! Brute-force exact probability by full assignment enumeration.
+//!
+//! `p(F) = Σ_θ⊨F ∏_{θ(Xᵢ)=1} pᵢ ∏_{θ(Xᵢ)=0} (1−pᵢ)` — the appendix's
+//! definition, summed over all `2^n` assignments. Serves as ground truth.
+
+use pdb_lineage::{BoolExpr, Cnf};
+use pdb_num::KahanSum;
+
+const MAX_VARS: u32 = 30;
+
+/// Exact probability of a Boolean expression; `probs[i]` is `p(Xᵢ)`.
+///
+/// Enumerates every assignment of the variables `0 … probs.len()−1`
+/// (variables not mentioned in `expr` integrate out to a factor of 1 term by
+/// term, so only mentioned variables are actually enumerated).
+pub fn expr_probability(expr: &BoolExpr, probs: &[f64]) -> f64 {
+    let vars: Vec<u32> = expr.vars().into_iter().map(|t| t.0).collect();
+    assert!(
+        vars.len() as u32 <= MAX_VARS,
+        "brute force refuses {} variables (max {MAX_VARS})",
+        vars.len()
+    );
+    let mut total = KahanSum::new();
+    for mask in 0u64..(1u64 << vars.len()) {
+        let on = |v: u32| -> bool {
+            match vars.binary_search(&v) {
+                Ok(i) => mask >> i & 1 == 1,
+                Err(_) => false,
+            }
+        };
+        if expr.eval(&|id| on(id.0)) {
+            let mut w = 1.0;
+            for (i, &v) in vars.iter().enumerate() {
+                let p = probs[v as usize];
+                w *= if mask >> i & 1 == 1 { p } else { 1.0 - p };
+            }
+            total.add(w);
+        }
+    }
+    total.total()
+}
+
+/// Exact probability of a CNF over **all** its variables (including
+/// auxiliaries). `probs.len()` must equal `cnf.num_vars`.
+pub fn cnf_probability(cnf: &Cnf, probs: &[f64]) -> f64 {
+    assert_eq!(probs.len() as u32, cnf.num_vars);
+    assert!(
+        cnf.num_vars <= MAX_VARS,
+        "brute force refuses {} variables (max {MAX_VARS})",
+        cnf.num_vars
+    );
+    let n = cnf.num_vars;
+    let mut total = KahanSum::new();
+    for mask in 0u64..(1u64 << n) {
+        let assignment = |v: u32| mask >> v & 1 == 1;
+        if cnf.eval(&assignment) {
+            let mut w = 1.0;
+            for (v, &p) in probs.iter().enumerate() {
+                w *= if mask >> v & 1 == 1 { p } else { 1.0 - p };
+            }
+            total.add(w);
+        }
+    }
+    total.total()
+}
+
+/// Unweighted model count of a CNF (all `2^n` assignments).
+pub fn cnf_model_count(cnf: &Cnf) -> u64 {
+    assert!(cnf.num_vars <= MAX_VARS);
+    (0u64..(1u64 << cnf.num_vars))
+        .filter(|mask| cnf.eval(&|v| mask >> v & 1 == 1))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_data::TupleId;
+    use pdb_num::assert_close;
+
+    fn v(i: u32) -> BoolExpr {
+        BoolExpr::var(TupleId(i))
+    }
+
+    #[test]
+    fn single_variable() {
+        assert_close(expr_probability(&v(0), &[0.3]), 0.3, 1e-12);
+        assert_close(expr_probability(&v(0).negate(), &[0.3]), 0.7, 1e-12);
+    }
+
+    #[test]
+    fn constants() {
+        assert_close(expr_probability(&BoolExpr::TRUE, &[]), 1.0, 1e-12);
+        assert_close(expr_probability(&BoolExpr::FALSE, &[0.5]), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn and_or_of_independent_vars() {
+        let f = BoolExpr::and_all([v(0), v(1)]);
+        assert_close(expr_probability(&f, &[0.3, 0.5]), 0.15, 1e-12);
+        let g = BoolExpr::or_all([v(0), v(1)]);
+        assert_close(expr_probability(&g, &[0.3, 0.5]), 1.0 - 0.7 * 0.5, 1e-12);
+    }
+
+    #[test]
+    fn shared_variable_correlation() {
+        // x0 | (x0 & x1) = x0.
+        let f = BoolExpr::or_all([v(0), BoolExpr::and_all([v(0), v(1)])]);
+        assert_close(expr_probability(&f, &[0.3, 0.9]), 0.3, 1e-12);
+    }
+
+    #[test]
+    fn unmentioned_variables_do_not_matter() {
+        // probs has 5 entries; formula mentions only x4.
+        let f = v(4);
+        assert_close(expr_probability(&f, &[0.1, 0.2, 0.3, 0.4, 0.5]), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn appendix_running_example() {
+        // F = (X1∨X2)(X1∨X3)(X2∨X3), four models (appendix Fig. 3).
+        let f = BoolExpr::and_all([
+            BoolExpr::or_all([v(0), v(1)]),
+            BoolExpr::or_all([v(0), v(2)]),
+            BoolExpr::or_all([v(1), v(2)]),
+        ]);
+        let p = [0.5, 0.5, 0.5];
+        // 4 models out of 8, uniform 1/2 ⇒ 0.5
+        assert_close(expr_probability(&f, &p), 0.5, 1e-12);
+        // Non-uniform check against the hand-expanded sum.
+        let p = [0.2, 0.5, 0.8];
+        let expect = {
+            // models: 011, 101, 110, 111
+            (1.0 - p[0]) * p[1] * p[2]
+                + p[0] * (1.0 - p[1]) * p[2]
+                + p[0] * p[1] * (1.0 - p[2])
+                + p[0] * p[1] * p[2]
+        };
+        assert_close(expr_probability(&f, &p), expect, 1e-12);
+    }
+
+    #[test]
+    fn nonstandard_probabilities_work() {
+        // p = -0.5: p(x0) + p(!x0) still sums to 1.
+        let f = BoolExpr::or_all([v(0), v(0).negate()]);
+        assert_close(expr_probability(&f, &[-0.5]), 1.0, 1e-12);
+        assert_close(expr_probability(&v(0), &[-0.5]), -0.5, 1e-12);
+    }
+
+    #[test]
+    fn cnf_probability_matches_expr() {
+        let f = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]), v(2)]);
+        let cnf = Cnf::from_negated_dnf(&f, 3);
+        let p = [0.2, 0.6, 0.4];
+        assert_close(
+            cnf_probability(&cnf, &p),
+            1.0 - expr_probability(&f, &p),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn model_count_small() {
+        let f = BoolExpr::or_all([v(0), v(1)]);
+        let cnf = Cnf::from_expr_direct(&f, 2).unwrap();
+        assert_eq!(cnf_model_count(&cnf), 3);
+    }
+}

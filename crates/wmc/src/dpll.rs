@@ -1,0 +1,668 @@
+//! A DPLL-style weighted model counter with caching and components.
+//!
+//! This is the grounded-inference engine of §7: full backtracking search
+//! using Shannon expansion (rule (11)) and the *components* rule (rule (12)),
+//! with component caching in the style of Cachet/sharpSAT. Unit clauses are
+//! branched first (unit propagation as a degenerate Shannon step), so the
+//! recorded trace stays a pure decision structure.
+//!
+//! Following Huang–Darwiche, the **trace** of a run is a knowledge-compilation
+//! circuit:
+//! * caching + fixed variable order ⇒ an OBDD,
+//! * caching, free order, no components ⇒ an FBDD,
+//! * caching + components ⇒ a decision-DNNF.
+//!
+//! The trace is recorded as a [`Trace`] DAG (cache hits create sharing);
+//! `pdb-compile` re-exports it as a decision-DNNF circuit, and the Theorem 7.1
+//! experiments measure its size.
+
+use pdb_lineage::{Clause, Cnf};
+use std::collections::HashMap;
+
+/// Tuning knobs for the counter (each maps to a §7 concept).
+#[derive(Clone, Debug)]
+pub struct DpllOptions {
+    /// Apply the components rule (12). Off ⇒ FBDD-shaped traces.
+    pub components: bool,
+    /// Cache component results. Off ⇒ the trace is a tree (no sharing).
+    pub caching: bool,
+    /// Record the trace DAG.
+    pub record_trace: bool,
+    /// Fixed variable order (OBDD-shaped traces when components are off).
+    /// Variables not listed are ordered after listed ones, by index.
+    pub var_order: Option<Vec<u32>>,
+    /// Abort after this many decision nodes (0 = unlimited); exponential
+    /// instances are the *point* of some experiments, so callers can bound
+    /// the blow-up and detect it.
+    pub max_decisions: u64,
+}
+
+impl Default for DpllOptions {
+    fn default() -> DpllOptions {
+        DpllOptions {
+            components: true,
+            caching: true,
+            record_trace: false,
+            var_order: None,
+            max_decisions: 0,
+        }
+    }
+}
+
+/// Counters describing a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DpllStats {
+    /// Shannon branches taken (unit propagations included).
+    pub decisions: u64,
+    /// Component cache hits.
+    pub cache_hits: u64,
+    /// Component cache misses (entries stored).
+    pub cache_misses: u64,
+    /// Number of times a formula split into ≥ 2 components.
+    pub component_splits: u64,
+    /// Maximum recursion depth reached.
+    pub max_depth: u64,
+}
+
+/// Identifier of a trace node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TraceNodeId(pub u32);
+
+/// One node of the recorded trace DAG.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceNode {
+    /// The constant-true leaf.
+    True,
+    /// The constant-false leaf.
+    False,
+    /// A Shannon decision on `var`.
+    Decision {
+        /// The branched variable.
+        var: u32,
+        /// Subtrace under `var = 1`.
+        hi: TraceNodeId,
+        /// Subtrace under `var = 0`.
+        lo: TraceNodeId,
+    },
+    /// An independent-∧ node (component split).
+    And {
+        /// The independent subtraces.
+        children: Vec<TraceNodeId>,
+    },
+}
+
+/// The trace DAG of a DPLL run (a decision-DNNF per Huang–Darwiche).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    nodes: Vec<TraceNode>,
+    root: Option<TraceNodeId>,
+}
+
+impl Trace {
+    const TRUE: TraceNodeId = TraceNodeId(0);
+    const FALSE: TraceNodeId = TraceNodeId(1);
+
+    fn new() -> Trace {
+        Trace {
+            nodes: vec![TraceNode::True, TraceNode::False],
+            root: None,
+        }
+    }
+
+    fn push(&mut self, node: TraceNode) -> TraceNodeId {
+        let id = TraceNodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> TraceNodeId {
+        self.root.expect("trace has a root after a completed run")
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: TraceNodeId) -> &TraceNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// All nodes (index = id).
+    pub fn nodes(&self) -> &[TraceNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes *reachable from the root* — the size measure used in
+    /// the Theorem 7.1 experiments.
+    pub fn reachable_size(&self) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut count = 0;
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.0 as usize], true) {
+                continue;
+            }
+            count += 1;
+            match &self.nodes[id.0 as usize] {
+                TraceNode::True | TraceNode::False => {}
+                TraceNode::Decision { hi, lo, .. } => {
+                    stack.push(*hi);
+                    stack.push(*lo);
+                }
+                TraceNode::And { children } => stack.extend(children.iter().copied()),
+            }
+        }
+        count
+    }
+
+    /// Number of decision nodes reachable from the root.
+    pub fn decision_count(&self) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut count = 0;
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.0 as usize], true) {
+                continue;
+            }
+            match &self.nodes[id.0 as usize] {
+                TraceNode::True | TraceNode::False => {}
+                TraceNode::Decision { hi, lo, .. } => {
+                    count += 1;
+                    stack.push(*hi);
+                    stack.push(*lo);
+                }
+                TraceNode::And { children } => stack.extend(children.iter().copied()),
+            }
+        }
+        count
+    }
+
+    /// Evaluates the trace as a circuit on an assignment (for validation:
+    /// the trace must compute exactly the counted formula).
+    pub fn eval(&self, assignment: &dyn Fn(u32) -> bool) -> bool {
+        fn go(t: &Trace, id: TraceNodeId, a: &dyn Fn(u32) -> bool) -> bool {
+            match t.node(id) {
+                TraceNode::True => true,
+                TraceNode::False => false,
+                TraceNode::Decision { var, hi, lo } => {
+                    if a(*var) {
+                        go(t, *hi, a)
+                    } else {
+                        go(t, *lo, a)
+                    }
+                }
+                TraceNode::And { children } => children.iter().all(|c| go(t, *c, a)),
+            }
+        }
+        go(self, self.root(), assignment)
+    }
+}
+
+/// The outcome of a run.
+#[derive(Clone, Debug)]
+pub struct DpllResult {
+    /// The weighted count: `p(F)` under the given per-variable probabilities.
+    pub probability: f64,
+    /// Run statistics.
+    pub stats: DpllStats,
+    /// The recorded trace, when requested.
+    pub trace: Option<Trace>,
+    /// True when `max_decisions` aborted the run (probability is invalid).
+    pub aborted: bool,
+}
+
+/// The counter itself. Create with [`Dpll::new`], run with [`Dpll::run`].
+pub struct Dpll {
+    clauses: Vec<Clause>,
+    probs: Vec<f64>,
+    options: DpllOptions,
+    order_rank: Vec<u32>,
+    stats: DpllStats,
+    trace: Trace,
+    cache: HashMap<Box<[i32]>, (f64, TraceNodeId)>,
+    aborted: bool,
+}
+
+impl Dpll {
+    /// Prepares a counter for `cnf` with per-variable probabilities
+    /// (`probs.len() == cnf.num_vars`; Tseitin auxiliaries should get 1/2 and
+    /// the caller corrects by `2^aux` — see `pdb-wmc::prob`).
+    pub fn new(cnf: &Cnf, probs: Vec<f64>, options: DpllOptions) -> Dpll {
+        assert_eq!(probs.len() as u32, cnf.num_vars, "one probability per var");
+        let mut order_rank = vec![u32::MAX; cnf.num_vars as usize];
+        if let Some(order) = &options.var_order {
+            for (rank, &v) in order.iter().enumerate() {
+                if (v as usize) < order_rank.len() {
+                    order_rank[v as usize] = rank as u32;
+                }
+            }
+        }
+        Dpll {
+            clauses: cnf.clauses.clone(),
+            probs,
+            options,
+            order_rank,
+            stats: DpllStats::default(),
+            trace: Trace::new(),
+            cache: HashMap::new(),
+            aborted: false,
+        }
+    }
+
+    /// Runs the counter.
+    pub fn run(mut self) -> DpllResult {
+        let clauses = std::mem::take(&mut self.clauses);
+        let (p, node) = self.solve(clauses, 0);
+        self.trace.root = Some(node);
+        DpllResult {
+            probability: if self.aborted { f64::NAN } else { p },
+            stats: self.stats,
+            trace: if self.options.record_trace {
+                Some(self.trace)
+            } else {
+                None
+            },
+            aborted: self.aborted,
+        }
+    }
+
+    fn solve(&mut self, clauses: Vec<Clause>, depth: u64) -> (f64, TraceNodeId) {
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        if self.aborted {
+            return (f64::NAN, Trace::TRUE);
+        }
+        if clauses.is_empty() {
+            return (1.0, Trace::TRUE);
+        }
+        if clauses.iter().any(Clause::is_empty) {
+            return (0.0, Trace::FALSE);
+        }
+        // Cache lookup on the canonical component serialization.
+        let key = if self.options.caching {
+            Some(serialize(&clauses))
+        } else {
+            None
+        };
+        if let Some(k) = &key {
+            if let Some(&(p, node)) = self.cache.get(k.as_slice()) {
+                self.stats.cache_hits += 1;
+                return (p, node);
+            }
+        }
+        // Component decomposition.
+        if self.options.components {
+            let comps = split_components(&clauses);
+            if comps.len() > 1 {
+                self.stats.component_splits += 1;
+                let mut p = 1.0;
+                let mut children = Vec::with_capacity(comps.len());
+                for comp in comps {
+                    let (cp, cnode) = self.solve(comp, depth + 1);
+                    p *= cp;
+                    children.push(cnode);
+                }
+                let node = if self.options.record_trace {
+                    self.trace.push(TraceNode::And { children })
+                } else {
+                    Trace::TRUE
+                };
+                if let Some(k) = key {
+                    self.cache.insert(k.into_boxed_slice(), (p, node));
+                    self.stats.cache_misses += 1;
+                }
+                return (p, node);
+            }
+        }
+        // Pick the branch variable: a unit literal's variable if any
+        // (unit propagation as a Shannon step), else the heuristic choice.
+        let var = match clauses.iter().find(|c| c.lits().len() == 1) {
+            Some(unit) => unit.lits()[0].var(),
+            None => self.pick_var(&clauses),
+        };
+        self.stats.decisions += 1;
+        if self.options.max_decisions > 0 && self.stats.decisions > self.options.max_decisions {
+            self.aborted = true;
+            return (f64::NAN, Trace::TRUE);
+        }
+        let p = self.probs[var as usize];
+        let (hi_p, hi_node) = self.solve(condition(&clauses, var, true), depth + 1);
+        let (lo_p, lo_node) = self.solve(condition(&clauses, var, false), depth + 1);
+        let total = p * hi_p + (1.0 - p) * lo_p;
+        let node = if self.options.record_trace {
+            self.trace.push(TraceNode::Decision {
+                var,
+                hi: hi_node,
+                lo: lo_node,
+            })
+        } else {
+            Trace::TRUE
+        };
+        if let Some(k) = key {
+            self.cache.insert(k.into_boxed_slice(), (total, node));
+            self.stats.cache_misses += 1;
+        }
+        (total, node)
+    }
+
+    /// Branch-variable heuristic: lowest fixed-order rank if an order was
+    /// given, otherwise the most frequently occurring variable.
+    fn pick_var(&self, clauses: &[Clause]) -> u32 {
+        if self.options.var_order.is_some() {
+            let mut best = u32::MAX;
+            let mut best_rank = (u32::MAX, u32::MAX);
+            for c in clauses {
+                for l in c.lits() {
+                    let v = l.var();
+                    let rank = (self.order_rank[v as usize], v);
+                    if rank < best_rank {
+                        best_rank = rank;
+                        best = v;
+                    }
+                }
+            }
+            best
+        } else {
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            for c in clauses {
+                for l in c.lits() {
+                    *counts.entry(l.var()).or_insert(0) += 1;
+                }
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(v, n)| (n, std::cmp::Reverse(v)))
+                .map(|(v, _)| v)
+                .expect("non-empty clauses have variables")
+        }
+    }
+}
+
+/// Conditions the clause set on `var = value`: satisfied clauses vanish,
+/// falsified literals are removed.
+fn condition(clauses: &[Clause], var: u32, value: bool) -> Vec<Clause> {
+    let mut out = Vec::with_capacity(clauses.len());
+    for c in clauses {
+        let mut touched = false;
+        let mut satisfied = false;
+        for l in c.lits() {
+            if l.var() == var {
+                touched = true;
+                if l.satisfied_by(value) {
+                    satisfied = true;
+                    break;
+                }
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        if touched {
+            out.push(Clause::new(
+                c.lits().iter().filter(|l| l.var() != var).copied().collect(),
+            ));
+        } else {
+            out.push(c.clone());
+        }
+    }
+    out
+}
+
+/// Splits a clause set into variable-disjoint components (rule (12)).
+fn split_components(clauses: &[Clause]) -> Vec<Vec<Clause>> {
+    // Union-find over clause indices, keyed by shared variables.
+    let n = clauses.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    let mut owner: HashMap<u32, usize> = HashMap::new();
+    for (i, c) in clauses.iter().enumerate() {
+        for l in c.lits() {
+            match owner.get(&l.var()) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+                None => {
+                    owner.insert(l.var(), i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<Clause>> = HashMap::new();
+    for (i, c) in clauses.iter().enumerate() {
+        groups
+            .entry(find(&mut parent, i))
+            .or_default()
+            .push(c.clone());
+    }
+    let mut out: Vec<Vec<Clause>> = groups.into_values().collect();
+    out.sort_by_key(|a| serialize(a));
+    out
+}
+
+/// Canonical serialization of a clause set (cache key).
+fn serialize(clauses: &[Clause]) -> Vec<i32> {
+    let mut sorted: Vec<&Clause> = clauses.iter().collect();
+    sorted.sort();
+    let mut out = Vec::with_capacity(clauses.len() * 4);
+    for c in sorted {
+        for l in c.lits() {
+            let v = l.var() as i32 + 1;
+            out.push(if l.is_pos() { v } else { -v });
+        }
+        out.push(0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use pdb_data::TupleId;
+    use pdb_lineage::{BoolExpr, Lit};
+    use pdb_num::assert_close;
+
+    fn v(i: u32) -> BoolExpr {
+        BoolExpr::var(TupleId(i))
+    }
+
+    fn check_against_brute(expr: &BoolExpr, probs: &[f64], options: DpllOptions) {
+        // Count ¬expr via CNF and compare 1 − p.
+        let cnf = Cnf::from_negated_dnf(expr, probs.len() as u32);
+        let expected = 1.0 - brute::expr_probability(expr, probs);
+        let result = Dpll::new(&cnf, probs.to_vec(), options).run();
+        assert!(!result.aborted);
+        assert_close(result.probability, expected, 1e-10);
+    }
+
+    #[test]
+    fn counts_simple_dnf() {
+        let f = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]), v(2)]);
+        let probs = [0.3, 0.6, 0.2];
+        check_against_brute(&f, &probs, DpllOptions::default());
+    }
+
+    #[test]
+    fn all_option_combinations_agree() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(1), v(2)]),
+            BoolExpr::and_all([v(3), v(4)]),
+        ]);
+        let probs = [0.1, 0.5, 0.9, 0.3, 0.7];
+        for components in [false, true] {
+            for caching in [false, true] {
+                let opts = DpllOptions {
+                    components,
+                    caching,
+                    record_trace: true,
+                    ..Default::default()
+                };
+                check_against_brute(&f, &probs, opts);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_computes_the_formula() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(2), v(3)]),
+        ]);
+        let cnf = Cnf::from_negated_dnf(&f, 4);
+        let opts = DpllOptions {
+            record_trace: true,
+            ..Default::default()
+        };
+        let result = Dpll::new(&cnf, vec![0.5; 4], opts).run();
+        let trace = result.trace.unwrap();
+        // The trace computes ¬f (we counted the negated DNF).
+        for mask in 0u32..16 {
+            let a = |var: u32| mask >> var & 1 == 1;
+            assert_eq!(trace.eval(&a), !f.eval(&|t| a(t.0)), "mask={mask}");
+        }
+        assert!(trace.reachable_size() > 2);
+    }
+
+    #[test]
+    fn components_rule_fires_on_disjoint_parts() {
+        // Two independent blocks: (x0 ∨ x1) ∧ (x2 ∨ x3)
+        let cnf = Cnf::new(
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::pos(1)]),
+                Clause::new(vec![Lit::pos(2), Lit::pos(3)]),
+            ],
+            4,
+        );
+        let opts = DpllOptions {
+            record_trace: true,
+            ..Default::default()
+        };
+        let result = Dpll::new(&cnf, vec![0.5; 4], opts).run();
+        assert!(result.stats.component_splits >= 1);
+        assert_close(result.probability, 0.75 * 0.75, 1e-12);
+    }
+
+    #[test]
+    fn unit_propagation_branches_units_first() {
+        // x0 ∧ (x0 ∨ x1): unit clause forces x0.
+        let cnf = Cnf::new(
+            vec![
+                Clause::new(vec![Lit::pos(0)]),
+                Clause::new(vec![Lit::pos(0), Lit::pos(1)]),
+            ],
+            2,
+        );
+        let result = Dpll::new(&cnf, vec![0.3, 0.9], DpllOptions::default()).run();
+        assert_close(result.probability, 0.3, 1e-12);
+    }
+
+    #[test]
+    fn caching_reduces_work() {
+        // A formula with many identical subproblems: chain of implications.
+        let mut clauses = Vec::new();
+        for i in 0..10u32 {
+            clauses.push(Clause::new(vec![Lit::neg(i), Lit::pos(i + 1)]));
+        }
+        let cnf = Cnf::new(clauses, 11);
+        let with_cache = Dpll::new(
+            &cnf,
+            vec![0.5; 11],
+            DpllOptions {
+                caching: true,
+                ..Default::default()
+            },
+        )
+        .run();
+        let without_cache = Dpll::new(
+            &cnf,
+            vec![0.5; 11],
+            DpllOptions {
+                caching: false,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_close(with_cache.probability, without_cache.probability, 1e-12);
+        assert!(with_cache.stats.decisions <= without_cache.stats.decisions);
+    }
+
+    #[test]
+    fn fixed_variable_order_is_respected_and_correct() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(2)]),
+            BoolExpr::and_all([v(1), v(3)]),
+        ]);
+        let probs = [0.2, 0.4, 0.6, 0.8];
+        let opts = DpllOptions {
+            components: false,
+            var_order: Some(vec![3, 2, 1, 0]),
+            ..Default::default()
+        };
+        check_against_brute(&f, &probs, opts);
+    }
+
+    #[test]
+    fn unsatisfiable_counts_zero() {
+        let cnf = Cnf::new(
+            vec![Clause::new(vec![Lit::pos(0)]), Clause::new(vec![Lit::neg(0)])],
+            1,
+        );
+        let result = Dpll::new(&cnf, vec![0.5], DpllOptions::default()).run();
+        assert_close(result.probability, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn empty_cnf_counts_one() {
+        let cnf = Cnf::new(vec![], 3);
+        let result = Dpll::new(&cnf, vec![0.5; 3], DpllOptions::default()).run();
+        assert_close(result.probability, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn max_decisions_aborts() {
+        // A hard-ish random instance with a tiny budget.
+        let mut clauses = Vec::new();
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                clauses.push(Clause::new(vec![
+                    Lit::neg(i),
+                    Lit::pos(6 + i * 6 + j),
+                    Lit::neg(42 + j),
+                ]));
+            }
+        }
+        let cnf = Cnf::new(clauses, 48);
+        let opts = DpllOptions {
+            max_decisions: 3,
+            ..Default::default()
+        };
+        let result = Dpll::new(&cnf, vec![0.5; 48], opts).run();
+        assert!(result.aborted);
+        assert!(result.probability.is_nan());
+    }
+
+    #[test]
+    fn model_counting_via_half_probabilities() {
+        // #F for F = (x0 ∨ x1) ∧ (x1 ∨ x2): brute force says 4 models... let
+        // us verify against the enumerator rather than hand-counting.
+        let cnf = Cnf::new(
+            vec![
+                Clause::new(vec![Lit::pos(0), Lit::pos(1)]),
+                Clause::new(vec![Lit::pos(1), Lit::pos(2)]),
+            ],
+            3,
+        );
+        let expected = brute::cnf_model_count(&cnf) as f64;
+        let result = Dpll::new(&cnf, vec![0.5; 3], DpllOptions::default()).run();
+        assert_close(result.probability * 8.0, expected, 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Naive Monte-Carlo estimation, as an ablation baseline.
+//!
+//! Sample worlds from the TID distribution, evaluate the formula, average.
+//! Unbiased but — unlike Karp–Luby — *not* an FPRAS: for small `p(F)` the
+//! relative error explodes (the additive error is `O(1/√samples)` no matter
+//! how small `p` is). The E9-style ablations use this contrast; it is also
+//! the only sampler that works for non-monotone formulas.
+
+use pdb_lineage::BoolExpr;
+use rand::Rng;
+
+/// An estimate with its standard error (shared shape with
+/// [`crate::karp_luby::Estimate`]).
+#[derive(Clone, Copy, Debug)]
+pub struct McEstimate {
+    /// The point estimate of `p(F)`.
+    pub value: f64,
+    /// Standard error.
+    pub std_error: f64,
+    /// Samples drawn.
+    pub samples: u64,
+}
+
+/// Estimates `p(F)` by direct world sampling. `probs[i] = p(Xᵢ)` must be
+/// standard probabilities.
+pub fn estimate(
+    expr: &BoolExpr,
+    probs: &[f64],
+    samples: u64,
+    rng: &mut impl Rng,
+) -> McEstimate {
+    // Only the variables mentioned matter; sample just those.
+    let vars: Vec<u32> = expr.vars().into_iter().map(|t| t.0).collect();
+    let mut assignment = vec![false; probs.len()];
+    let mut hits: u64 = 0;
+    for _ in 0..samples {
+        for &v in &vars {
+            assignment[v as usize] = rng.gen_bool(probs[v as usize].clamp(0.0, 1.0));
+        }
+        if expr.eval(&|id| assignment[id.index()]) {
+            hits += 1;
+        }
+    }
+    let mean = hits as f64 / samples as f64;
+    let var = mean * (1.0 - mean) / samples as f64;
+    McEstimate {
+        value: mean,
+        std_error: var.sqrt(),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use pdb_data::TupleId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn v(i: u32) -> BoolExpr {
+        BoolExpr::var(TupleId(i))
+    }
+
+    #[test]
+    fn estimates_converge() {
+        let f = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]), v(2)]);
+        let probs = [0.4, 0.6, 0.3];
+        let exact = brute::expr_probability(&f, &probs);
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = estimate(&f, &probs, 100_000, &mut rng);
+        assert!(
+            (est.value - exact).abs() < 4.0 * est.std_error + 1e-3,
+            "{} vs {}",
+            est.value,
+            exact
+        );
+    }
+
+    #[test]
+    fn handles_non_monotone_formulas() {
+        // (x0 XOR x1) — outside Karp–Luby's monotone-DNF scope.
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1).negate()]),
+            BoolExpr::and_all([v(0).negate(), v(1)]),
+        ]);
+        let probs = [0.5, 0.5];
+        let mut rng = StdRng::seed_from_u64(9);
+        let est = estimate(&f, &probs, 50_000, &mut rng);
+        assert!((est.value - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn rare_events_have_large_relative_error() {
+        // p(F) = 1e-6: with 10k samples naive MC almost surely returns 0 —
+        // the documented weakness that motivates Karp–Luby.
+        let f = BoolExpr::and_all([v(0), v(1)]);
+        let probs = [1e-3, 1e-3];
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = estimate(&f, &probs, 10_000, &mut rng);
+        assert!(est.value == 0.0 || est.value >= 1e-4);
+        // Karp–Luby on the same event with the same budget is spot-on.
+        let mut db = pdb_data::TupleDb::new();
+        db.insert("R", [0], 1e-3);
+        db.insert("S", [0], 1e-3);
+        let idx = db.index();
+        let lin = pdb_lineage::ucq_dnf_lineage(
+            &pdb_logic::parse_ucq("R(x), S(x)").unwrap(),
+            &db,
+            &idx,
+        );
+        let kl = crate::karp_luby::estimate(&lin, &[1e-3, 1e-3], 10_000, &mut rng);
+        assert!((kl.value - 1e-6).abs() < 1e-9, "KL is exact on one term");
+    }
+
+    #[test]
+    fn constants() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(estimate(&BoolExpr::TRUE, &[], 100, &mut rng).value, 1.0);
+        assert_eq!(estimate(&BoolExpr::FALSE, &[], 100, &mut rng).value, 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Approximate answers on a #P-hard query: probabilistic deduplication.
+//!
+//! The intro motivates probabilistic databases with data cleaning and
+//! deduplication. Here a noisy customer database has uncertain links
+//! `SameAs(dup, canonical)` produced by an entity-resolution model, plus
+//! `Flagged(dup)` (fraud heuristics) and `Vip(canonical)` (CRM data). The
+//! analyst asks: *is some flagged duplicate actually a VIP?*
+//!
+//! `Q = ∃x∃y (Flagged(x) ∧ SameAs(x,y) ∧ Vip(y))`
+//!
+//! is exactly the non-hierarchical pattern `R(x), S(x,y), T(y)` — #P-hard
+//! (Theorem 4.3). The engine still answers: exact grounded inference when
+//! it fits the budget, otherwise Karp–Luby sampling *sandwiched by the §6
+//! plan bounds* (Theorem 6.1).
+//!
+//! Run with `cargo run --release --example dedup_bounds`.
+
+use probdb::{Method, ProbDb, QueryOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build(n_dups: u64, n_canon: u64, link_density: f64, seed: u64) -> ProbDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = ProbDb::new();
+    for d in 0..n_dups {
+        db.insert("Flagged", [d], rng.gen_range(0.05..0.6));
+    }
+    for c in 0..n_canon {
+        db.insert("Vip", [n_dups + c], rng.gen_range(0.01..0.3));
+    }
+    for d in 0..n_dups {
+        for c in 0..n_canon {
+            if rng.gen_bool(link_density) {
+                db.insert("SameAs", [d, n_dups + c], rng.gen_range(0.2..0.95));
+            }
+        }
+    }
+    db
+}
+
+fn main() {
+    let q = "exists x. exists y. Flagged(x) & SameAs(x,y) & Vip(y)";
+    println!("=== probabilistic deduplication: {q} ===\n");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "dups", "links", "method", "lower", "estimate", "upper"
+    );
+    for (n_dups, n_canon, budget) in [
+        (4u64, 3u64, 0u64),        // small: exact grounded inference
+        (10, 8, 0),                // still exact
+        (18, 14, 20_000),          // budgeted: falls back to sampling+bounds
+    ] {
+        let db = build(n_dups, n_canon, 0.5, 42 + n_dups);
+        let links = db
+            .tuple_db()
+            .relation("SameAs")
+            .map(|r| r.len())
+            .unwrap_or(0);
+        let opts = QueryOptions {
+            exact_budget: budget,
+            samples: 100_000,
+            ..Default::default()
+        };
+        let fo = probdb::logic::parse_fo(q).unwrap();
+        let a = db.query_fo(&fo, &opts).expect("query evaluates");
+        let (lo, hi) = a.bounds.unwrap_or((f64::NAN, f64::NAN));
+        println!(
+            "{n_dups:>6} {links:>8} {:>12} {:>12} {:>12.6} {:>12}",
+            format!("{:?}", a.method),
+            if a.method == Method::Approximate {
+                format!("{lo:.6}")
+            } else {
+                "—".into()
+            },
+            a.probability,
+            if a.method == Method::Approximate {
+                format!("{hi:.6}")
+            } else {
+                "—".into()
+            },
+        );
+        if let Some(se) = a.std_error {
+            println!("{:>27} (std error ±{se:.6})", "");
+        }
+        if a.method == Method::Approximate {
+            assert!(lo <= a.probability + 0.05 && a.probability <= hi + 0.05);
+        }
+    }
+    println!(
+        "\nThe hard query never blocks the engine: exact when affordable, \
+         guaranteed Theorem-6.1 bounds plus an unbiased estimate otherwise."
+    );
+}

@@ -1,0 +1,83 @@
+//! A guided tour of the paper's Figure 1 and Example 2.1.
+//!
+//! Builds the 9-tuple TID verbatim, computes the probability of the
+//! inclusion constraint `Q = ∀x∀y (S(x,y) ⇒ R(x))` three independent ways
+//! (closed form, lifted inference, brute-force world enumeration), then
+//! reproduces the §6 plan comparison (`Plan₁` vs `Plan₂`, footnote 9).
+//!
+//! Run with `cargo run --example fig1_walkthrough`.
+
+use probdb::data::generators;
+use probdb::lineage::eval::brute_force_probability;
+use probdb::logic::{parse_cq, parse_fo, Var};
+use probdb::plans::{execute, is_safe, Plan};
+
+fn main() {
+    let p = [0.1, 0.2, 0.3];
+    let q = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let (db, sym) = generators::fig1(p, q);
+
+    println!("=== Figure 1: the tuple-independent database ===");
+    for rel in db.relations() {
+        println!("{}/{}:", rel.name(), rel.arity());
+        for (t, prob) in rel.iter() {
+            let pretty: Vec<String> = t.values().iter().map(|&c| sym.name(c)).collect();
+            println!("  ({})  P = {prob}", pretty.join(","));
+        }
+    }
+    println!("\n|DOM| = {} constants, {} possible tuples, 2^{} possible worlds",
+        db.domain().len(), db.tuple_count(), db.tuple_count());
+
+    // --- Example 2.1 ------------------------------------------------------
+    println!("\n=== Example 2.1: Q = ∀x∀y (S(x,y) ⇒ R(x)) ===");
+    let sentence = parse_fo("forall x. forall y. (S(x,y) -> R(x))").unwrap();
+
+    // The paper's closed form.
+    let closed = (p[0] + (1.0 - p[0]) * (1.0 - q[0]) * (1.0 - q[1]))
+        * (p[1] + (1.0 - p[1]) * (1.0 - q[2]) * (1.0 - q[3]) * (1.0 - q[4]))
+        * (1.0 - q[5]);
+    println!("closed form          p_D(Q) = {closed:.10}");
+
+    // Lifted inference (the unate ∀* fragment via duality).
+    let lifted = probdb::lifted::probability_fo(&sentence, &db)
+        .expect("Example 2.1 is liftable");
+    println!("lifted inference     p_D(Q) = {lifted:.10}");
+
+    // Brute force: sum over all 2^9 worlds (the definition, eq. (1)).
+    let brute = brute_force_probability(&sentence, &db);
+    println!("world enumeration    p_D(Q) = {brute:.10}");
+
+    assert!((closed - lifted).abs() < 1e-10);
+    assert!((closed - brute).abs() < 1e-10);
+    println!("all three agree ✓");
+
+    // --- §6: Plan₁ vs Plan₂ -------------------------------------------------
+    println!("\n=== §6: two plans for ∃x∃y (R(x) ∧ S(x,y)) ===");
+    let atoms = parse_cq("R(x), S(x,y)").unwrap().atoms().to_vec();
+    let plan1 = Plan::project(
+        [],
+        Plan::join(Plan::Scan(atoms[0].clone()), Plan::Scan(atoms[1].clone())),
+    );
+    let plan2 = Plan::project(
+        [],
+        Plan::join(
+            Plan::Scan(atoms[0].clone()),
+            Plan::project([Var::new("x")], Plan::Scan(atoms[1].clone())),
+        ),
+    );
+    let join_query = parse_fo("exists x. exists y. R(x) & S(x,y)").unwrap();
+    let truth = brute_force_probability(&join_query, &db);
+    let p1 = execute(&plan1, &db).boolean_prob();
+    let p2 = execute(&plan2, &db).boolean_prob();
+    println!("Plan₁ = {plan1}");
+    println!("   result {p1:.10}   safe? {}", is_safe(&plan1));
+    println!("Plan₂ = {plan2}");
+    println!("   result {p2:.10}   safe? {}", is_safe(&plan2));
+    println!("true probability     {truth:.10}");
+    println!(
+        "Plan₂ is exact ({}), Plan₁ over-estimates by {:+.2e} — yet is still \
+         an upper bound, as Theorem 6.1 promises.",
+        (p2 - truth).abs() < 1e-12,
+        p1 - truth
+    );
+}

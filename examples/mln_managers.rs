@@ -1,0 +1,66 @@
+//! Correlations through constraints (§3): the Manager MLN.
+//!
+//! Builds the paper's soft constraint
+//! `3.9 : Manager(M,E) ⇒ HighlyCompensated(M)`, translates it to a
+//! tuple-independent database plus the constraint `Γ`, and demonstrates
+//! Proposition 3.1: `p_MLN(Q) = p_D(Q | Γ)` — correlations emerge from a
+//! purely independent database by conditioning.
+//!
+//! Run with `cargo run --example mln_managers`.
+
+use probdb::mln::{conditional_brute, conditional_grounded, translate, Mln};
+use probdb::logic::parse_fo;
+
+fn main() {
+    let n = 2; // domain {0, 1}: two people
+    let mln = Mln::manager_example(n);
+    println!("=== §3: the Manager MLN over a domain of {n} ===");
+    for c in mln.constraints() {
+        println!("soft constraint  {} : {:?}", c.weight, c.formula);
+    }
+    println!("groundings: {}", mln.groundings().len());
+    println!("Z = {:.6}\n", mln.partition());
+
+    let t = translate(&mln);
+    println!("=== Proposition 3.1: translation to TID + constraint ===");
+    println!("Γ = {:?}", t.gamma);
+    println!(
+        "auxiliary relation C0 with p = 1/w = {:.6} on every tuple",
+        1.0 / 3.9
+    );
+    println!("(the paper's §3 text prints 1/(w−1) ≈ 0.345 — that is the \
+              *weight* of the auxiliary variable; as a probability it is \
+              1/w ≈ {:.3}, which the checks below pin down)\n", 1.0 / 3.9);
+
+    println!("{:<55} {:>10} {:>10} {:>10}", "query", "p_MLN", "p(Q|Γ)", "grounded");
+    for q in [
+        "Manager(0,1)",
+        "HighlyCompensated(0)",
+        "Manager(0,1) & HighlyCompensated(0)",
+        "exists m. exists e. Manager(m,e)",
+        "forall m. HighlyCompensated(m)",
+    ] {
+        let fo = parse_fo(q).unwrap();
+        let lhs = mln.probability(&fo);
+        let rhs = conditional_brute(&fo, &t.gamma, &t.db);
+        let grounded = conditional_grounded(&fo, &t.gamma, &t.db);
+        assert!((lhs - rhs).abs() < 1e-10, "Proposition 3.1 violated!");
+        assert!((lhs - grounded).abs() < 1e-10);
+        println!("{q:<55} {lhs:>10.6} {rhs:>10.6} {grounded:>10.6}");
+    }
+
+    // The correlation the MLN encodes: managing someone raises the
+    // probability of being highly compensated.
+    let h = parse_fo("HighlyCompensated(0)").unwrap();
+    let m = parse_fo("Manager(0,1)").unwrap();
+    let hm = parse_fo("HighlyCompensated(0) & Manager(0,1)").unwrap();
+    let p_h = mln.probability(&h);
+    let p_h_given_m = mln.probability(&hm) / mln.probability(&m);
+    println!(
+        "\np(HighlyCompensated(0))                = {p_h:.6}\n\
+         p(HighlyCompensated(0) | Manager(0,1)) = {p_h_given_m:.6}\n\
+         managing someone raises the posterior by {:+.3} — a correlation, \
+         from independent tuples + one constraint.",
+        p_h_given_m - p_h
+    );
+}

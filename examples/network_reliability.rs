@@ -1,0 +1,70 @@
+//! Probabilistic datalog: network reliability as transitive closure.
+//!
+//! The paper's §2 lists datalog programs (ProbLog) among the PQE query
+//! languages, and §9 covers recursive queries. The classic instance: edges
+//! fail independently; what is the probability that `t` stays reachable
+//! from `s`? That is `p(Path(s,t))` under the two-rule transitive-closure
+//! program — the engine derives every path's minimal edge supports and
+//! hands the lineage to exact weighted model counting.
+//!
+//! Run with `cargo run --release --example network_reliability`.
+
+use probdb::data::TupleDb;
+use probdb::datalog::{parse_program, DatalogEngine};
+
+fn main() {
+    // A small data-center fabric: two spines (10, 11), three racks (20-22),
+    // one gateway (0), with per-link availability.
+    let mut db = TupleDb::new();
+    let links: &[(u64, u64, f64)] = &[
+        (0, 10, 0.99),
+        (0, 11, 0.95),
+        (10, 20, 0.9),
+        (10, 21, 0.9),
+        (11, 20, 0.8),
+        (11, 21, 0.85),
+        (11, 22, 0.9),
+        (10, 22, 0.7),
+        (20, 21, 0.6), // rack-to-rack crosslink
+    ];
+    for &(a, b, p) in links {
+        db.insert("Edge", [a, b], p);
+    }
+
+    let program = parse_program(
+        "
+        # two-terminal reachability
+        Path(x,y) <- Edge(x,y).
+        Path(x,z) <- Path(x,y), Edge(y,z).
+        ",
+    )
+    .expect("program parses");
+
+    println!("=== probabilistic datalog: network reliability ===\n");
+    println!("{} links, program:", links.len());
+    for r in &program.rules {
+        println!("  {r}");
+    }
+
+    let mut engine = DatalogEngine::new(&db, program);
+    println!("\n{:<14} {:>12} {:>18}", "gateway→rack", "p(reach)", "min. supports");
+    for rack in [20u64, 21, 22] {
+        let t = probdb::data::Tuple::from([0, rack]);
+        let p = engine.probability("Path", &t);
+        let supports = engine.support_count("Path", &t);
+        println!("{:<14} {:>12.8} {:>18}", format!("0 → {rack}"), p, supports);
+    }
+
+    // All derived facts at once.
+    let facts = engine.facts("Path");
+    println!("\n{} reachability facts derived in total; the least reliable:", facts.len());
+    let mut sorted = facts.clone();
+    sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (t, p) in sorted.iter().take(3) {
+        println!("  Path{t}  p = {p:.6}");
+    }
+    println!(
+        "\nEach probability is exact weighted model counting over the\n\
+         fact's minimal-support lineage — ProbLog's architecture (§9)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: build a small probabilistic database and query it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use probdb::{Complexity, ProbDb};
+
+fn main() {
+    // A tiny movie-recommendation TID: `Likes(user, movie)` holds with the
+    // confidence of a noisy extractor; `Popular(movie)` comes from a
+    // classifier.
+    let mut db = ProbDb::new();
+    // users 1..3, movies 10..13
+    db.insert("Likes", [1, 10], 0.9);
+    db.insert("Likes", [1, 11], 0.4);
+    db.insert("Likes", [2, 11], 0.7);
+    db.insert("Likes", [2, 12], 0.6);
+    db.insert("Likes", [3, 12], 0.8);
+    db.insert("Popular", [10], 0.5);
+    db.insert("Popular", [11], 0.95);
+    db.insert("Popular", [12], 0.2);
+
+    println!("=== probdb quickstart ===\n");
+
+    // A hierarchical (liftable) query: "some user likes a popular movie".
+    let q1 = "exists u. exists m. Likes(u,m) & Popular(m)";
+    let a1 = db.query(q1).expect("valid query");
+    println!("Q1 = {q1}");
+    println!("   p = {:.6}  (engine: {:?})\n", a1.probability, a1.method);
+
+    // A Boolean fact query.
+    let q2 = "Likes(1,10) & Popular(10)";
+    let a2 = db.query(q2).expect("valid query");
+    println!("Q2 = {q2}");
+    println!("   p = {:.6}  (engine: {:?})\n", a2.probability, a2.method);
+
+    // A universal (constraint-style) query: "every liked movie is popular".
+    let q3 = "forall u. forall m. (Likes(u,m) -> Popular(m))";
+    let a3 = db.query(q3).expect("valid query");
+    println!("Q3 = {q3}");
+    println!("   p = {:.6}  (engine: {:?})\n", a3.probability, a3.method);
+
+    // The dichotomy classifier (Theorem 4.3): which queries are tractable?
+    for (label, text) in [
+        ("hierarchical", "Likes(u,m), Popular(m)"),
+        ("non-hierarchical", "R(x), S(x,y), T(y)"),
+    ] {
+        let ucq = probdb::logic::parse_ucq(text).expect("valid UCQ");
+        let c = db.classify(&ucq);
+        let verdict = match c {
+            Complexity::PolynomialTime => "polynomial time",
+            Complexity::SharpPHard => "#P-hard",
+            Complexity::Unknown => "unknown",
+        };
+        println!("classify[{label}] {text}  →  {verdict}");
+    }
+    println!();
+
+    // A #P-hard query still gets an exact answer on small data (grounded
+    // inference) …
+    let mut hard = ProbDb::new();
+    for x in 0..3u64 {
+        hard.insert("R", [x], 0.5);
+        hard.insert("T", [x + 3], 0.5);
+        for y in 3..6u64 {
+            hard.insert("S", [x, y], 0.5);
+        }
+    }
+    let q4 = "exists x. exists y. R(x) & S(x,y) & T(y)";
+    let a4 = hard.query(q4).expect("valid query");
+    println!("Q4 = {q4}  (the dual of H₀, #P-hard in general)");
+    println!("   p = {:.6}  (engine: {:?})", a4.probability, a4.method);
+}

@@ -1,0 +1,56 @@
+//! # probdb — probabilistic databases for all
+//!
+//! A complete Rust implementation of the probabilistic-database stack
+//! surveyed in Dan Suciu's *"Probabilistic Databases for All"* (PODS 2020):
+//! tuple-independent databases, the probabilistic query evaluation problem
+//! (`PQE`), the polynomial-time / #P-hard dichotomy, lifted inference with
+//! the inclusion/exclusion rule, extensional plans with upper/lower bounds,
+//! grounded inference via DPLL-style weighted model counting and knowledge
+//! compilation, correlations through constraints (Markov Logic Networks),
+//! and symmetric FO² model counting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use probdb::ProbDb;
+//!
+//! let mut db = ProbDb::new();
+//! db.insert("R", [1], 0.5);
+//! db.insert("S", [1, 2], 0.8);
+//! let answer = db.query("exists x. exists y. R(x) & S(x,y)").unwrap();
+//! assert!((answer.probability - 0.4).abs() < 1e-12);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | subsystem | paper section |
+//! |---|---|---|
+//! | [`num`] | exact rationals, log-space arithmetic | substrate |
+//! | [`logic`] | FO/CQ/UCQ ASTs, parser, hierarchy & separators | §2, §4, §5 |
+//! | [`data`] | TIDs, possible worlds, generators, symmetric DBs | §2, §8, Fig. 1 |
+//! | [`lineage`] | Boolean provenance, CNF, model checking | §7 + appendix |
+//! | [`wmc`] | brute force, DPLL (+trace), Karp–Luby | §7 |
+//! | [`compile`] | OBDD, FBDD, decision-DNNF, d-DNNF | §7, Fig. 2 |
+//! | [`lifted`] | lifted rules + inclusion/exclusion, dichotomy | §4, §5 |
+//! | [`plans`] | extensional plans, safe plans, bounds | §6 |
+//! | [`mln`] | Markov Logic Networks ↔ TID + constraint | §3, Fig. 3 |
+//! | [`symmetric`] | H₀ closed form, FO² cell algorithm | §8 |
+//! | [`bid`] | block-independent-disjoint databases | §1 |
+//! | [`datalog`] | probabilistic datalog (ProbLog-style recursion) | §2, §9 |
+//! | [`engine`] | the [`ProbDb`] cascade | all |
+
+pub use pdb_core as engine;
+pub use pdb_core::{Answer, Complexity, EngineError, Method, ProbDb, QueryOptions};
+
+pub use pdb_bid as bid;
+pub use pdb_compile as compile;
+pub use pdb_datalog as datalog;
+pub use pdb_data as data;
+pub use pdb_lifted as lifted;
+pub use pdb_lineage as lineage;
+pub use pdb_logic as logic;
+pub use pdb_mln as mln;
+pub use pdb_num as num;
+pub use pdb_plans as plans;
+pub use pdb_symmetric as symmetric;
+pub use pdb_wmc as wmc;
