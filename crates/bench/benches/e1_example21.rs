@@ -8,8 +8,7 @@ fn bench(c: &mut Criterion) {
     let p = [0.1, 0.2, 0.3];
     let q = [0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
     let (db, _) = pdb_data::generators::fig1(p, q);
-    let sentence =
-        pdb_logic::parse_fo("forall x. forall y. (S(x,y) -> R(x))").unwrap();
+    let sentence = pdb_logic::parse_fo("forall x. forall y. (S(x,y) -> R(x))").unwrap();
 
     let mut g = c.benchmark_group("e1_example21");
     g.bench_function("closed_form", |b| {
@@ -27,9 +26,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| pdb_wmc::probability_of_query(black_box(&sentence), &db))
     });
     g.bench_function("world_enumeration", |b| {
-        b.iter(|| {
-            pdb_lineage::eval::brute_force_probability(black_box(&sentence), &db)
-        })
+        b.iter(|| pdb_lineage::eval::brute_force_probability(black_box(&sentence), &db))
     });
     g.finish();
 }

@@ -8,8 +8,7 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let h0 = pdb_logic::parse_fo("forall x. forall y. (R(x) | S(x,y) | T(y))")
-        .unwrap();
+    let h0 = pdb_logic::parse_fo("forall x. forall y. (R(x) | S(x,y) | T(y))").unwrap();
     let mut g = c.benchmark_group("e2_h0_dpll");
     g.sample_size(10);
     for n in [2u64, 4, 6, 8] {
@@ -18,8 +17,7 @@ fn bench(c: &mut Criterion) {
         let idx = db.index();
         let lin = pdb_lineage::lineage(&h0, &db, &idx);
         let probs: Vec<f64> = idx.iter().map(|(_, r)| r.prob).collect();
-        let cnf =
-            pdb_lineage::Cnf::from_expr_direct(&lin, probs.len() as u32).unwrap();
+        let cnf = pdb_lineage::Cnf::from_expr_direct(&lin, probs.len() as u32).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 pdb_wmc::Dpll::new(

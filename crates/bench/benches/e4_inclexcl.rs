@@ -23,8 +23,7 @@ fn chain_db(n: u64) -> pdb_data::TupleDb {
 }
 
 fn bench_chain(c: &mut Criterion) {
-    let chain =
-        pdb_logic::parse_ucq("[A(x), B(y)] | [B(y), C(z)] | [C(z), D(w)]").unwrap();
+    let chain = pdb_logic::parse_ucq("[A(x), B(y)] | [B(y), C(z)] | [C(z), D(w)]").unwrap();
     let mut g = c.benchmark_group("e4_ie_chain");
     for n in [16u64, 64, 256] {
         let db = chain_db(n);

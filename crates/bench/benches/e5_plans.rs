@@ -9,7 +9,10 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_plans(c: &mut Criterion) {
-    let atoms = pdb_logic::parse_cq("R(x), S(x,y)").unwrap().atoms().to_vec();
+    let atoms = pdb_logic::parse_cq("R(x), S(x,y)")
+        .unwrap()
+        .atoms()
+        .to_vec();
     let plan1 = Plan::project(
         [],
         Plan::join(Plan::Scan(atoms[0].clone()), Plan::Scan(atoms[1].clone())),
@@ -26,7 +29,10 @@ fn bench_plans(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(n);
         let db = pdb_data::generators::star(n, 1, 4, 0.0, &mut rng);
         // star uses S1; rebuild plans on its atoms.
-        let atoms = pdb_logic::parse_cq("R(x), S1(x,y)").unwrap().atoms().to_vec();
+        let atoms = pdb_logic::parse_cq("R(x), S1(x,y)")
+            .unwrap()
+            .atoms()
+            .to_vec();
         let p1 = Plan::project(
             [],
             Plan::join(Plan::Scan(atoms[0].clone()), Plan::Scan(atoms[1].clone())),

@@ -49,10 +49,9 @@ fn bench_obdd(c: &mut Criterion) {
 
 fn bench_qw_trace(c: &mut Criterion) {
     use rand::Rng;
-    let qw = pdb_logic::parse_ucq(
-        "[R(x0), S1(x0,y0)] | [S1(x1,y1), S2(x1,y1)] | [S2(x2,y2), T(y2)]",
-    )
-    .unwrap();
+    let qw =
+        pdb_logic::parse_ucq("[R(x0), S1(x0,y0)] | [S1(x1,y1), S2(x1,y1)] | [S2(x2,y2), T(y2)]")
+            .unwrap();
     let mut g = c.benchmark_group("e6_qw_decision_dnnf");
     g.sample_size(10);
     for n in [2u64, 3, 4] {

@@ -6,10 +6,7 @@ use pdb_mln::{conditional_grounded, translate, Mln};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let q = pdb_logic::parse_fo(
-        "exists m. exists e. Manager(m,e) & HighlyCompensated(m)",
-    )
-    .unwrap();
+    let q = pdb_logic::parse_fo("exists m. exists e. Manager(m,e) & HighlyCompensated(m)").unwrap();
     let mut g = c.benchmark_group("e8_mln_manager");
     g.sample_size(10);
     for n in [1u64, 2] {

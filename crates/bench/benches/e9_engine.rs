@@ -17,8 +17,7 @@ fn bench(c: &mut Criterion) {
         &mut rng,
     ));
     let liftable = pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y)").unwrap();
-    let hard =
-        pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y) & T(y)").unwrap();
+    let hard = pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y) & T(y)").unwrap();
 
     let mut g = c.benchmark_group("e9_engine_cascade");
     g.bench_function("liftable/full_cascade", |b| {
@@ -33,10 +32,18 @@ fn bench(c: &mut Criterion) {
             disable_lifted: true,
             ..Default::default()
         };
-        b.iter(|| db.query_fo(black_box(&liftable), &opts).unwrap().probability)
+        b.iter(|| {
+            db.query_fo(black_box(&liftable), &opts)
+                .unwrap()
+                .probability
+        })
     });
     g.bench_function("hard/grounded", |b| {
-        b.iter(|| db.query_fo(black_box(&hard), &QueryOptions::default()).unwrap().probability)
+        b.iter(|| {
+            db.query_fo(black_box(&hard), &QueryOptions::default())
+                .unwrap()
+                .probability
+        })
     });
     g.bench_function("hard/karp_luby_50k", |b| {
         let opts = QueryOptions {

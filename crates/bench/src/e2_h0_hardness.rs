@@ -9,8 +9,8 @@
 
 use crate::{fmt_dur, Effort};
 use pdb_data::generators;
-use pdb_logic::{parse_fo, parse_ucq};
 use pdb_lineage::Cnf;
+use pdb_logic::{parse_fo, parse_ucq};
 use pdb_wmc::{Dpll, DpllOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

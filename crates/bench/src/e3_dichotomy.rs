@@ -8,8 +8,8 @@
 
 use crate::{fmt_dur, Effort};
 use pdb_data::generators;
-use pdb_logic::parse_cq;
 use pdb_lifted::{classify_sjf_cq, Complexity, LiftedEngine};
+use pdb_logic::parse_cq;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write;
@@ -21,7 +21,12 @@ pub fn run(effort: Effort) -> String {
 
     // --- (a) the classifier on a suite --------------------------------------
     writeln!(out, "classifier (Theorem 4.3, AC⁰ test):").unwrap();
-    writeln!(out, "{:<38} {:>14} {:>14}", "query", "hierarchical", "complexity").unwrap();
+    writeln!(
+        out,
+        "{:<38} {:>14} {:>14}",
+        "query", "hierarchical", "complexity"
+    )
+    .unwrap();
     for q in [
         "R(x)",
         "R(x), S(x,y)",
@@ -53,7 +58,12 @@ pub fn run(effort: Effort) -> String {
         Effort::Full => vec![10, 40, 160, 640, 2560],
     };
     writeln!(out, "\nlifted inference on R(x), S(x,y) (hierarchical):").unwrap();
-    writeln!(out, "{:>8} {:>10} {:>12} {:>10}", "n", "tuples", "p", "time").unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>10}",
+        "n", "tuples", "p", "time"
+    )
+    .unwrap();
     let cq = parse_cq("R(x), S(x,y)").unwrap();
     for &n in &ns {
         let mut rng = StdRng::seed_from_u64(n);
@@ -81,7 +91,12 @@ pub fn run(effort: Effort) -> String {
         Effort::Full => vec![2, 4, 6, 8, 10, 12],
     };
     writeln!(out, "\ngrounded inference on R(x), S(x,y), T(y) (#P-hard):").unwrap();
-    writeln!(out, "{:>8} {:>10} {:>12} {:>10}", "n", "tuples", "p", "time").unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>10}",
+        "n", "tuples", "p", "time"
+    )
+    .unwrap();
     for &n in &ns {
         let mut rng = StdRng::seed_from_u64(n);
         let db = generators::bipartite(n, 1.0, (0.3, 0.7), &mut rng);
@@ -90,8 +105,7 @@ pub fn run(effort: Effort) -> String {
         let lin = pdb_lineage::ucq_dnf_lineage(&u, &db, &idx).to_expr();
         let probs: Vec<f64> = idx.iter().map(|(_, r)| r.prob).collect();
         let t0 = Instant::now();
-        let (p, _) =
-            pdb_wmc::probability_of_expr(&lin, &probs, pdb_wmc::DpllOptions::default());
+        let (p, _) = pdb_wmc::probability_of_expr(&lin, &probs, pdb_wmc::DpllOptions::default());
         let dur = t0.elapsed();
         writeln!(
             out,

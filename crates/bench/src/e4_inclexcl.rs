@@ -8,8 +8,8 @@
 
 use crate::{fmt_dur, Effort};
 use pdb_data::{generators, TupleDb};
-use pdb_logic::{parse_cq, parse_ucq};
 use pdb_lifted::LiftedEngine;
+use pdb_logic::{parse_cq, parse_ucq};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write;
@@ -54,7 +54,12 @@ pub fn run(effort: Effort) -> String {
     let brute = pdb_lineage::eval::brute_force_probability(&qj.to_fo(), &db);
     let stats = engine.stats();
     writeln!(out, "Q_J = R(x), S(x,y), T(u), S(u,v):").unwrap();
-    writeln!(out, "  lifted p = {lifted:.10} ({}) vs brute {brute:.10}", fmt_dur(t_lifted)).unwrap();
+    writeln!(
+        out,
+        "  lifted p = {lifted:.10} ({}) vs brute {brute:.10}",
+        fmt_dur(t_lifted)
+    )
+    .unwrap();
     writeln!(
         out,
         "  rules fired: indep={} separator={} I/E={} dual-expansions={} \
@@ -94,7 +99,12 @@ pub fn run(effort: Effort) -> String {
         Effort::Full => vec![8, 32, 128, 512, 2048],
     };
     writeln!(out, "\nscaling of lifted I/E on AB ∨ BC ∨ CD:").unwrap();
-    writeln!(out, "{:>8} {:>10} {:>12} {:>10}", "n", "tuples", "p", "time").unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>10}",
+        "n", "tuples", "p", "time"
+    )
+    .unwrap();
     for &n in &ns {
         let db = chain_db(n, n);
         let t0 = Instant::now();

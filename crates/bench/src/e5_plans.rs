@@ -63,7 +63,11 @@ pub fn run(effort: Effort) -> String {
         is_safe(&plan2)
     )
     .unwrap();
-    writeln!(out, "  p_D(Q) = {truth:.10} — Plan₂ exact, Plan₁ an upper bound").unwrap();
+    writeln!(
+        out,
+        "  p_D(Q) = {truth:.10} — Plan₂ exact, Plan₁ an upper bound"
+    )
+    .unwrap();
     assert!((got1 - expected1).abs() < 1e-12 && (got2 - expected2).abs() < 1e-12);
     assert!((got2 - truth).abs() < 1e-12 && got1 >= truth);
 

@@ -15,8 +15,8 @@
 use crate::{fmt_dur, Effort};
 use pdb_compile::{order, DecisionDnnf, Obdd};
 use pdb_data::generators;
-use pdb_logic::parse_ucq;
 use pdb_lineage::{ucq_dnf_lineage, Cnf};
+use pdb_logic::parse_ucq;
 use pdb_wmc::{Dpll, DpllOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,13 +33,17 @@ pub fn run(effort: Effort) -> String {
         Effort::Full => vec![2, 4, 8, 16, 32, 64],
     };
     writeln!(out, "(i-a) OBDD of R(x), S1(x,y) under the grouped order:").unwrap();
-    writeln!(out, "{:>6} {:>8} {:>10} {:>12}", "n", "tuples", "obdd", "size/tuple").unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>8} {:>10} {:>12}",
+        "n", "tuples", "obdd", "size/tuple"
+    )
+    .unwrap();
     for &n in &ns {
         let mut rng = StdRng::seed_from_u64(n);
         let db = generators::star(n, 1, 2, 0.5, &mut rng);
         let idx = db.index();
-        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S1(x,y)").unwrap(), &db, &idx)
-            .to_expr();
+        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S1(x,y)").unwrap(), &db, &idx).to_expr();
         let obdd = Obdd::compile(&lin, &order::hierarchical_order(&idx));
         writeln!(
             out,
@@ -72,8 +76,7 @@ pub fn run(effort: Effort) -> String {
         let mut rng = StdRng::seed_from_u64(n);
         let db = generators::bipartite(n, 1.0, (0.5, 0.5), &mut rng);
         let idx = db.index();
-        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S(x,y), T(y)").unwrap(), &db, &idx)
-            .to_expr();
+        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S(x,y), T(y)").unwrap(), &db, &idx).to_expr();
         let grouped = Obdd::compile(&lin, &order::hierarchical_order(&idx)).size();
         let identity = Obdd::compile(&lin, &order::identity_order(idx.len() as u32)).size();
         let relmajor = Obdd::compile(&lin, &order::relation_major_order(&idx)).size();
@@ -81,7 +84,12 @@ pub fn run(effort: Effort) -> String {
         writeln!(
             out,
             "{:>6} {:>8} {:>10} {:>10} {:>10} {:>12.1}",
-            n, idx.len(), grouped, identity, relmajor, bound
+            n,
+            idx.len(),
+            grouped,
+            identity,
+            relmajor,
+            bound
         )
         .unwrap();
     }
@@ -102,10 +110,7 @@ pub fn run(effort: Effort) -> String {
         "n", "tuples", "trace size", "decisions", "time"
     )
     .unwrap();
-    let qw = parse_ucq(
-        "[R(x0), S1(x0,y0)] | [S1(x1,y1), S2(x1,y1)] | [S2(x2,y2), T(y2)]",
-    )
-    .unwrap();
+    let qw = parse_ucq("[R(x0), S1(x0,y0)] | [S1(x1,y1), S2(x1,y1)] | [S2(x2,y2), T(y2)]").unwrap();
     for &n in &ns {
         let mut rng = StdRng::seed_from_u64(n * 3);
         let mut db = pdb_data::TupleDb::new();

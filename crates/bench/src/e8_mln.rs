@@ -8,9 +8,9 @@
 //! conditional-inference path.
 
 use crate::{fmt_dur, Effort};
+use pdb_logic::parse_fo;
 use pdb_mln::factors::{fig3_table, FactorModel};
 use pdb_mln::{conditional_grounded, translate, Mln};
-use pdb_logic::parse_fo;
 use std::fmt::Write;
 use std::time::Instant;
 
@@ -107,14 +107,24 @@ pub fn run(_effort: Effort) -> String {
             weight,
             lhs,
             rhs,
-            if weight.is_finite() { 1.0 / weight } else { 0.0 },
+            if weight.is_finite() {
+                1.0 / weight
+            } else {
+                0.0
+            },
             fmt_dur(dur)
         )
         .unwrap();
         if weight.is_finite() {
-            assert!((lhs - rhs).abs() < 1e-9, "Proposition 3.1 violated at w={weight}");
+            assert!(
+                (lhs - rhs).abs() < 1e-9,
+                "Proposition 3.1 violated at w={weight}"
+            );
         }
-        assert!((0.0..=1.0 + 1e-12).contains(&rhs), "conditional must be standard");
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&rhs),
+            "conditional must be standard"
+        );
     }
     writeln!(
         out,

@@ -71,7 +71,11 @@ pub fn run(effort: Effort) -> String {
     }
 
     // --- budget ablation ------------------------------------------------------
-    writeln!(out, "\nbudget ablation on the hard query (larger instance):").unwrap();
+    writeln!(
+        out,
+        "\nbudget ablation on the hard query (larger instance):"
+    )
+    .unwrap();
     let mut rng = StdRng::seed_from_u64(7);
     let big = ProbDb::from_tuple_db(generators::bipartite(12, 0.7, (0.2, 0.8), &mut rng));
     let fo = pdb_logic::parse_fo("exists x. exists y. R(x) & S(x,y) & T(y)").unwrap();
@@ -97,7 +101,11 @@ pub fn run(effort: Effort) -> String {
         writeln!(
             out,
             "{:>12} {:>13} {:>12.6} {:>22} {:>10}",
-            if budget == 0 { "∞".into() } else { budget.to_string() },
+            if budget == 0 {
+                "∞".into()
+            } else {
+                budget.to_string()
+            },
             format!("{:?}", a.method),
             a.probability,
             match a.bounds {
@@ -132,8 +140,7 @@ pub fn run(effort: Effort) -> String {
     for t in 0..trials {
         let mut rng = StdRng::seed_from_u64(t);
         let db = generators::bipartite(2, 0.9, (0.1, 0.9), &mut rng);
-        let truth =
-            pdb_lineage::eval::brute_force_probability(&cq.to_fo(), &db);
+        let truth = pdb_lineage::eval::brute_force_probability(&cq.to_fo(), &db);
         let values: Vec<f64> = all_plans(&cq)
             .iter()
             .map(|p| execute(p, &db).boolean_prob())

@@ -12,8 +12,8 @@
 //! counting over a TID, which `pdb-wmc` handles.
 
 use crate::model::BidDb;
-use pdb_lineage::BoolExpr;
 use pdb_data::{Tuple, TupleId};
+use pdb_lineage::BoolExpr;
 use pdb_logic::Fo;
 use std::collections::HashMap;
 
@@ -108,8 +108,8 @@ pub fn probability(fo: &Fo, db: &BidDb) -> f64 {
 mod tests {
     use super::*;
     use crate::worlds::brute_force_probability;
-    use pdb_num::assert_close;
     use pdb_logic::parse_fo;
+    use pdb_num::assert_close;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -147,7 +147,10 @@ mod tests {
     fn impossible_facts_are_false() {
         let db = city_db();
         let enc = SelectorEncoding::new(&db);
-        assert_eq!(enc.presence_of("City", &Tuple::from([9, 9])), BoolExpr::FALSE);
+        assert_eq!(
+            enc.presence_of("City", &Tuple::from([9, 9])),
+            BoolExpr::FALSE
+        );
         assert_eq!(enc.presence_of("Zzz", &Tuple::from([1])), BoolExpr::FALSE);
     }
 

@@ -132,7 +132,8 @@ impl BidDb {
     /// Convenience insert.
     pub fn insert(&mut self, name: &str, key_arity: usize, tuple: impl Into<Tuple>, p: f64) {
         let tuple = tuple.into();
-        self.relation_mut(name, tuple.arity(), key_arity).insert(tuple, p);
+        self.relation_mut(name, tuple.arity(), key_arity)
+            .insert(tuple, p);
     }
 
     /// Looks up a relation.

@@ -157,8 +157,7 @@ impl DecisionDnnf {
             DdnnfNode::False => 0.0,
             DdnnfNode::Decision { var, hi, lo } => {
                 let pv = probs[*var as usize];
-                pv * self.prob_rec(*hi, probs, memo)
-                    + (1.0 - pv) * self.prob_rec(*lo, probs, memo)
+                pv * self.prob_rec(*hi, probs, memo) + (1.0 - pv) * self.prob_rec(*lo, probs, memo)
             }
             DdnnfNode::And { children } => children
                 .iter()
@@ -213,21 +212,17 @@ impl DecisionDnnf {
                     for a in 0..sets.len() {
                         for b in a + 1..sets.len() {
                             if !sets[a].is_disjoint(&sets[b]) {
-                                return Err(format!(
-                                    "∧-node {i} has dependent children"
-                                ));
+                                return Err(format!("∧-node {i} has dependent children"));
                             }
                         }
                     }
                 }
                 DdnnfNode::Decision { var, hi, lo }
                     if (self.vars_below(*hi, &mut memo).contains(var)
-                        || self.vars_below(*lo, &mut memo).contains(var))
-                    => {
-                        return Err(format!(
-                            "decision node {i} re-reads its variable x{var}"
-                        ));
-                    }
+                        || self.vars_below(*lo, &mut memo).contains(var)) =>
+                {
+                    return Err(format!("decision node {i} re-reads its variable x{var}"));
+                }
                 _ => {}
             }
         }
@@ -272,10 +267,7 @@ impl DecisionDnnf {
                 })
             }
             DdnnfNode::And { children } => {
-                let kids: Vec<u32> = children
-                    .iter()
-                    .map(|&c| self.expand(c, out, map))
-                    .collect();
+                let kids: Vec<u32> = children.iter().map(|&c| self.expand(c, out, map)).collect();
                 out.push(DNode::And { children: kids })
             }
         };
@@ -386,13 +378,10 @@ impl Ddnnf {
                         1.0 - pv
                     }
                 }
-                DNode::And { children } => children
-                    .iter()
-                    .map(|&c| go(d, c, probs, memo))
-                    .product(),
-                DNode::Or { children } => {
-                    children.iter().map(|&c| go(d, c, probs, memo)).sum()
+                DNode::And { children } => {
+                    children.iter().map(|&c| go(d, c, probs, memo)).product()
                 }
+                DNode::Or { children } => children.iter().map(|&c| go(d, c, probs, memo)).sum(),
             };
             memo.insert(i, p);
             p
@@ -405,8 +394,8 @@ impl Ddnnf {
 mod tests {
     use super::*;
     use pdb_data::TupleId;
-    use pdb_num::assert_close;
     use pdb_lineage::{BoolExpr, Cnf};
+    use pdb_num::assert_close;
     use pdb_wmc::{brute, Dpll, DpllOptions};
 
     fn v(i: u32) -> BoolExpr {
@@ -507,11 +496,21 @@ mod tests {
     fn validate_rejects_dependent_and() {
         // Hand-build an invalid circuit: And over two decisions on the SAME var.
         let nodes = vec![
-            DdnnfNode::True,                                  // 0
-            DdnnfNode::False,                                 // 1
-            DdnnfNode::Decision { var: 0, hi: 0, lo: 1 },     // 2
-            DdnnfNode::Decision { var: 0, hi: 1, lo: 0 },     // 3
-            DdnnfNode::And { children: vec![2, 3] },          // 4
+            DdnnfNode::True,  // 0
+            DdnnfNode::False, // 1
+            DdnnfNode::Decision {
+                var: 0,
+                hi: 0,
+                lo: 1,
+            }, // 2
+            DdnnfNode::Decision {
+                var: 0,
+                hi: 1,
+                lo: 0,
+            }, // 3
+            DdnnfNode::And {
+                children: vec![2, 3],
+            }, // 4
         ];
         let dd = DecisionDnnf::new(nodes, 4);
         assert!(dd.validate().is_err());
@@ -520,10 +519,18 @@ mod tests {
     #[test]
     fn validate_rejects_repeated_reads() {
         let nodes = vec![
-            DdnnfNode::True,                              // 0
-            DdnnfNode::False,                             // 1
-            DdnnfNode::Decision { var: 0, hi: 0, lo: 1 }, // 2
-            DdnnfNode::Decision { var: 0, hi: 2, lo: 1 }, // 3 re-reads x0
+            DdnnfNode::True,  // 0
+            DdnnfNode::False, // 1
+            DdnnfNode::Decision {
+                var: 0,
+                hi: 0,
+                lo: 1,
+            }, // 2
+            DdnnfNode::Decision {
+                var: 0,
+                hi: 2,
+                lo: 1,
+            }, // 3 re-reads x0
         ];
         let dd = DecisionDnnf::new(nodes, 3);
         assert!(dd.validate().is_err());

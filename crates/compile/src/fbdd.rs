@@ -79,8 +79,7 @@ impl Fbdd {
         for n in self.inner.nodes() {
             if let DdnnfNode::Decision { var, hi, lo } = n {
                 for &child in &[*hi, *lo] {
-                    if let DdnnfNode::Decision { var: cv, .. } =
-                        &self.inner.nodes()[child as usize]
+                    if let DdnnfNode::Decision { var: cv, .. } = &self.inner.nodes()[child as usize]
                     {
                         edges.entry(*var).or_default().push(*cv);
                     }
@@ -95,11 +94,7 @@ impl Fbdd {
             Black,
         }
         let mut color: HashMap<u32, Color> = HashMap::new();
-        fn dfs(
-            v: u32,
-            edges: &HashMap<u32, Vec<u32>>,
-            color: &mut HashMap<u32, Color>,
-        ) -> bool {
+        fn dfs(v: u32, edges: &HashMap<u32, Vec<u32>>, color: &mut HashMap<u32, Color>) -> bool {
             match color.get(&v).copied().unwrap_or(Color::White) {
                 Color::Gray => return false,
                 Color::Black => return true,
@@ -130,8 +125,8 @@ impl Fbdd {
 mod tests {
     use super::*;
     use pdb_data::TupleId;
-    use pdb_num::assert_close;
     use pdb_lineage::{BoolExpr, Cnf};
+    use pdb_num::assert_close;
     use pdb_wmc::{brute, Dpll, DpllOptions};
 
     fn v(i: u32) -> BoolExpr {
@@ -236,13 +231,33 @@ mod tests {
         // Root decides x0; hi-branch reads x1 then x2, lo-branch reads x2
         // then x1 — free but not ordered.
         let nodes = vec![
-            DdnnfNode::True,                              // 0
-            DdnnfNode::False,                             // 1
-            DdnnfNode::Decision { var: 2, hi: 0, lo: 1 }, // 2: x2?
-            DdnnfNode::Decision { var: 1, hi: 0, lo: 1 }, // 3: x1?
-            DdnnfNode::Decision { var: 1, hi: 2, lo: 1 }, // 4: x1 then x2
-            DdnnfNode::Decision { var: 2, hi: 3, lo: 1 }, // 5: x2 then x1
-            DdnnfNode::Decision { var: 0, hi: 4, lo: 5 }, // 6: root
+            DdnnfNode::True,  // 0
+            DdnnfNode::False, // 1
+            DdnnfNode::Decision {
+                var: 2,
+                hi: 0,
+                lo: 1,
+            }, // 2: x2?
+            DdnnfNode::Decision {
+                var: 1,
+                hi: 0,
+                lo: 1,
+            }, // 3: x1?
+            DdnnfNode::Decision {
+                var: 1,
+                hi: 2,
+                lo: 1,
+            }, // 4: x1 then x2
+            DdnnfNode::Decision {
+                var: 2,
+                hi: 3,
+                lo: 1,
+            }, // 5: x2 then x1
+            DdnnfNode::Decision {
+                var: 0,
+                hi: 4,
+                lo: 5,
+            }, // 6: root
         ];
         let fbdd = Fbdd::from_nodes(nodes, 6).unwrap();
         assert!(!fbdd.is_ordered());

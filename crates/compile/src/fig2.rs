@@ -37,12 +37,28 @@ pub fn fig2b_function(x: bool, y: bool, z: bool, u: bool) -> bool {
 /// variable at most once.
 pub fn fig2a_fbdd() -> Fbdd {
     let nodes = vec![
-        DdnnfNode::True,                                // 0
-        DdnnfNode::False,                               // 1
-        DdnnfNode::Decision { var: Z, hi: 0, lo: 1 },   // 2: Z?
-        DdnnfNode::Decision { var: Y, hi: 2, lo: 1 },   // 3: X=0 branch: Y then Z
-        DdnnfNode::Decision { var: Y, hi: 0, lo: 2 },   // 4: X=1 branch: Y, else Z
-        DdnnfNode::Decision { var: X, hi: 4, lo: 3 },   // 5: root
+        DdnnfNode::True,  // 0
+        DdnnfNode::False, // 1
+        DdnnfNode::Decision {
+            var: Z,
+            hi: 0,
+            lo: 1,
+        }, // 2: Z?
+        DdnnfNode::Decision {
+            var: Y,
+            hi: 2,
+            lo: 1,
+        }, // 3: X=0 branch: Y then Z
+        DdnnfNode::Decision {
+            var: Y,
+            hi: 0,
+            lo: 2,
+        }, // 4: X=1 branch: Y, else Z
+        DdnnfNode::Decision {
+            var: X,
+            hi: 4,
+            lo: 3,
+        }, // 5: root
     ];
     Fbdd::from_nodes(nodes, 5).expect("Fig. 2(a) is a valid FBDD")
 }
@@ -55,15 +71,39 @@ pub fn fig2a_fbdd() -> Fbdd {
 /// subtrees with the other branch — the DAG sharing a DPLL cache provides).
 pub fn fig2b_decision_dnnf() -> DecisionDnnf {
     let nodes = vec![
-        DdnnfNode::True,                              // 0
-        DdnnfNode::False,                             // 1
-        DdnnfNode::Decision { var: Z, hi: 0, lo: 1 }, // 2: Z?
-        DdnnfNode::Decision { var: U, hi: 0, lo: 1 }, // 3: U?
-        DdnnfNode::Decision { var: Y, hi: 0, lo: 3 }, // 4: Y ∨ U (as decisions)
-        DdnnfNode::And { children: vec![2, 4] },      // 5: X=1: Z ∧ (Y ∨ U)
-        DdnnfNode::Decision { var: Y, hi: 0, lo: 1 }, // 6: Y?
-        DdnnfNode::And { children: vec![6, 2, 3] },   // 7: X=0: Y ∧ Z ∧ U
-        DdnnfNode::Decision { var: X, hi: 5, lo: 7 }, // 8: root
+        DdnnfNode::True,  // 0
+        DdnnfNode::False, // 1
+        DdnnfNode::Decision {
+            var: Z,
+            hi: 0,
+            lo: 1,
+        }, // 2: Z?
+        DdnnfNode::Decision {
+            var: U,
+            hi: 0,
+            lo: 1,
+        }, // 3: U?
+        DdnnfNode::Decision {
+            var: Y,
+            hi: 0,
+            lo: 3,
+        }, // 4: Y ∨ U (as decisions)
+        DdnnfNode::And {
+            children: vec![2, 4],
+        }, // 5: X=1: Z ∧ (Y ∨ U)
+        DdnnfNode::Decision {
+            var: Y,
+            hi: 0,
+            lo: 1,
+        }, // 6: Y?
+        DdnnfNode::And {
+            children: vec![6, 2, 3],
+        }, // 7: X=0: Y ∧ Z ∧ U
+        DdnnfNode::Decision {
+            var: X,
+            hi: 5,
+            lo: 7,
+        }, // 8: root
     ];
     DecisionDnnf::new(nodes, 8)
 }
@@ -100,7 +140,8 @@ mod tests {
     #[test]
     fn fig2b_computes_its_formula() {
         let dd = fig2b_decision_dnnf();
-        dd.validate().expect("Fig. 2(b) satisfies d-DNNF invariants");
+        dd.validate()
+            .expect("Fig. 2(b) satisfies d-DNNF invariants");
         for mask in 0u32..16 {
             let (x, y, z, u) = (
                 mask & 1 == 1,
@@ -144,9 +185,7 @@ mod tests {
     fn fig2a_probability_under_uniform_weights() {
         let fbdd = fig2a_fbdd();
         let models = (0u32..8)
-            .filter(|mask| {
-                fig2a_function(mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1)
-            })
+            .filter(|mask| fig2a_function(mask & 1 == 1, mask >> 1 & 1 == 1, mask >> 2 & 1 == 1))
             .count();
         assert_close(
             fbdd.probability(&[0.5, 0.5, 0.5]),

@@ -155,8 +155,16 @@ impl Obdd {
         }
         let (nf, ng) = (self.nodes[f as usize], self.nodes[g as usize]);
         let level = nf.level.min(ng.level);
-        let (f_lo, f_hi) = if nf.level == level { (nf.lo, nf.hi) } else { (f, f) };
-        let (g_lo, g_hi) = if ng.level == level { (ng.lo, ng.hi) } else { (g, g) };
+        let (f_lo, f_hi) = if nf.level == level {
+            (nf.lo, nf.hi)
+        } else {
+            (f, f)
+        };
+        let (g_lo, g_hi) = if ng.level == level {
+            (ng.lo, ng.hi)
+        } else {
+            (g, g)
+        };
         let lo = self.apply_and(f_lo, g_lo, memo);
         let hi = self.apply_and(f_hi, g_hi, memo);
         let r = self.mk(level, lo, hi);
@@ -176,8 +184,16 @@ impl Obdd {
         }
         let (nf, ng) = (self.nodes[f as usize], self.nodes[g as usize]);
         let level = nf.level.min(ng.level);
-        let (f_lo, f_hi) = if nf.level == level { (nf.lo, nf.hi) } else { (f, f) };
-        let (g_lo, g_hi) = if ng.level == level { (ng.lo, ng.hi) } else { (g, g) };
+        let (f_lo, f_hi) = if nf.level == level {
+            (nf.lo, nf.hi)
+        } else {
+            (f, f)
+        };
+        let (g_lo, g_hi) = if ng.level == level {
+            (ng.lo, ng.hi)
+        } else {
+            (g, g)
+        };
         let lo = self.apply_or(f_lo, g_lo, memo);
         let hi = self.apply_or(f_hi, g_hi, memo);
         let r = self.mk(level, lo, hi);
@@ -234,8 +250,8 @@ impl Obdd {
         let n = self.nodes[r as usize];
         let var = self.order[n.level as usize];
         let pv = probs[var as usize];
-        let p = pv * self.prob_rec(n.hi, probs, memo)
-            + (1.0 - pv) * self.prob_rec(n.lo, probs, memo);
+        let p =
+            pv * self.prob_rec(n.hi, probs, memo) + (1.0 - pv) * self.prob_rec(n.lo, probs, memo);
         memo.insert(r, p);
         p
     }
@@ -331,7 +347,12 @@ mod tests {
         ]);
         let good = Obdd::compile(&f, &[0, 1, 2, 3, 4, 5]);
         let bad = Obdd::compile(&f, &[0, 2, 4, 1, 3, 5]);
-        assert!(good.size() < bad.size(), "{} vs {}", good.size(), bad.size());
+        assert!(
+            good.size() < bad.size(),
+            "{} vs {}",
+            good.size(),
+            bad.size()
+        );
         // Both still compute f.
         for mask in 0u32..64 {
             let a = |var: u32| mask >> var & 1 == 1;

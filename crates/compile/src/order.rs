@@ -45,8 +45,8 @@ mod tests {
     use super::*;
     use crate::obdd::Obdd;
     use pdb_data::generators;
-    use pdb_logic::parse_ucq;
     use pdb_lineage::ucq_dnf_lineage;
+    use pdb_logic::parse_ucq;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -82,8 +82,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let db = generators::star(6, 1, 2, 0.5, &mut rng);
         let idx = db.index();
-        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S1(x,y)").unwrap(), &db, &idx)
-            .to_expr();
+        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S1(x,y)").unwrap(), &db, &idx).to_expr();
         let good = Obdd::compile(&lin, &hierarchical_order(&idx));
         let bad = Obdd::compile(&lin, &relation_major_order(&idx));
         assert!(

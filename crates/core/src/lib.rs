@@ -16,8 +16,8 @@
 //! Every answer reports which engine produced it ([`Method`]), so the
 //! experiment harness can ablate the cascade.
 
-use pdb_logic::{Cq, Fo, Ucq};
 use pdb_data::{Tuple, TupleDb};
+use pdb_logic::{Cq, Fo, Ucq};
 use pdb_wmc::DpllOptions;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -118,6 +118,8 @@ impl From<pdb_logic::ParseError> for EngineError {
 #[derive(Clone, Debug, Default)]
 pub struct ProbDb {
     db: TupleDb,
+    /// Monotone mutation counter; see [`ProbDb::version`].
+    version: u64,
 }
 
 impl ProbDb {
@@ -126,9 +128,9 @@ impl ProbDb {
         ProbDb::default()
     }
 
-    /// Wraps an existing [`TupleDb`].
+    /// Wraps an existing [`TupleDb`] (at version 0).
     pub fn from_tuple_db(db: TupleDb) -> ProbDb {
-        ProbDb { db }
+        ProbDb { db, version: 0 }
     }
 
     /// The underlying database.
@@ -136,14 +138,27 @@ impl ProbDb {
         &self.db
     }
 
+    /// The database **version**: a counter bumped by every mutation
+    /// ([`ProbDb::insert`], [`ProbDb::extend_domain`]). Two reads of the
+    /// same `ProbDb` with equal versions are guaranteed to see identical
+    /// contents, so `(normalized query, version)` is a sound cache key for
+    /// anything derived from query + data — `pdb-server` keys its result
+    /// cache on exactly that pair, making invalidation a version bump
+    /// instead of a scan.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Inserts a tuple with probability `p` (relation declared on first use).
     pub fn insert(&mut self, relation: &str, tuple: impl Into<Tuple>, p: f64) {
         self.db.insert(relation, tuple, p);
+        self.version += 1;
     }
 
     /// Extends the domain beyond the active one (matters for ∀ queries).
     pub fn extend_domain(&mut self, consts: impl IntoIterator<Item = u64>) {
         self.db.extend_domain(consts);
+        self.version += 1;
     }
 
     /// Parses and answers a query in the workspace's FO syntax.
@@ -291,20 +306,15 @@ impl ProbDb {
             ));
         }
         let lower = self.query_fo(fo, opts)?;
-        let completed = ProbDb::from_tuple_db(pdb_data::openworld::lambda_completion(
-            &self.db, lambda,
-        ));
+        let completed =
+            ProbDb::from_tuple_db(pdb_data::openworld::lambda_completion(&self.db, lambda));
         let upper = completed.query_fo(fo, opts)?;
         Ok((lower, upper))
     }
 }
 
 /// Runs the exact counter under a budget; `None` when aborted.
-fn try_exact(
-    lineage: &pdb_lineage::BoolExpr,
-    probs: &[f64],
-    opts: DpllOptions,
-) -> Option<f64> {
+fn try_exact(lineage: &pdb_lineage::BoolExpr, probs: &[f64], opts: DpllOptions) -> Option<f64> {
     use pdb_lineage::{BoolExpr, Cnf};
     let n = probs.len() as u32;
     match lineage {
@@ -417,9 +427,7 @@ mod tests {
     #[test]
     fn universal_queries_work_end_to_end() {
         let db = fig1_db();
-        let a = db
-            .query("forall x. forall y. (S(x,y) -> R(x))")
-            .unwrap();
+        let a = db.query("forall x. forall y. (S(x,y) -> R(x))").unwrap();
         // Example 2.1 is liftable.
         assert_eq!(a.method, Method::Lifted);
         let p = [0.1, 0.2, 0.3];
@@ -470,10 +478,7 @@ mod tests {
             // p(answer) = p(R(a)) · (1 ⊕ children): check against brute force.
             let mut bound = cq.clone();
             bound = bound.substitute(&head[0], &pdb_logic::Term::Const(a.values[0]));
-            let truth = pdb_lineage::eval::brute_force_probability(
-                &bound.to_fo(),
-                db.tuple_db(),
-            );
+            let truth = pdb_lineage::eval::brute_force_probability(&bound.to_fo(), db.tuple_db());
             assert_close(a.probability, truth, 1e-10);
         }
         // Sorted by decreasing probability.
@@ -502,8 +507,7 @@ mod tests {
             .unwrap();
         assert!(hi_big.probability >= hi.probability);
         // Upper bound verified against brute force on the completion.
-        let completed =
-            pdb_data::openworld::lambda_completion(db.tuple_db(), 0.2);
+        let completed = pdb_data::openworld::lambda_completion(db.tuple_db(), 0.2);
         assert_close(
             hi.probability,
             pdb_lineage::eval::brute_force_probability(&fo, &completed),

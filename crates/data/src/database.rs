@@ -261,10 +261,7 @@ mod tests {
         assert_eq!(idx.get(TupleId(0)).relation, "R");
         assert_eq!(idx.get(TupleId(0)).tuple, Tuple::from([1]));
         assert_eq!(idx.get(TupleId(2)).relation, "S");
-        assert_eq!(
-            idx.id_of("R", &Tuple::from([2])),
-            Some(TupleId(1))
-        );
+        assert_eq!(idx.id_of("R", &Tuple::from([2])), Some(TupleId(1)));
         assert_eq!(idx.id_of("R", &Tuple::from([3])), None);
         assert_eq!(idx.prob(TupleId(2)), 0.75);
     }

@@ -33,22 +33,14 @@ pub fn fig1(p: [f64; 3], q: [f64; 6]) -> (TupleDb, SymbolTable) {
 /// The Fig. 1 instance with the concrete probabilities used throughout the
 /// examples: `pᵢ = i/10`, `qⱼ = j/10`.
 pub fn fig1_concrete() -> (TupleDb, SymbolTable) {
-    fig1(
-        [0.1, 0.2, 0.3],
-        [0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
-    )
+    fig1([0.1, 0.2, 0.3], [0.1, 0.2, 0.3, 0.4, 0.5, 0.6])
 }
 
 /// A random bipartite instance for `H₀`/`R(x),S(x,y),T(y)`-style queries:
 /// unary `R` over `{0..n}`, unary `T` over `{n..2n}`, and `S ⊆ R×T` where
 /// each of the `n²` pairs is kept with probability `density`. All tuple
 /// probabilities are drawn uniformly from `prob_range`.
-pub fn bipartite(
-    n: u64,
-    density: f64,
-    prob_range: (f64, f64),
-    rng: &mut impl Rng,
-) -> TupleDb {
+pub fn bipartite(n: u64, density: f64, prob_range: (f64, f64), rng: &mut impl Rng) -> TupleDb {
     let mut db = TupleDb::new();
     let mut p = || rng_range(prob_range, rng);
     for x in 0..n {
@@ -87,12 +79,7 @@ fn rng_range(range: (f64, f64), rng: &mut impl Rng) -> f64 {
 /// satisfying that pair's `H₀` clause outright — and absent for edges, so
 /// `p(H₀) = p(Φ)`, the weighted PP2CNF count. Each pair is an edge with
 /// probability `edge_density`.
-pub fn pp2cnf(
-    n: u64,
-    edge_density: f64,
-    prob_range: (f64, f64),
-    rng: &mut impl Rng,
-) -> TupleDb {
+pub fn pp2cnf(n: u64, edge_density: f64, prob_range: (f64, f64), rng: &mut impl Rng) -> TupleDb {
     let mut db = TupleDb::new();
     for x in 0..n {
         let p = rng_range(prob_range, rng);
@@ -167,7 +154,11 @@ pub fn random_tid(
 pub fn star(n: u64, k: usize, fanout: u64, prob: f64, rng: &mut impl Rng) -> TupleDb {
     let mut db = TupleDb::new();
     for x in 0..n {
-        let p = if prob > 0.0 { prob } else { rng.gen_range(0.05..0.95) };
+        let p = if prob > 0.0 {
+            prob
+        } else {
+            rng.gen_range(0.05..0.95)
+        };
         db.insert("R", [x], p);
     }
     for i in 1..=k {
@@ -175,7 +166,11 @@ pub fn star(n: u64, k: usize, fanout: u64, prob: f64, rng: &mut impl Rng) -> Tup
         for x in 0..n {
             for j in 0..fanout {
                 let y = n + x * fanout + j;
-                let p = if prob > 0.0 { prob } else { rng.gen_range(0.05..0.95) };
+                let p = if prob > 0.0 {
+                    prob
+                } else {
+                    rng.gen_range(0.05..0.95)
+                };
                 db.insert(&name, [x, y], p);
             }
         }
@@ -241,10 +236,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let db = random_tid(
             10,
-            &[
-                RelationSpec::new("R", 1, 5),
-                RelationSpec::new("S", 2, 20),
-            ],
+            &[RelationSpec::new("R", 1, 5), RelationSpec::new("S", 2, 20)],
             (0.1, 0.9),
             &mut rng,
         );

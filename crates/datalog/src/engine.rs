@@ -13,9 +13,9 @@
 //! transitive-closure program this *is* two-terminal network reliability.
 
 use crate::program::{Program, Rule};
+use pdb_data::{Const, Tuple, TupleDb, TupleId, TupleIndex};
 use pdb_lineage::BoolExpr;
 use pdb_logic::{Atom, Term as LTerm, Var};
-use pdb_data::{Const, Tuple, TupleDb, TupleId, TupleIndex};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One support set: EDB tuples whose presence suffices (with the rest of
@@ -167,9 +167,9 @@ impl<'a> DatalogEngine<'a> {
         out: &mut Vec<(Tuple, Vec<Support>)>,
     ) {
         if pos == rule.body.len() {
-            let fact = rule.head.apply(&|v| {
-                LTerm::Const(*binding.get(v).expect("range-restricted head"))
-            });
+            let fact = rule
+                .head
+                .apply(&|v| LTerm::Const(*binding.get(v).expect("range-restricted head")));
             let tuple = Tuple::new(fact.ground_tuple().expect("fully bound"));
             out.push((tuple, partial.clone()));
             return;
@@ -207,8 +207,7 @@ impl<'a> DatalogEngine<'a> {
                 }
             }
             // Cross the partial product with this fact's supports.
-            let mut next: Vec<Support> =
-                Vec::with_capacity(partial.len() * supports.len());
+            let mut next: Vec<Support> = Vec::with_capacity(partial.len() * supports.len());
             for p in partial.iter() {
                 for s in &supports {
                     let mut merged = p.clone();
@@ -356,7 +355,11 @@ mod tests {
         let program = parse_program("Out(x) <- R(x), S(x,y).").unwrap();
         let mut engine = DatalogEngine::new(&db, program);
         let expected0 = 0.5 * 0.8;
-        assert_close(engine.probability("Out", &Tuple::from([0])), expected0, 1e-12);
+        assert_close(
+            engine.probability("Out", &Tuple::from([0])),
+            expected0,
+            1e-12,
+        );
         // And against the lifted engine on the bound query.
         let cq = pdb_logic::parse_cq("R(1), S(1,y)").unwrap();
         let lifted = pdb_lifted_probability(&cq, &db);
@@ -367,12 +370,8 @@ mod tests {
     // on pdb-lifted: brute-force via the lineage oracle.
     fn pdb_lifted_probability(cq: &pdb_logic::Cq, db: &TupleDb) -> f64 {
         let idx = db.index();
-        let lin = pdb_lineage::ucq_dnf_lineage(
-            &pdb_logic::Ucq::single(cq.clone()),
-            db,
-            &idx,
-        )
-        .to_expr();
+        let lin =
+            pdb_lineage::ucq_dnf_lineage(&pdb_logic::Ucq::single(cq.clone()), db, &idx).to_expr();
         let probs: Vec<f64> = idx.iter().map(|(_, r)| r.prob).collect();
         pdb_wmc::probability_of_expr(&lin, &probs, pdb_wmc::DpllOptions::default()).0
     }

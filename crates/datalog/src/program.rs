@@ -16,8 +16,7 @@ pub struct Rule {
 impl Rule {
     /// Range restriction: every head variable occurs in the body.
     pub fn is_range_restricted(&self) -> bool {
-        let body_vars: BTreeSet<&Var> =
-            self.body.iter().flat_map(|a| a.variables()).collect();
+        let body_vars: BTreeSet<&Var> = self.body.iter().flat_map(|a| a.variables()).collect();
         self.head.variables().all(|v| body_vars.contains(v))
     }
 }
@@ -82,19 +81,19 @@ pub fn parse_program(input: &str) -> Result<Program, String> {
         if line.is_empty() {
             continue;
         }
-        let line = line.strip_suffix('.').ok_or_else(|| {
-            format!("line {}: rules must end with a period", lineno + 1)
-        })?;
-        let (head_text, body_text) = line.split_once("<-").ok_or_else(|| {
-            format!("line {}: expected `Head <- Body`", lineno + 1)
-        })?;
+        let line = line
+            .strip_suffix('.')
+            .ok_or_else(|| format!("line {}: rules must end with a period", lineno + 1))?;
+        let (head_text, body_text) = line
+            .split_once("<-")
+            .ok_or_else(|| format!("line {}: expected `Head <- Body`", lineno + 1))?;
         let head_cq = parse_cq(head_text.trim())
             .map_err(|e: ParseError| format!("line {}: head: {e}", lineno + 1))?;
         let [head] = head_cq.atoms() else {
             return Err(format!("line {}: head must be a single atom", lineno + 1));
         };
-        let body_cq = parse_cq(body_text.trim())
-            .map_err(|e| format!("line {}: body: {e}", lineno + 1))?;
+        let body_cq =
+            parse_cq(body_text.trim()).map_err(|e| format!("line {}: body: {e}", lineno + 1))?;
         let rule = Rule {
             head: head.clone(),
             body: body_cq.atoms().to_vec(),
@@ -128,10 +127,7 @@ mod tests {
         assert_eq!(p.edb_predicates(), ["Edge".to_string()].into());
         assert!(p.has_idb_dependencies());
         // Body atoms are kept in canonical (sorted) order.
-        assert_eq!(
-            p.rules[1].to_string(),
-            "Path(x,z) <- Edge(y,z), Path(x,y)."
-        );
+        assert_eq!(p.rules[1].to_string(), "Path(x,z) <- Edge(y,z), Path(x,y).");
     }
 
     #[test]
@@ -148,15 +144,20 @@ mod tests {
 
     #[test]
     fn syntax_errors_are_reported_with_lines() {
-        assert!(parse_program("Path(x,y) <- Edge(x,y)").unwrap_err().contains("period"));
-        assert!(parse_program("Path(x,y).").unwrap_err().contains("Head <- Body"));
-        assert!(parse_program("A(x), B(x) <- R(x).").unwrap_err().contains("single atom"));
+        assert!(parse_program("Path(x,y) <- Edge(x,y)")
+            .unwrap_err()
+            .contains("period"));
+        assert!(parse_program("Path(x,y).")
+            .unwrap_err()
+            .contains("Head <- Body"));
+        assert!(parse_program("A(x), B(x) <- R(x).")
+            .unwrap_err()
+            .contains("single atom"));
     }
 
     #[test]
     fn constants_in_rules() {
-        let p = parse_program("Reach(y) <- Edge(0, y).\nReach(z) <- Reach(y), Edge(y,z).")
-            .unwrap();
+        let p = parse_program("Reach(y) <- Edge(0, y).\nReach(z) <- Reach(y), Edge(y,z).").unwrap();
         assert_eq!(p.rules.len(), 2);
     }
 }

@@ -111,7 +111,7 @@ mod tests {
             "R(x), S(x,y)",
             "[R(x)] | [T(y)]",
             "[R(x), S(x,y)] | [T(u), S(u,v)]",
-            "R(x), S(x,y), T(u), S(u,v)", // Q_J
+            "R(x), S(x,y), T(u), S(u,v)",                 // Q_J
             "[A(x), B(y)] | [B(y), C(z)] | [C(z), D(w)]", // needs cancellation
         ] {
             assert_eq!(

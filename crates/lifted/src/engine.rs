@@ -37,7 +37,11 @@ pub struct NotLiftable {
 
 impl fmt::Display for NotLiftable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lifted inference failed on [{}]: {}", self.query, self.reason)
+        write!(
+            f,
+            "lifted inference failed on [{}]: {}",
+            self.query, self.reason
+        )
     }
 }
 
@@ -342,7 +346,11 @@ impl<'a> LiftedEngine<'a> {
                     .filter(|(i, _)| mask >> i & 1 == 1)
                     .map(|(_, c)| c.clone())
                     .collect();
-                let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+                let sign = if mask.count_ones() % 2 == 1 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 let p = self.prob_union(subset)?;
                 total.add(sign * p);
             }
@@ -422,8 +430,8 @@ impl<'a> LiftedEngine<'a> {
 mod tests {
     use super::*;
     use pdb_data::generators;
-    use pdb_num::assert_close;
     use pdb_logic::{parse_cq, parse_ucq};
+    use pdb_num::assert_close;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -477,11 +485,7 @@ mod tests {
         let mut engine = LiftedEngine::new(&db);
         let q = parse_cq("R(0)").unwrap();
         let p = engine.probability_cq(&q).unwrap();
-        assert_close(
-            p,
-            db.prob("R", &pdb_data::Tuple::from([0])),
-            1e-12,
-        );
+        assert_close(p, db.prob("R", &pdb_data::Tuple::from([0])), 1e-12);
     }
 
     #[test]
@@ -534,7 +538,11 @@ mod tests {
         let q = parse_cq("R(x), S(x,y), T(y)").unwrap();
         let mut engine = LiftedEngine::new(&db);
         let err = engine.probability_cq(&q).unwrap_err();
-        assert!(err.reason.contains("no separator"), "reason: {}", err.reason);
+        assert!(
+            err.reason.contains("no separator"),
+            "reason: {}",
+            err.reason
+        );
     }
 
     #[test]
@@ -592,9 +600,7 @@ mod tests {
         let mut engine = LiftedEngine::new(&db);
         let u = parse_ucq("[R(x)] | [R(y), S(y,z)]").unwrap();
         let p1 = engine.probability_ucq(&u).unwrap();
-        let p2 = engine
-            .probability_ucq(&parse_ucq("R(x)").unwrap())
-            .unwrap();
+        let p2 = engine.probability_ucq(&parse_ucq("R(x)").unwrap()).unwrap();
         assert_close(p1, p2, 1e-12);
     }
 

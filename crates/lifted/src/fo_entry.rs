@@ -12,7 +12,7 @@
 
 use crate::engine::{LiftedEngine, NotLiftable};
 use pdb_data::{all_tuples, Const, TupleDb};
-use pdb_logic::{Fo, fo::QuantifierPrefix};
+use pdb_logic::{fo::QuantifierPrefix, Fo};
 
 /// `p_D(Q)` for a unate FO sentence with `∃*` or `∀*` prefix, by lifted
 /// inference. Errors with [`NotLiftable`] when the sentence is outside the
@@ -84,9 +84,9 @@ pub fn probability_fo(fo: &Fo, db: &TupleDb) -> Result<f64, NotLiftable> {
 mod tests {
     use super::*;
     use pdb_data::generators;
-    use pdb_num::assert_close;
-    use pdb_logic::parse_fo;
     use pdb_lineage::eval::brute_force_probability;
+    use pdb_logic::parse_fo;
+    use pdb_num::assert_close;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -118,10 +118,7 @@ mod tests {
             &mut rng,
         );
         db.extend_domain(0..3);
-        for q in [
-            "forall x. R(x)",
-            "forall x. forall y. (R(x) | S(x,y))",
-        ] {
+        for q in ["forall x. R(x)", "forall x. forall y. (R(x) | S(x,y))"] {
             let fo = parse_fo(q).unwrap();
             let lifted = probability_fo(&fo, &db).expect("liftable ∀* query");
             let brute = brute_force_probability(&fo, &db);
@@ -202,10 +199,8 @@ mod tests {
             }
             db.insert("HighlyCompensated", [m], 0.5);
         }
-        let gamma = parse_fo(
-            "forall m. forall e. (R(m,e) | !Manager(m,e) | HighlyCompensated(m))",
-        )
-        .unwrap();
+        let gamma = parse_fo("forall m. forall e. (R(m,e) | !Manager(m,e) | HighlyCompensated(m))")
+            .unwrap();
         let lifted = probability_fo(&gamma, &db).expect("Γ is liftable");
         let brute = brute_force_probability(&gamma, &db);
         assert_close(lifted, brute, 1e-10);

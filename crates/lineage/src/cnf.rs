@@ -120,11 +120,9 @@ impl Cnf {
 
     /// Evaluates the CNF under an assignment of **all** variables.
     pub fn eval(&self, assignment: &dyn Fn(u32) -> bool) -> bool {
-        self.clauses.iter().all(|c| {
-            c.lits()
-                .iter()
-                .any(|l| l.satisfied_by(assignment(l.var())))
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.lits().iter().any(|l| l.satisfied_by(assignment(l.var()))))
     }
 
     /// The negation of a monotone DNF as CNF: each DNF term
@@ -182,10 +180,7 @@ impl Cnf {
         let clauses = match expr {
             BoolExpr::Const(true) => vec![],
             BoolExpr::Const(false) => vec![Clause::new(vec![])],
-            BoolExpr::And(parts) => parts
-                .iter()
-                .map(clause)
-                .collect::<Option<Vec<_>>>()?,
+            BoolExpr::And(parts) => parts.iter().map(clause).collect::<Option<Vec<_>>>()?,
             other => vec![clause(other)?],
         };
         Some(Cnf::new(clauses, num_vars))
@@ -202,11 +197,7 @@ impl Cnf {
         let mut clauses: Vec<Clause> = Vec::new();
         let mut next = num_vars;
         // Returns the literal representing the subformula.
-        fn encode(
-            e: &BoolExpr,
-            clauses: &mut Vec<Clause>,
-            next: &mut u32,
-        ) -> Result<Lit, bool> {
+        fn encode(e: &BoolExpr, clauses: &mut Vec<Clause>, next: &mut u32) -> Result<Lit, bool> {
             match e {
                 BoolExpr::Const(b) => Err(*b),
                 BoolExpr::Var(v) => Ok(Lit::pos(v.0)),
@@ -414,7 +405,11 @@ mod tests {
         for mask in 0u32..4 {
             let assignment = |id: TupleId| mask >> id.0 & 1 == 1;
             let expected = e.eval(&assignment);
-            assert_eq!(cnf.eval_original(&assignment), Some(expected), "mask={mask}");
+            assert_eq!(
+                cnf.eval_original(&assignment),
+                Some(expected),
+                "mask={mask}"
+            );
         }
     }
 

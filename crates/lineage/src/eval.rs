@@ -5,8 +5,8 @@
 //! so it serves as the independent oracle against which the lineage
 //! construction and every inference engine are validated.
 
-use pdb_logic::{Fo, Term};
 use pdb_data::{Const, Tuple, TupleDb, TupleIndex, World};
+use pdb_logic::{Fo, Term};
 
 /// Does the world satisfy the sentence?
 ///
@@ -57,8 +57,8 @@ pub fn brute_force_probability(fo: &Fo, db: &TupleDb) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdb_num::assert_close;
     use pdb_logic::parse_fo;
+    use pdb_num::assert_close;
 
     #[test]
     fn single_tuple_probability() {

@@ -136,15 +136,11 @@ impl BoolExpr {
                 (BoolExpr::And(parts), false) => {
                     BoolExpr::and_all(parts.iter().map(|p| go(p, false)))
                 }
-                (BoolExpr::And(parts), true) => {
-                    BoolExpr::or_all(parts.iter().map(|p| go(p, true)))
-                }
+                (BoolExpr::And(parts), true) => BoolExpr::or_all(parts.iter().map(|p| go(p, true))),
                 (BoolExpr::Or(parts), false) => {
                     BoolExpr::or_all(parts.iter().map(|p| go(p, false)))
                 }
-                (BoolExpr::Or(parts), true) => {
-                    BoolExpr::and_all(parts.iter().map(|p| go(p, true)))
-                }
+                (BoolExpr::Or(parts), true) => BoolExpr::and_all(parts.iter().map(|p| go(p, true))),
             }
         }
         go(self, false)
@@ -162,12 +158,8 @@ impl BoolExpr {
                 }
             }
             BoolExpr::Not(inner) => inner.assign(var, value).negate(),
-            BoolExpr::And(parts) => {
-                BoolExpr::and_all(parts.iter().map(|p| p.assign(var, value)))
-            }
-            BoolExpr::Or(parts) => {
-                BoolExpr::or_all(parts.iter().map(|p| p.assign(var, value)))
-            }
+            BoolExpr::And(parts) => BoolExpr::and_all(parts.iter().map(|p| p.assign(var, value))),
+            BoolExpr::Or(parts) => BoolExpr::or_all(parts.iter().map(|p| p.assign(var, value))),
         }
     }
 
@@ -278,11 +270,7 @@ mod tests {
 
     #[test]
     fn nnf_preserves_semantics() {
-        let f = BoolExpr::or_all([
-            BoolExpr::and_all([v(0), v(1)]).negate(),
-            v(2),
-        ])
-        .negate();
+        let f = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]).negate(), v(2)]).negate();
         let g = f.nnf();
         for mask in 0u32..8 {
             let assignment = |id: TupleId| mask >> id.0 & 1 == 1;
@@ -294,10 +282,7 @@ mod tests {
     fn assign_simplifies() {
         let f = BoolExpr::or_all([BoolExpr::and_all([v(0), v(1)]), v(2)]);
         assert_eq!(f.assign(TupleId(2), true), BoolExpr::TRUE);
-        assert_eq!(
-            f.assign(TupleId(2), false),
-            BoolExpr::and_all([v(0), v(1)])
-        );
+        assert_eq!(f.assign(TupleId(2), false), BoolExpr::and_all([v(0), v(1)]));
         let g = f.assign(TupleId(0), false);
         assert_eq!(g, v(2));
     }

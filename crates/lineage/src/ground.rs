@@ -12,8 +12,8 @@
 //! plan lower bound of Theorem 6.1 needs (tuple multiplicities `k`).
 
 use crate::expr::BoolExpr;
-use pdb_logic::{Atom, Cq, Fo, Term, Ucq, Var};
 use pdb_data::{Const, Tuple, TupleDb, TupleId, TupleIndex};
+use pdb_logic::{Atom, Cq, Fo, Term, Ucq, Var};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Grounds an FO sentence into its lineage over the database's domain.
@@ -38,28 +38,22 @@ fn go(fo: &Fo, index: &TupleIndex, dom: &[Const]) -> BoolExpr {
 /// is mapped to an arbitrary Boolean expression. This is how richer
 /// representation systems reuse the grounding — e.g. BID databases resolve
 /// an atom to its selector-chain expression rather than a single variable.
-pub fn lineage_with(
-    fo: &Fo,
-    dom: &[Const],
-    resolve: &dyn Fn(&Atom) -> BoolExpr,
-) -> BoolExpr {
+pub fn lineage_with(fo: &Fo, dom: &[Const], resolve: &dyn Fn(&Atom) -> BoolExpr) -> BoolExpr {
     match fo {
         Fo::True => BoolExpr::TRUE,
         Fo::False => BoolExpr::FALSE,
         Fo::Atom(a) => resolve(a),
         Fo::Not(inner) => lineage_with(inner, dom, resolve).negate(),
-        Fo::And(parts) => {
-            BoolExpr::and_all(parts.iter().map(|p| lineage_with(p, dom, resolve)))
-        }
-        Fo::Or(parts) => {
-            BoolExpr::or_all(parts.iter().map(|p| lineage_with(p, dom, resolve)))
-        }
-        Fo::Forall(v, body) => BoolExpr::and_all(dom.iter().map(|&a| {
-            lineage_with(&body.substitute(v, &Term::Const(a)), dom, resolve)
-        })),
-        Fo::Exists(v, body) => BoolExpr::or_all(dom.iter().map(|&a| {
-            lineage_with(&body.substitute(v, &Term::Const(a)), dom, resolve)
-        })),
+        Fo::And(parts) => BoolExpr::and_all(parts.iter().map(|p| lineage_with(p, dom, resolve))),
+        Fo::Or(parts) => BoolExpr::or_all(parts.iter().map(|p| lineage_with(p, dom, resolve))),
+        Fo::Forall(v, body) => BoolExpr::and_all(
+            dom.iter()
+                .map(|&a| lineage_with(&body.substitute(v, &Term::Const(a)), dom, resolve)),
+        ),
+        Fo::Exists(v, body) => BoolExpr::or_all(
+            dom.iter()
+                .map(|&a| lineage_with(&body.substitute(v, &Term::Const(a)), dom, resolve)),
+        ),
     }
 }
 
@@ -114,9 +108,11 @@ impl DnfLineage {
         if self.trivially_true {
             return BoolExpr::TRUE;
         }
-        BoolExpr::or_all(self.terms.iter().map(|term| {
-            BoolExpr::and_all(term.iter().map(|&id| BoolExpr::var(id)))
-        }))
+        BoolExpr::or_all(
+            self.terms
+                .iter()
+                .map(|term| BoolExpr::and_all(term.iter().map(|&id| BoolExpr::var(id)))),
+        )
     }
 }
 
@@ -225,12 +221,7 @@ pub fn cq_answer_bindings(cq: &Cq, head: &[Var], db: &TupleDb) -> BTreeSet<Vec<C
 
 /// Backtracking join: enumerates all assignments of the CQ's variables that
 /// map every atom onto a stored tuple, emitting the used tuple-id sets.
-fn join_cq(
-    cq: &Cq,
-    db: &TupleDb,
-    index: &TupleIndex,
-    out: &mut BTreeSet<BTreeSet<TupleId>>,
-) {
+fn join_cq(cq: &Cq, db: &TupleDb, index: &TupleIndex, out: &mut BTreeSet<BTreeSet<TupleId>>) {
     // Order atoms so that atoms over smaller relations bind first.
     let mut atoms: Vec<&Atom> = cq.atoms().iter().collect();
     atoms.sort_by_key(|a| {

@@ -111,11 +111,7 @@ impl Atom {
     pub fn substitute(&self, from: &Var, to: &Term) -> Atom {
         Atom {
             predicate: self.predicate.clone(),
-            args: self
-                .args
-                .iter()
-                .map(|t| t.substitute(from, to))
-                .collect(),
+            args: self.args.iter().map(|t| t.substitute(from, to)).collect(),
         }
     }
 
@@ -129,10 +125,13 @@ impl Atom {
         if self.predicate != other.predicate {
             return false;
         }
-        self.args.iter().zip(&other.args).all(|(a, b)| match (a, b) {
-            (Term::Const(x), Term::Const(y)) => x == y,
-            _ => true,
-        })
+        self.args
+            .iter()
+            .zip(&other.args)
+            .all(|(a, b)| match (a, b) {
+                (Term::Const(x), Term::Const(y)) => x == y,
+                _ => true,
+            })
     }
 
     /// Applies a full variable renaming/assignment.

@@ -75,9 +75,7 @@ impl Cq {
     /// True iff some relation symbol appears in two different atoms.
     pub fn has_self_join(&self) -> bool {
         let mut seen = BTreeSet::new();
-        self.atoms
-            .iter()
-            .any(|a| !seen.insert(a.predicate.clone()))
+        self.atoms.iter().any(|a| !seen.insert(a.predicate.clone()))
     }
 
     /// Definition 4.2: for every pair of variables `x, y`, the atom sets
@@ -100,12 +98,7 @@ impl Cq {
 
     /// Substitutes a variable by a term in every atom.
     pub fn substitute(&self, from: &Var, to: &Term) -> Cq {
-        Cq::new(
-            self.atoms
-                .iter()
-                .map(|a| a.substitute(from, to))
-                .collect(),
-        )
+        Cq::new(self.atoms.iter().map(|a| a.substitute(from, to)).collect())
     }
 
     /// Conjunction of two CQs (atom-set union). Note the result may contain

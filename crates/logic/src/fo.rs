@@ -263,16 +263,12 @@ impl Fo {
     /// The unate test of Theorem 4.1: every symbol occurs with a single
     /// polarity.
     pub fn is_unate(&self) -> bool {
-        self.polarities()
-            .values()
-            .all(|p| *p != Polarity::Mixed)
+        self.polarities().values().all(|p| *p != Polarity::Mixed)
     }
 
     /// True iff the sentence is monotone (no negation at all, after NNF).
     pub fn is_monotone(&self) -> bool {
-        self.polarities()
-            .values()
-            .all(|p| *p == Polarity::Positive)
+        self.polarities().values().all(|p| *p == Polarity::Positive)
     }
 
     /// Rewrites a unate sentence to a *monotone* one by replacing each
@@ -298,10 +294,9 @@ impl Fo {
                 Fo::False => Fo::False,
                 Fo::Atom(a) => Fo::Atom(a.clone()),
                 Fo::Not(inner) => match inner.as_ref() {
-                    Fo::Atom(a) if flipped.contains(&a.predicate) => Fo::Atom(Atom::new(
-                        a.predicate.primed(),
-                        a.args.clone(),
-                    )),
+                    Fo::Atom(a) if flipped.contains(&a.predicate) => {
+                        Fo::Atom(Atom::new(a.predicate.primed(), a.args.clone()))
+                    }
                     _ => rewrite(inner, flipped).not(),
                 },
                 Fo::And(parts) => Fo::And(parts.iter().map(|p| rewrite(p, flipped)).collect()),
@@ -330,9 +325,7 @@ impl Fo {
                     Fo::Atom(_) => fo.clone(),
                     _ => unreachable!("prenex input must be in NNF"),
                 },
-                Fo::And(parts) => {
-                    Fo::And(parts.iter().map(|p| go(p, counter, prefix)).collect())
-                }
+                Fo::And(parts) => Fo::And(parts.iter().map(|p| go(p, counter, prefix)).collect()),
                 Fo::Or(parts) => Fo::Or(parts.iter().map(|p| go(p, counter, prefix)).collect()),
                 Fo::Exists(v, body) => {
                     let fresh = v.primed(*counter);
@@ -410,10 +403,7 @@ impl Fo {
         while let Fo::Exists(_, body) = matrix {
             matrix = body;
         }
-        if !matches!(
-            matrix.quantifier_prefix(),
-            QuantifierPrefix::None
-        ) {
+        if !matches!(matrix.quantifier_prefix(), QuantifierPrefix::None) {
             return None;
         }
         // Distribute to DNF over atoms.
@@ -516,7 +506,9 @@ mod tests {
         assert!(fv.contains(&Var::new("y")));
         assert!(!fv.contains(&Var::new("x")));
         assert!(!fo.is_sentence());
-        assert!(parse_fo("exists x. exists y. R(x,y)").unwrap().is_sentence());
+        assert!(parse_fo("exists x. exists y. R(x,y)")
+            .unwrap()
+            .is_sentence());
     }
 
     #[test]
@@ -595,15 +587,21 @@ mod tests {
     #[test]
     fn quantifier_prefix_classification() {
         assert_eq!(
-            parse_fo("exists x. exists y. R(x,y)").unwrap().quantifier_prefix(),
+            parse_fo("exists x. exists y. R(x,y)")
+                .unwrap()
+                .quantifier_prefix(),
             QuantifierPrefix::ExistsStar
         );
         assert_eq!(
-            parse_fo("forall x. forall y. S(x,y)").unwrap().quantifier_prefix(),
+            parse_fo("forall x. forall y. S(x,y)")
+                .unwrap()
+                .quantifier_prefix(),
             QuantifierPrefix::ForallStar
         );
         assert_eq!(
-            parse_fo("forall x. exists y. S(x,y)").unwrap().quantifier_prefix(),
+            parse_fo("forall x. exists y. S(x,y)")
+                .unwrap()
+                .quantifier_prefix(),
             QuantifierPrefix::Mixed
         );
         assert_eq!(

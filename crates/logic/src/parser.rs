@@ -142,7 +142,9 @@ fn tokenize(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'\'')
                 {
                     i += 1;
                 }
@@ -274,7 +276,9 @@ impl Parser {
                 loop {
                     match self.peek() {
                         Some(Tok::Ident(v))
-                            if v.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') =>
+                            if v.chars()
+                                .next()
+                                .is_some_and(|c| c.is_lowercase() || c == '_') =>
                         {
                             vars.push(v.clone());
                             self.bump();
@@ -315,9 +319,7 @@ impl Parser {
                 self.bump();
                 Ok(Fo::False)
             }
-            Some(Tok::Ident(name))
-                if name.chars().next().is_some_and(char::is_uppercase) =>
-            {
+            Some(Tok::Ident(name)) if name.chars().next().is_some_and(char::is_uppercase) => {
                 Ok(Fo::Atom(self.atom()?))
             }
             _ => Err(self.err("expected formula")),
@@ -349,7 +351,9 @@ impl Parser {
         match self.bump() {
             Some(Tok::Int(n)) => Ok(Term::Const(n)),
             Some(Tok::Ident(v))
-                if v.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') =>
+                if v.chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_') =>
             {
                 Ok(Term::var(&v))
             }

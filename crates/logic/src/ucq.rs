@@ -52,10 +52,7 @@ impl Ucq {
 
     /// All predicate symbols.
     pub fn predicates(&self) -> BTreeSet<Predicate> {
-        self.disjuncts
-            .iter()
-            .flat_map(|d| d.predicates())
-            .collect()
+        self.disjuncts.iter().flat_map(|d| d.predicates()).collect()
     }
 
     /// All variables (across disjuncts; scoping is per-disjunct).

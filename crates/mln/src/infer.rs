@@ -12,8 +12,8 @@
 //! `1/w > 1` (from `w < 1` factors) each individual count may leave `[0,1]`,
 //! but the *ratio* is a standard probability — the appendix's observation.
 
-use pdb_logic::Fo;
 use pdb_data::TupleDb;
+use pdb_logic::Fo;
 use pdb_num::KahanSum;
 use pdb_wmc::DpllOptions;
 
@@ -40,14 +40,10 @@ pub fn conditional_grounded(q: &Fo, gamma: &Fo, db: &TupleDb) -> f64 {
     let index = db.index();
     let probs: Vec<f64> = index.iter().map(|(_, r)| r.prob).collect();
     let lin_gamma = pdb_lineage::lineage(gamma, db, &index);
-    let lin_joint = pdb_lineage::BoolExpr::and_all([
-        pdb_lineage::lineage(q, db, &index),
-        lin_gamma.clone(),
-    ]);
-    let (p_joint, _) =
-        pdb_wmc::probability_of_expr(&lin_joint, &probs, DpllOptions::default());
-    let (p_gamma, _) =
-        pdb_wmc::probability_of_expr(&lin_gamma, &probs, DpllOptions::default());
+    let lin_joint =
+        pdb_lineage::BoolExpr::and_all([pdb_lineage::lineage(q, db, &index), lin_gamma.clone()]);
+    let (p_joint, _) = pdb_wmc::probability_of_expr(&lin_joint, &probs, DpllOptions::default());
+    let (p_gamma, _) = pdb_wmc::probability_of_expr(&lin_gamma, &probs, DpllOptions::default());
     p_joint / p_gamma
 }
 
@@ -56,8 +52,8 @@ mod tests {
     use super::*;
     use crate::model::Mln;
     use crate::translate::translate;
-    use pdb_num::assert_close;
     use pdb_logic::parse_fo;
+    use pdb_num::assert_close;
 
     #[test]
     fn brute_and_grounded_agree() {

@@ -1,7 +1,7 @@
 //! Markov Logic Networks: soft constraints, grounding, exact semantics.
 
-use pdb_logic::{Fo, Predicate, Term, Var};
 use pdb_data::{all_tuples, Const, TupleDb, TupleIndex, World};
+use pdb_logic::{Fo, Predicate, Term, Var};
 use pdb_num::KahanSum;
 use std::collections::BTreeSet;
 
@@ -143,8 +143,8 @@ impl Mln {
     /// over a domain of size `n`.
     pub fn manager_example(n: u64) -> Mln {
         let mut mln = Mln::new((0..n).collect::<Vec<_>>());
-        let delta = pdb_logic::parse_fo("Manager(m,e) -> HighlyCompensated(m)")
-            .expect("fixture parses");
+        let delta =
+            pdb_logic::parse_fo("Manager(m,e) -> HighlyCompensated(m)").expect("fixture parses");
         mln.add_constraint(3.9, delta);
         mln
     }
@@ -153,8 +153,8 @@ impl Mln {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdb_num::assert_close;
     use pdb_logic::parse_fo;
+    use pdb_num::assert_close;
 
     #[test]
     fn groundings_enumerate_the_domain() {
@@ -185,8 +185,16 @@ mod tests {
         mln.add_constraint(3.0, parse_fo("R(0)").unwrap());
         // Worlds: {} w=1, {R0} w=3, {R1} w=1, {R0,R1} w=3 ⇒ Z = 8.
         assert_close(mln.partition(), 8.0, 1e-12);
-        assert_close(mln.probability(&parse_fo("R(0)").unwrap()), 6.0 / 8.0, 1e-12);
-        assert_close(mln.probability(&parse_fo("R(1)").unwrap()), 4.0 / 8.0, 1e-12);
+        assert_close(
+            mln.probability(&parse_fo("R(0)").unwrap()),
+            6.0 / 8.0,
+            1e-12,
+        );
+        assert_close(
+            mln.probability(&parse_fo("R(1)").unwrap()),
+            4.0 / 8.0,
+            1e-12,
+        );
     }
 
     #[test]

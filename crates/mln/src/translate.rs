@@ -14,8 +14,8 @@
 //! conditional.
 
 use crate::model::Mln;
-use pdb_logic::{Fo, Predicate, Var};
 use pdb_data::{all_tuples, TupleDb};
+use pdb_logic::{Fo, Predicate, Var};
 
 /// The result of translating an MLN.
 #[derive(Clone, Debug)]
@@ -59,10 +59,7 @@ pub fn translate(mln: &Mln) -> Translation {
         // Γᵢ = ∀x⃗ (Cᵢ(x⃗) ∨ Δᵢ)
         let aux_atom = Fo::Atom(pdb_logic::Atom::new(
             Predicate::new(&name, free.len()),
-            free.iter()
-                .cloned()
-                .map(pdb_logic::Term::Var)
-                .collect(),
+            free.iter().cloned().map(pdb_logic::Term::Var).collect(),
         ));
         let body = aux_atom.or(c.formula.clone());
         let clause = free
@@ -87,8 +84,8 @@ pub fn translate(mln: &Mln) -> Translation {
 mod tests {
     use super::*;
     use crate::infer::conditional_brute;
-    use pdb_num::assert_close;
     use pdb_logic::parse_fo;
+    use pdb_num::assert_close;
 
     #[test]
     fn translation_shape_matches_section_3() {

@@ -129,7 +129,11 @@ impl LogNum {
         match self.sign {
             Sign::Zero => LogNum::ZERO,
             s => LogNum {
-                sign: if exp.is_multiple_of(2) { s.combine(s) } else { s },
+                sign: if exp.is_multiple_of(2) {
+                    s.combine(s)
+                } else {
+                    s
+                },
                 ln_mag: self.ln_mag * exp as f64,
             },
         }

@@ -109,7 +109,8 @@ impl Rational {
     }
 
     fn checked_mul_i128(a: i128, b: i128) -> i128 {
-        a.checked_mul(b).expect("Rational arithmetic overflowed i128")
+        a.checked_mul(b)
+            .expect("Rational arithmetic overflowed i128")
     }
 }
 
@@ -308,7 +309,11 @@ mod tests {
 
     #[test]
     fn sum_and_product_iterators() {
-        let v = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)];
+        let v = [
+            Rational::new(1, 2),
+            Rational::new(1, 3),
+            Rational::new(1, 6),
+        ];
         let s: Rational = v.iter().copied().sum();
         assert_eq!(s, Rational::ONE);
         let p: Rational = v.iter().copied().product();

@@ -13,8 +13,8 @@
 use crate::enumerate::all_plans;
 use crate::exec::execute;
 use crate::plan::Plan;
-use pdb_logic::{Cq, Ucq};
 use pdb_data::{TupleDb, TupleId};
+use pdb_logic::{Cq, Ucq};
 
 /// Both bounds plus the witnessing plans.
 #[derive(Clone, Debug)]
@@ -118,9 +118,9 @@ pub fn bounds(cq: &Cq, db: &TupleDb) -> PlanBounds {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdb_num::assert_close;
-    use pdb_logic::parse_cq;
     use pdb_lineage::eval::brute_force_probability;
+    use pdb_logic::parse_cq;
+    use pdb_num::assert_close;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -128,14 +128,10 @@ pub fn is_safe(plan: &Plan) -> bool {
             if !is_safe(child) {
                 return false;
             }
-            let removed: BTreeSet<Var> = child
-                .attrs()
-                .difference(keep)
-                .cloned()
-                .collect();
-            removed.iter().all(|v| {
-                child.atoms().iter().all(|a| a.contains_var(v))
-            })
+            let removed: BTreeSet<Var> = child.attrs().difference(keep).cloned().collect();
+            removed
+                .iter()
+                .all(|v| child.atoms().iter().all(|a| a.contains_var(v)))
         }
     }
 }
@@ -149,8 +145,8 @@ pub fn safe_plan(cq: &Cq) -> Option<Plan> {
 mod tests {
     use super::*;
     use crate::exec::execute;
-    use pdb_num::assert_close;
     use pdb_logic::parse_cq;
+    use pdb_num::assert_close;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -176,11 +172,7 @@ mod tests {
         ] {
             let cq = parse_cq(q).unwrap();
             assert_eq!(cq.is_hierarchical(), hierarchical, "fixture {q}");
-            assert_eq!(
-                safe_plan(&cq).is_some(),
-                hierarchical,
-                "safe plan for {q}"
-            );
+            assert_eq!(safe_plan(&cq).is_some(), hierarchical, "safe plan for {q}");
         }
     }
 
@@ -197,14 +189,9 @@ mod tests {
             &mut rng,
         );
         let cq = parse_cq("R(x), S(x,y)").unwrap();
-        let truth =
-            pdb_lineage::eval::brute_force_probability(&cq.to_fo(), &db);
+        let truth = pdb_lineage::eval::brute_force_probability(&cq.to_fo(), &db);
         for plan in all_plans(&cq).iter().filter(|p| is_safe(p)) {
-            assert_close(
-                execute(plan, &db).boolean_prob(),
-                truth,
-                1e-10,
-            );
+            assert_close(execute(plan, &db).boolean_prob(), truth, 1e-10);
         }
     }
 
@@ -216,8 +203,7 @@ mod tests {
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(seed);
             let db = pdb_data::generators::bipartite(2, 0.8, (0.2, 0.8), &mut rng);
-            let truth =
-                pdb_lineage::eval::brute_force_probability(&cq.to_fo(), &db);
+            let truth = pdb_lineage::eval::brute_force_probability(&cq.to_fo(), &db);
             for plan in all_plans(&cq) {
                 let estimate = execute(&plan, &db).boolean_prob();
                 assert!(

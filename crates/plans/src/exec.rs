@@ -1,8 +1,8 @@
 //! Plan execution with probability-aware operators.
 
 use crate::plan::Plan;
-use pdb_logic::{Term, Var};
 use pdb_data::{Const, TupleDb};
+use pdb_logic::{Term, Var};
 use std::collections::{BTreeSet, HashMap};
 
 /// An intermediate probabilistic relation: named attributes and rows
@@ -19,7 +19,10 @@ impl PRel {
     /// For a Boolean (zero-attribute) result: the probability, with the
     /// empty result meaning 0.
     pub fn boolean_prob(&self) -> f64 {
-        assert!(self.attrs.is_empty(), "boolean_prob on non-Boolean relation");
+        assert!(
+            self.attrs.is_empty(),
+            "boolean_prob on non-Boolean relation"
+        );
         match self.rows.as_slice() {
             [] => 0.0,
             [(_, p)] => *p,
@@ -68,8 +71,7 @@ pub fn execute(plan: &Plan, db: &TupleDb) -> PRel {
                             },
                         }
                     }
-                    let values: Vec<Const> =
-                        attrs.iter().map(|v| binding[v]).collect();
+                    let values: Vec<Const> = attrs.iter().map(|v| binding[v]).collect();
                     rows.push((values, p));
                 }
             }
@@ -83,9 +85,7 @@ pub fn execute(plan: &Plan, db: &TupleDb) -> PRel {
                 .attrs
                 .iter()
                 .enumerate()
-                .filter_map(|(i, v)| {
-                    r.attrs.iter().position(|w| w == v).map(|j| (i, j))
-                })
+                .filter_map(|(i, v)| r.attrs.iter().position(|w| w == v).map(|j| (i, j)))
                 .collect();
             let r_extra: Vec<usize> = (0..r.attrs.len())
                 .filter(|j| !shared.iter().any(|(_, sj)| sj == j))
@@ -161,8 +161,8 @@ pub fn attr_set(rel: &PRel) -> BTreeSet<Var> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdb_num::assert_close;
     use pdb_logic::parse_cq;
+    use pdb_num::assert_close;
 
     fn fig1_db() -> (TupleDb, [f64; 3], [f64; 6]) {
         let p = [0.1, 0.2, 0.3];

@@ -1,0 +1,464 @@
+//! The probdb command protocol, shared verbatim by the interactive CLI
+//! (`probdb-cli`) and the TCP server (`probdb-serve`).
+//!
+//! One command per line, answers as plain text. Extracting the parser and
+//! the answer formatters here guarantees the two front ends accept the same
+//! language and render byte-identical results — the server-concurrency
+//! integration test relies on that to compare wire responses against
+//! single-threaded evaluation.
+//!
+//! ## Wire framing (server only)
+//!
+//! The CLI is a REPL, so it needs no framing. Over TCP the server ends each
+//! response with a line containing a single `.`; response lines that consist
+//! of exactly `.` are escaped as `..` (SMTP-style dot-stuffing). See
+//! [`write_framed`] / [`read_framed`].
+
+use pdb_core::{Answer, AnswerTuple, Complexity};
+use std::io::{BufRead, Write};
+
+/// One parsed shell command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `insert <rel> <c1> … <ck> <prob>`
+    Insert {
+        /// Relation name (declared on first use).
+        relation: String,
+        /// Constant tuple.
+        tuple: Vec<u64>,
+        /// Marginal probability of the tuple.
+        prob: f64,
+    },
+    /// `domain <c1> … <ck>` — extend the domain explicitly.
+    Domain(Vec<u64>),
+    /// `query <fo sentence>`
+    Query(String),
+    /// `answers <v1,v2,…> : <cq>` — non-Boolean query.
+    Answers {
+        /// Head variables, in output order.
+        head: Vec<String>,
+        /// The conjunctive-query body.
+        cq: String,
+    },
+    /// `classify <ucq>`
+    Classify(String),
+    /// `open <lambda> <monotone fo>` — open-world interval.
+    OpenWorld {
+        /// λ-completion probability for unlisted tuples.
+        lambda: f64,
+        /// The monotone sentence.
+        query: String,
+    },
+    /// `show` — dump the database.
+    Show,
+    /// `stats` — engine observability counters (server; the CLI keeps no
+    /// counters and says so).
+    Stats,
+    /// `source <path>` — run commands from a file (CLI only; the server
+    /// refuses to read its own filesystem on behalf of clients).
+    Source(String),
+    /// `help`
+    Help,
+    /// `quit` / `exit`
+    Quit,
+    /// Blank line or comment.
+    Nothing,
+}
+
+/// Parses one line into a command.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Command::Nothing);
+    }
+    let (head, rest) = match line.split_once(char::is_whitespace) {
+        Some((h, r)) => (h, r.trim()),
+        None => (line, ""),
+    };
+    match head {
+        "insert" => {
+            let mut parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() < 2 {
+                return Err("usage: insert <rel> <c1> … <ck> <prob>".into());
+            }
+            let relation = parts.remove(0).to_string();
+            let prob: f64 = parts
+                .pop()
+                .unwrap()
+                .parse()
+                .map_err(|_| "probability must be a number".to_string())?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("probability {prob} not in [0, 1]"));
+            }
+            let tuple = parts
+                .iter()
+                .map(|p| p.parse::<u64>().map_err(|_| format!("bad constant {p}")))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Command::Insert {
+                relation,
+                tuple,
+                prob,
+            })
+        }
+        "domain" => {
+            let consts = rest
+                .split_whitespace()
+                .map(|p| p.parse::<u64>().map_err(|_| format!("bad constant {p}")))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Command::Domain(consts))
+        }
+        "query" => {
+            if rest.is_empty() {
+                return Err("usage: query <sentence>".into());
+            }
+            Ok(Command::Query(rest.to_string()))
+        }
+        "answers" => {
+            let (head_vars, cq) = rest
+                .split_once(':')
+                .ok_or_else(|| "usage: answers <v1,v2,…> : <cq>".to_string())?;
+            let head = head_vars
+                .split(',')
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .collect::<Vec<_>>();
+            if head.is_empty() {
+                return Err("answers needs at least one head variable".into());
+            }
+            if cq.trim().is_empty() {
+                return Err("answers needs a query body after `:`".into());
+            }
+            Ok(Command::Answers {
+                head,
+                cq: cq.trim().to_string(),
+            })
+        }
+        "classify" => {
+            if rest.is_empty() {
+                return Err("usage: classify <ucq>".into());
+            }
+            Ok(Command::Classify(rest.to_string()))
+        }
+        "open" => {
+            let (lambda, query) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "usage: open <lambda> <monotone sentence>".to_string())?;
+            let lambda: f64 = lambda
+                .parse()
+                .map_err(|_| "λ must be a number".to_string())?;
+            if !(0.0..=1.0).contains(&lambda) {
+                return Err(format!("λ = {lambda} not in [0, 1]"));
+            }
+            Ok(Command::OpenWorld {
+                lambda,
+                query: query.trim().to_string(),
+            })
+        }
+        "show" => Ok(Command::Show),
+        "stats" => Ok(Command::Stats),
+        "source" => {
+            if rest.is_empty() {
+                return Err("usage: source <file>".into());
+            }
+            Ok(Command::Source(rest.to_string()))
+        }
+        "help" => Ok(Command::Help),
+        "quit" | "exit" => Ok(Command::Quit),
+        other => Err(format!("unknown command {other:?}; try `help`")),
+    }
+}
+
+/// The `help` text (shared by CLI and server).
+pub const HELP: &str = "\
+commands:
+  insert <rel> <c1> … <ck> <p>   add a tuple with probability p
+  domain <c1> … <ck>             extend the domain (matters for ∀)
+  query <sentence>               Boolean query, e.g. exists x. R(x) & S(x,y)
+  answers <v,…> : <cq>           non-Boolean CQ, e.g. answers x : R(x), S(x,y)
+  classify <ucq>                 dichotomy classification
+  open <λ> <sentence>            open-world interval for a monotone query
+  show                           print the database
+  stats                          engine + cache observability counters
+  source <file>                  run commands from a file (CLI only)
+  quit                           leave";
+
+/// Canonicalizes query text for use in cache keys: trims and collapses every
+/// whitespace run to a single space, so `query R(x)  &  S(x,y)` and
+/// `query R(x) & S(x,y)` share a cache entry. Deliberately *not* a semantic
+/// normal form — syntactically different spellings of the same query hash
+/// apart, which costs a duplicate entry, never a wrong answer.
+pub fn normalize_query(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for token in text.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(token);
+    }
+    out
+}
+
+/// Renders a Boolean-query answer exactly as the CLI prints it.
+pub fn format_answer(a: &Answer) -> String {
+    let mut s = format!("p = {:.6}  (engine: {:?})", a.probability, a.method);
+    if let Some((lo, hi)) = a.bounds {
+        s.push_str(&format!("  bounds [{lo:.6}, {hi:.6}]"));
+    }
+    s.push('\n');
+    s
+}
+
+/// Renders non-Boolean answer rows exactly as the CLI prints them.
+pub fn format_answer_tuples(head: &[String], rows: &[AnswerTuple]) -> String {
+    if rows.is_empty() {
+        return "(no answers)\n".into();
+    }
+    let mut s = String::new();
+    for a in rows {
+        let binding: Vec<String> = head
+            .iter()
+            .zip(&a.values)
+            .map(|(v, c)| format!("{v} = {c}"))
+            .collect();
+        s.push_str(&format!(
+            "{}    p = {:.6}\n",
+            binding.join(", "),
+            a.probability
+        ));
+    }
+    s
+}
+
+/// Renders a dichotomy verdict exactly as the CLI prints it.
+pub fn format_complexity(c: Complexity) -> &'static str {
+    match c {
+        Complexity::PolynomialTime => "polynomial time",
+        Complexity::SharpPHard => "#P-hard",
+        Complexity::Unknown => "unknown (rules inconclusive)",
+    }
+}
+
+/// Renders an open-world interval exactly as the CLI prints it.
+pub fn format_open(lower: &Answer, upper: &Answer) -> String {
+    format!(
+        "p ∈ [{:.6}, {:.6}]  (closed-world, λ-completion)\n",
+        lower.probability, upper.probability
+    )
+}
+
+/// Writes one framed response: the payload's lines (dot-stuffed: any line
+/// beginning with `.` gets an extra leading `.`), then the `.` terminator.
+pub fn write_framed(out: &mut impl Write, response: &str) -> std::io::Result<()> {
+    for line in response.lines() {
+        if line.starts_with('.') {
+            out.write_all(b".")?;
+        }
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.write_all(b".\n")?;
+    out.flush()
+}
+
+/// Reads one framed response, un-stuffing dots. Returns `None` on EOF
+/// before the terminator.
+pub fn read_framed(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut response = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed == "." {
+            return Ok(Some(response));
+        }
+        response.push_str(trimmed.strip_prefix('.').unwrap_or(trimmed));
+        response.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_inserts() {
+        assert_eq!(
+            parse_command("insert R 1 2 0.5").unwrap(),
+            Command::Insert {
+                relation: "R".into(),
+                tuple: vec![1, 2],
+                prob: 0.5
+            }
+        );
+        assert!(parse_command("insert R").is_err());
+        assert!(parse_command("insert R x 0.5").is_err());
+        assert!(parse_command("insert R 1 1.5").is_err(), "p > 1 rejected");
+        assert!(parse_command("insert R 1 -0.5").is_err(), "p < 0 rejected");
+    }
+
+    #[test]
+    fn parses_queries_and_misc() {
+        assert_eq!(
+            parse_command("query exists x. R(x)").unwrap(),
+            Command::Query("exists x. R(x)".into())
+        );
+        assert_eq!(
+            parse_command("answers x, y : R(x), S(x,y)").unwrap(),
+            Command::Answers {
+                head: vec!["x".into(), "y".into()],
+                cq: "R(x), S(x,y)".into()
+            }
+        );
+        assert_eq!(parse_command("  # comment").unwrap(), Command::Nothing);
+        assert_eq!(parse_command("").unwrap(), Command::Nothing);
+        assert_eq!(parse_command("quit").unwrap(), Command::Quit);
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert!(parse_command("frobnicate").is_err());
+    }
+
+    #[test]
+    fn malformed_input_errors_instead_of_panicking() {
+        // Every line here used to be accepted weirdly or is adversarial;
+        // all must produce Err, never a panic or a bogus Ok.
+        for line in [
+            "insert",
+            "insert R",
+            "insert R 0.5", // missing constants is an insert of arity 0 — fine,
+            // but a *lone* prob with no relation is not
+            "insert R 1 2 huge", // non-numeric probability
+            "insert R 1 2 2.5",  // out-of-range probability
+            "domain x y",        // non-numeric constants
+            "query",             // empty sentence
+            "answers : R(x)",    // no head variables
+            "answers x :",       // no body
+            "answers x R(x)",    // missing colon
+            "classify",          // empty UCQ
+            "open 0.2",          // missing sentence
+            "open nope R(x)",    // non-numeric λ
+            "open 1.5 R(x)",     // λ out of range
+            "source",            // missing path
+            "∀x.R(x)",           // unknown command word
+        ] {
+            match parse_command(line) {
+                Err(_) => {}
+                Ok(Command::Insert {
+                    relation,
+                    tuple,
+                    prob,
+                }) if line == "insert R 0.5" => {
+                    // `insert R 0.5` parses as arity-0 insert with p = 0.5 —
+                    // accepted, matching the CLI's historical behavior.
+                    assert_eq!((relation.as_str(), tuple.len(), prob), ("R", 0, 0.5));
+                }
+                Ok(cmd) => panic!("{line:?} unexpectedly parsed as {cmd:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_on_canonical_forms() {
+        // Rendering a parsed command back to its canonical line and
+        // re-parsing is the identity.
+        let render = |c: &Command| -> Option<String> {
+            Some(match c {
+                Command::Insert {
+                    relation,
+                    tuple,
+                    prob,
+                } => {
+                    let consts: Vec<String> = tuple.iter().map(u64::to_string).collect();
+                    if consts.is_empty() {
+                        format!("insert {relation} {prob}")
+                    } else {
+                        format!("insert {relation} {} {prob}", consts.join(" "))
+                    }
+                }
+                Command::Domain(cs) => format!(
+                    "domain {}",
+                    cs.iter().map(u64::to_string).collect::<Vec<_>>().join(" ")
+                ),
+                Command::Query(q) => format!("query {q}"),
+                Command::Answers { head, cq } => {
+                    format!("answers {} : {cq}", head.join(", "))
+                }
+                Command::Classify(q) => format!("classify {q}"),
+                Command::OpenWorld { lambda, query } => format!("open {lambda} {query}"),
+                Command::Show => "show".into(),
+                Command::Stats => "stats".into(),
+                Command::Source(p) => format!("source {p}"),
+                Command::Help => "help".into(),
+                Command::Quit => "quit".into(),
+                Command::Nothing => return None,
+            })
+        };
+        let cases = [
+            Command::Insert {
+                relation: "R".into(),
+                tuple: vec![1, 2],
+                prob: 0.25,
+            },
+            Command::Domain(vec![0, 1, 2]),
+            Command::Query("exists x. R(x) & S(x,y)".into()),
+            Command::Answers {
+                head: vec!["x".into(), "y".into()],
+                cq: "R(x), S(x,y)".into(),
+            },
+            Command::Classify("R(x), S(x,y), T(y)".into()),
+            Command::OpenWorld {
+                lambda: 0.2,
+                query: "exists x. R(x)".into(),
+            },
+            Command::Show,
+            Command::Stats,
+            Command::Source("script.pdb".into()),
+            Command::Help,
+            Command::Quit,
+        ];
+        for cmd in cases {
+            let line = render(&cmd).unwrap();
+            assert_eq!(parse_command(&line).unwrap(), cmd, "via {line:?}");
+        }
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace_only() {
+        assert_eq!(
+            normalize_query("  exists x.   R(x)  &\tS(x,y) "),
+            "exists x. R(x) & S(x,y)"
+        );
+        assert_eq!(normalize_query("R(x)"), "R(x)");
+        assert_ne!(normalize_query("R(x)"), normalize_query("R( x)"));
+    }
+
+    #[test]
+    fn framing_round_trips_including_dot_lines() {
+        let payloads = [
+            "p = 0.400000  (engine: Lifted)\n",
+            "",
+            "multi\nline\n",
+            ".\nliteral dot line\n..\n",
+        ];
+        for p in payloads {
+            let mut wire = Vec::new();
+            write_framed(&mut wire, p).unwrap();
+            let mut reader = std::io::BufReader::new(&wire[..]);
+            let got = read_framed(&mut reader).unwrap().expect("terminator");
+            // Round trip is exact up to a trailing newline on non-empty
+            // payloads (framing is line-based).
+            let want = if p.is_empty() || p.ends_with('\n') {
+                p.to_string()
+            } else {
+                format!("{p}\n")
+            };
+            assert_eq!(got, want, "payload {p:?}");
+        }
+    }
+
+    #[test]
+    fn read_framed_reports_eof() {
+        let mut reader = std::io::BufReader::new(&b"partial response\n"[..]);
+        assert!(read_framed(&mut reader).unwrap().is_none());
+    }
+}

@@ -1,0 +1,339 @@
+//! The TCP front end: a fixed-size worker pool accepting connections and
+//! speaking the line protocol from [`crate::protocol`].
+//!
+//! Each worker owns at most one connection at a time (classic
+//! pool-of-acceptors: every worker blocks in `accept` on the shared
+//! listener, so up to `workers` sessions run concurrently and excess
+//! connections queue in the kernel backlog). Commands within a session are
+//! processed strictly in order, which is what makes "insert, then query on
+//! the same connection" read-your-writes — the concurrency integration test
+//! leans on that to prove no stale cache read survives a mutation.
+
+use crate::protocol::write_framed;
+use crate::service::{Service, ServiceOptions};
+use pdb_core::ProbDb;
+use std::io::{BufRead, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Bind address (use port 0 to let the OS pick — handy in tests).
+    pub addr: String,
+    /// Worker threads = maximum concurrent sessions.
+    pub workers: usize,
+    /// See [`ServiceOptions::query_timeout`].
+    pub query_timeout: Duration,
+    /// See [`ServiceOptions::cache_capacity`].
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            addr: "127.0.0.1:7171".into(),
+            workers: 4,
+            query_timeout: Duration::from_secs(10),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::shutdown`])
+/// stops the workers and prints a final stats summary to stderr.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    service: Service,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolved port when `addr` used port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The underlying service (stats, cache introspection).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Stops accepting, unblocks and joins every worker, prints the final
+    /// observability summary.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    /// Blocks until every worker exits (i.e. forever, absent a shutdown
+    /// from another handle or thread). Used by the `probdb-serve` binary.
+    pub fn join(mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.print_summary();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake workers parked in accept() with throwaway connections.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.print_summary();
+    }
+
+    fn print_summary(&self) {
+        eprintln!(
+            "pdb-server summary ({}):\n{}",
+            self.local_addr,
+            self.service.stats_text()
+        );
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Binds and starts serving `db` according to `opts`.
+pub fn serve(db: ProbDb, opts: ServerOptions) -> std::io::Result<ServerHandle> {
+    let listener = bind(&opts.addr)?;
+    let local_addr = listener.local_addr()?;
+    let service = Service::new(
+        db,
+        ServiceOptions {
+            query_timeout: opts.query_timeout,
+            cache_capacity: opts.cache_capacity,
+            ..ServiceOptions::default()
+        },
+    );
+    let listener = Arc::new(listener);
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers = (0..opts.workers.max(1))
+        .map(|i| {
+            let listener = Arc::clone(&listener);
+            let stop = Arc::clone(&stop);
+            let service = service.clone();
+            std::thread::Builder::new()
+                .name(format!("pdb-worker-{i}"))
+                .spawn(move || worker_loop(&listener, &stop, &service))
+                .expect("spawn worker thread")
+        })
+        .collect();
+    Ok(ServerHandle {
+        local_addr,
+        service,
+        stop,
+        workers,
+    })
+}
+
+fn bind(addr: &str) -> std::io::Result<TcpListener> {
+    let mut last_err = None;
+    for resolved in addr.to_socket_addrs()? {
+        match TcpListener::bind(resolved) {
+            Ok(l) => return Ok(l),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        )
+    }))
+}
+
+fn worker_loop(listener: &TcpListener, stop: &AtomicBool, service: &Service) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the wake-up connection from shutdown
+        }
+        service.stats().connection_opened();
+        let _ = handle_connection(stream, stop, service);
+        service.stats().connection_closed();
+    }
+}
+
+/// How often a blocked session re-checks the stop flag. Bounds shutdown
+/// latency even with idle clients still connected.
+const STOP_POLL: Duration = Duration::from_millis(100);
+
+fn handle_connection(
+    stream: TcpStream,
+    stop: &AtomicBool,
+    service: &Service,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(STOP_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let Some(line) = read_line_interruptible(&mut reader, stop)? else {
+            return Ok(()); // client hung up or server stopping
+        };
+        let (response, keep_open) = service.handle_line(&line);
+        write_framed(&mut writer, &response)?;
+        if !keep_open {
+            return Ok(());
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line, polling `stop` on read timeouts. Uses
+/// `fill_buf`/`consume` rather than `read_line` so a timeout mid-line loses
+/// no buffered bytes (`read_line` leaves the buffer unspecified on error).
+/// Returns `None` on EOF or server stop.
+fn read_line_interruptible(
+    reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
+) -> std::io::Result<Option<String>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let available = match reader.fill_buf() {
+            Ok([]) => {
+                // EOF: serve a final unterminated line if one is pending.
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+                };
+            }
+            Ok(bytes) => bytes,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                line.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            None => {
+                let n = available.len();
+                line.extend_from_slice(available);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::read_framed;
+    use std::io::Write;
+
+    fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).unwrap();
+        (BufReader::new(stream.try_clone().unwrap()), stream)
+    }
+
+    fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> String {
+        writeln!(writer, "{line}").unwrap();
+        read_framed(reader).unwrap().expect("response")
+    }
+
+    fn test_server() -> ServerHandle {
+        serve(
+            ProbDb::new(),
+            ServerOptions {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                query_timeout: Duration::ZERO,
+                cache_capacity: 64,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_the_cli_protocol_over_tcp() {
+        let server = test_server();
+        let (mut reader, mut writer) = connect(server.local_addr());
+        assert_eq!(roundtrip(&mut reader, &mut writer, "insert R 1 0.5"), "");
+        assert_eq!(roundtrip(&mut reader, &mut writer, "insert S 1 2 0.8"), "");
+        let resp = roundtrip(
+            &mut reader,
+            &mut writer,
+            "query exists x. exists y. R(x) & S(x,y)",
+        );
+        assert_eq!(resp, "p = 0.400000  (engine: Lifted)\n");
+        let stats = roundtrip(&mut reader, &mut writer, "stats");
+        assert!(stats.contains("lifted=1"), "{stats}");
+        assert!(stats.contains("active=1 total=1"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn quit_closes_only_that_session() {
+        let server = test_server();
+        let (mut r1, mut w1) = connect(server.local_addr());
+        let (mut r2, mut w2) = connect(server.local_addr());
+        roundtrip(&mut r1, &mut w1, "insert R 7 0.25");
+        writeln!(w1, "quit").unwrap();
+        // Session 1 is closed: its stream reads EOF after the quit frame.
+        assert_eq!(read_framed(&mut r1).unwrap(), Some(String::new()));
+        assert_eq!(read_framed(&mut r1).unwrap(), None);
+        // Session 2 still works and sees session 1's insert.
+        let resp = roundtrip(&mut r2, &mut w2, "query exists x. R(x)");
+        assert_eq!(resp, "p = 0.250000  (engine: Lifted)\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn parse_errors_do_not_kill_the_session() {
+        let server = test_server();
+        let (mut reader, mut writer) = connect(server.local_addr());
+        let resp = roundtrip(&mut reader, &mut writer, "frobnicate 12");
+        assert!(resp.starts_with("error: unknown command"), "{resp}");
+        let resp = roundtrip(&mut reader, &mut writer, "help");
+        assert!(resp.contains("commands:"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_terminates_workers() {
+        let server = test_server();
+        let addr = server.local_addr();
+        server.shutdown();
+        // After shutdown either the connect fails or the connection is
+        // closed without service; a fresh roundtrip must not succeed.
+        if let Ok(stream) = TcpStream::connect(addr) {
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let _ = writeln!(writer, "help");
+            let response = read_framed(&mut reader).unwrap();
+            assert_eq!(response, None, "worker answered after shutdown");
+        }
+    }
+}

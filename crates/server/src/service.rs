@@ -1,0 +1,580 @@
+//! The serving engine: a thread-safe façade over [`pdb_core::ProbDb`] with
+//! result caching, wall-clock timeouts, and observability.
+//!
+//! ## Concurrency model
+//!
+//! The database lives behind `RwLock<Arc<ProbDb>>`. Readers take the lock
+//! only long enough to clone the `Arc` (a snapshot), so queries never block
+//! each other and never block writers while computing. Writers mutate
+//! through [`std::sync::Arc::make_mut`]: if a query still holds the old
+//! snapshot the data is cloned copy-on-write, keeping that in-flight query
+//! consistent with the contents it started on.
+//!
+//! ## Caching
+//!
+//! Results are cached under `(kind, normalized query, db version)` (see
+//! [`crate::cache`]). A mutation bumps [`pdb_core::ProbDb::version`], so a
+//! later lookup misses and recomputes against the new contents — no stale
+//! probability can ever be served (the version is read from the same
+//! snapshot the query runs on).
+//!
+//! ## Timeouts
+//!
+//! A `query` that exceeds the configured wall-clock budget degrades to the
+//! approximate engine (Karp–Luby with a small sample count, exact budget 1)
+//! instead of hanging a worker — the paper's cascade, applied to latency
+//! (Gatterbauer & Suciu's motivation for approximate lifted inference).
+//! The original evaluation keeps running on a helper thread and still
+//! populates the cache on completion, so a repeat of a timed-out query
+//! eventually gets the exact answer for free.
+
+use crate::cache::LruCache;
+use crate::protocol::{
+    format_answer, format_answer_tuples, format_complexity, format_open, normalize_query,
+    parse_command, Command, HELP,
+};
+use crate::stats::Stats;
+use pdb_core::{Answer, Complexity, EngineError, ProbDb, QueryOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// What a cache entry was computed for.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
+enum CacheKind {
+    /// A Boolean query probability (with bounds / std error when present).
+    Probability,
+    /// A UCQ dichotomy classification (data-independent: keyed at version 0).
+    Classify,
+}
+
+type CacheKey = (CacheKind, String, u64);
+
+/// A cached result.
+#[derive(Clone, Debug)]
+enum CacheEntry {
+    Answer(Answer),
+    Classify(Complexity),
+}
+
+/// Tuning knobs for a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceOptions {
+    /// Wall-clock budget per `query` before degrading to the approximate
+    /// engine. `Duration::ZERO` disables the timeout (queries run inline on
+    /// the worker thread).
+    pub query_timeout: Duration,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Karp–Luby sample count used by the degraded (post-timeout) path.
+    pub degraded_samples: u64,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> ServiceOptions {
+        ServiceOptions {
+            query_timeout: Duration::from_secs(10),
+            cache_capacity: 1024,
+            degraded_samples: 20_000,
+        }
+    }
+}
+
+struct Shared {
+    db: RwLock<Arc<ProbDb>>,
+    cache: Mutex<LruCache<CacheKey, CacheEntry>>,
+    stats: Stats,
+    opts: ServiceOptions,
+    /// Helper threads spawned for timed-out queries that are still running.
+    inflight_helpers: AtomicU64,
+}
+
+/// A cloneable handle to one serving instance (shared by every worker).
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<Shared>,
+}
+
+impl Service {
+    /// Wraps `db` for serving under `opts`.
+    pub fn new(db: ProbDb, opts: ServiceOptions) -> Service {
+        let capacity = opts.cache_capacity.max(1);
+        Service {
+            inner: Arc::new(Shared {
+                db: RwLock::new(Arc::new(db)),
+                cache: Mutex::new(LruCache::new(capacity)),
+                stats: Stats::default(),
+                opts,
+                inflight_helpers: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The observability counters.
+    pub fn stats(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// The `stats` command payload.
+    pub fn stats_text(&self) -> String {
+        let cache = self.inner.cache.lock().unwrap();
+        self.inner.stats.render(cache.len(), cache.capacity())
+    }
+
+    /// Current database version (for tests and diagnostics).
+    pub fn db_version(&self) -> u64 {
+        self.inner.db.read().unwrap().version()
+    }
+
+    /// Number of live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.lock().unwrap().len()
+    }
+
+    /// Drops every cached result (used by benches to measure cold paths).
+    pub fn clear_cache(&self) {
+        self.inner.cache.lock().unwrap().clear();
+    }
+
+    /// Helper threads still evaluating timed-out queries.
+    pub fn inflight_helpers(&self) -> u64 {
+        self.inner.inflight_helpers.load(Ordering::Relaxed)
+    }
+
+    /// Parses and executes one protocol line. Returns the response text and
+    /// whether the session stays open.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        match parse_command(line) {
+            Ok(cmd) => self.handle_command(cmd),
+            Err(e) => (format!("error: {e}\n"), true),
+        }
+    }
+
+    /// Executes one parsed command. Returns the response text and whether
+    /// the session stays open.
+    pub fn handle_command(&self, cmd: Command) -> (String, bool) {
+        match cmd {
+            Command::Nothing => (String::new(), true),
+            Command::Quit => (String::new(), false),
+            Command::Help => (format!("{HELP}\n"), true),
+            Command::Stats => (self.stats_text(), true),
+            Command::Source(_) => (
+                "error: source is not available over the wire; run the script \
+                 client-side\n"
+                    .into(),
+                true,
+            ),
+            Command::Insert {
+                relation,
+                tuple,
+                prob,
+            } => {
+                let mut guard = self.inner.db.write().unwrap();
+                Arc::make_mut(&mut guard).insert(&relation, tuple, prob);
+                (String::new(), true)
+            }
+            Command::Domain(consts) => {
+                let mut guard = self.inner.db.write().unwrap();
+                Arc::make_mut(&mut guard).extend_domain(consts);
+                (String::new(), true)
+            }
+            Command::Show => {
+                let db = self.snapshot().0;
+                (format!("{}", db.tuple_db()), true)
+            }
+            Command::Query(q) => (self.run_query(&q), true),
+            Command::Classify(q) => (self.run_classify(&q), true),
+            Command::Answers { head, cq } => (self.run_answers(&head, &cq), true),
+            Command::OpenWorld { lambda, query } => (self.run_open(lambda, &query), true),
+        }
+    }
+
+    /// A consistent `(contents, version)` snapshot.
+    fn snapshot(&self) -> (Arc<ProbDb>, u64) {
+        let guard = self.inner.db.read().unwrap();
+        (Arc::clone(&guard), guard.version())
+    }
+
+    fn run_query(&self, text: &str) -> String {
+        let start = Instant::now();
+        let norm = normalize_query(text);
+        let (db, version) = self.snapshot();
+        let key = (CacheKind::Probability, norm.clone(), version);
+        let cached = {
+            let mut cache = self.inner.cache.lock().unwrap();
+            cache.get(&key).cloned()
+        };
+        let out = if let Some(CacheEntry::Answer(a)) = cached {
+            self.inner.stats.record_cache_hit();
+            self.inner.stats.record_method(a.method);
+            format_answer(&a)
+        } else {
+            self.inner.stats.record_cache_miss();
+            match self.compute_with_timeout(db, &norm, key) {
+                Ok(a) => {
+                    self.inner.stats.record_method(a.method);
+                    format_answer(&a)
+                }
+                Err(e) => {
+                    self.inner.stats.record_error();
+                    format!("error: {e}\n")
+                }
+            }
+        };
+        self.inner.stats.record_latency(start.elapsed());
+        out
+    }
+
+    /// Evaluates `norm` on `db`, degrading to the approximate engine if the
+    /// wall-clock budget elapses. Successful full-fidelity results are
+    /// cached (also by the helper thread when it finishes late).
+    fn compute_with_timeout(
+        &self,
+        db: Arc<ProbDb>,
+        norm: &str,
+        key: CacheKey,
+    ) -> Result<Answer, EngineError> {
+        let timeout = self.inner.opts.query_timeout;
+        if timeout.is_zero() {
+            let answer = db.query(norm)?;
+            self.cache_answer(key, &answer);
+            return Ok(answer);
+        }
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::clone(&self.inner);
+        let text = norm.to_string();
+        let helper_key = key.clone();
+        shared.inflight_helpers.fetch_add(1, Ordering::Relaxed);
+        std::thread::Builder::new()
+            .name("pdb-query".into())
+            .spawn(move || {
+                let result = db.query(&text);
+                if let Ok(a) = &result {
+                    shared
+                        .cache
+                        .lock()
+                        .unwrap()
+                        .insert(helper_key, CacheEntry::Answer(a.clone()));
+                }
+                shared.inflight_helpers.fetch_sub(1, Ordering::Relaxed);
+                let _ = tx.send(result);
+            })
+            .expect("spawn query helper thread");
+        match rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.inner.stats.record_timeout();
+                // Recompute cheaply on a fresh snapshot of the *same* data
+                // (we still hold the Arc the helper runs on? No — the helper
+                // owns it; re-snapshot by version-stable key is unnecessary:
+                // degrade against the current contents under the same
+                // normalized text).
+                let (db_now, _) = self.snapshot();
+                self.degraded_answer(&db_now, norm)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(EngineError::Unsupported(
+                "query evaluation panicked in the helper thread".into(),
+            )),
+        }
+    }
+
+    /// The post-timeout fallback: skip exact model counting (budget 1) and
+    /// estimate with a reduced Karp–Luby sample count. Not cached — the
+    /// helper thread caches the exact answer when it completes.
+    fn degraded_answer(&self, db: &ProbDb, norm: &str) -> Result<Answer, EngineError> {
+        let fo = pdb_logic::parse_fo(norm)?;
+        let opts = QueryOptions {
+            exact_budget: 1,
+            samples: self.inner.opts.degraded_samples,
+            ..QueryOptions::default()
+        };
+        db.query_fo(&fo, &opts)
+    }
+
+    fn cache_answer(&self, key: CacheKey, answer: &Answer) {
+        self.inner
+            .cache
+            .lock()
+            .unwrap()
+            .insert(key, CacheEntry::Answer(answer.clone()));
+    }
+
+    fn run_classify(&self, text: &str) -> String {
+        let norm = normalize_query(text);
+        // Classification is data-independent, so the key pins version 0 and
+        // survives every insert.
+        let key = (CacheKind::Classify, norm.clone(), 0);
+        let cached = {
+            let mut cache = self.inner.cache.lock().unwrap();
+            cache.get(&key).cloned()
+        };
+        if let Some(CacheEntry::Classify(c)) = cached {
+            self.inner.stats.record_cache_hit();
+            return format!("{}\n", format_complexity(c));
+        }
+        self.inner.stats.record_cache_miss();
+        match pdb_logic::parse_ucq(&norm) {
+            Ok(ucq) => {
+                let c = pdb_core::classify_ucq(&ucq);
+                self.inner
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .insert(key, CacheEntry::Classify(c));
+                format!("{}\n", format_complexity(c))
+            }
+            Err(e) => format!("parse error: {e}\n"),
+        }
+    }
+
+    fn run_answers(&self, head: &[String], cq: &str) -> String {
+        let (db, _) = self.snapshot();
+        match pdb_logic::parse_cq(cq) {
+            Ok(parsed) => {
+                let vars: Vec<pdb_logic::Var> =
+                    head.iter().map(|v| pdb_logic::Var::new(v)).collect();
+                match db.query_answers(&parsed, &vars, &QueryOptions::default()) {
+                    Ok(rows) => format_answer_tuples(head, &rows),
+                    Err(e) => format!("error: {e}\n"),
+                }
+            }
+            Err(e) => format!("parse error: {e}\n"),
+        }
+    }
+
+    fn run_open(&self, lambda: f64, query: &str) -> String {
+        let (db, _) = self.snapshot();
+        match pdb_logic::parse_fo(query) {
+            Ok(fo) => match db.query_open_world(&fo, lambda, &QueryOptions::default()) {
+                Ok((lo, hi)) => format_open(&lo, &hi),
+                Err(e) => format!("error: {e}\n"),
+            },
+            Err(e) => format!("parse error: {e}\n"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inline_opts() -> ServiceOptions {
+        ServiceOptions {
+            query_timeout: Duration::ZERO,
+            cache_capacity: 64,
+            degraded_samples: 5_000,
+        }
+    }
+
+    fn seeded_service(opts: ServiceOptions) -> Service {
+        let mut db = ProbDb::new();
+        db.insert("R", [1], 0.5);
+        db.insert("S", [1, 2], 0.8);
+        Service::new(db, opts)
+    }
+
+    const Q: &str = "query exists x. exists y. R(x) & S(x,y)";
+
+    #[test]
+    fn second_query_is_a_cache_hit_with_identical_text() {
+        let svc = seeded_service(inline_opts());
+        let (first, _) = svc.handle_line(Q);
+        assert!(first.contains("p = 0.400000"), "{first}");
+        let (second, _) = svc.handle_line(Q);
+        assert_eq!(first, second);
+        assert_eq!(svc.stats().cache_misses(), 1);
+        assert_eq!(svc.stats().cache_hits(), 1);
+        assert_eq!(svc.cache_len(), 1);
+    }
+
+    #[test]
+    fn whitespace_variants_share_one_entry() {
+        let svc = seeded_service(inline_opts());
+        svc.handle_line(Q);
+        let (resp, _) = svc.handle_line("query   exists x.  exists y. R(x) &  S(x,y)");
+        assert!(resp.contains("p = 0.400000"), "{resp}");
+        assert_eq!(svc.stats().cache_hits(), 1);
+        assert_eq!(svc.cache_len(), 1);
+    }
+
+    #[test]
+    fn insert_invalidates_by_version_bump() {
+        let svc = seeded_service(inline_opts());
+        let (before, _) = svc.handle_line(Q);
+        assert!(before.contains("p = 0.400000"), "{before}");
+        let v0 = svc.db_version();
+        svc.handle_line("insert S 1 3 0.5");
+        assert_eq!(svc.db_version(), v0 + 1);
+        let (after, _) = svc.handle_line(Q);
+        // P = 0.5 · (1 − 0.2·0.5) = 0.45 — must NOT be the cached 0.4.
+        assert!(after.contains("p = 0.450000"), "stale read: {after}");
+        assert_eq!(svc.stats().cache_hits(), 0);
+        assert_eq!(svc.stats().cache_misses(), 2);
+    }
+
+    #[test]
+    fn classify_is_cached_across_inserts() {
+        let svc = seeded_service(inline_opts());
+        let (v, _) = svc.handle_line("classify R(x), S(x,y), T(y)");
+        assert_eq!(v, "#P-hard\n");
+        svc.handle_line("insert R 9 0.1");
+        let (again, _) = svc.handle_line("classify R(x),  S(x,y), T(y)");
+        assert_eq!(again, "#P-hard\n");
+        assert_eq!(
+            svc.stats().cache_hits(),
+            1,
+            "version-0 key survives inserts"
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_and_counted() {
+        let svc = seeded_service(inline_opts());
+        let (resp, keep) = svc.handle_line("query R(x) @@@");
+        assert!(resp.starts_with("error:"), "{resp}");
+        assert!(keep);
+        let (resp, _) = svc.handle_line("nonsense");
+        assert!(resp.starts_with("error: unknown command"), "{resp}");
+        let stats = svc.stats_text();
+        assert!(stats.contains("errors=1"), "{stats}");
+    }
+
+    #[test]
+    fn stats_payload_has_every_section() {
+        let svc = seeded_service(inline_opts());
+        svc.handle_line(Q);
+        svc.handle_line(Q);
+        let (text, _) = svc.handle_line("stats");
+        for needle in [
+            "queries:",
+            "lifted=",
+            "cache:",
+            "hit_rate=",
+            "latency_us:",
+            "timeouts:",
+            "connections:",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn quit_closes_session() {
+        let svc = seeded_service(inline_opts());
+        assert!(!svc.handle_line("quit").1);
+        assert!(!svc.handle_line("exit").1);
+        assert!(svc.handle_line("help").1);
+    }
+
+    #[test]
+    fn source_is_refused_over_the_wire() {
+        let svc = seeded_service(inline_opts());
+        let (resp, keep) = svc.handle_line("source /etc/passwd");
+        assert!(resp.starts_with("error: source is not available"), "{resp}");
+        assert!(keep);
+    }
+
+    #[test]
+    fn timeout_degrades_to_the_approximate_engine() {
+        // A 1 ns budget cannot be met even by the lifted engine (the helper
+        // thread alone takes microseconds to start), so the service must
+        // fall back to the approximate path instead of blocking.
+        let mut db = ProbDb::new();
+        for i in 0..6u64 {
+            db.insert("R", [i], 0.3);
+            db.insert("T", [i], 0.4);
+            for j in 0..6u64 {
+                db.insert("S", [i, j], 0.5);
+            }
+        }
+        let svc = Service::new(
+            db,
+            ServiceOptions {
+                query_timeout: Duration::from_nanos(1),
+                cache_capacity: 16,
+                degraded_samples: 5_000,
+            },
+        );
+        let (resp, _) = svc.handle_line("query exists x. exists y. R(x) & S(x,y) & T(y)");
+        assert!(
+            resp.contains("(engine: Approximate)"),
+            "expected degraded answer, got: {resp}"
+        );
+        assert_eq!(svc.stats().timeouts(), 1);
+        // The degraded estimate still lands near the truth (plan bounds
+        // clamp it); sanity-check the printed probability parses.
+        let p: f64 = resp
+            .split_whitespace()
+            .nth(2)
+            .unwrap()
+            .parse()
+            .expect("p value");
+        assert!((0.0..=1.0).contains(&p), "{resp}");
+    }
+
+    #[test]
+    fn late_helper_completion_back_fills_the_cache() {
+        let mut db = ProbDb::new();
+        db.insert("R", [1], 0.5);
+        db.insert("S", [1, 2], 0.8);
+        let svc = Service::new(
+            db,
+            ServiceOptions {
+                query_timeout: Duration::from_nanos(1),
+                cache_capacity: 16,
+                degraded_samples: 1_000,
+            },
+        );
+        let (first, _) = svc.handle_line(Q);
+        assert!(first.contains("p ="), "{first}");
+        // Wait for the helper thread to finish and back-fill.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while svc.inflight_helpers() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.inflight_helpers(), 0, "helper never finished");
+        assert_eq!(
+            svc.cache_len(),
+            1,
+            "helper should have cached the exact answer"
+        );
+        let (second, _) = svc.handle_line(Q);
+        assert!(
+            second.contains("p = 0.400000") && second.contains("(engine: Lifted)"),
+            "cache hit should serve the exact lifted answer: {second}"
+        );
+        assert_eq!(svc.stats().cache_hits(), 1);
+    }
+
+    #[test]
+    fn concurrent_sessions_agree_with_single_threaded_evaluation() {
+        let svc = seeded_service(inline_opts());
+        let mut reference = ProbDb::new();
+        reference.insert("R", [1], 0.5);
+        reference.insert("S", [1, 2], 0.8);
+        let expected = format_answer(
+            &reference
+                .query("exists x. exists y. R(x) & S(x,y)")
+                .unwrap(),
+        );
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let svc = svc.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let (resp, _) = svc.handle_line(Q);
+                        assert_eq!(resp, expected);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            svc.stats().cache_hits() + svc.stats().cache_misses(),
+            8 * 50
+        );
+    }
+}

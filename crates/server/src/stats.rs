@@ -1,0 +1,260 @@
+//! Engine observability: per-method query counters, cache hit/miss rates,
+//! latency percentiles, timeouts, and connection gauges.
+//!
+//! Counters are lock-free atomics so the worker hot path never contends;
+//! the latency histogram sits behind a mutex but records in O(1) into
+//! power-of-two microsecond buckets (an HdrHistogram-style log scale:
+//! coarse, but p50/p95 for a serving system only need bucket resolution).
+
+use pdb_core::Method;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Log₂-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples with `us.ilog2() == i` (bucket 0 also
+    /// holds `us == 0`).
+    buckets: [u64; 64],
+    count: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            us.ilog2() as usize
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket(us)] += 1;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample, in µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as an upper bound in µs: the top of
+    /// the bucket holding the `⌈q·n⌉`-th smallest sample (capped at the
+    /// observed max). 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper edge of bucket i is 2^(i+1) − 1 µs.
+                let top = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return top.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// Shared counters for one serving instance.
+#[derive(Debug, Default)]
+pub struct Stats {
+    lifted: AtomicU64,
+    safe_plan: AtomicU64,
+    grounded: AtomicU64,
+    approximate: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    active_connections: AtomicU64,
+    total_connections: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+impl Stats {
+    /// Counts one answered query by the engine that produced it.
+    pub fn record_method(&self, m: Method) {
+        let counter = match m {
+            Method::Lifted => &self.lifted,
+            Method::SafePlan => &self.safe_plan,
+            Method::Grounded => &self.grounded,
+            Method::Approximate => &self.approximate,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one failed query.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one wall-clock timeout (query degraded to approximation).
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a result-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a result-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one query's end-to-end latency.
+    pub fn record_latency(&self, latency: Duration) {
+        self.latency.lock().unwrap().record(latency);
+    }
+
+    /// Marks a connection opened.
+    pub fn connection_opened(&self) {
+        self.active_connections.fetch_add(1, Ordering::Relaxed);
+        self.total_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a connection closed.
+    pub fn connection_closed(&self) {
+        self.active_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Timeouts so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Renders the `stats` command payload.
+    pub fn render(&self, cache_len: usize, cache_capacity: usize) -> String {
+        let (lifted, safe_plan, grounded, approximate, errors) = (
+            self.lifted.load(Ordering::Relaxed),
+            self.safe_plan.load(Ordering::Relaxed),
+            self.grounded.load(Ordering::Relaxed),
+            self.approximate.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        );
+        let total = lifted + safe_plan + grounded + approximate;
+        let (hits, misses) = (self.cache_hits(), self.cache_misses());
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        let lat = self.latency.lock().unwrap();
+        format!(
+            "queries: total={total} lifted={lifted} safe_plan={safe_plan} \
+             grounded={grounded} approximate={approximate} errors={errors}\n\
+             cache: hits={hits} misses={misses} hit_rate={hit_rate:.3} \
+             entries={cache_len} capacity={cache_capacity}\n\
+             latency_us: p50={} p95={} max={} samples={}\n\
+             timeouts: {}\n\
+             connections: active={} total={}\n",
+            lat.quantile_us(0.50),
+            lat.quantile_us(0.95),
+            lat.max_us(),
+            lat.count(),
+            self.timeouts(),
+            self.active_connections.load(Ordering::Relaxed),
+            self.total_connections.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let mut h = Histogram::default();
+        for us in [1u64, 2, 3, 10, 100, 1000, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_us(), 5000);
+        let p50 = h.quantile_us(0.5);
+        // 4th smallest is 10µs → bucket [8,15], upper edge 15.
+        assert!((10..=15).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile_us(0.95) >= 1000);
+        assert!(h.quantile_us(1.0) <= h.max_us());
+        assert!(h.quantile_us(0.5) <= h.quantile_us(0.95));
+    }
+
+    #[test]
+    fn histogram_empty_and_zero() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(0.5), 0, "capped at observed max");
+    }
+
+    #[test]
+    fn render_shows_all_sections() {
+        let s = Stats::default();
+        s.record_method(Method::Lifted);
+        s.record_method(Method::Grounded);
+        s.record_method(Method::Approximate);
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_timeout();
+        s.record_latency(Duration::from_micros(120));
+        s.connection_opened();
+        let text = s.render(5, 1024);
+        for needle in [
+            "total=3",
+            "lifted=1",
+            "safe_plan=0",
+            "grounded=1",
+            "approximate=1",
+            "hits=1",
+            "misses=1",
+            "hit_rate=0.500",
+            "entries=5",
+            "capacity=1024",
+            "timeouts: 1",
+            "active=1 total=1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -85,9 +85,9 @@ pub fn h0_probability_paper_form(n: u64, p_r: f64, p_s: f64, p_t: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdb_num::assert_close;
-    use pdb_logic::parse_fo;
     use pdb_data::SymmetricDb;
+    use pdb_logic::parse_fo;
+    use pdb_num::assert_close;
 
     fn brute_h0(n: u64, p_r: f64, p_s: f64, p_t: f64) -> f64 {
         let mut s = SymmetricDb::new(n);

@@ -26,4 +26,4 @@ pub mod h0;
 pub mod wfomc;
 
 pub use h0::h0_probability;
-pub use wfomc::{Fo2Clause, Fo2Query, wfomc_probability};
+pub use wfomc::{wfomc_probability, Fo2Clause, Fo2Query};

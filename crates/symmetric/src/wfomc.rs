@@ -25,8 +25,8 @@
 //! sentence, versus `2^{Θ(n²)}` possible worlds. With probability weight
 //! pairs `(p, 1−p)` the count *is* `p_D(Q)`.
 
-use pdb_logic::{Fo, Var};
 use pdb_data::SymmetricDb;
+use pdb_logic::{Fo, Var};
 use pdb_num::comb::{ln_multinomial, Compositions};
 use pdb_num::LogNum;
 use std::collections::BTreeMap;
@@ -274,8 +274,10 @@ fn eval_matrix(
             panic!("FO² matrices must be quantifier-free")
         }
         Fo::Atom(a) => {
-            let is_x = |t: &pdb_logic::Term| matches!(t, pdb_logic::Term::Var(v) if v.name() == "x");
-            let is_y = |t: &pdb_logic::Term| matches!(t, pdb_logic::Term::Var(v) if v.name() == "y");
+            let is_x =
+                |t: &pdb_logic::Term| matches!(t, pdb_logic::Term::Var(v) if v.name() == "x");
+            let is_y =
+                |t: &pdb_logic::Term| matches!(t, pdb_logic::Term::Var(v) if v.name() == "y");
             let name = a.predicate.name();
             match a.args.len() {
                 1 => {
@@ -332,8 +334,8 @@ fn eval_matrix(
 mod tests {
     use super::*;
     use crate::h0::h0_probability;
-    use pdb_num::assert_close;
     use pdb_logic::parse_fo;
+    use pdb_num::assert_close;
 
     fn brute(query_fo: &str, db: &SymmetricDb) -> f64 {
         let fo = parse_fo(query_fo).unwrap();
@@ -407,9 +409,7 @@ mod tests {
         for n in 1..=2u64 {
             let mut db = SymmetricDb::new(n);
             db.set_relation("S", 1, 0.4).set_relation("F", 2, 0.6);
-            let q = Fo2Query::forall_forall(
-                parse_fo("S(x) & F(x,y) -> S(y)").unwrap(),
-            );
+            let q = Fo2Query::forall_forall(parse_fo("S(x) & F(x,y) -> S(y)").unwrap());
             assert_close(
                 wfomc_probability(&q, &db),
                 brute("forall x. forall y. ((S(x) & F(x,y)) -> S(y))", &db),

@@ -398,7 +398,11 @@ fn condition(clauses: &[Clause], var: u32, value: bool) -> Vec<Clause> {
         }
         if touched {
             out.push(Clause::new(
-                c.lits().iter().filter(|l| l.var() != var).copied().collect(),
+                c.lits()
+                    .iter()
+                    .filter(|l| l.var() != var)
+                    .copied()
+                    .collect(),
             ));
         } else {
             out.push(c.clone());
@@ -613,7 +617,10 @@ mod tests {
     #[test]
     fn unsatisfiable_counts_zero() {
         let cnf = Cnf::new(
-            vec![Clause::new(vec![Lit::pos(0)]), Clause::new(vec![Lit::neg(0)])],
+            vec![
+                Clause::new(vec![Lit::pos(0)]),
+                Clause::new(vec![Lit::neg(0)]),
+            ],
             1,
         );
         let result = Dpll::new(&cnf, vec![0.5], DpllOptions::default()).run();

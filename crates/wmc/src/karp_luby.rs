@@ -27,12 +27,7 @@ pub struct Estimate {
 /// `probs[i]` is the probability of tuple variable `i` and must be a
 /// standard probability in `[0, 1]`. Terms of the lineage must be non-empty
 /// (guaranteed by lineage construction for non-trivial queries).
-pub fn estimate(
-    lineage: &DnfLineage,
-    probs: &[f64],
-    samples: u64,
-    rng: &mut impl Rng,
-) -> Estimate {
+pub fn estimate(lineage: &DnfLineage, probs: &[f64], samples: u64, rng: &mut impl Rng) -> Estimate {
     if lineage.is_trivially_true() {
         return Estimate {
             value: 1.0,
@@ -122,8 +117,8 @@ mod tests {
     use super::*;
     use crate::brute;
     use pdb_data::generators;
-    use pdb_logic::parse_ucq;
     use pdb_lineage::ucq_dnf_lineage;
+    use pdb_logic::parse_ucq;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

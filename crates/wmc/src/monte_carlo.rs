@@ -23,12 +23,7 @@ pub struct McEstimate {
 
 /// Estimates `p(F)` by direct world sampling. `probs[i] = p(Xᵢ)` must be
 /// standard probabilities.
-pub fn estimate(
-    expr: &BoolExpr,
-    probs: &[f64],
-    samples: u64,
-    rng: &mut impl Rng,
-) -> McEstimate {
+pub fn estimate(expr: &BoolExpr, probs: &[f64], samples: u64, rng: &mut impl Rng) -> McEstimate {
     // Only the variables mentioned matter; sample just those.
     let vars: Vec<u32> = expr.vars().into_iter().map(|t| t.0).collect();
     let mut assignment = vec![false; probs.len()];
@@ -104,11 +99,8 @@ mod tests {
         db.insert("R", [0], 1e-3);
         db.insert("S", [0], 1e-3);
         let idx = db.index();
-        let lin = pdb_lineage::ucq_dnf_lineage(
-            &pdb_logic::parse_ucq("R(x), S(x)").unwrap(),
-            &db,
-            &idx,
-        );
+        let lin =
+            pdb_lineage::ucq_dnf_lineage(&pdb_logic::parse_ucq("R(x), S(x)").unwrap(), &db, &idx);
         let kl = crate::karp_luby::estimate(&lin, &[1e-3, 1e-3], 10_000, &mut rng);
         assert!((kl.value - 1e-6).abs() < 1e-9, "KL is exact on one term");
     }

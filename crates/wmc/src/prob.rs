@@ -7,9 +7,9 @@
 //!    corrected by `2^aux` thanks to the unique-extension property).
 
 use crate::dpll::{Dpll, DpllOptions, DpllStats};
+use pdb_data::TupleDb;
 use pdb_lineage::{BoolExpr, Cnf};
 use pdb_logic::Fo;
-use pdb_data::TupleDb;
 
 /// Exact probability of `expr` where `probs[i] = p(Xᵢ)`, via the DPLL
 /// counter. Returns the probability and the run statistics.
@@ -61,8 +61,8 @@ mod tests {
     use super::*;
     use crate::brute;
     use pdb_data::{generators, TupleId};
-    use pdb_num::assert_close;
     use pdb_logic::parse_fo;
+    use pdb_num::assert_close;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

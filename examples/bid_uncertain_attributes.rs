@@ -10,8 +10,8 @@
 //!
 //! Run with `cargo run --example bid_uncertain_attributes`.
 
-use probdb::bid::{probability, BidDb};
 use probdb::bid::worlds::brute_force_probability;
+use probdb::bid::{probability, BidDb};
 use probdb::logic::parse_fo;
 
 fn main() {
@@ -30,10 +30,7 @@ fn main() {
 
     println!("=== BID database (blocks are mutually exclusive) ===\n{db}");
 
-    println!(
-        "{:<58} {:>10} {:>10}",
-        "query", "selector", "brute"
-    );
+    println!("{:<58} {:>10} {:>10}", "query", "selector", "brute");
     for q in [
         // Is some customer in a striking city?
         "exists x. exists c. LivesIn(x,c) & Strike(c)",

@@ -46,9 +46,9 @@ fn main() {
         "dups", "links", "method", "lower", "estimate", "upper"
     );
     for (n_dups, n_canon, budget) in [
-        (4u64, 3u64, 0u64),        // small: exact grounded inference
-        (10, 8, 0),                // still exact
-        (18, 14, 20_000),          // budgeted: falls back to sampling+bounds
+        (4u64, 3u64, 0u64), // small: exact grounded inference
+        (10, 8, 0),         // still exact
+        (18, 14, 20_000),   // budgeted: falls back to sampling+bounds
     ] {
         let db = build(n_dups, n_canon, 0.5, 42 + n_dups);
         let links = db

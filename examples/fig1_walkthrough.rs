@@ -25,8 +25,12 @@ fn main() {
             println!("  ({})  P = {prob}", pretty.join(","));
         }
     }
-    println!("\n|DOM| = {} constants, {} possible tuples, 2^{} possible worlds",
-        db.domain().len(), db.tuple_count(), db.tuple_count());
+    println!(
+        "\n|DOM| = {} constants, {} possible tuples, 2^{} possible worlds",
+        db.domain().len(),
+        db.tuple_count(),
+        db.tuple_count()
+    );
 
     // --- Example 2.1 ------------------------------------------------------
     println!("\n=== Example 2.1: Q = ∀x∀y (S(x,y) ⇒ R(x)) ===");
@@ -39,8 +43,7 @@ fn main() {
     println!("closed form          p_D(Q) = {closed:.10}");
 
     // Lifted inference (the unate ∀* fragment via duality).
-    let lifted = probdb::lifted::probability_fo(&sentence, &db)
-        .expect("Example 2.1 is liftable");
+    let lifted = probdb::lifted::probability_fo(&sentence, &db).expect("Example 2.1 is liftable");
     println!("lifted inference     p_D(Q) = {lifted:.10}");
 
     // Brute force: sum over all 2^9 worlds (the definition, eq. (1)).

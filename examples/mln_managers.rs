@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo run --example mln_managers`.
 
-use probdb::mln::{conditional_brute, conditional_grounded, translate, Mln};
 use probdb::logic::parse_fo;
+use probdb::mln::{conditional_brute, conditional_grounded, translate, Mln};
 
 fn main() {
     let n = 2; // domain {0, 1}: two people
@@ -28,11 +28,17 @@ fn main() {
         "auxiliary relation C0 with p = 1/w = {:.6} on every tuple",
         1.0 / 3.9
     );
-    println!("(the paper's §3 text prints 1/(w−1) ≈ 0.345 — that is the \
+    println!(
+        "(the paper's §3 text prints 1/(w−1) ≈ 0.345 — that is the \
               *weight* of the auxiliary variable; as a probability it is \
-              1/w ≈ {:.3}, which the checks below pin down)\n", 1.0 / 3.9);
+              1/w ≈ {:.3}, which the checks below pin down)\n",
+        1.0 / 3.9
+    );
 
-    println!("{:<55} {:>10} {:>10} {:>10}", "query", "p_MLN", "p(Q|Γ)", "grounded");
+    println!(
+        "{:<55} {:>10} {:>10} {:>10}",
+        "query", "p_MLN", "p(Q|Γ)", "grounded"
+    );
     for q in [
         "Manager(0,1)",
         "HighlyCompensated(0)",

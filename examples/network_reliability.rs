@@ -47,7 +47,10 @@ fn main() {
     }
 
     let mut engine = DatalogEngine::new(&db, program);
-    println!("\n{:<14} {:>12} {:>18}", "gateway→rack", "p(reach)", "min. supports");
+    println!(
+        "\n{:<14} {:>12} {:>18}",
+        "gateway→rack", "p(reach)", "min. supports"
+    );
     for rack in [20u64, 21, 22] {
         let t = probdb::data::Tuple::from([0, rack]);
         let p = engine.probability("Path", &t);
@@ -57,7 +60,10 @@ fn main() {
 
     // All derived facts at once.
     let facts = engine.facts("Path");
-    println!("\n{} reachability facts derived in total; the least reliable:", facts.len());
+    println!(
+        "\n{} reachability facts derived in total; the least reliable:",
+        facts.len()
+    );
     let mut sorted = facts.clone();
     sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
     for (t, p) in sorted.iter().take(3) {

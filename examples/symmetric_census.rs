@@ -31,9 +31,8 @@ fn main() {
 
     // "Friends of smokers smoke" — the classic soft-logic sentence, asked
     // here as a hard sentence: what is the probability it holds exactly?
-    let influence = Fo2Query::forall_forall(
-        parse_fo("Smokes(x) & Friends(x,y) -> Smokes(y)").unwrap(),
-    );
+    let influence =
+        Fo2Query::forall_forall(parse_fo("Smokes(x) & Friends(x,y) -> Smokes(y)").unwrap());
     let t0 = Instant::now();
     let p1 = wfomc_probability(&influence, &db);
     println!(

@@ -14,135 +14,18 @@
 //!
 //! Also accepts a script on stdin (`probdb-cli < script.pdb`) and
 //! `source <file>` inside the shell.
+//!
+//! The command language (parser, help text, answer formatting) lives in
+//! [`probdb::server::protocol`] and is shared with the TCP server
+//! (`probdb-serve`), so both front ends accept identical input and print
+//! identical answers.
 
-use probdb::{Complexity, ProbDb, QueryOptions};
+use probdb::server::protocol::{
+    format_answer, format_answer_tuples, format_complexity, format_open, parse_command, Command,
+    HELP,
+};
+use probdb::{ProbDb, QueryOptions};
 use std::io::{BufRead, Write};
-
-/// One parsed shell command.
-#[derive(Debug, Clone, PartialEq)]
-enum Command {
-    /// `insert <rel> <c1> … <ck> <prob>`
-    Insert {
-        relation: String,
-        tuple: Vec<u64>,
-        prob: f64,
-    },
-    /// `domain <c1> … <ck>` — extend the domain explicitly.
-    Domain(Vec<u64>),
-    /// `query <fo sentence>`
-    Query(String),
-    /// `answers <v1,v2,…> : <cq>` — non-Boolean query.
-    Answers { head: Vec<String>, cq: String },
-    /// `classify <ucq>`
-    Classify(String),
-    /// `open <lambda> <monotone fo>` — open-world interval.
-    OpenWorld { lambda: f64, query: String },
-    /// `show` — dump the database.
-    Show,
-    /// `source <path>` — run commands from a file.
-    Source(String),
-    /// `help`
-    Help,
-    /// `quit` / `exit`
-    Quit,
-    /// Blank line or comment.
-    Nothing,
-}
-
-/// Parses one line into a command.
-fn parse_command(line: &str) -> Result<Command, String> {
-    let line = line.trim();
-    if line.is_empty() || line.starts_with('#') {
-        return Ok(Command::Nothing);
-    }
-    let (head, rest) = match line.split_once(char::is_whitespace) {
-        Some((h, r)) => (h, r.trim()),
-        None => (line, ""),
-    };
-    match head {
-        "insert" => {
-            let mut parts: Vec<&str> = rest.split_whitespace().collect();
-            if parts.len() < 2 {
-                return Err("usage: insert <rel> <c1> … <ck> <prob>".into());
-            }
-            let relation = parts.remove(0).to_string();
-            let prob: f64 = parts
-                .pop()
-                .unwrap()
-                .parse()
-                .map_err(|_| "probability must be a number".to_string())?;
-            let tuple = parts
-                .iter()
-                .map(|p| p.parse::<u64>().map_err(|_| format!("bad constant {p}")))
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(Command::Insert {
-                relation,
-                tuple,
-                prob,
-            })
-        }
-        "domain" => {
-            let consts = rest
-                .split_whitespace()
-                .map(|p| p.parse::<u64>().map_err(|_| format!("bad constant {p}")))
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(Command::Domain(consts))
-        }
-        "query" => {
-            if rest.is_empty() {
-                return Err("usage: query <sentence>".into());
-            }
-            Ok(Command::Query(rest.to_string()))
-        }
-        "answers" => {
-            let (head_vars, cq) = rest
-                .split_once(':')
-                .ok_or_else(|| "usage: answers <v1,v2,…> : <cq>".to_string())?;
-            let head = head_vars
-                .split(',')
-                .map(|v| v.trim().to_string())
-                .filter(|v| !v.is_empty())
-                .collect::<Vec<_>>();
-            if head.is_empty() {
-                return Err("answers needs at least one head variable".into());
-            }
-            Ok(Command::Answers {
-                head,
-                cq: cq.trim().to_string(),
-            })
-        }
-        "classify" => Ok(Command::Classify(rest.to_string())),
-        "open" => {
-            let (lambda, query) = rest
-                .split_once(char::is_whitespace)
-                .ok_or_else(|| "usage: open <lambda> <monotone sentence>".to_string())?;
-            let lambda: f64 = lambda
-                .parse()
-                .map_err(|_| "λ must be a number".to_string())?;
-            Ok(Command::OpenWorld {
-                lambda,
-                query: query.trim().to_string(),
-            })
-        }
-        "show" => Ok(Command::Show),
-        "source" => Ok(Command::Source(rest.to_string())),
-        "help" => Ok(Command::Help),
-        "quit" | "exit" => Ok(Command::Quit),
-        other => Err(format!("unknown command {other:?}; try `help`")),
-    }
-}
-
-const HELP: &str = "\
-commands:
-  insert <rel> <c1> … <ck> <p>   add a tuple with probability p
-  domain <c1> … <ck>             extend the domain (matters for ∀)
-  query <sentence>               Boolean query, e.g. exists x. R(x) & S(x,y)
-  answers <v,…> : <cq>           non-Boolean CQ, e.g. answers x : R(x), S(x,y)
-  classify <ucq>                 dichotomy classification
-  open <λ> <sentence>            open-world interval for a monotone query
-  show                           print the database
-  source <file>                  run commands from a file
-  quit                           leave";
 
 /// Executes one command against the engine. Returns false to quit.
 fn execute(cmd: Command, db: &mut ProbDb, out: &mut dyn Write) -> std::io::Result<bool> {
@@ -150,6 +33,10 @@ fn execute(cmd: Command, db: &mut ProbDb, out: &mut dyn Write) -> std::io::Resul
         Command::Nothing => {}
         Command::Quit => return Ok(false),
         Command::Help => writeln!(out, "{HELP}")?,
+        Command::Stats => writeln!(
+            out,
+            "stats are tracked by probdb-serve; this CLI keeps no counters"
+        )?,
         Command::Insert {
             relation,
             tuple,
@@ -158,13 +45,7 @@ fn execute(cmd: Command, db: &mut ProbDb, out: &mut dyn Write) -> std::io::Resul
         Command::Domain(consts) => db.extend_domain(consts),
         Command::Show => write!(out, "{}", db.tuple_db())?,
         Command::Query(q) => match db.query(&q) {
-            Ok(a) => {
-                write!(out, "p = {:.6}  (engine: {:?})", a.probability, a.method)?;
-                if let Some((lo, hi)) = a.bounds {
-                    write!(out, "  bounds [{lo:.6}, {hi:.6}]")?;
-                }
-                writeln!(out)?;
-            }
+            Ok(a) => write!(out, "{}", format_answer(&a))?,
             Err(e) => writeln!(out, "error: {e}")?,
         },
         Command::Answers { head, cq } => match probdb::logic::parse_cq(&cq) {
@@ -172,45 +53,19 @@ fn execute(cmd: Command, db: &mut ProbDb, out: &mut dyn Write) -> std::io::Resul
                 let vars: Vec<probdb::logic::Var> =
                     head.iter().map(|v| probdb::logic::Var::new(v)).collect();
                 match db.query_answers(&parsed, &vars, &QueryOptions::default()) {
-                    Ok(answers) if answers.is_empty() => writeln!(out, "(no answers)")?,
-                    Ok(answers) => {
-                        for a in answers {
-                            let binding: Vec<String> = head
-                                .iter()
-                                .zip(&a.values)
-                                .map(|(v, c)| format!("{v} = {c}"))
-                                .collect();
-                            writeln!(
-                                out,
-                                "{}    p = {:.6}",
-                                binding.join(", "),
-                                a.probability
-                            )?;
-                        }
-                    }
+                    Ok(answers) => write!(out, "{}", format_answer_tuples(&head, &answers))?,
                     Err(e) => writeln!(out, "error: {e}")?,
                 }
             }
             Err(e) => writeln!(out, "parse error: {e}")?,
         },
         Command::Classify(q) => match probdb::logic::parse_ucq(&q) {
-            Ok(ucq) => {
-                let verdict = match db.classify(&ucq) {
-                    Complexity::PolynomialTime => "polynomial time",
-                    Complexity::SharpPHard => "#P-hard",
-                    Complexity::Unknown => "unknown (rules inconclusive)",
-                };
-                writeln!(out, "{verdict}")?;
-            }
+            Ok(ucq) => writeln!(out, "{}", format_complexity(db.classify(&ucq)))?,
             Err(e) => writeln!(out, "parse error: {e}")?,
         },
         Command::OpenWorld { lambda, query } => match probdb::logic::parse_fo(&query) {
             Ok(fo) => match db.query_open_world(&fo, lambda, &QueryOptions::default()) {
-                Ok((lo, hi)) => writeln!(
-                    out,
-                    "p ∈ [{:.6}, {:.6}]  (closed-world, λ-completion)",
-                    lo.probability, hi.probability
-                )?,
+                Ok((lo, hi)) => write!(out, "{}", format_open(&lo, &hi))?,
                 Err(e) => writeln!(out, "error: {e}")?,
             },
             Err(e) => writeln!(out, "parse error: {e}")?,
@@ -268,39 +123,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_inserts() {
-        assert_eq!(
-            parse_command("insert R 1 2 0.5").unwrap(),
-            Command::Insert {
-                relation: "R".into(),
-                tuple: vec![1, 2],
-                prob: 0.5
-            }
-        );
-        assert!(parse_command("insert R").is_err());
-        assert!(parse_command("insert R x 0.5").is_err());
-    }
-
-    #[test]
-    fn parses_queries_and_misc() {
-        assert_eq!(
-            parse_command("query exists x. R(x)").unwrap(),
-            Command::Query("exists x. R(x)".into())
-        );
-        assert_eq!(
-            parse_command("answers x, y : R(x), S(x,y)").unwrap(),
-            Command::Answers {
-                head: vec!["x".into(), "y".into()],
-                cq: "R(x), S(x,y)".into()
-            }
-        );
-        assert_eq!(parse_command("  # comment").unwrap(), Command::Nothing);
-        assert_eq!(parse_command("").unwrap(), Command::Nothing);
-        assert_eq!(parse_command("quit").unwrap(), Command::Quit);
-        assert!(parse_command("frobnicate").is_err());
-    }
-
-    #[test]
     fn end_to_end_session() {
         let mut db = ProbDb::new();
         let mut out = Vec::new();
@@ -324,11 +146,7 @@ mod tests {
     fn open_world_command() {
         let mut db = ProbDb::new();
         let mut out = Vec::new();
-        for line in [
-            "insert R 0 0.5",
-            "domain 0 1",
-            "open 0.2 exists x. R(x)",
-        ] {
+        for line in ["insert R 0 0.5", "domain 0 1", "open 0.2 exists x. R(x)"] {
             let cmd = parse_command(line).unwrap();
             assert!(execute(cmd, &mut db, &mut out).unwrap());
         }
@@ -343,5 +161,49 @@ mod tests {
         let cmd = parse_command("query R(x").unwrap();
         assert!(execute(cmd, &mut db, &mut out).unwrap());
         assert!(String::from_utf8(out).unwrap().contains("error"));
+    }
+
+    #[test]
+    fn stats_points_at_the_server() {
+        let mut db = ProbDb::new();
+        let mut out = Vec::new();
+        let cmd = parse_command("stats").unwrap();
+        assert!(execute(cmd, &mut db, &mut out).unwrap());
+        assert!(String::from_utf8(out).unwrap().contains("probdb-serve"));
+    }
+
+    /// The CLI must print exactly what the server's service layer returns
+    /// for the same commands — both delegate to the shared formatters.
+    #[test]
+    fn cli_and_service_render_identically() {
+        use probdb::server::{Service, ServiceOptions};
+        let script = [
+            "insert R 1 0.5",
+            "insert S 1 2 0.8",
+            "insert S 1 3 0.25",
+            "query exists x. exists y. R(x) & S(x,y)",
+            "classify R(x), S(x,y), T(y)",
+            "answers x : R(x), S(x,y)",
+            "show",
+            "query R(x) @@@",
+        ];
+        let mut db = ProbDb::new();
+        let service = Service::new(
+            ProbDb::new(),
+            ServiceOptions {
+                query_timeout: std::time::Duration::ZERO,
+                ..ServiceOptions::default()
+            },
+        );
+        for line in script {
+            let mut cli_out = Vec::new();
+            execute(parse_command(line).unwrap(), &mut db, &mut cli_out).unwrap();
+            let (service_out, _) = service.handle_line(line);
+            assert_eq!(
+                String::from_utf8(cli_out).unwrap(),
+                service_out,
+                "divergence on {line:?}"
+            );
+        }
     }
 }

@@ -1,0 +1,128 @@
+//! `probdb-serve` — the concurrent TCP query service.
+//!
+//! ```text
+//! $ cargo run --release --bin probdb-serve -- --addr 127.0.0.1:7171 --workers 8
+//! probdb-serve listening on 127.0.0.1:7171 (8 workers)
+//! $ printf 'insert R 1 0.5\nquery exists x. R(x)\nquit\n' | nc 127.0.0.1 7171
+//! .
+//! p = 0.500000  (engine: Lifted)
+//! .
+//! .
+//! ```
+//!
+//! Speaks the same line protocol as `probdb-cli` (see
+//! [`probdb::server::protocol`]); each response is terminated by a line
+//! containing a single `.`. Options:
+//!
+//! - `--addr HOST:PORT` — bind address (default `127.0.0.1:7171`)
+//! - `--workers N` — worker threads = max concurrent sessions (default 4)
+//! - `--timeout-ms MS` — per-query wall-clock budget before degrading to
+//!   the approximate engine; `0` disables (default 10000)
+//! - `--cache-capacity N` — result-cache entries (default 1024)
+//! - `--preload FILE` — run a script of commands (typically `insert`/
+//!   `domain` lines) before accepting connections
+
+use probdb::server::protocol::parse_command;
+use probdb::server::{serve, ServerOptions};
+use probdb::ProbDb;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: probdb-serve [--addr HOST:PORT] [--workers N] [--timeout-ms MS] \
+         [--cache-capacity N] [--preload FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (ServerOptions, Option<String>) {
+    let mut opts = ServerOptions::default();
+    let mut preload = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr"),
+            "--workers" => opts.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms").parse().unwrap_or_else(|_| usage());
+                opts.query_timeout = Duration::from_millis(ms);
+            }
+            "--cache-capacity" => {
+                opts.cache_capacity = value("--cache-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--preload" => preload = Some(value("--preload")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    (opts, preload)
+}
+
+/// Applies a preload script to the database; query-like commands run too
+/// (their output goes to stderr) so a script can sanity-check itself.
+fn preload_db(db: &mut ProbDb, path: &str) -> Result<(), String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    for (lineno, line) in content.lines().enumerate() {
+        match parse_command(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))? {
+            probdb::server::protocol::Command::Insert {
+                relation,
+                tuple,
+                prob,
+            } => db.insert(&relation, tuple, prob),
+            probdb::server::protocol::Command::Domain(consts) => db.extend_domain(consts),
+            probdb::server::protocol::Command::Nothing => {}
+            probdb::server::protocol::Command::Query(q) => match db.query(&q) {
+                Ok(a) => eprintln!("{path}: query -> p = {:.6}", a.probability),
+                Err(e) => eprintln!("{path}: query error: {e}"),
+            },
+            other => {
+                return Err(format!(
+                    "{path}:{}: {other:?} is not allowed in a preload script",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let (opts, preload) = parse_args();
+    let mut db = ProbDb::new();
+    if let Some(path) = preload {
+        if let Err(e) = preload_db(&mut db, &path) {
+            eprintln!("preload failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "preloaded {} tuples from {path}",
+            db.tuple_db().tuple_count()
+        );
+    }
+    let workers = opts.workers;
+    match serve(db, opts) {
+        Ok(handle) => {
+            eprintln!(
+                "probdb-serve listening on {} ({} workers)",
+                handle.local_addr(),
+                workers
+            );
+            handle.join();
+        }
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -38,14 +38,16 @@
 //! | [`bid`] | block-independent-disjoint databases | §1 |
 //! | [`datalog`] | probabilistic datalog (ProbLog-style recursion) | §2, §9 |
 //! | [`engine`] | the [`ProbDb`] cascade | all |
+//! | [`server`] | concurrent TCP query service, result cache, stats | infrastructure |
 
 pub use pdb_core as engine;
 pub use pdb_core::{Answer, Complexity, EngineError, Method, ProbDb, QueryOptions};
+pub use pdb_server as server;
 
 pub use pdb_bid as bid;
 pub use pdb_compile as compile;
-pub use pdb_datalog as datalog;
 pub use pdb_data as data;
+pub use pdb_datalog as datalog;
 pub use pdb_lifted as lifted;
 pub use pdb_lineage as lineage;
 pub use pdb_logic as logic;

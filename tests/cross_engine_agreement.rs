@@ -76,9 +76,7 @@ fn grounded_engines_agree_on_hard_queries() {
         let obdd = Obdd::compile(&lin, &order::hierarchical_order(&idx));
         assert_close(obdd.probability(&probs), truth, 1e-9);
         // Lifted must refuse (Theorem 4.3: non-hierarchical sjf CQ).
-        assert!(LiftedEngine::new(&db)
-            .probability_ucq(&ucq)
-            .is_err());
+        assert!(LiftedEngine::new(&db).probability_ucq(&ucq).is_err());
     }
 }
 
@@ -129,10 +127,7 @@ fn duality_bridge_holds_end_to_end() {
     for seed in 0..3 {
         let mut db = random_db(seed);
         db.extend_domain(0..3);
-        for s in [
-            "forall x. forall y. (R(x) | S(x,y))",
-            "forall x. R(x)",
-        ] {
+        for s in ["forall x. forall y. (R(x) | S(x,y))", "forall x. R(x)"] {
             let fo = parse_fo(s).unwrap();
             let lhs = eval::brute_force_probability(&fo, &db);
             let comp = db.complemented();

@@ -117,10 +117,7 @@ fn chained_nonrecursive_rules_agree_with_the_engine_cascade() {
             db.insert("S", [i, 10 + j], rng.gen_range(0.2..0.9));
         }
     }
-    let program = parse_program(
-        "Good(x) <- R(x), S(x,y).\nBest(x) <- Good(x), T(x).",
-    )
-    .unwrap();
+    let program = parse_program("Good(x) <- R(x), S(x,y).\nBest(x) <- Good(x), T(x).").unwrap();
     let mut engine = DatalogEngine::new(&db, program);
     let cascade = probdb::ProbDb::from_tuple_db(db.clone());
     for i in 0..3u64 {

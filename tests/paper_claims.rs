@@ -85,7 +85,11 @@ fn dichotomy_trifecta() {
             easy,
             "{q} liftability"
         );
-        assert_eq!(probdb::plans::safe_plan(&cq).is_some(), easy, "{q} safe plan");
+        assert_eq!(
+            probdb::plans::safe_plan(&cq).is_some(),
+            easy,
+            "{q} safe plan"
+        );
     }
 }
 
@@ -146,8 +150,7 @@ fn theorem_7_1_obdd_shapes() {
         let mut rng = StdRng::seed_from_u64(7);
         let db = generators::star(n, 1, 2, 0.5, &mut rng);
         let idx = db.index();
-        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S1(x,y)").unwrap(), &db, &idx)
-            .to_expr();
+        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S1(x,y)").unwrap(), &db, &idx).to_expr();
         let obdd = Obdd::compile(&lin, &order::hierarchical_order(&idx));
         sizes.push(obdd.size());
     }
@@ -164,8 +167,7 @@ fn theorem_7_1_obdd_shapes() {
         let mut rng = StdRng::seed_from_u64(7);
         let db = generators::bipartite(n, 1.0, (0.5, 0.5), &mut rng);
         let idx = db.index();
-        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S(x,y), T(y)").unwrap(), &db, &idx)
-            .to_expr();
+        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S(x,y), T(y)").unwrap(), &db, &idx).to_expr();
         let obdd = Obdd::compile(&lin, &order::hierarchical_order(&idx));
         hard_sizes.push(obdd.size());
     }
@@ -194,8 +196,7 @@ fn figure_2_circuits() {
 fn proposition_3_1() {
     let mln = probdb::mln::Mln::manager_example(2);
     let t = probdb::mln::translate(&mln);
-    let q = parse_fo("exists m. exists e. Manager(m,e) & HighlyCompensated(m)")
-        .unwrap();
+    let q = parse_fo("exists m. exists e. Manager(m,e) & HighlyCompensated(m)").unwrap();
     assert_close(
         mln.probability(&q),
         probdb::mln::conditional_grounded(&q, &t.gamma, &t.db),
@@ -212,9 +213,7 @@ fn section_8_symmetric() {
         .set_relation("S", 2, 0.7)
         .set_relation("T", 1, 0.4);
     let closed = probdb::symmetric::h0_probability(2, 0.3, 0.7, 0.4);
-    let q = probdb::symmetric::Fo2Query::forall_forall(
-        parse_fo("R(x) | S(x,y) | T(y)").unwrap(),
-    );
+    let q = probdb::symmetric::Fo2Query::forall_forall(parse_fo("R(x) | S(x,y) | T(y)").unwrap());
     let cell = probdb::symmetric::wfomc_probability(&q, &db);
     let brute = brute_force_probability(
         &parse_fo("forall x. forall y. (R(x) | S(x,y) | T(y))").unwrap(),

@@ -17,8 +17,7 @@ fn arb_expr(nvars: u32, depth: u32) -> impl Strategy<Value = BoolExpr> {
     ];
     leaf.prop_recursive(depth, 32, 3, |inner| {
         prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4)
-                .prop_map(BoolExpr::and_all),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(BoolExpr::and_all),
             prop::collection::vec(inner.clone(), 1..4).prop_map(BoolExpr::or_all),
             inner.prop_map(BoolExpr::negate),
         ]

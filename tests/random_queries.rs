@@ -41,12 +41,8 @@ fn db_for(cq: &Cq, seed: u64, n: u64) -> TupleDb {
 
 fn oracle(cq: &Cq, db: &TupleDb) -> f64 {
     let idx = db.index();
-    let lin = probdb::lineage::ucq_dnf_lineage(
-        &probdb::logic::Ucq::single(cq.clone()),
-        db,
-        &idx,
-    )
-    .to_expr();
+    let lin = probdb::lineage::ucq_dnf_lineage(&probdb::logic::Ucq::single(cq.clone()), db, &idx)
+        .to_expr();
     let probs: Vec<f64> = idx.iter().map(|(_, r)| r.prob).collect();
     probdb::wmc::brute::expr_probability(&lin, &probs)
 }
@@ -173,6 +169,9 @@ fn bid_inference_randomized() {
         let q = probdb::logic::parse_fo("exists k. exists v. R(k,v) & U(v)").unwrap();
         let fast = probdb::bid::probability(&q, &db);
         let brute = probdb::bid::worlds::brute_force_probability(&q, &db);
-        assert!(approx_eq(fast, brute, 1e-9), "seed {seed}: {fast} vs {brute}");
+        assert!(
+            approx_eq(fast, brute, 1e-9),
+            "seed {seed}: {fast} vs {brute}"
+        );
     }
 }

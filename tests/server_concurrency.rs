@@ -1,0 +1,312 @@
+//! Concurrency and cache-coherence tests for `pdb-server`: spawn the TCP
+//! server on a loopback port, fire concurrent clients mixing `insert` and
+//! `query`, and check that
+//!
+//! (a) every response matches single-threaded `ProbDb` evaluation, and
+//! (b) cache invalidation never serves a stale probability after an insert.
+
+use probdb::server::protocol::{format_answer, read_framed};
+use probdb::server::{serve, ServerOptions};
+use probdb::ProbDb;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("send");
+        read_framed(&mut self.reader)
+            .expect("read response")
+            .expect("server closed mid-session")
+    }
+}
+
+fn start_server(workers: usize) -> (probdb::server::ServerHandle, SocketAddr) {
+    let handle = serve(
+        ProbDb::new(),
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            query_timeout: Duration::ZERO, // deterministic: no degraded answers
+            cache_capacity: 256,
+        },
+    )
+    .expect("bind server");
+    let addr = handle.local_addr();
+    (handle, addr)
+}
+
+/// The Figure-1-style fixture used by every test: R(1), R(2), S(1,·), S(2,·).
+const SETUP: &[&str] = &[
+    "insert R 1 0.1",
+    "insert R 2 0.2",
+    "insert S 1 10 0.4",
+    "insert S 1 11 0.5",
+    "insert S 2 10 0.6",
+    "insert T 10 0.7",
+    "insert T 11 0.3",
+];
+
+const QUERIES: &[&str] = &[
+    "query exists x. exists y. R(x) & S(x,y)",
+    "query exists x. exists y. R(x) & S(x,y) & T(y)", // #P-hard shape → grounded
+    "query exists x. R(x)",
+    "classify R(x), S(x,y), T(y)",
+    "classify R(x), S(x,y)",
+    "answers x : R(x), S(x,y)",
+];
+
+/// Replays the same commands through a local single-threaded `ProbDb` and
+/// the CLI formatters, producing the expected wire payload per query.
+fn expected_responses() -> Vec<(String, String)> {
+    let mut db = ProbDb::new();
+    for line in SETUP {
+        let mut parts: Vec<&str> = line.split_whitespace().collect();
+        let prob: f64 = parts.pop().unwrap().parse().unwrap();
+        let rel = parts[1].to_string();
+        let tuple: Vec<u64> = parts[2..].iter().map(|c| c.parse().unwrap()).collect();
+        db.insert(&rel, tuple, prob);
+    }
+    QUERIES
+        .iter()
+        .map(|q| {
+            let expected = single_threaded_answer(&db, q);
+            (q.to_string(), expected)
+        })
+        .collect()
+}
+
+fn single_threaded_answer(db: &ProbDb, command: &str) -> String {
+    let (kind, body) = command.split_once(' ').unwrap();
+    match kind {
+        "query" => format_answer(&db.query(body).expect("local query")),
+        "classify" => {
+            let ucq = probdb::logic::parse_ucq(body).unwrap();
+            format!(
+                "{}\n",
+                probdb::server::protocol::format_complexity(db.classify(&ucq))
+            )
+        }
+        "answers" => {
+            let (head, cq) = body.split_once(':').unwrap();
+            let head: Vec<String> = head
+                .split(',')
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .collect();
+            let parsed = probdb::logic::parse_cq(cq.trim()).unwrap();
+            let vars: Vec<probdb::logic::Var> =
+                head.iter().map(|v| probdb::logic::Var::new(v)).collect();
+            let rows = db
+                .query_answers(&parsed, &vars, &probdb::QueryOptions::default())
+                .unwrap();
+            probdb::server::protocol::format_answer_tuples(&head, &rows)
+        }
+        other => panic!("unhandled command kind {other}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_match_single_threaded_evaluation() {
+    let (server, addr) = start_server(4);
+    // Load the fixture through one session.
+    let mut loader = Client::connect(addr);
+    for line in SETUP {
+        assert_eq!(loader.send(line), "", "insert should be silent");
+    }
+    drop(loader);
+    let expected = expected_responses();
+
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                // Different interleavings per thread: rotate the workload.
+                for round in 0..5 {
+                    for (i, (query, want)) in expected.iter().enumerate() {
+                        let (query, want) = {
+                            let j = (i + t + round) % expected.len();
+                            let _ = (query, want);
+                            &expected[j]
+                        };
+                        let got = client.send(query);
+                        assert_eq!(&got, want, "thread {t} round {round}: {query}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Cache effectiveness: 4 threads × 5 rounds × 6 commands, but only 6
+    // distinct cache keys — almost everything after the first pass is a hit.
+    let stats = server.service().stats();
+    assert!(
+        stats.cache_hits() > 0,
+        "repeated identical queries should hit the cache"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn no_stale_probability_after_insert_same_session() {
+    let (server, addr) = start_server(4);
+    let mut client = Client::connect(addr);
+    for line in SETUP {
+        client.send(line);
+    }
+    let q = "query exists x. exists y. R(x) & S(x,y)";
+    let before = client.send(q);
+    // Warm the cache, then mutate: same session guarantees ordering.
+    assert_eq!(client.send(q), before, "warm read");
+    client.send("insert S 2 11 0.9");
+    client.send("insert R 3 0.5");
+    client.send("insert S 3 12 0.8");
+
+    // Recompute the truth locally on the *new* database.
+    let mut db = ProbDb::new();
+    let all: Vec<&str> = SETUP
+        .iter()
+        .copied()
+        .chain(["insert S 2 11 0.9", "insert R 3 0.5", "insert S 3 12 0.8"])
+        .collect();
+    for line in &all {
+        let mut parts: Vec<&str> = line.split_whitespace().collect();
+        let prob: f64 = parts.pop().unwrap().parse().unwrap();
+        let rel = parts[1].to_string();
+        let tuple: Vec<u64> = parts[2..].iter().map(|c| c.parse().unwrap()).collect();
+        db.insert(&rel, tuple, prob);
+    }
+    let want = format_answer(&db.query("exists x. exists y. R(x) & S(x,y)").unwrap());
+    let after = client.send(q);
+    assert_eq!(after, want, "must reflect the inserts, not the cache");
+    assert_ne!(after, before, "fixture change must move the probability");
+    server.shutdown();
+}
+
+#[test]
+fn writers_and_readers_race_without_stale_or_torn_answers() {
+    // One writer inserts fresh S-tuples for x=2 while readers hammer the
+    // same query. Every response must equal the answer for *some* prefix of
+    // the writer's inserts (monotone query ⇒ strictly increasing p): no
+    // torn states, no probability from the cache's past.
+    let (server, addr) = start_server(6);
+    let mut loader = Client::connect(addr);
+    for line in SETUP {
+        loader.send(line);
+    }
+    let q = "query exists x. exists y. R(x) & S(x,y)";
+
+    // Precompute the full chain of legal answers locally.
+    let extra: Vec<String> = (0..10)
+        .map(|i| format!("insert S 2 {} 0.35", 20 + i))
+        .collect();
+    let mut db = ProbDb::new();
+    for line in SETUP {
+        let mut parts: Vec<&str> = line.split_whitespace().collect();
+        let prob: f64 = parts.pop().unwrap().parse().unwrap();
+        let rel = parts[1].to_string();
+        let tuple: Vec<u64> = parts[2..].iter().map(|c| c.parse().unwrap()).collect();
+        db.insert(&rel, tuple, prob);
+    }
+    let mut legal: Vec<String> = vec![format_answer(
+        &db.query("exists x. exists y. R(x) & S(x,y)").unwrap(),
+    )];
+    for line in &extra {
+        let mut parts: Vec<&str> = line.split_whitespace().collect();
+        let prob: f64 = parts.pop().unwrap().parse().unwrap();
+        let tuple: Vec<u64> = parts[2..].iter().map(|c| c.parse().unwrap()).collect();
+        db.insert("S", tuple, prob);
+        legal.push(format_answer(
+            &db.query("exists x. exists y. R(x) & S(x,y)").unwrap(),
+        ));
+    }
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|t| {
+            let stop = std::sync::Arc::clone(&stop);
+            let legal = legal.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut seen = 0usize; // index into `legal`: must be monotone
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let got = client.send(q);
+                    match legal[seen..].iter().position(|l| l == &got) {
+                        Some(offset) => seen += offset,
+                        None => panic!(
+                            "thread {t}: response not a legal state or went backwards \
+                             (stale cache read): {got:?}, already at state {seen}"
+                        ),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut writer = Client::connect(addr);
+    for line in &extra {
+        writer.send(line);
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    // Let readers observe the final state, then stop them.
+    std::thread::sleep(Duration::from_millis(80));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // After the dust settles, a fresh session must see exactly the final
+    // answer (cache must have been invalidated ten times).
+    let mut checker = Client::connect(addr);
+    assert_eq!(&checker.send(q), legal.last().unwrap());
+    assert_eq!(
+        server.service().db_version(),
+        (SETUP.len() + extra.len()) as u64
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stats_over_the_wire_report_methods_and_cache() {
+    let (server, addr) = start_server(2);
+    let mut client = Client::connect(addr);
+    for line in SETUP {
+        client.send(line);
+    }
+    let lifted = "query exists x. exists y. R(x) & S(x,y)";
+    let grounded = "query exists x. exists y. R(x) & S(x,y) & T(y)";
+    client.send(lifted);
+    client.send(lifted); // cache hit, still counted as Lifted
+    client.send(grounded);
+    let stats = client.send("stats");
+    for needle in [
+        "lifted=2",
+        "grounded=1",
+        "safe_plan=0",
+        "approximate=0",
+        "hits=1",
+        "misses=2",
+        "latency_us: p50=",
+        "timeouts: 0",
+    ] {
+        assert!(stats.contains(needle), "missing {needle:?} in:\n{stats}");
+    }
+    server.shutdown();
+}
