@@ -21,6 +21,7 @@ use pdb_logic::{Cq, Fo, Ucq};
 use pdb_wmc::DpllOptions;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 
 pub use pdb_lifted::{classify_sjf_cq, classify_ucq, Complexity};
 
@@ -115,11 +116,21 @@ impl From<pdb_logic::ParseError> for EngineError {
 }
 
 /// A probabilistic database with the full query-evaluation cascade.
+///
+/// Mutations are tracked by a **per-relation version vector** plus a domain
+/// counter (see [`ProbDb::relation_version`]): consumers that depend only on
+/// some relations' contents (result caches, materialized views) can detect
+/// precisely which of their inputs moved instead of invalidating wholesale
+/// on every write.
 #[derive(Clone, Debug, Default)]
 pub struct ProbDb {
     db: TupleDb,
-    /// Monotone mutation counter; see [`ProbDb::version`].
-    version: u64,
+    /// Per-relation mutation counters; see [`ProbDb::relation_version`].
+    versions: BTreeMap<String, u64>,
+    /// Bumped by [`ProbDb::extend_domain`] only.
+    domain_version: u64,
+    /// Total mutation count (= Σ versions + domain_version).
+    total_version: u64,
 }
 
 impl ProbDb {
@@ -128,9 +139,12 @@ impl ProbDb {
         ProbDb::default()
     }
 
-    /// Wraps an existing [`TupleDb`] (at version 0).
+    /// Wraps an existing [`TupleDb`] (every version counter at 0).
     pub fn from_tuple_db(db: TupleDb) -> ProbDb {
-        ProbDb { db, version: 0 }
+        ProbDb {
+            db,
+            ..ProbDb::default()
+        }
     }
 
     /// The underlying database.
@@ -138,27 +152,65 @@ impl ProbDb {
         &self.db
     }
 
-    /// The database **version**: a counter bumped by every mutation
-    /// ([`ProbDb::insert`], [`ProbDb::extend_domain`]). Two reads of the
-    /// same `ProbDb` with equal versions are guaranteed to see identical
-    /// contents, so `(normalized query, version)` is a sound cache key for
-    /// anything derived from query + data — `pdb-server` keys its result
-    /// cache on exactly that pair, making invalidation a version bump
-    /// instead of a scan.
+    /// The **global** database version: the total mutation count, bumped by
+    /// every [`ProbDb::insert`], [`ProbDb::update_prob`] and
+    /// [`ProbDb::extend_domain`]. Two reads of the same `ProbDb` with equal
+    /// global versions are guaranteed to see identical contents, so
+    /// `(normalized query, version)` is a sound cache key for anything
+    /// derived from query + data. Queries whose answers depend only on some
+    /// relations' contents should key on [`ProbDb::relation_version`]s
+    /// instead, which survive unrelated writes.
     pub fn version(&self) -> u64 {
-        self.version
+        self.total_version
+    }
+
+    /// The version of one relation: how many mutations ([`ProbDb::insert`],
+    /// [`ProbDb::update_prob`]) have touched it. 0 for relations never
+    /// written through this wrapper (including relations present in a
+    /// [`ProbDb::from_tuple_db`] seed). Monotone, and bumped by nothing
+    /// except writes to this relation — the fine-grained invalidation signal
+    /// for caches and materialized views over queries that mention it.
+    pub fn relation_version(&self, relation: &str) -> u64 {
+        self.versions.get(relation).copied().unwrap_or(0)
+    }
+
+    /// The domain version: bumped by [`ProbDb::extend_domain`] only.
+    /// (Inserts can also grow the *active* domain; domain-sensitive
+    /// consumers must therefore watch the global [`ProbDb::version`], not
+    /// just this counter.)
+    pub fn domain_version(&self) -> u64 {
+        self.domain_version
     }
 
     /// Inserts a tuple with probability `p` (relation declared on first use).
     pub fn insert(&mut self, relation: &str, tuple: impl Into<Tuple>, p: f64) {
         self.db.insert(relation, tuple, p);
-        self.version += 1;
+        *self.versions.entry(relation.to_string()).or_insert(0) += 1;
+        self.total_version += 1;
+    }
+
+    /// Changes the probability of an **existing** tuple. Returns the
+    /// relation's new version on success, `None` (storing nothing, bumping
+    /// nothing) when the tuple is not a possible tuple of `relation`.
+    ///
+    /// Unlike an insert, an update never creates a tuple, so tuple-index
+    /// numbering stays stable — this is the mutation materialized views
+    /// absorb incrementally (O(circuit depth)) instead of by recompiling.
+    pub fn update_prob(&mut self, relation: &str, tuple: &Tuple, p: f64) -> Option<u64> {
+        if !self.db.update_prob(relation, tuple, p) {
+            return None;
+        }
+        let v = self.versions.entry(relation.to_string()).or_insert(0);
+        *v += 1;
+        self.total_version += 1;
+        Some(*v)
     }
 
     /// Extends the domain beyond the active one (matters for ∀ queries).
     pub fn extend_domain(&mut self, consts: impl IntoIterator<Item = u64>) {
         self.db.extend_domain(consts);
-        self.version += 1;
+        self.domain_version += 1;
+        self.total_version += 1;
     }
 
     /// Parses and answers a query in the workspace's FO syntax.
@@ -542,6 +594,39 @@ mod tests {
         let hard = pdb_logic::parse_ucq("R(x), S(x,y), T(y)").unwrap();
         assert_eq!(db.classify(&easy), Complexity::PolynomialTime);
         assert_eq!(db.classify(&hard), Complexity::SharpPHard);
+    }
+
+    #[test]
+    fn version_vector_tracks_per_relation_writes() {
+        let mut db = ProbDb::new();
+        assert_eq!(db.version(), 0);
+        assert_eq!(db.relation_version("R"), 0);
+
+        db.insert("R", [1], 0.5);
+        db.insert("R", [2], 0.25);
+        db.insert("S", [1, 2], 0.75);
+        assert_eq!(db.version(), 3);
+        assert_eq!(db.relation_version("R"), 2);
+        assert_eq!(db.relation_version("S"), 1);
+        // Writes to S leave R's version alone — the fine-grained signal.
+        assert_eq!(db.relation_version("T"), 0);
+
+        // update_prob bumps only the touched relation and reports its new
+        // version; a refused update bumps nothing.
+        assert_eq!(db.update_prob("R", &Tuple::from([1]), 0.9), Some(3));
+        assert_eq!(db.tuple_db().prob("R", &Tuple::from([1])), 0.9);
+        assert_eq!(db.update_prob("R", &Tuple::from([9]), 0.9), None);
+        assert_eq!(db.update_prob("Z", &Tuple::from([1]), 0.9), None);
+        assert_eq!(db.version(), 4);
+        assert_eq!(db.relation_version("R"), 3);
+        assert_eq!(db.relation_version("S"), 1);
+
+        // extend_domain is a domain event, not a relation event.
+        assert_eq!(db.domain_version(), 0);
+        db.extend_domain([7]);
+        assert_eq!(db.domain_version(), 1);
+        assert_eq!(db.version(), 5);
+        assert_eq!(db.relation_version("R"), 3);
     }
 
     use rand::rngs::StdRng;

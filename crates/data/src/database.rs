@@ -56,6 +56,22 @@ impl TupleDb {
         self.relations.get(name)
     }
 
+    /// Changes the probability of an **existing** tuple in place. Returns
+    /// `false` (and stores nothing) when the tuple is not a possible tuple
+    /// of `name` — unlike [`TupleDb::insert`], an update never creates a
+    /// tuple, so it never renumbers a [`TupleIndex`] snapshot: incremental
+    /// consumers (materialized views) rely on ids staying stable across
+    /// probability updates.
+    pub fn update_prob(&mut self, name: &str, tuple: &Tuple, p: f64) -> bool {
+        match self.relations.get_mut(name) {
+            Some(rel) if rel.contains(tuple) => {
+                rel.insert(tuple.clone(), p);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Iterates relations in name order.
     pub fn relations(&self) -> impl Iterator<Item = &Relation> {
         self.relations.values()
@@ -241,6 +257,21 @@ mod tests {
         assert_eq!(db.prob("R", &Tuple::from([9])), 0.0);
         assert_eq!(db.prob("Z", &Tuple::from([1])), 0.0);
         assert_eq!(db.tuple_count(), 3);
+    }
+
+    #[test]
+    fn update_prob_only_touches_existing_tuples() {
+        let mut db = small_db();
+        assert!(db.update_prob("R", &Tuple::from([1]), 0.9));
+        assert_eq!(db.prob("R", &Tuple::from([1])), 0.9);
+        // Absent tuple / absent relation: refused, nothing stored.
+        assert!(!db.update_prob("R", &Tuple::from([9]), 0.9));
+        assert!(!db.update_prob("Z", &Tuple::from([1]), 0.9));
+        assert_eq!(db.tuple_count(), 3);
+        // Ids are stable: the index numbering is unchanged by the update.
+        let idx = db.index();
+        assert_eq!(idx.id_of("R", &Tuple::from([1])), Some(TupleId(0)));
+        assert_eq!(idx.prob(TupleId(0)), 0.9);
     }
 
     #[test]

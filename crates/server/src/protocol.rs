@@ -15,6 +15,7 @@
 //! [`write_framed`] / [`read_framed`].
 
 use pdb_core::{Answer, AnswerTuple, Complexity};
+use pdb_views::{RefreshOutcome, View};
 use std::io::{BufRead, Write};
 
 /// One parsed shell command.
@@ -29,6 +30,19 @@ pub enum Command {
         /// Marginal probability of the tuple.
         prob: f64,
     },
+    /// `update <rel> <c1> … <ck> <prob>` — change an **existing** tuple's
+    /// probability (never creates a tuple; materialized views absorb this
+    /// incrementally).
+    Update {
+        /// Relation name.
+        relation: String,
+        /// Constant tuple (must already be a possible tuple).
+        tuple: Vec<u64>,
+        /// The new marginal probability.
+        prob: f64,
+    },
+    /// `view …` — materialized-view management.
+    View(ViewCommand),
     /// `domain <c1> … <ck>` — extend the domain explicitly.
     Domain(Vec<u64>),
     /// `query <fo sentence>`
@@ -65,6 +79,135 @@ pub enum Command {
     Nothing,
 }
 
+/// A materialized-view subcommand (`view create|refresh|drop|list|show`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewCommand {
+    /// `view create <name> query <sentence>` or
+    /// `view create <name> answers <v1,v2,…> : <cq>`.
+    Create {
+        /// The view's name.
+        name: String,
+        /// What it materializes.
+        query: ViewQueryText,
+    },
+    /// `view refresh [<name>]` — one view, or every view when omitted.
+    Refresh {
+        /// The view to refresh; `None` refreshes all.
+        name: Option<String>,
+    },
+    /// `view drop <name>`.
+    Drop {
+        /// The view to unregister.
+        name: String,
+    },
+    /// `view list`.
+    List,
+    /// `view show <name>` — print the materialized rows.
+    Show {
+        /// The view to print.
+        name: String,
+    },
+}
+
+/// The query payload of `view create` (same sub-languages as `query` /
+/// `answers`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewQueryText {
+    /// A Boolean sentence.
+    Boolean(String),
+    /// Head variables + CQ body.
+    Answers {
+        /// Head variables, in output order.
+        head: Vec<String>,
+        /// The conjunctive-query body.
+        cq: String,
+    },
+}
+
+fn parse_view_command(rest: &str) -> Result<ViewCommand, String> {
+    const USAGE: &str = "usage: view create|refresh|drop|list|show …";
+    let (sub, rest) = match rest.split_once(char::is_whitespace) {
+        Some((s, r)) => (s, r.trim()),
+        None => (rest, ""),
+    };
+    match sub {
+        "create" => {
+            let (name, spec) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "usage: view create <name> query|answers …".to_string())?;
+            let spec = spec.trim();
+            let (kind, payload) = match spec.split_once(char::is_whitespace) {
+                Some((k, p)) => (k, p.trim()),
+                None => (spec, ""),
+            };
+            let query = match kind {
+                "query" => {
+                    if payload.is_empty() {
+                        return Err("usage: view create <name> query <sentence>".into());
+                    }
+                    ViewQueryText::Boolean(payload.to_string())
+                }
+                "answers" => {
+                    let (head_vars, cq) = payload.split_once(':').ok_or_else(|| {
+                        "usage: view create <name> answers <v1,v2,…> : <cq>".to_string()
+                    })?;
+                    let head: Vec<String> = head_vars
+                        .split(',')
+                        .map(|v| v.trim().to_string())
+                        .filter(|v| !v.is_empty())
+                        .collect();
+                    if head.is_empty() {
+                        return Err("view create … answers needs at least one head variable".into());
+                    }
+                    if cq.trim().is_empty() {
+                        return Err("view create … answers needs a query body after `:`".into());
+                    }
+                    ViewQueryText::Answers {
+                        head,
+                        cq: cq.trim().to_string(),
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "view create expects `query` or `answers`, got {other:?}"
+                    ))
+                }
+            };
+            Ok(ViewCommand::Create {
+                name: name.to_string(),
+                query,
+            })
+        }
+        "refresh" => Ok(ViewCommand::Refresh {
+            name: (!rest.is_empty()).then(|| rest.to_string()),
+        }),
+        "drop" => {
+            if rest.is_empty() {
+                return Err("usage: view drop <name>".into());
+            }
+            Ok(ViewCommand::Drop {
+                name: rest.to_string(),
+            })
+        }
+        "list" => {
+            if rest.is_empty() {
+                Ok(ViewCommand::List)
+            } else {
+                Err("view list takes no arguments".into())
+            }
+        }
+        "show" => {
+            if rest.is_empty() {
+                return Err("usage: view show <name>".into());
+            }
+            Ok(ViewCommand::Show {
+                name: rest.to_string(),
+            })
+        }
+        _ => Err(USAGE.into()),
+    }
+}
+
 /// Parses one line into a command.
 pub fn parse_command(line: &str) -> Result<Command, String> {
     let line = line.trim();
@@ -75,31 +218,45 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         Some((h, r)) => (h, r.trim()),
         None => (line, ""),
     };
+    // `insert` and `update` share the `<rel> <c1> … <ck> <prob>` grammar.
+    let parse_fact = |verb: &str| -> Result<(String, Vec<u64>, f64), String> {
+        let mut parts: Vec<&str> = rest.split_whitespace().collect();
+        if parts.len() < 2 {
+            return Err(format!("usage: {verb} <rel> <c1> … <ck> <prob>"));
+        }
+        let relation = parts.remove(0).to_string();
+        let prob: f64 = parts
+            .pop()
+            .unwrap()
+            .parse()
+            .map_err(|_| "probability must be a number".to_string())?;
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(format!("probability {prob} not in [0, 1]"));
+        }
+        let tuple = parts
+            .iter()
+            .map(|p| p.parse::<u64>().map_err(|_| format!("bad constant {p}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((relation, tuple, prob))
+    };
     match head {
         "insert" => {
-            let mut parts: Vec<&str> = rest.split_whitespace().collect();
-            if parts.len() < 2 {
-                return Err("usage: insert <rel> <c1> … <ck> <prob>".into());
-            }
-            let relation = parts.remove(0).to_string();
-            let prob: f64 = parts
-                .pop()
-                .unwrap()
-                .parse()
-                .map_err(|_| "probability must be a number".to_string())?;
-            if !(0.0..=1.0).contains(&prob) {
-                return Err(format!("probability {prob} not in [0, 1]"));
-            }
-            let tuple = parts
-                .iter()
-                .map(|p| p.parse::<u64>().map_err(|_| format!("bad constant {p}")))
-                .collect::<Result<Vec<_>, _>>()?;
+            let (relation, tuple, prob) = parse_fact("insert")?;
             Ok(Command::Insert {
                 relation,
                 tuple,
                 prob,
             })
         }
+        "update" => {
+            let (relation, tuple, prob) = parse_fact("update")?;
+            Ok(Command::Update {
+                relation,
+                tuple,
+                prob,
+            })
+        }
+        "view" => Ok(Command::View(parse_view_command(rest)?)),
         "domain" => {
             let consts = rest
                 .split_whitespace()
@@ -172,11 +329,19 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
 pub const HELP: &str = "\
 commands:
   insert <rel> <c1> … <ck> <p>   add a tuple with probability p
+  update <rel> <c1> … <ck> <p>   change an existing tuple's probability
   domain <c1> … <ck>             extend the domain (matters for ∀)
   query <sentence>               Boolean query, e.g. exists x. R(x) & S(x,y)
   answers <v,…> : <cq>           non-Boolean CQ, e.g. answers x : R(x), S(x,y)
   classify <ucq>                 dichotomy classification
   open <λ> <sentence>            open-world interval for a monotone query
+  view create <name> query <s>   materialize a Boolean query as a view
+  view create <name> answers <v,…> : <cq>
+                                 materialize one row per answer tuple
+  view refresh [<name>]          rebuild stale views (all when no name)
+  view drop <name>               unregister a view
+  view list                      registered views and their status
+  view show <name>               print a view's materialized rows
   show                           print the database
   stats                          engine + cache observability counters
   source <file>                  run commands from a file (CLI only)
@@ -236,6 +401,71 @@ pub fn format_complexity(c: Complexity) -> &'static str {
         Complexity::SharpPHard => "#P-hard",
         Complexity::Unknown => "unknown (rules inconclusive)",
     }
+}
+
+/// Renders the error for an `update` of a non-existent tuple — shared so
+/// the CLI and server cannot diverge.
+pub fn format_update_missing(relation: &str, tuple: &[u64]) -> String {
+    let consts: Vec<String> = tuple.iter().map(u64::to_string).collect();
+    format!(
+        "error: {relation}({}) is not a possible tuple; insert it first\n",
+        consts.join(", ")
+    )
+}
+
+/// Renders the `view create` acknowledgement.
+pub fn format_view_created(view: &View) -> String {
+    format!(
+        "view {}: {} row(s) materialized ({})\n",
+        view.name(),
+        view.rows().len(),
+        view.backend_summary()
+    )
+}
+
+/// Renders one `view refresh` outcome line.
+pub fn format_view_refreshed(name: &str, outcome: RefreshOutcome) -> String {
+    let verdict = match outcome {
+        RefreshOutcome::Fresh => "fresh",
+        RefreshOutcome::Rebuilt => "rebuilt",
+    };
+    format!("view {name}: {verdict}\n")
+}
+
+/// Renders the `view list` payload (views in name order).
+pub fn format_view_list<'a>(views: impl Iterator<Item = &'a View>) -> String {
+    let mut s = String::new();
+    for v in views {
+        s.push_str(&format!(
+            "{}  [{}] {}  rows={} backend={} status={}\n",
+            v.name(),
+            v.def().kind(),
+            v.def().display(),
+            v.rows().len(),
+            v.backend_summary(),
+            if v.is_stale() { "stale" } else { "fresh" },
+        ));
+    }
+    if s.is_empty() {
+        "(no views)\n".into()
+    } else {
+        s
+    }
+}
+
+/// Renders the `view show` payload: the materialized rows, formatted
+/// exactly like the equivalent `query` / `answers` output.
+pub fn format_view_show(view: &View) -> String {
+    let mut s = String::new();
+    if view.is_stale() {
+        s.push_str(&format!("(stale — run `view refresh {}`)\n", view.name()));
+    }
+    if let Some(answer) = view.boolean_answer() {
+        s.push_str(&format_answer(&answer));
+    } else if let Some((head, rows)) = view.answer_rows() {
+        s.push_str(&format_answer_tuples(&head, &rows));
+    }
+    s
 }
 
 /// Renders an open-world interval exactly as the CLI prints it.
@@ -311,6 +541,70 @@ mod tests {
                 cq: "R(x), S(x,y)".into()
             }
         );
+        assert_eq!(
+            parse_command("update R 1 2 0.75").unwrap(),
+            Command::Update {
+                relation: "R".into(),
+                tuple: vec![1, 2],
+                prob: 0.75
+            }
+        );
+        assert_eq!(
+            parse_command("view create v query exists x. R(x)").unwrap(),
+            Command::View(ViewCommand::Create {
+                name: "v".into(),
+                query: ViewQueryText::Boolean("exists x. R(x)".into())
+            })
+        );
+        assert_eq!(
+            parse_command("view create v answers x, y : R(x), S(x,y)").unwrap(),
+            Command::View(ViewCommand::Create {
+                name: "v".into(),
+                query: ViewQueryText::Answers {
+                    head: vec!["x".into(), "y".into()],
+                    cq: "R(x), S(x,y)".into()
+                }
+            })
+        );
+        assert_eq!(
+            parse_command("view refresh").unwrap(),
+            Command::View(ViewCommand::Refresh { name: None })
+        );
+        assert_eq!(
+            parse_command("view refresh v").unwrap(),
+            Command::View(ViewCommand::Refresh {
+                name: Some("v".into())
+            })
+        );
+        assert_eq!(
+            parse_command("view drop v").unwrap(),
+            Command::View(ViewCommand::Drop { name: "v".into() })
+        );
+        assert_eq!(
+            parse_command("view list").unwrap(),
+            Command::View(ViewCommand::List)
+        );
+        assert_eq!(
+            parse_command("view show v").unwrap(),
+            Command::View(ViewCommand::Show { name: "v".into() })
+        );
+        for bad in [
+            "update R",
+            "update R 1 2 nope",
+            "update R 1 1.5",
+            "view",
+            "view create",
+            "view create v",
+            "view create v frobnicate R(x)",
+            "view create v query",
+            "view create v answers : R(x)",
+            "view create v answers x :",
+            "view drop",
+            "view show",
+            "view list extra",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} should not parse");
+        }
         assert_eq!(parse_command("  # comment").unwrap(), Command::Nothing);
         assert_eq!(parse_command("").unwrap(), Command::Nothing);
         assert_eq!(parse_command("quit").unwrap(), Command::Quit);
@@ -375,6 +669,29 @@ mod tests {
                         format!("insert {relation} {} {prob}", consts.join(" "))
                     }
                 }
+                Command::Update {
+                    relation,
+                    tuple,
+                    prob,
+                } => {
+                    let consts: Vec<String> = tuple.iter().map(u64::to_string).collect();
+                    format!("update {relation} {} {prob}", consts.join(" "))
+                }
+                Command::View(v) => match v {
+                    ViewCommand::Create {
+                        name,
+                        query: ViewQueryText::Boolean(q),
+                    } => format!("view create {name} query {q}"),
+                    ViewCommand::Create {
+                        name,
+                        query: ViewQueryText::Answers { head, cq },
+                    } => format!("view create {name} answers {} : {cq}", head.join(", ")),
+                    ViewCommand::Refresh { name: Some(n) } => format!("view refresh {n}"),
+                    ViewCommand::Refresh { name: None } => "view refresh".into(),
+                    ViewCommand::Drop { name } => format!("view drop {name}"),
+                    ViewCommand::List => "view list".into(),
+                    ViewCommand::Show { name } => format!("view show {name}"),
+                },
                 Command::Domain(cs) => format!(
                     "domain {}",
                     cs.iter().map(u64::to_string).collect::<Vec<_>>().join(" ")
@@ -399,6 +716,29 @@ mod tests {
                 tuple: vec![1, 2],
                 prob: 0.25,
             },
+            Command::Update {
+                relation: "R".into(),
+                tuple: vec![1, 2],
+                prob: 0.75,
+            },
+            Command::View(ViewCommand::Create {
+                name: "v".into(),
+                query: ViewQueryText::Boolean("exists x. R(x)".into()),
+            }),
+            Command::View(ViewCommand::Create {
+                name: "w".into(),
+                query: ViewQueryText::Answers {
+                    head: vec!["x".into(), "y".into()],
+                    cq: "R(x), S(x,y)".into(),
+                },
+            }),
+            Command::View(ViewCommand::Refresh {
+                name: Some("v".into()),
+            }),
+            Command::View(ViewCommand::Refresh { name: None }),
+            Command::View(ViewCommand::Drop { name: "v".into() }),
+            Command::View(ViewCommand::List),
+            Command::View(ViewCommand::Show { name: "v".into() }),
             Command::Domain(vec![0, 1, 2]),
             Command::Query("exists x. R(x) & S(x,y)".into()),
             Command::Answers {

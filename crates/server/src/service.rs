@@ -12,11 +12,25 @@
 //!
 //! ## Caching
 //!
-//! Results are cached under `(kind, normalized query, db version)` (see
-//! [`crate::cache`]). A mutation bumps [`pdb_core::ProbDb::version`], so a
-//! later lookup misses and recomputes against the new contents — no stale
-//! probability can ever be served (the version is read from the same
-//! snapshot the query runs on).
+//! Results are cached under `(kind, normalized query, version key)` (see
+//! [`crate::cache`]). The version key is **fine-grained**: a UCQ's answer
+//! depends only on the stored tuples of the relations it mentions, so its
+//! entries are keyed on those relations' versions from the
+//! [`pdb_core::ProbDb`] version vector and survive writes to unrelated
+//! relations. Non-UCQ sentences (anything with a ∀) can change whenever
+//! the active domain grows, so they fall back to the global version. Either
+//! way the key is read from the same snapshot the query runs on — no stale
+//! probability can ever be served.
+//!
+//! ## Materialized views
+//!
+//! A [`pdb_views::ViewManager`] behind its own mutex serves the
+//! `view create|refresh|drop|list|show` commands. Lock discipline: writers
+//! mutate the database first, **release** the write lock, then deliver the
+//! versioned event to the manager; view commands lock the manager first and
+//! snapshot the database inside. Neither path holds both locks at once, so
+//! there is no ordering cycle; the manager's version-sequenced events make
+//! the out-of-order window between mutation and delivery harmless.
 //!
 //! ## Timeouts
 //!
@@ -30,11 +44,14 @@
 
 use crate::cache::LruCache;
 use crate::protocol::{
-    format_answer, format_answer_tuples, format_complexity, format_open, normalize_query,
-    parse_command, Command, HELP,
+    format_answer, format_answer_tuples, format_complexity, format_open, format_update_missing,
+    format_view_created, format_view_list, format_view_refreshed, format_view_show,
+    normalize_query, parse_command, Command, ViewCommand, ViewQueryText, HELP,
 };
-use crate::stats::Stats;
+use crate::stats::{Stats, ViewsSnapshot};
 use pdb_core::{Answer, Complexity, EngineError, ProbDb, QueryOptions};
+use pdb_data::Tuple;
+use pdb_views::{ViewDef, ViewManager};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -44,11 +61,24 @@ use std::time::{Duration, Instant};
 enum CacheKind {
     /// A Boolean query probability (with bounds / std error when present).
     Probability,
-    /// A UCQ dichotomy classification (data-independent: keyed at version 0).
+    /// A UCQ dichotomy classification (data-independent: keyed pinned).
     Classify,
 }
 
-type CacheKey = (CacheKind, String, u64);
+/// Which part of the database a cache entry depends on.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+enum VersionKey {
+    /// Data-independent results (classification) — never invalidated.
+    Pinned,
+    /// Depends on the whole database (non-UCQ sentences: the active domain
+    /// can grow on any insert).
+    Global(u64),
+    /// Depends only on the named relations' contents (UCQ answers are
+    /// domain-independent); sorted for a canonical hash.
+    Relations(Vec<(String, u64)>),
+}
+
+type CacheKey = (CacheKind, String, VersionKey);
 
 /// A cached result.
 #[derive(Clone, Debug)]
@@ -83,6 +113,7 @@ impl Default for ServiceOptions {
 struct Shared {
     db: RwLock<Arc<ProbDb>>,
     cache: Mutex<LruCache<CacheKey, CacheEntry>>,
+    views: Mutex<ViewManager>,
     stats: Stats,
     opts: ServiceOptions,
     /// Helper threads spawned for timed-out queries that are still running.
@@ -103,6 +134,7 @@ impl Service {
             inner: Arc::new(Shared {
                 db: RwLock::new(Arc::new(db)),
                 cache: Mutex::new(LruCache::new(capacity)),
+                views: Mutex::new(ViewManager::new()),
                 stats: Stats::default(),
                 opts,
                 inflight_helpers: AtomicU64::new(0),
@@ -117,8 +149,24 @@ impl Service {
 
     /// The `stats` command payload.
     pub fn stats_text(&self) -> String {
+        let views = {
+            let views = self.inner.views.lock().unwrap();
+            ViewsSnapshot {
+                views: views.len(),
+                rows: views.row_count(),
+                incremental: views.incremental_applied(),
+                recompiles: views.recompiles(),
+            }
+        };
         let cache = self.inner.cache.lock().unwrap();
-        self.inner.stats.render(cache.len(), cache.capacity())
+        self.inner
+            .stats
+            .render(cache.len(), cache.capacity(), views)
+    }
+
+    /// Number of registered materialized views (diagnostics).
+    pub fn view_count(&self) -> usize {
+        self.inner.views.lock().unwrap().len()
     }
 
     /// Current database version (for tests and diagnostics).
@@ -169,15 +217,53 @@ impl Service {
                 tuple,
                 prob,
             } => {
-                let mut guard = self.inner.db.write().unwrap();
-                Arc::make_mut(&mut guard).insert(&relation, tuple, prob);
+                // Mutate, read the new version, RELEASE the write lock,
+                // then deliver the event (see the module docs on lock
+                // ordering).
+                let version = {
+                    let mut guard = self.inner.db.write().unwrap();
+                    let db = Arc::make_mut(&mut guard);
+                    db.insert(&relation, tuple, prob);
+                    db.relation_version(&relation)
+                };
+                self.inner
+                    .views
+                    .lock()
+                    .unwrap()
+                    .on_insert(&relation, version);
                 (String::new(), true)
+            }
+            Command::Update {
+                relation,
+                tuple,
+                prob,
+            } => {
+                let t = Tuple::new(tuple.clone());
+                let version = {
+                    let mut guard = self.inner.db.write().unwrap();
+                    Arc::make_mut(&mut guard).update_prob(&relation, &t, prob)
+                };
+                match version {
+                    Some(v) => {
+                        self.inner
+                            .views
+                            .lock()
+                            .unwrap()
+                            .on_update_prob(&relation, &t, prob, v);
+                        (String::new(), true)
+                    }
+                    None => (format_update_missing(&relation, &tuple), true),
+                }
             }
             Command::Domain(consts) => {
-                let mut guard = self.inner.db.write().unwrap();
-                Arc::make_mut(&mut guard).extend_domain(consts);
+                {
+                    let mut guard = self.inner.db.write().unwrap();
+                    Arc::make_mut(&mut guard).extend_domain(consts);
+                }
+                self.inner.views.lock().unwrap().on_domain_extend();
                 (String::new(), true)
             }
+            Command::View(cmd) => (self.run_view(cmd), true),
             Command::Show => {
                 let db = self.snapshot().0;
                 (format!("{}", db.tuple_db()), true)
@@ -195,11 +281,94 @@ impl Service {
         (Arc::clone(&guard), guard.version())
     }
 
+    /// Executes a `view` subcommand. The manager lock is taken first; the
+    /// database snapshot is acquired (and its lock released) inside.
+    fn run_view(&self, cmd: ViewCommand) -> String {
+        let mut views = self.inner.views.lock().unwrap();
+        match cmd {
+            ViewCommand::Create { name, query } => {
+                let def = match query {
+                    ViewQueryText::Boolean(q) => ViewDef::boolean(&q),
+                    ViewQueryText::Answers { head, cq } => ViewDef::answers(&head, &cq),
+                };
+                let def = match def {
+                    Ok(d) => d,
+                    Err(e) => return format!("error: {e}\n"),
+                };
+                let start = Instant::now();
+                let (db, _) = self.snapshot();
+                let out = match views.create(&name, def, &db) {
+                    Ok(view) => format_view_created(view),
+                    Err(e) => format!("error: {e}\n"),
+                };
+                self.inner.stats.record_view_refresh(start.elapsed());
+                out
+            }
+            ViewCommand::Refresh { name } => {
+                let start = Instant::now();
+                let (db, _) = self.snapshot();
+                let out = match name {
+                    Some(name) => match views.refresh(&name, &db) {
+                        Ok(outcome) => format_view_refreshed(&name, outcome),
+                        Err(e) => format!("error: {e}\n"),
+                    },
+                    None => {
+                        if views.is_empty() {
+                            "(no views)\n".into()
+                        } else {
+                            match views.refresh_all(&db) {
+                                Ok(outcomes) => outcomes
+                                    .iter()
+                                    .map(|(n, o)| format_view_refreshed(n, *o))
+                                    .collect(),
+                                Err(e) => format!("error: {e}\n"),
+                            }
+                        }
+                    }
+                };
+                self.inner.stats.record_view_refresh(start.elapsed());
+                out
+            }
+            ViewCommand::Drop { name } => {
+                if views.drop_view(&name) {
+                    format!("view {name} dropped\n")
+                } else {
+                    format!("error: no view named {name}\n")
+                }
+            }
+            ViewCommand::List => format_view_list(views.iter()),
+            ViewCommand::Show { name } => match views.get(&name) {
+                Some(view) => format_view_show(view),
+                None => format!("error: no view named {name}\n"),
+            },
+        }
+    }
+
+    /// The version key a Boolean query's cache entry depends on: the
+    /// mentioned relations' versions for UCQs (domain-independent), the
+    /// global version otherwise (a ∀ sees the whole domain, which any
+    /// insert can grow).
+    fn version_key(db: &ProbDb, norm: &str) -> VersionKey {
+        match pdb_logic::parse_fo(norm) {
+            Ok(fo) if fo.to_ucq().is_some() => VersionKey::Relations(
+                fo.predicates()
+                    .iter()
+                    .map(|p| (p.name().to_string(), db.relation_version(p.name())))
+                    .collect(),
+            ),
+            _ => VersionKey::Global(db.version()),
+        }
+    }
+
     fn run_query(&self, text: &str) -> String {
         let start = Instant::now();
         let norm = normalize_query(text);
-        let (db, version) = self.snapshot();
-        let key = (CacheKind::Probability, norm.clone(), version);
+        let (db, _) = self.snapshot();
+        let key = (
+            CacheKind::Probability,
+            norm.clone(),
+            Self::version_key(&db, &norm),
+        );
         let cached = {
             let mut cache = self.inner.cache.lock().unwrap();
             cache.get(&key).cloned()
@@ -301,9 +470,9 @@ impl Service {
 
     fn run_classify(&self, text: &str) -> String {
         let norm = normalize_query(text);
-        // Classification is data-independent, so the key pins version 0 and
+        // Classification is data-independent, so the key is pinned and
         // survives every insert.
-        let key = (CacheKind::Classify, norm.clone(), 0);
+        let key = (CacheKind::Classify, norm.clone(), VersionKey::Pinned);
         let cached = {
             let mut cache = self.inner.cache.lock().unwrap();
             cache.get(&key).cloned()
@@ -451,11 +620,112 @@ mod tests {
             "cache:",
             "hit_rate=",
             "latency_us:",
+            "views:",
+            "incremental_ratio=",
+            "view_refresh_us:",
             "timeouts:",
             "connections:",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn unrelated_insert_keeps_ucq_cache_entries_live() {
+        let svc = seeded_service(inline_opts());
+        let (first, _) = svc.handle_line(Q);
+        assert!(first.contains("p = 0.400000"), "{first}");
+        // Z is not mentioned by Q: the relation-version key is unchanged.
+        svc.handle_line("insert Z 7 0.9");
+        let (second, _) = svc.handle_line(Q);
+        assert_eq!(first, second);
+        assert_eq!(
+            svc.stats().cache_hits(),
+            1,
+            "unrelated insert must not evict the cached UCQ answer"
+        );
+    }
+
+    #[test]
+    fn universal_queries_fall_back_to_the_global_version_key() {
+        let mut db = ProbDb::new();
+        db.insert("R", [1], 0.5);
+        let svc = Service::new(db, inline_opts());
+        // ∀ answers depend on the active domain: ANY insert may change them.
+        let q = "query forall x. R(x)";
+        let (before, _) = svc.handle_line(q);
+        assert!(before.contains("p = 0.500000"), "{before}");
+        svc.handle_line("insert Z 2 1.0"); // grows the domain with 2
+        let (after, _) = svc.handle_line(q);
+        // R(2) is not a possible tuple, so ∀x.R(x) drops to 0.
+        assert!(after.contains("p = 0.000000"), "stale ∀ answer: {after}");
+        assert_eq!(svc.stats().cache_hits(), 0);
+    }
+
+    #[test]
+    fn update_changes_probability_and_rejects_absent_tuples() {
+        let svc = seeded_service(inline_opts());
+        let (ok, _) = svc.handle_line("update R 1 0.25");
+        assert_eq!(ok, "");
+        let (resp, _) = svc.handle_line(Q);
+        assert!(resp.contains("p = 0.200000"), "{resp}");
+        let (missing, _) = svc.handle_line("update R 9 0.5");
+        assert!(
+            missing.starts_with("error: R(9) is not a possible tuple"),
+            "{missing}"
+        );
+        let (missing_rel, _) = svc.handle_line("update Z 1 0.5");
+        assert!(missing_rel.starts_with("error:"), "{missing_rel}");
+    }
+
+    #[test]
+    fn view_lifecycle_over_the_service() {
+        let svc = seeded_service(inline_opts());
+        let (created, _) = svc.handle_line("view create v query exists x. exists y. R(x) & S(x,y)");
+        assert_eq!(created, "view v: 1 row(s) materialized (circuit)\n");
+        assert_eq!(svc.view_count(), 1);
+        let (shown, _) = svc.handle_line("view show v");
+        assert!(shown.contains("p = 0.400000"), "{shown}");
+
+        // A probability update is absorbed without a refresh.
+        svc.handle_line("update S 1 2 0.4");
+        let (shown, _) = svc.handle_line("view show v");
+        assert!(shown.contains("p = 0.200000"), "{shown}");
+        assert!(!shown.contains("stale"), "{shown}");
+
+        // An insert into a mentioned relation stales the view.
+        svc.handle_line("insert S 1 3 0.5");
+        let (listed, _) = svc.handle_line("view list");
+        assert!(listed.contains("status=stale"), "{listed}");
+        let (refreshed, _) = svc.handle_line("view refresh v");
+        assert_eq!(refreshed, "view v: rebuilt\n");
+        let (shown, _) = svc.handle_line("view show v");
+        // P = 0.5 · (1 − 0.6·0.5) = 0.35 after update + insert.
+        assert!(shown.contains("p = 0.350000"), "{shown}");
+
+        let (again, _) = svc.handle_line("view refresh v");
+        assert_eq!(again, "view v: fresh\n");
+        let (dropped, _) = svc.handle_line("view drop v");
+        assert_eq!(dropped, "view v dropped\n");
+        assert_eq!(svc.view_count(), 0);
+        let (empty, _) = svc.handle_line("view list");
+        assert_eq!(empty, "(no views)\n");
+        let (all, _) = svc.handle_line("view refresh");
+        assert_eq!(all, "(no views)\n");
+
+        let stats = svc.stats_text();
+        assert!(stats.contains("incremental=1"), "{stats}");
+    }
+
+    #[test]
+    fn answers_view_over_the_service() {
+        let svc = seeded_service(inline_opts());
+        let (created, _) = svc.handle_line("view create pa answers x : R(x), S(x,y)");
+        assert_eq!(created, "view pa: 1 row(s) materialized (circuit)\n");
+        let (shown, _) = svc.handle_line("view show pa");
+        assert!(shown.contains("x = 1    p = 0.400000"), "{shown}");
+        let (dup, _) = svc.handle_line("view create pa query exists x. R(x)");
+        assert!(dup.starts_with("error:"), "{dup}");
     }
 
     #[test]

@@ -83,6 +83,20 @@ impl Histogram {
     }
 }
 
+/// Point-in-time view-manager gauges injected into the stats payload (the
+/// manager lives behind its own lock; the render caller snapshots it).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ViewsSnapshot {
+    /// Registered views.
+    pub views: usize,
+    /// Materialized rows across all views.
+    pub rows: usize,
+    /// Probability updates absorbed by incremental circuit re-evaluation.
+    pub incremental: u64,
+    /// Full view (re)compilations, including initial builds.
+    pub recompiles: u64,
+}
+
 /// Shared counters for one serving instance.
 #[derive(Debug, Default)]
 pub struct Stats {
@@ -97,6 +111,9 @@ pub struct Stats {
     active_connections: AtomicU64,
     total_connections: AtomicU64,
     latency: Mutex<Histogram>,
+    /// Latencies of `view create` / `view refresh` commands (the cost of
+    /// materialization, kept apart from the query path).
+    view_refresh_latency: Mutex<Histogram>,
 }
 
 impl Stats {
@@ -136,6 +153,11 @@ impl Stats {
         self.latency.lock().unwrap().record(latency);
     }
 
+    /// Records one view-materialization latency (`view create`/`refresh`).
+    pub fn record_view_refresh(&self, latency: Duration) {
+        self.view_refresh_latency.lock().unwrap().record(latency);
+    }
+
     /// Marks a connection opened.
     pub fn connection_opened(&self) {
         self.active_connections.fetch_add(1, Ordering::Relaxed);
@@ -163,7 +185,7 @@ impl Stats {
     }
 
     /// Renders the `stats` command payload.
-    pub fn render(&self, cache_len: usize, cache_capacity: usize) -> String {
+    pub fn render(&self, cache_len: usize, cache_capacity: usize, views: ViewsSnapshot) -> String {
         let (lifted, safe_plan, grounded, approximate, errors) = (
             self.lifted.load(Ordering::Relaxed),
             self.safe_plan.load(Ordering::Relaxed),
@@ -179,19 +201,37 @@ impl Stats {
         } else {
             hits as f64 / lookups as f64
         };
+        let maintenance = views.incremental + views.recompiles;
+        let incremental_ratio = if maintenance == 0 {
+            0.0
+        } else {
+            views.incremental as f64 / maintenance as f64
+        };
         let lat = self.latency.lock().unwrap();
+        let vlat = self.view_refresh_latency.lock().unwrap();
         format!(
             "queries: total={total} lifted={lifted} safe_plan={safe_plan} \
              grounded={grounded} approximate={approximate} errors={errors}\n\
              cache: hits={hits} misses={misses} hit_rate={hit_rate:.3} \
              entries={cache_len} capacity={cache_capacity}\n\
              latency_us: p50={} p95={} max={} samples={}\n\
+             views: count={} rows={} incremental={} recompiles={} \
+             incremental_ratio={incremental_ratio:.3}\n\
+             view_refresh_us: p50={} p95={} max={} samples={}\n\
              timeouts: {}\n\
              connections: active={} total={}\n",
             lat.quantile_us(0.50),
             lat.quantile_us(0.95),
             lat.max_us(),
             lat.count(),
+            views.views,
+            views.rows,
+            views.incremental,
+            views.recompiles,
+            vlat.quantile_us(0.50),
+            vlat.quantile_us(0.95),
+            vlat.max_us(),
+            vlat.count(),
             self.timeouts(),
             self.active_connections.load(Ordering::Relaxed),
             self.total_connections.load(Ordering::Relaxed),
@@ -238,8 +278,18 @@ mod tests {
         s.record_cache_miss();
         s.record_timeout();
         s.record_latency(Duration::from_micros(120));
+        s.record_view_refresh(Duration::from_micros(80));
         s.connection_opened();
-        let text = s.render(5, 1024);
+        let text = s.render(
+            5,
+            1024,
+            ViewsSnapshot {
+                views: 2,
+                rows: 7,
+                incremental: 3,
+                recompiles: 1,
+            },
+        );
         for needle in [
             "total=3",
             "lifted=1",
@@ -251,6 +301,9 @@ mod tests {
             "hit_rate=0.500",
             "entries=5",
             "capacity=1024",
+            "views: count=2 rows=7 incremental=3 recompiles=1",
+            "incremental_ratio=0.750",
+            "view_refresh_us:",
             "timeouts: 1",
             "active=1 total=1",
         ] {

@@ -1,0 +1,333 @@
+//! An arithmetic circuit over a decision-DNNF with **cached gate values**.
+//!
+//! [`pdb_compile::DecisionDnnf::probability`] is a full bottom-up pass —
+//! the right tool for a one-shot WMC, wasteful when the same circuit is
+//! re-evaluated after every tuple-probability change. This module keeps the
+//! per-gate values of the last evaluation and, on [`set_prob`], re-evaluates
+//! only the **dirty cone**: the decision gates on the changed variable and,
+//! transitively, any parent whose value actually moved. For the balanced
+//! circuits produced by DPLL with components (§7, eqs. (11)–(13)) that is
+//! O(depth) gates per update instead of O(size) — the asymptotic gap that
+//! makes materialized views cheaper to maintain than to recompute.
+//!
+//! [`set_prob`]: IncrementalCircuit::set_prob
+
+use pdb_compile::ddnnf::DdnnfNode;
+use pdb_compile::DecisionDnnf;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A decision-DNNF with cached gate values, parent pointers, and a
+/// topological rank per gate, supporting incremental re-evaluation.
+///
+/// The circuit may have been produced by any of the three CNF encodings used
+/// by the engine; `negated` and `scale` record how to map the root value
+/// back to the query probability (see [`IncrementalCircuit::probability`]):
+///
+/// * monotone-DNF lineage is counted **negated** (`P(Q) = 1 − root`),
+/// * a Tseitin encoding adds auxiliary variables of weight ½ and needs a
+///   `2^aux` correction (`P(Q) = scale · root`).
+#[derive(Clone, Debug)]
+pub struct IncrementalCircuit {
+    nodes: Vec<DdnnfNode>,
+    root: u32,
+    /// Leaf probabilities, indexed by circuit variable.
+    probs: Vec<f64>,
+    /// Cached value of every reachable gate.
+    values: Vec<f64>,
+    /// Reverse edges: `parents[i]` lists the reachable gates reading gate `i`.
+    parents: Vec<Vec<u32>>,
+    /// `var_gates[v]` lists the reachable decision gates on variable `v`.
+    var_gates: Vec<Vec<u32>>,
+    /// Topological rank (children strictly below parents); `u32::MAX` for
+    /// unreachable gates, which are never evaluated.
+    rank: Vec<u32>,
+    negated: bool,
+    scale: f64,
+    gates_recomputed: u64,
+}
+
+impl IncrementalCircuit {
+    /// Builds the cached circuit from a compiled decision-DNNF and the leaf
+    /// probabilities (`probs[v]` for circuit variable `v`; Tseitin auxiliary
+    /// variables, if any, must already be present at weight ½).
+    pub fn new(
+        dd: &DecisionDnnf,
+        probs: Vec<f64>,
+        negated: bool,
+        scale: f64,
+    ) -> IncrementalCircuit {
+        let nodes: Vec<DdnnfNode> = dd.nodes().to_vec();
+        let root = dd.root();
+        let n = nodes.len();
+
+        // Iterative DFS post-order over the reachable sub-DAG: children
+        // always receive a smaller rank than their parents.
+        let mut rank = vec![u32::MAX; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+        while let Some((i, expanded)) = stack.pop() {
+            if rank[i as usize] != u32::MAX {
+                continue;
+            }
+            if expanded {
+                rank[i as usize] = order.len() as u32;
+                order.push(i);
+                continue;
+            }
+            stack.push((i, true));
+            match &nodes[i as usize] {
+                DdnnfNode::True | DdnnfNode::False => {}
+                DdnnfNode::Decision { hi, lo, .. } => {
+                    stack.push((*hi, false));
+                    stack.push((*lo, false));
+                }
+                DdnnfNode::And { children } => {
+                    stack.extend(children.iter().map(|&c| (c, false)));
+                }
+            }
+        }
+
+        let mut parents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut var_gates: Vec<Vec<u32>> = vec![Vec::new(); probs.len()];
+        for &i in &order {
+            match &nodes[i as usize] {
+                DdnnfNode::True | DdnnfNode::False => {}
+                DdnnfNode::Decision { var, hi, lo } => {
+                    parents[*hi as usize].push(i);
+                    parents[*lo as usize].push(i);
+                    if (*var as usize) < var_gates.len() {
+                        var_gates[*var as usize].push(i);
+                    }
+                }
+                DdnnfNode::And { children } => {
+                    for &c in children {
+                        parents[c as usize].push(i);
+                    }
+                }
+            }
+        }
+
+        let mut circuit = IncrementalCircuit {
+            nodes,
+            root,
+            probs,
+            values: vec![0.0; n],
+            parents,
+            var_gates,
+            rank,
+            negated,
+            scale,
+            gates_recomputed: 0,
+        };
+        for &i in &order {
+            circuit.values[i as usize] = circuit.eval_gate(i);
+        }
+        circuit
+    }
+
+    /// A constant circuit (for lineages that simplify to ⊤/⊥); it has no
+    /// leaves, so [`IncrementalCircuit::set_prob`] is always a no-op.
+    pub fn constant(value: bool) -> IncrementalCircuit {
+        let node = if value {
+            DdnnfNode::True
+        } else {
+            DdnnfNode::False
+        };
+        IncrementalCircuit {
+            nodes: vec![node],
+            root: 0,
+            probs: Vec::new(),
+            values: vec![if value { 1.0 } else { 0.0 }],
+            parents: vec![Vec::new()],
+            var_gates: Vec::new(),
+            rank: vec![0],
+            negated: false,
+            scale: 1.0,
+            gates_recomputed: 0,
+        }
+    }
+
+    fn eval_gate(&self, i: u32) -> f64 {
+        match &self.nodes[i as usize] {
+            DdnnfNode::True => 1.0,
+            DdnnfNode::False => 0.0,
+            DdnnfNode::Decision { var, hi, lo } => {
+                let pv = self.probs[*var as usize];
+                pv * self.values[*hi as usize] + (1.0 - pv) * self.values[*lo as usize]
+            }
+            DdnnfNode::And { children } => {
+                children.iter().map(|&c| self.values[c as usize]).product()
+            }
+        }
+    }
+
+    /// Changes one leaf probability and re-evaluates the dirty cone
+    /// bottom-up (a min-heap on topological rank guarantees every gate is
+    /// recomputed at most once, after all of its dirty children). Returns
+    /// the number of gates recomputed — the work actually done, as opposed
+    /// to the O(size) of a from-scratch pass.
+    pub fn set_prob(&mut self, var: u32, p: f64) -> usize {
+        let v = var as usize;
+        if v >= self.probs.len() || self.probs[v] == p {
+            return 0;
+        }
+        self.probs[v] = p;
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        let mut queued = vec![false; self.nodes.len()];
+        for &g in &self.var_gates[v] {
+            queued[g as usize] = true;
+            heap.push(Reverse((self.rank[g as usize], g)));
+        }
+        let mut recomputed = 0;
+        while let Some(Reverse((_, g))) = heap.pop() {
+            let new = self.eval_gate(g);
+            recomputed += 1;
+            if new != self.values[g as usize] {
+                self.values[g as usize] = new;
+                for &parent in &self.parents[g as usize] {
+                    if !queued[parent as usize] {
+                        queued[parent as usize] = true;
+                        heap.push(Reverse((self.rank[parent as usize], parent)));
+                    }
+                }
+            }
+        }
+        self.gates_recomputed += recomputed as u64;
+        recomputed as usize
+    }
+
+    /// The query probability implied by the cached root value (undoing the
+    /// encoding's negation / Tseitin scale).
+    pub fn probability(&self) -> f64 {
+        let p = self.values[self.root as usize] * self.scale;
+        if self.negated {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+
+    /// The current probability of a leaf variable.
+    pub fn prob_of(&self, var: u32) -> Option<f64> {
+        self.probs.get(var as usize).copied()
+    }
+
+    /// Number of gates in the arena (reachable size may be smaller).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total gates recomputed by every [`IncrementalCircuit::set_prob`] so
+    /// far (observability: incremental work vs. circuit size).
+    pub fn gates_recomputed(&self) -> u64 {
+        self.gates_recomputed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb_data::TupleId;
+    use pdb_lineage::{BoolExpr, Cnf};
+    use pdb_num::assert_close;
+    use pdb_wmc::{brute, Dpll, DpllOptions};
+
+    fn v(i: u32) -> BoolExpr {
+        BoolExpr::var(TupleId(i))
+    }
+
+    /// Compiles a monotone DNF through the negated-CNF trace path.
+    fn compile(expr: &BoolExpr, probs: &[f64]) -> IncrementalCircuit {
+        let cnf = Cnf::from_negated_dnf(expr, probs.len() as u32);
+        let r = Dpll::new(
+            &cnf,
+            probs.to_vec(),
+            DpllOptions {
+                components: true,
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(!r.aborted);
+        let dd = DecisionDnnf::from_trace(&r.trace.unwrap());
+        IncrementalCircuit::new(&dd, probs.to_vec(), true, 1.0)
+    }
+
+    #[test]
+    fn initial_evaluation_matches_brute_force() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(1), v(2)]),
+        ]);
+        let probs = [0.3, 0.6, 0.8];
+        let c = compile(&f, &probs);
+        assert_close(c.probability(), brute::expr_probability(&f, &probs), 1e-12);
+    }
+
+    #[test]
+    fn set_prob_tracks_a_full_reevaluation() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(2), v(3)]),
+            BoolExpr::and_all([v(0), v(3)]),
+        ]);
+        let mut probs = vec![0.3, 0.6, 0.8, 0.2];
+        let mut c = compile(&f, &probs);
+        // A deterministic walk of single-leaf updates.
+        let updates = [(0u32, 0.9), (3, 0.05), (0, 0.3), (2, 0.999), (1, 0.0)];
+        for (var, p) in updates {
+            probs[var as usize] = p;
+            c.set_prob(var, p);
+            assert_close(c.probability(), brute::expr_probability(&f, &probs), 1e-12);
+        }
+        assert!(c.gates_recomputed() > 0);
+    }
+
+    #[test]
+    fn untouched_leaves_cost_nothing() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(2), v(3)]),
+        ]);
+        let probs = [0.3, 0.6, 0.8, 0.2];
+        let mut c = compile(&f, &probs);
+        // Same value: nothing recomputed.
+        assert_eq!(c.set_prob(0, 0.3), 0);
+        // Unknown variable: nothing recomputed, no panic.
+        assert_eq!(c.set_prob(99, 0.5), 0);
+    }
+
+    #[test]
+    fn independent_blocks_keep_the_dirty_cone_small() {
+        // 8 independent conjuncts: x_{2i} ∧ x_{2i+1}, OR-ed together. With
+        // components on, updating one leaf must not re-evaluate gates from
+        // the other blocks — the recomputed count stays well under the size.
+        let blocks: Vec<BoolExpr> = (0..8)
+            .map(|i| BoolExpr::and_all([v(2 * i), v(2 * i + 1)]))
+            .collect();
+        let f = BoolExpr::or_all(blocks);
+        let probs = vec![0.5; 16];
+        let mut c = compile(&f, &probs);
+        let touched = c.set_prob(0, 0.25);
+        assert!(
+            touched < c.size() / 2,
+            "dirty cone {touched} too large for circuit of {} gates",
+            c.size()
+        );
+        let mut probs2 = probs.clone();
+        probs2[0] = 0.25;
+        assert_close(c.probability(), brute::expr_probability(&f, &probs2), 1e-12);
+    }
+
+    #[test]
+    fn constant_circuits_are_inert() {
+        let mut t = IncrementalCircuit::constant(true);
+        let mut f = IncrementalCircuit::constant(false);
+        assert_eq!(t.probability(), 1.0);
+        assert_eq!(f.probability(), 0.0);
+        assert_eq!(t.set_prob(0, 0.3), 0);
+        assert_eq!(f.set_prob(0, 0.3), 0);
+    }
+}

@@ -1,0 +1,620 @@
+//! Materialized probabilistic views and their maintenance protocol.
+//!
+//! A **view** is a registered query whose answer is kept materialized. At
+//! build time every answer row is compiled into an [`IncrementalCircuit`]
+//! (lineage → CNF → DPLL trace → decision-DNNF, the §7 pipeline) together
+//! with a tuple→leaf index, so a later probability update is absorbed by
+//! re-evaluating the dirty path of the circuit — not by re-running the
+//! query. When the compilation budget is exhausted the row falls back to
+//! the full [`pdb_core::ProbDb::query_fo`] cascade (plan-based dissociation
+//! bounds / Karp–Luby) and is refreshed by re-querying.
+//!
+//! ## Maintenance protocol
+//!
+//! The [`ViewManager`] is driven by **versioned events** mirroring the
+//! [`pdb_core::ProbDb`] per-relation version vector:
+//!
+//! * [`ViewManager::on_update_prob`] — a probability change; applied
+//!   incrementally to circuit rows iff the event's version is exactly the
+//!   next one the view expects for that relation. An older version is a
+//!   duplicate (ignored); a gap means events were missed and the view goes
+//!   stale.
+//! * [`ViewManager::on_insert`] — a new possible tuple invalidates the
+//!   compiled lineage (the circuit has no leaf for it): views mentioning
+//!   the relation go stale, as do domain-sensitive views (an insert can
+//!   grow the active domain a ∀ quantifies over).
+//! * [`ViewManager::on_domain_extend`] — only domain-sensitive views care.
+//!
+//! Stale views keep serving their last materialized rows (marked stale)
+//! until [`ViewManager::refresh`] rebuilds them from a fresh snapshot.
+//! This event protocol tolerates out-of-order delivery: callers mutate the
+//! database first, release any lock, then deliver the event — the version
+//! check makes late or duplicated events harmless.
+
+use crate::circuit::IncrementalCircuit;
+use pdb_compile::DecisionDnnf;
+use pdb_core::{Answer, AnswerTuple, EngineError, Method, ProbDb, QueryOptions};
+use pdb_data::Tuple;
+use pdb_lineage::{BoolExpr, Cnf};
+use pdb_logic::{Cq, Fo, Term, Var};
+use pdb_wmc::{Dpll, DpllOptions};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// What a view materializes.
+#[derive(Clone, Debug)]
+pub enum ViewDef {
+    /// A Boolean sentence: one row, its probability.
+    Boolean {
+        /// Original query text (for listings).
+        text: String,
+        /// The parsed sentence.
+        fo: Fo,
+    },
+    /// A non-Boolean CQ: one row per answer binding of `head`.
+    Answers {
+        /// Original body text (for listings).
+        text: String,
+        /// Head variables, in output order.
+        head: Vec<Var>,
+        /// The conjunctive-query body.
+        cq: Cq,
+    },
+}
+
+impl ViewDef {
+    /// Parses `view create` payloads: a Boolean sentence.
+    pub fn boolean(text: &str) -> Result<ViewDef, EngineError> {
+        let fo = pdb_logic::parse_fo(text)?;
+        if !fo.is_sentence() {
+            return Err(EngineError::Unsupported(
+                "a Boolean view needs a sentence (no free variables)".into(),
+            ));
+        }
+        Ok(ViewDef::Boolean {
+            text: text.to_string(),
+            fo,
+        })
+    }
+
+    /// Parses `view create` payloads: head variables + CQ body.
+    pub fn answers(head: &[String], body: &str) -> Result<ViewDef, EngineError> {
+        let cq = pdb_logic::parse_cq(body)?;
+        let vars: Vec<Var> = head.iter().map(|v| Var::new(v)).collect();
+        let cq_vars = cq.variables();
+        for v in &vars {
+            if !cq_vars.contains(v) {
+                return Err(EngineError::Unsupported(format!(
+                    "head variable {v} does not occur in the view query"
+                )));
+            }
+        }
+        Ok(ViewDef::Answers {
+            text: body.to_string(),
+            head: vars,
+            cq,
+        })
+    }
+
+    /// The relation names the query mentions.
+    fn relations(&self) -> BTreeSet<String> {
+        let preds = match self {
+            ViewDef::Boolean { fo, .. } => fo.predicates(),
+            ViewDef::Answers { cq, .. } => cq.predicates(),
+        };
+        preds.into_iter().map(|p| p.name().to_string()).collect()
+    }
+
+    /// Whether answers can change when the domain grows without any tuple
+    /// changing. UCQs (and CQ answer sets) are domain-independent; anything
+    /// with a ∀ is not.
+    fn domain_sensitive(&self) -> bool {
+        match self {
+            ViewDef::Boolean { fo, .. } => fo.to_ucq().is_none(),
+            ViewDef::Answers { .. } => false,
+        }
+    }
+
+    /// `boolean` or `answers` (for listings).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ViewDef::Boolean { .. } => "boolean",
+            ViewDef::Answers { .. } => "answers",
+        }
+    }
+
+    /// The query text the view was created with (listings; `answers` views
+    /// render as `v1,v2 : body` to be re-creatable).
+    pub fn display(&self) -> String {
+        match self {
+            ViewDef::Boolean { text, .. } => text.clone(),
+            ViewDef::Answers { text, head, .. } => {
+                let names: Vec<String> = head.iter().map(|v| v.to_string()).collect();
+                format!("{} : {}", names.join(","), text)
+            }
+        }
+    }
+}
+
+/// How one materialized row is maintained.
+enum RowBackend {
+    /// A compiled circuit; probability updates are O(dirty path).
+    Circuit(IncrementalCircuit),
+    /// Compilation exceeded the budget: the row holds a cascade answer
+    /// (possibly approximate, with dissociation bounds) and is refreshed by
+    /// re-querying.
+    Fallback,
+}
+
+/// One materialized answer row.
+pub struct ViewRow {
+    /// Head constants (empty for Boolean views).
+    pub values: Vec<u64>,
+    /// Current materialized probability.
+    pub probability: f64,
+    /// Dissociation bounds, when the row came from the approximate path.
+    pub bounds: Option<(f64, f64)>,
+    /// The engine that produced the row (circuit rows report `Grounded`).
+    pub method: Method,
+    backend: RowBackend,
+}
+
+impl ViewRow {
+    /// True when the row is maintained by a compiled circuit.
+    pub fn is_circuit(&self) -> bool {
+        matches!(self.backend, RowBackend::Circuit(_))
+    }
+}
+
+/// A materialized view: definition, rows, and maintenance state.
+pub struct View {
+    name: String,
+    def: ViewDef,
+    relations: BTreeSet<String>,
+    domain_sensitive: bool,
+    /// Per-relation versions this view's materialization reflects (build
+    /// snapshot versions, advanced by each incrementally applied update).
+    applied: BTreeMap<String, u64>,
+    /// Shared tuple→circuit-variable index of the build snapshot.
+    leaves: Arc<HashMap<(String, Tuple), u32>>,
+    rows: Vec<ViewRow>,
+    stale: bool,
+    rebuilds: u64,
+    incremental_updates: u64,
+}
+
+impl View {
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The view's definition.
+    pub fn def(&self) -> &ViewDef {
+        &self.def
+    }
+
+    /// The materialized rows.
+    pub fn rows(&self) -> &[ViewRow] {
+        &self.rows
+    }
+
+    /// True when the materialization lags the database and needs a
+    /// [`ViewManager::refresh`].
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Relations the view's query mentions.
+    pub fn relations(&self) -> &BTreeSet<String> {
+        &self.relations
+    }
+
+    /// Full rebuilds so far (including the initial build).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Probability updates absorbed incrementally so far.
+    pub fn incremental_updates(&self) -> u64 {
+        self.incremental_updates
+    }
+
+    /// `circuit`, `fallback`, or `mixed` — how the rows are maintained.
+    pub fn backend_summary(&self) -> &'static str {
+        let circuits = self.rows.iter().filter(|r| r.is_circuit()).count();
+        if circuits == self.rows.len() {
+            "circuit"
+        } else if circuits == 0 {
+            "fallback"
+        } else {
+            "mixed"
+        }
+    }
+
+    /// The Boolean answer, for `Boolean` views.
+    pub fn boolean_answer(&self) -> Option<Answer> {
+        match (&self.def, self.rows.first()) {
+            (ViewDef::Boolean { .. }, Some(row)) => Some(Answer {
+                probability: row.probability,
+                method: row.method,
+                bounds: row.bounds,
+                std_error: None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The answer rows with head-variable names, for `Answers` views.
+    pub fn answer_rows(&self) -> Option<(Vec<String>, Vec<AnswerTuple>)> {
+        match &self.def {
+            ViewDef::Answers { head, .. } => {
+                let names = head.iter().map(|v| v.to_string()).collect();
+                let rows = self
+                    .rows
+                    .iter()
+                    .map(|r| AnswerTuple {
+                        values: r.values.clone(),
+                        probability: r.probability,
+                        method: r.method,
+                    })
+                    .collect();
+                Some((names, rows))
+            }
+            ViewDef::Boolean { .. } => None,
+        }
+    }
+}
+
+/// What a [`ViewManager::refresh`] found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefreshOutcome {
+    /// The materialization already reflects the database.
+    Fresh,
+    /// The view was rebuilt from a fresh snapshot.
+    Rebuilt,
+}
+
+/// Tuning knobs for view compilation and fallback.
+#[derive(Clone, Debug)]
+pub struct ViewOptions {
+    /// DPLL decision budget per row compilation; beyond it the row falls
+    /// back to the query cascade.
+    pub compile_budget: u64,
+    /// Options for the fallback cascade (and candidate enumeration).
+    pub fallback: QueryOptions,
+}
+
+impl Default for ViewOptions {
+    fn default() -> ViewOptions {
+        ViewOptions {
+            compile_budget: 200_000,
+            fallback: QueryOptions::default(),
+        }
+    }
+}
+
+/// The registry of materialized views plus maintenance counters.
+#[derive(Default)]
+pub struct ViewManager {
+    views: BTreeMap<String, View>,
+    opts: ViewOptions,
+    incremental_applied: u64,
+    recompiles: u64,
+}
+
+impl ViewManager {
+    /// An empty manager with default options.
+    pub fn new() -> ViewManager {
+        ViewManager::default()
+    }
+
+    /// An empty manager with explicit options.
+    pub fn with_options(opts: ViewOptions) -> ViewManager {
+        ViewManager {
+            opts,
+            ..ViewManager::default()
+        }
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Total materialized rows across all views.
+    pub fn row_count(&self) -> usize {
+        self.views.values().map(|v| v.rows.len()).sum()
+    }
+
+    /// Probability updates absorbed incrementally (across all views).
+    pub fn incremental_applied(&self) -> u64 {
+        self.incremental_applied
+    }
+
+    /// Full (re)compilations performed, including initial builds.
+    pub fn recompiles(&self) -> u64 {
+        self.recompiles
+    }
+
+    /// Looks up a view.
+    pub fn get(&self, name: &str) -> Option<&View> {
+        self.views.get(name)
+    }
+
+    /// Iterates views in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &View> {
+        self.views.values()
+    }
+
+    /// Registers and materializes a view. Fails if the name is taken or the
+    /// initial build fails; on failure nothing is registered.
+    pub fn create(&mut self, name: &str, def: ViewDef, db: &ProbDb) -> Result<&View, EngineError> {
+        if self.views.contains_key(name) {
+            return Err(EngineError::Unsupported(format!(
+                "view {name} already exists (drop it first)"
+            )));
+        }
+        let mut view = View {
+            name: name.to_string(),
+            relations: def.relations(),
+            domain_sensitive: def.domain_sensitive(),
+            def,
+            applied: BTreeMap::new(),
+            leaves: Arc::new(HashMap::new()),
+            rows: Vec::new(),
+            stale: false,
+            rebuilds: 0,
+            incremental_updates: 0,
+        };
+        self.build(&mut view, db)?;
+        Ok(self.views.entry(name.to_string()).or_insert(view))
+    }
+
+    /// Unregisters a view. Returns `false` when it does not exist.
+    pub fn drop_view(&mut self, name: &str) -> bool {
+        self.views.remove(name).is_some()
+    }
+
+    /// Delivers a probability-update event: `new_version` is the relation's
+    /// version **after** the update (as returned by
+    /// [`pdb_core::ProbDb::update_prob`]). Returns the number of views that
+    /// absorbed the update incrementally.
+    pub fn on_update_prob(
+        &mut self,
+        relation: &str,
+        tuple: &Tuple,
+        p: f64,
+        new_version: u64,
+    ) -> usize {
+        let mut absorbed = 0;
+        for view in self.views.values_mut() {
+            if !view.relations.contains(relation) {
+                continue;
+            }
+            let recorded = view.applied.get(relation).copied().unwrap_or(0);
+            if new_version <= recorded {
+                continue; // duplicate / already reflected by a rebuild
+            }
+            if new_version > recorded + 1 {
+                view.stale = true; // missed events
+                continue;
+            }
+            view.applied.insert(relation.to_string(), new_version);
+            if view.stale {
+                continue; // rows are already invalid; refresh will rebuild
+            }
+            let mut ok = true;
+            if let Some(&var) = view.leaves.get(&(relation.to_string(), tuple.clone())) {
+                for row in &mut view.rows {
+                    match &mut row.backend {
+                        RowBackend::Circuit(circuit) => {
+                            circuit.set_prob(var, p);
+                            row.probability = circuit.probability();
+                        }
+                        RowBackend::Fallback => ok = false,
+                    }
+                }
+            } else {
+                // The tuple is not in the build snapshot: the event stream
+                // is out of sync with the materialization.
+                ok = false;
+            }
+            if ok {
+                view.incremental_updates += 1;
+                self.incremental_applied += 1;
+                absorbed += 1;
+            } else {
+                view.stale = true;
+            }
+        }
+        absorbed
+    }
+
+    /// Delivers an insert event: views mentioning `relation` (and
+    /// domain-sensitive views, whose ∀ range may have grown) go stale.
+    pub fn on_insert(&mut self, relation: &str, new_version: u64) {
+        for view in self.views.values_mut() {
+            if view.relations.contains(relation) {
+                view.stale = true;
+                let recorded = view.applied.get(relation).copied().unwrap_or(0);
+                view.applied
+                    .insert(relation.to_string(), recorded.max(new_version));
+            } else if view.domain_sensitive {
+                view.stale = true;
+            }
+        }
+    }
+
+    /// Delivers a domain-extension event.
+    pub fn on_domain_extend(&mut self) {
+        for view in self.views.values_mut() {
+            if view.domain_sensitive {
+                view.stale = true;
+            }
+        }
+    }
+
+    /// Brings one view up to date against `db`, rebuilding if stale (or if
+    /// the version vector disagrees with the snapshot — the safety net for
+    /// missed events).
+    pub fn refresh(&mut self, name: &str, db: &ProbDb) -> Result<RefreshOutcome, EngineError> {
+        let mut view = self
+            .views
+            .remove(name)
+            .ok_or_else(|| EngineError::Unsupported(format!("no view named {name}")))?;
+        let outcome = self.refresh_inner(&mut view, db);
+        self.views.insert(name.to_string(), view);
+        outcome
+    }
+
+    /// Brings every view up to date; returns `(name, outcome)` in name
+    /// order. Stops at the first build error.
+    pub fn refresh_all(
+        &mut self,
+        db: &ProbDb,
+    ) -> Result<Vec<(String, RefreshOutcome)>, EngineError> {
+        let names: Vec<String> = self.views.keys().cloned().collect();
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            let outcome = self.refresh(&name, db)?;
+            out.push((name, outcome));
+        }
+        Ok(out)
+    }
+
+    fn refresh_inner(
+        &mut self,
+        view: &mut View,
+        db: &ProbDb,
+    ) -> Result<RefreshOutcome, EngineError> {
+        let out_of_sync = view
+            .relations
+            .iter()
+            .any(|r| view.applied.get(r).copied().unwrap_or(0) != db.relation_version(r));
+        if !view.stale && !out_of_sync {
+            return Ok(RefreshOutcome::Fresh);
+        }
+        self.build(view, db)?;
+        Ok(RefreshOutcome::Rebuilt)
+    }
+
+    /// Materializes `view` from a snapshot: records the snapshot's version
+    /// vector, numbers its tuples, and compiles every answer row.
+    fn build(&mut self, view: &mut View, db: &ProbDb) -> Result<(), EngineError> {
+        view.applied = view
+            .relations
+            .iter()
+            .map(|r| (r.clone(), db.relation_version(r)))
+            .collect();
+        let index = db.tuple_db().index();
+        let probs: Vec<f64> = index.iter().map(|(_, r)| r.prob).collect();
+        view.leaves = Arc::new(
+            index
+                .iter()
+                .map(|(id, r)| ((r.relation.clone(), r.tuple.clone()), id.0))
+                .collect(),
+        );
+        let mut rows = Vec::new();
+        match &view.def {
+            ViewDef::Boolean { fo, .. } => {
+                rows.push(self.compile_row(fo, Vec::new(), db, &index, &probs)?);
+            }
+            ViewDef::Answers { head, cq, .. } => {
+                let candidates = pdb_lineage::cq_answer_bindings(cq, head, db.tuple_db());
+                for values in candidates {
+                    let mut bound = cq.clone();
+                    for (v, &c) in head.iter().zip(&values) {
+                        bound = bound.substitute(v, &Term::Const(c));
+                    }
+                    rows.push(self.compile_row(&bound.to_fo(), values, db, &index, &probs)?);
+                }
+            }
+        }
+        view.rows = rows;
+        view.stale = false;
+        view.rebuilds += 1;
+        self.recompiles += 1;
+        Ok(())
+    }
+
+    /// Compiles one answer row: lineage → CNF (the same three encodings the
+    /// engine's exact path uses) → DPLL trace → cached circuit; falls back
+    /// to the full cascade when the decision budget aborts the compilation.
+    fn compile_row(
+        &self,
+        fo: &Fo,
+        values: Vec<u64>,
+        db: &ProbDb,
+        index: &pdb_data::TupleIndex,
+        probs: &[f64],
+    ) -> Result<ViewRow, EngineError> {
+        let index_len = probs.len() as u32;
+        let lineage = pdb_lineage::lineage(fo, db.tuple_db(), index);
+        if let BoolExpr::Const(b) = lineage {
+            let circuit = IncrementalCircuit::constant(b);
+            return Ok(ViewRow {
+                values,
+                probability: circuit.probability(),
+                bounds: None,
+                method: Method::Grounded,
+                backend: RowBackend::Circuit(circuit),
+            });
+        }
+        let opts = DpllOptions {
+            record_trace: true,
+            max_decisions: self.opts.compile_budget,
+            ..Default::default()
+        };
+        // Mirror the engine's CNF selection (`pdb-core`): negate a monotone
+        // DNF, encode directly when the shape allows, Tseitin otherwise.
+        let compiled = if lineage.is_monotone_dnf() {
+            let cnf = Cnf::from_negated_dnf(&lineage, index_len);
+            let r = Dpll::new(&cnf, probs.to_vec(), opts).run();
+            let trace = if r.aborted { None } else { r.trace };
+            trace.map(|t| (t, true, 1.0, probs.to_vec()))
+        } else if let Some(cnf) = Cnf::from_expr_direct(&lineage, index_len) {
+            let r = Dpll::new(&cnf, probs.to_vec(), opts).run();
+            let trace = if r.aborted { None } else { r.trace };
+            trace.map(|t| (t, false, 1.0, probs.to_vec()))
+        } else {
+            let cnf = Cnf::tseitin(&lineage, index_len);
+            let aux = cnf.aux_vars();
+            let mut all = probs.to_vec();
+            all.resize(cnf.num_vars as usize, 0.5);
+            let r = Dpll::new(&cnf, all.clone(), opts).run();
+            let trace = if r.aborted { None } else { r.trace };
+            trace.map(|t| (t, false, 2f64.powi(aux as i32), all))
+        };
+        match compiled {
+            Some((trace, negated, scale, leaf_probs)) => {
+                let dd = DecisionDnnf::from_trace(&trace);
+                let circuit = IncrementalCircuit::new(&dd, leaf_probs, negated, scale);
+                Ok(ViewRow {
+                    values,
+                    probability: circuit.probability(),
+                    bounds: None,
+                    method: Method::Grounded,
+                    backend: RowBackend::Circuit(circuit),
+                })
+            }
+            None => {
+                // Compilation too large: fall back to the cascade (lifted /
+                // approximate with dissociation bounds).
+                let answer = db.query_fo(fo, &self.opts.fallback)?;
+                Ok(ViewRow {
+                    values,
+                    probability: answer.probability,
+                    bounds: answer.bounds,
+                    method: answer.method,
+                    backend: RowBackend::Fallback,
+                })
+            }
+        }
+    }
+}

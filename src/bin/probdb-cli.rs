@@ -21,14 +21,25 @@
 //! identical answers.
 
 use probdb::server::protocol::{
-    format_answer, format_answer_tuples, format_complexity, format_open, parse_command, Command,
-    HELP,
+    format_answer, format_answer_tuples, format_complexity, format_open, format_update_missing,
+    format_view_created, format_view_list, format_view_refreshed, format_view_show, parse_command,
+    Command, ViewCommand, ViewQueryText, HELP,
 };
+use probdb::views::{ViewDef, ViewManager};
 use probdb::{ProbDb, QueryOptions};
 use std::io::{BufRead, Write};
 
 /// Executes one command against the engine. Returns false to quit.
-fn execute(cmd: Command, db: &mut ProbDb, out: &mut dyn Write) -> std::io::Result<bool> {
+///
+/// Mutations are mirrored into the [`ViewManager`] via the versioned event
+/// protocol, exactly like `probdb-serve` does, so materialized views stay
+/// maintained in the shell too.
+fn execute(
+    cmd: Command,
+    db: &mut ProbDb,
+    views: &mut ViewManager,
+    out: &mut dyn Write,
+) -> std::io::Result<bool> {
     match cmd {
         Command::Nothing => {}
         Command::Quit => return Ok(false),
@@ -41,8 +52,28 @@ fn execute(cmd: Command, db: &mut ProbDb, out: &mut dyn Write) -> std::io::Resul
             relation,
             tuple,
             prob,
-        } => db.insert(&relation, tuple, prob),
-        Command::Domain(consts) => db.extend_domain(consts),
+        } => {
+            db.insert(&relation, tuple, prob);
+            views.on_insert(&relation, db.relation_version(&relation));
+        }
+        Command::Update {
+            relation,
+            tuple,
+            prob,
+        } => {
+            let t = probdb::data::Tuple::new(tuple.clone());
+            match db.update_prob(&relation, &t, prob) {
+                Some(version) => {
+                    views.on_update_prob(&relation, &t, prob, version);
+                }
+                None => write!(out, "{}", format_update_missing(&relation, &tuple))?,
+            }
+        }
+        Command::View(cmd) => execute_view(cmd, db, views, out)?,
+        Command::Domain(consts) => {
+            db.extend_domain(consts);
+            views.on_domain_extend();
+        }
         Command::Show => write!(out, "{}", db.tuple_db())?,
         Command::Query(q) => match db.query(&q) {
             Ok(a) => write!(out, "{}", format_answer(&a))?,
@@ -75,7 +106,7 @@ fn execute(cmd: Command, db: &mut ProbDb, out: &mut dyn Write) -> std::io::Resul
                 for line in content.lines() {
                     match parse_command(line) {
                         Ok(cmd) => {
-                            if !execute(cmd, db, out)? {
+                            if !execute(cmd, db, views, out)? {
                                 return Ok(false);
                             }
                         }
@@ -89,8 +120,67 @@ fn execute(cmd: Command, db: &mut ProbDb, out: &mut dyn Write) -> std::io::Resul
     Ok(true)
 }
 
+/// Runs one `view …` subcommand, printing exactly what `probdb-serve`
+/// would return for the same line (both use the shared formatters).
+fn execute_view(
+    cmd: ViewCommand,
+    db: &ProbDb,
+    views: &mut ViewManager,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    match cmd {
+        ViewCommand::Create { name, query } => {
+            let def = match query {
+                ViewQueryText::Boolean(q) => ViewDef::boolean(&q),
+                ViewQueryText::Answers { head, cq } => ViewDef::answers(&head, &cq),
+            };
+            match def {
+                Ok(def) => match views.create(&name, def, db) {
+                    Ok(view) => write!(out, "{}", format_view_created(view))?,
+                    Err(e) => writeln!(out, "error: {e}")?,
+                },
+                Err(e) => writeln!(out, "error: {e}")?,
+            }
+        }
+        ViewCommand::Refresh { name } => match name {
+            Some(name) => match views.refresh(&name, db) {
+                Ok(outcome) => write!(out, "{}", format_view_refreshed(&name, outcome))?,
+                Err(e) => writeln!(out, "error: {e}")?,
+            },
+            None => {
+                if views.is_empty() {
+                    writeln!(out, "(no views)")?;
+                } else {
+                    match views.refresh_all(db) {
+                        Ok(outcomes) => {
+                            for (n, o) in &outcomes {
+                                write!(out, "{}", format_view_refreshed(n, *o))?;
+                            }
+                        }
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    }
+                }
+            }
+        },
+        ViewCommand::Drop { name } => {
+            if views.drop_view(&name) {
+                writeln!(out, "view {name} dropped")?;
+            } else {
+                writeln!(out, "error: no view named {name}")?;
+            }
+        }
+        ViewCommand::List => write!(out, "{}", format_view_list(views.iter()))?,
+        ViewCommand::Show { name } => match views.get(&name) {
+            Some(view) => write!(out, "{}", format_view_show(view))?,
+            None => writeln!(out, "error: no view named {name}")?,
+        },
+    }
+    Ok(())
+}
+
 fn main() -> std::io::Result<()> {
     let mut db = ProbDb::new();
+    let mut views = ViewManager::new();
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let interactive = std::env::args().all(|a| a != "--batch");
@@ -108,7 +198,7 @@ fn main() -> std::io::Result<()> {
         }
         match parse_command(&line) {
             Ok(cmd) => {
-                if !execute(cmd, &mut db, &mut stdout)? {
+                if !execute(cmd, &mut db, &mut views, &mut stdout)? {
                     break;
                 }
             }
@@ -122,54 +212,71 @@ fn main() -> std::io::Result<()> {
 mod tests {
     use super::*;
 
+    fn run(lines: &[&str]) -> String {
+        let mut db = ProbDb::new();
+        let mut views = ViewManager::new();
+        let mut out = Vec::new();
+        for line in lines {
+            let cmd = parse_command(line).unwrap();
+            assert!(execute(cmd, &mut db, &mut views, &mut out).unwrap());
+        }
+        String::from_utf8(out).unwrap()
+    }
+
     #[test]
     fn end_to_end_session() {
-        let mut db = ProbDb::new();
-        let mut out = Vec::new();
-        for line in [
+        let text = run(&[
             "insert R 1 0.5",
             "insert S 1 2 0.8",
             "query exists x. exists y. R(x) & S(x,y)",
             "classify R(x), S(x,y), T(y)",
             "answers x : R(x), S(x,y)",
-        ] {
-            let cmd = parse_command(line).unwrap();
-            assert!(execute(cmd, &mut db, &mut out).unwrap());
-        }
-        let text = String::from_utf8(out).unwrap();
+        ]);
         assert!(text.contains("p = 0.400000"), "{text}");
         assert!(text.contains("#P-hard"), "{text}");
         assert!(text.contains("x = 1"), "{text}");
     }
 
     #[test]
+    fn view_session_maintains_probability() {
+        let text = run(&[
+            "insert R 1 0.5",
+            "insert S 1 2 0.8",
+            "view create v query exists x. exists y. R(x) & S(x,y)",
+            "view show v",
+            "update S 1 2 0.4",
+            "view show v",
+            "update S 9 9 0.4",
+            "view list",
+            "view drop v",
+            "view drop v",
+        ]);
+        assert!(text.contains("1 row(s) materialized (circuit)"), "{text}");
+        assert!(text.contains("p = 0.400000"), "{text}");
+        assert!(text.contains("p = 0.200000"), "{text}");
+        assert!(
+            text.contains("error: S(9, 9) is not a possible tuple"),
+            "{text}"
+        );
+        assert!(text.contains("status=fresh"), "{text}");
+        assert!(text.contains("view v dropped"), "{text}");
+        assert!(text.contains("error: no view named v"), "{text}");
+    }
+
+    #[test]
     fn open_world_command() {
-        let mut db = ProbDb::new();
-        let mut out = Vec::new();
-        for line in ["insert R 0 0.5", "domain 0 1", "open 0.2 exists x. R(x)"] {
-            let cmd = parse_command(line).unwrap();
-            assert!(execute(cmd, &mut db, &mut out).unwrap());
-        }
-        let text = String::from_utf8(out).unwrap();
+        let text = run(&["insert R 0 0.5", "domain 0 1", "open 0.2 exists x. R(x)"]);
         assert!(text.contains("p ∈ ["), "{text}");
     }
 
     #[test]
     fn errors_are_reported_not_fatal() {
-        let mut db = ProbDb::new();
-        let mut out = Vec::new();
-        let cmd = parse_command("query R(x").unwrap();
-        assert!(execute(cmd, &mut db, &mut out).unwrap());
-        assert!(String::from_utf8(out).unwrap().contains("error"));
+        assert!(run(&["query R(x"]).contains("error"));
     }
 
     #[test]
     fn stats_points_at_the_server() {
-        let mut db = ProbDb::new();
-        let mut out = Vec::new();
-        let cmd = parse_command("stats").unwrap();
-        assert!(execute(cmd, &mut db, &mut out).unwrap());
-        assert!(String::from_utf8(out).unwrap().contains("probdb-serve"));
+        assert!(run(&["stats"]).contains("probdb-serve"));
     }
 
     /// The CLI must print exactly what the server's service layer returns
@@ -186,8 +293,25 @@ mod tests {
             "answers x : R(x), S(x,y)",
             "show",
             "query R(x) @@@",
+            "update S 1 2 0.4",
+            "update R 9 0.5",
+            "view create v query exists x. exists y. R(x) & S(x,y)",
+            "view show v",
+            "view list",
+            "update S 1 3 0.5",
+            "view show v",
+            "insert R 2 0.5",
+            "view list",
+            "view refresh v",
+            "view refresh",
+            "view create a answers x : R(x), S(x,y)",
+            "view show a",
+            "view drop v",
+            "view drop v",
+            "view list",
         ];
         let mut db = ProbDb::new();
+        let mut views = ViewManager::new();
         let service = Service::new(
             ProbDb::new(),
             ServiceOptions {
@@ -197,7 +321,13 @@ mod tests {
         );
         for line in script {
             let mut cli_out = Vec::new();
-            execute(parse_command(line).unwrap(), &mut db, &mut cli_out).unwrap();
+            execute(
+                parse_command(line).unwrap(),
+                &mut db,
+                &mut views,
+                &mut cli_out,
+            )
+            .unwrap();
             let (service_out, _) = service.handle_line(line);
             assert_eq!(
                 String::from_utf8(cli_out).unwrap(),

@@ -38,11 +38,13 @@
 //! | [`bid`] | block-independent-disjoint databases | §1 |
 //! | [`datalog`] | probabilistic datalog (ProbLog-style recursion) | §2, §9 |
 //! | [`engine`] | the [`ProbDb`] cascade | all |
+//! | [`views`] | incrementally maintained materialized views | §7 in production |
 //! | [`server`] | concurrent TCP query service, result cache, stats | infrastructure |
 
 pub use pdb_core as engine;
 pub use pdb_core::{Answer, Complexity, EngineError, Method, ProbDb, QueryOptions};
 pub use pdb_server as server;
+pub use pdb_views as views;
 
 pub use pdb_bid as bid;
 pub use pdb_compile as compile;

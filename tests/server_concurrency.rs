@@ -284,6 +284,126 @@ fn writers_and_readers_race_without_stale_or_torn_answers() {
 }
 
 #[test]
+fn unrelated_insert_does_not_evict_cached_queries() {
+    let (server, addr) = start_server(2);
+    let mut client = Client::connect(addr);
+    for line in SETUP {
+        client.send(line);
+    }
+    let q = "query exists x. exists y. R(x) & S(x,y)";
+    let before = client.send(q); // miss — populates the cache
+    let hits0 = server.service().stats().cache_hits();
+
+    // A UCQ's answer depends only on the relations it mentions, and the
+    // cache keys UCQs by those relations' versions: inserting into Z must
+    // leave the entry live.
+    client.send("insert Z 99 0.5");
+    assert_eq!(client.send(q), before);
+    assert_eq!(
+        server.service().stats().cache_hits(),
+        hits0 + 1,
+        "insert into an unmentioned relation must not evict the UCQ entry"
+    );
+
+    // Inserting into a mentioned relation still invalidates.
+    client.send("insert S 2 11 0.9");
+    let after = client.send(q);
+    assert_ne!(after, before, "mentioned-relation insert must invalidate");
+    assert_eq!(
+        server.service().stats().cache_hits(),
+        hits0 + 1,
+        "the post-insert read must be a miss, not a stale hit"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn views_stay_correct_under_concurrent_updates() {
+    // A writer streams probability updates over one session while readers
+    // hammer `view show v` on others. Every probability served must equal
+    // the view's query evaluated on *some* prefix of the update stream
+    // (each update only raises p, so legal states are strictly increasing),
+    // and after a final refresh the view matches from-scratch evaluation.
+    let (server, addr) = start_server(6);
+    let mut loader = Client::connect(addr);
+    for line in SETUP {
+        loader.send(line);
+    }
+    let q = "exists x. exists y. R(x) & S(x,y)";
+    let created = loader.send(&format!("view create v query {q}"));
+    assert!(created.contains("materialized (circuit)"), "{created}");
+
+    // Precompute the chain of legal probabilities locally.
+    let updates: Vec<String> = (0..8)
+        .map(|i| format!("update R 1 0.{}", 15 + 10 * i))
+        .collect();
+    let mut db = ProbDb::new();
+    for line in SETUP {
+        let mut parts: Vec<&str> = line.split_whitespace().collect();
+        let prob: f64 = parts.pop().unwrap().parse().unwrap();
+        let rel = parts[1].to_string();
+        let tuple: Vec<u64> = parts[2..].iter().map(|c| c.parse().unwrap()).collect();
+        db.insert(&rel, tuple, prob);
+    }
+    let render = |db: &ProbDb| format!("p = {:.6}", db.query(q).unwrap().probability);
+    let mut legal = vec![render(&db)];
+    for line in &updates {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let t = probdb::data::Tuple::new(vec![parts[2].parse().unwrap()]);
+        db.update_prob("R", &t, parts[3].parse().unwrap()).unwrap();
+        legal.push(render(&db));
+    }
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|t| {
+            let stop = std::sync::Arc::clone(&stop);
+            let legal = legal.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut seen = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let got = client.send("view show v");
+                    let line = got.lines().next().unwrap_or("").to_string();
+                    match legal[seen..].iter().position(|l| line.starts_with(l)) {
+                        Some(offset) => seen += offset,
+                        None => panic!(
+                            "reader {t}: view served a probability that is not a \
+                             legal state or went backwards: {line:?} at state {seen}"
+                        ),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut writer = Client::connect(addr);
+    for line in &updates {
+        assert_eq!(writer.send(line), "", "update should be silent");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // All updates were absorbable incrementally: refresh must say fresh,
+    // and the final probability must match from-scratch evaluation.
+    let mut checker = Client::connect(addr);
+    assert_eq!(checker.send("view refresh v"), "view v: fresh\n");
+    let got = checker.send("view show v");
+    assert!(
+        got.starts_with(legal.last().unwrap().as_str()),
+        "final view state {got:?} != from-scratch {:?}",
+        legal.last().unwrap()
+    );
+    let stats = checker.send("stats");
+    assert!(stats.contains("incremental=8"), "{stats}");
+    server.shutdown();
+}
+
+#[test]
 fn stats_over_the_wire_report_methods_and_cache() {
     let (server, addr) = start_server(2);
     let mut client = Client::connect(addr);

@@ -1,0 +1,206 @@
+//! Property test for materialized-view maintenance: after any random mix of
+//! probability updates and inserts — delivered through the versioned event
+//! protocol, exactly as `probdb-serve` and the CLI deliver them — a
+//! refreshed view must agree with from-scratch evaluation (`query_fo`),
+//! either exactly or within the reported dissociation bounds.
+
+use probdb::num::approx_eq;
+use probdb::views::{RefreshOutcome, ViewDef, ViewManager, ViewOptions};
+use probdb::{ProbDb, QueryOptions};
+use proptest::prelude::*;
+
+/// The view definitions under test: a safe (hierarchical) Boolean query, a
+/// #P-hard-shaped Boolean query, and a non-Boolean answers view.
+const BOOLEAN_VIEWS: &[(&str, &str)] = &[
+    ("v_safe", "exists x. exists y. R(x) & S(x,y)"),
+    ("v_hard", "exists x. exists y. R(x) & S(x,y) & T(y)"),
+];
+
+/// One random mutation: `insert == false` targets an existing tuple (a
+/// no-op event when the tuple is absent), `insert == true` adds/overwrites.
+#[derive(Clone, Debug)]
+struct Op {
+    insert: bool,
+    rel: usize, // 0 = R(x), 1 = S(x,y), 2 = T(y)
+    x: u64,
+    y: u64,
+    p: f64,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u32..2, 0usize..3, 0u64..3, 0u64..3, 1u32..=9).prop_map(|(insert, rel, x, y, p)| Op {
+        insert: insert == 1,
+        rel,
+        x,
+        y,
+        p: f64::from(p) / 10.0,
+    })
+}
+
+fn tuple_for(op: &Op) -> (&'static str, Vec<u64>) {
+    match op.rel {
+        0 => ("R", vec![op.x]),
+        1 => ("S", vec![op.x, op.y]),
+        _ => ("T", vec![op.y]),
+    }
+}
+
+/// Builds the initial database, registers the views, applies every op with
+/// event delivery, refreshes, and checks all views against from-scratch
+/// evaluation.
+fn check_maintenance(initial: Vec<Op>, ops: Vec<Op>, compile_budget: u64) {
+    let mut db = ProbDb::new();
+    for op in &initial {
+        let (rel, tuple) = tuple_for(op);
+        db.insert(rel, tuple, op.p);
+    }
+
+    let mut mgr = ViewManager::with_options(ViewOptions {
+        compile_budget,
+        fallback: QueryOptions::default(),
+    });
+    for (name, text) in BOOLEAN_VIEWS {
+        mgr.create(name, ViewDef::boolean(text).unwrap(), &db)
+            .unwrap();
+    }
+    let head = ["x".to_string()];
+    mgr.create(
+        "v_rows",
+        ViewDef::answers(&head, "R(x), S(x,y)").unwrap(),
+        &db,
+    )
+    .unwrap();
+
+    for op in &ops {
+        let (rel, tuple) = tuple_for(op);
+        if op.insert {
+            db.insert(rel, tuple, op.p);
+            mgr.on_insert(rel, db.relation_version(rel));
+        } else {
+            let t = probdb::data::Tuple::new(tuple);
+            if let Some(version) = db.update_prob(rel, &t, op.p) {
+                mgr.on_update_prob(rel, &t, op.p, version);
+            }
+        }
+    }
+
+    mgr.refresh_all(&db).unwrap();
+
+    for (name, text) in BOOLEAN_VIEWS {
+        let view = mgr.get(name).unwrap();
+        prop_assert!(!view.is_stale(), "{name} still stale after refresh");
+        let got = view.boolean_answer().unwrap();
+        let truth = db.query(text).unwrap();
+        match got.bounds {
+            Some((lo, hi)) => {
+                prop_assert!(
+                    truth.probability >= lo - 1e-6 && truth.probability <= hi + 1e-6,
+                    "{name}: truth {} outside reported bounds [{lo}, {hi}]",
+                    truth.probability
+                );
+                prop_assert!(
+                    got.probability >= lo - 1e-9 && got.probability <= hi + 1e-9,
+                    "{name}: materialized {} outside its own bounds [{lo}, {hi}]",
+                    got.probability
+                );
+            }
+            None => prop_assert!(
+                approx_eq(got.probability, truth.probability, 1e-9),
+                "{name}: view {} vs from-scratch {}",
+                got.probability,
+                truth.probability
+            ),
+        }
+    }
+
+    let view = mgr.get("v_rows").unwrap();
+    let (_, got_rows) = view.answer_rows().unwrap();
+    let cq = probdb::logic::parse_cq("R(x), S(x,y)").unwrap();
+    let vars = [probdb::logic::Var::new("x")];
+    let truth_rows = db
+        .query_answers(&cq, &vars, &QueryOptions::default())
+        .unwrap();
+    prop_assert_eq!(got_rows.len(), truth_rows.len(), "answer-row count");
+    let mut got_sorted: Vec<(Vec<u64>, f64)> = got_rows
+        .iter()
+        .map(|r| (r.values.clone(), r.probability))
+        .collect();
+    got_sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut want_sorted: Vec<(Vec<u64>, f64)> = truth_rows
+        .iter()
+        .map(|r| (r.values.clone(), r.probability))
+        .collect();
+    want_sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    for ((gv, gp), (wv, wp)) in got_sorted.iter().zip(&want_sorted) {
+        prop_assert_eq!(gv, wv, "answer bindings diverge");
+        prop_assert!(
+            approx_eq(*gp, *wp, 1e-9),
+            "v_rows {:?}: view {} vs from-scratch {}",
+            gv,
+            gp,
+            wp
+        );
+    }
+
+    // A second refresh must be a no-op across the board.
+    for (name, outcome) in mgr.refresh_all(&db).unwrap() {
+        assert_eq!(outcome, RefreshOutcome::Fresh, "{name} not fresh");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With a generous compile budget every row is a circuit: updates are
+    /// absorbed incrementally and must agree with `query_fo` exactly.
+    #[test]
+    fn random_updates_and_inserts_keep_views_exact(
+        initial in prop::collection::vec(arb_op(), 1..10),
+        ops in prop::collection::vec(arb_op(), 0..20),
+    ) {
+        check_maintenance(initial, ops, 200_000);
+    }
+
+    /// With the budget forced to one decision, every row takes the fallback
+    /// path: refresh re-queries the cascade, and any approximate rows must
+    /// bracket the truth with their dissociation bounds.
+    #[test]
+    fn exhausted_compile_budget_still_tracks_the_cascade(
+        initial in prop::collection::vec(arb_op(), 1..8),
+        ops in prop::collection::vec(arb_op(), 0..12),
+    ) {
+        check_maintenance(initial, ops, 1);
+    }
+}
+
+/// Deterministic regression: the exact update sequence from the paper's
+/// Figure 1 database, checked against hand-computed probabilities.
+#[test]
+fn figure_one_view_follows_updates() {
+    let mut db = ProbDb::new();
+    db.insert("R", [1], 0.5);
+    db.insert("S", [1, 2], 0.8);
+    let mut mgr = ViewManager::new();
+    mgr.create(
+        "v",
+        ViewDef::boolean("exists x. exists y. R(x) & S(x,y)").unwrap(),
+        &db,
+    )
+    .unwrap();
+    assert!(approx_eq(
+        mgr.get("v").unwrap().boolean_answer().unwrap().probability,
+        0.4,
+        1e-12
+    ));
+
+    let t = probdb::data::Tuple::new(vec![1, 2]);
+    let version = db.update_prob("S", &t, 0.5).unwrap();
+    let absorbed = mgr.on_update_prob("S", &t, 0.5, version);
+    assert_eq!(absorbed, 1, "circuit view must absorb the update in place");
+    assert!(approx_eq(
+        mgr.get("v").unwrap().boolean_answer().unwrap().probability,
+        0.25,
+        1e-12
+    ));
+    assert_eq!(mgr.incremental_applied(), 1);
+}
