@@ -19,8 +19,6 @@
 use pdb_data::{Tuple, TupleDb};
 use pdb_logic::{Cq, Fo, Ucq};
 use pdb_wmc::DpllOptions;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::BTreeMap;
 
 pub use pdb_lifted::{classify_sjf_cq, classify_ucq, Complexity};
@@ -245,7 +243,8 @@ impl ProbDb {
             max_decisions: opts.exact_budget,
             ..Default::default()
         };
-        if let Some(p) = try_exact(&lineage, &probs, dpll_opts) {
+        let pool = pdb_par::current();
+        if let Some(p) = try_exact(&lineage, &probs, dpll_opts, &pool) {
             return Ok(Answer {
                 probability: p,
                 method: Method::Grounded,
@@ -263,8 +262,10 @@ impl ProbDb {
             ));
         };
         let dnf = pdb_lineage::ucq_dnf_lineage(&ucq, &self.db, &index);
-        let mut rng = StdRng::seed_from_u64(opts.seed);
-        let est = pdb_wmc::karp_luby::estimate(&dnf, &probs, opts.samples, &mut rng);
+        // Chunk-seeded sampling: the estimate is bit-identical for every
+        // pool size (see `karp_luby::estimate_chunked`).
+        let est =
+            pdb_wmc::karp_luby::estimate_chunked(&dnf, &probs, opts.samples, opts.seed, &pool);
         let bounds = match ucq.disjuncts() {
             [only] if !only.has_self_join() && only.atoms().len() <= 6 => {
                 let b = pdb_plans::bounds::bounds(only, &self.db);
@@ -314,18 +315,25 @@ impl ProbDb {
             }
         }
         let candidates = pdb_lineage::cq_answer_bindings(cq, head, &self.db);
-        let mut out = Vec::with_capacity(candidates.len());
-        for values in candidates {
+        // Each answer row is an independent Boolean PQE instance — evaluate
+        // them on the pool. `parallel_map` preserves input order, so error
+        // selection and the (stable) sort below match the sequential loop.
+        let pool = pdb_par::current();
+        let rows = pool.parallel_map(candidates.into_iter().collect(), |values| {
             let mut bound = cq.clone();
             for (v, &c) in head.iter().zip(&values) {
                 bound = bound.substitute(v, &pdb_logic::Term::Const(c));
             }
-            let answer = self.query_fo(&bound.to_fo(), opts)?;
-            out.push(AnswerTuple {
-                values,
-                probability: answer.probability,
-                method: answer.method,
-            });
+            self.query_fo(&bound.to_fo(), opts)
+                .map(|answer| AnswerTuple {
+                    values,
+                    probability: answer.probability,
+                    method: answer.method,
+                })
+        });
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            out.push(row?);
         }
         out.sort_by(|a, b| b.probability.total_cmp(&a.probability));
         Ok(out)
@@ -365,20 +373,27 @@ impl ProbDb {
     }
 }
 
-/// Runs the exact counter under a budget; `None` when aborted.
-fn try_exact(lineage: &pdb_lineage::BoolExpr, probs: &[f64], opts: DpllOptions) -> Option<f64> {
+/// Runs the exact counter under a budget; `None` when aborted. Counting
+/// runs on `pool` (independent components in parallel; bit-identical to the
+/// sequential counter — see `pdb_wmc::run_parallel`).
+fn try_exact(
+    lineage: &pdb_lineage::BoolExpr,
+    probs: &[f64],
+    opts: DpllOptions,
+    pool: &pdb_par::Pool,
+) -> Option<f64> {
     use pdb_lineage::{BoolExpr, Cnf};
     let n = probs.len() as u32;
     match lineage {
         BoolExpr::Const(b) => Some(if *b { 1.0 } else { 0.0 }),
         _ if lineage.is_monotone_dnf() => {
             let cnf = Cnf::from_negated_dnf(lineage, n);
-            let r = pdb_wmc::Dpll::new(&cnf, probs.to_vec(), opts).run();
+            let r = pdb_wmc::run_parallel(&cnf, probs, opts, pool);
             (!r.aborted).then_some(1.0 - r.probability)
         }
         _ => match Cnf::from_expr_direct(lineage, n) {
             Some(cnf) => {
-                let r = pdb_wmc::Dpll::new(&cnf, probs.to_vec(), opts).run();
+                let r = pdb_wmc::run_parallel(&cnf, probs, opts, pool);
                 (!r.aborted).then_some(r.probability)
             }
             None => {
@@ -386,7 +401,7 @@ fn try_exact(lineage: &pdb_lineage::BoolExpr, probs: &[f64], opts: DpllOptions) 
                 let aux = cnf.aux_vars();
                 let mut all = probs.to_vec();
                 all.resize(cnf.num_vars as usize, 0.5);
-                let r = pdb_wmc::Dpll::new(&cnf, all, opts).run();
+                let r = pdb_wmc::run_parallel(&cnf, &all, opts, pool);
                 (!r.aborted).then(|| r.probability * 2f64.powi(aux as i32))
             }
         },

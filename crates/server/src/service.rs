@@ -48,7 +48,7 @@ use crate::protocol::{
     format_view_created, format_view_list, format_view_refreshed, format_view_show,
     normalize_query, parse_command, Command, ViewCommand, ViewQueryText, HELP,
 };
-use crate::stats::{Stats, ViewsSnapshot};
+use crate::stats::{PoolSnapshot, Stats, ViewsSnapshot};
 use pdb_core::{Answer, Complexity, EngineError, ProbDb, QueryOptions};
 use pdb_data::Tuple;
 use pdb_views::{ViewDef, ViewManager};
@@ -158,10 +158,13 @@ impl Service {
                 recompiles: views.recompiles(),
             }
         };
+        // The pool every engine call in this process runs on: queries,
+        // answer rows, sampling chunks, and view builds all share it.
+        let pool = PoolSnapshot::from(pdb_par::current().stats());
         let cache = self.inner.cache.lock().unwrap();
         self.inner
             .stats
-            .render(cache.len(), cache.capacity(), views)
+            .render(cache.len(), cache.capacity(), views, pool)
     }
 
     /// Number of registered materialized views (diagnostics).
@@ -623,6 +626,8 @@ mod tests {
             "views:",
             "incremental_ratio=",
             "view_refresh_us:",
+            "pool: threads=",
+            "utilization=",
             "timeouts:",
             "connections:",
         ] {

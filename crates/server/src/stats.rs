@@ -97,6 +97,31 @@ pub struct ViewsSnapshot {
     pub recompiles: u64,
 }
 
+/// Point-in-time thread-pool gauges injected into the stats payload (taken
+/// from `pdb_par::Pool::stats` by the render caller).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolSnapshot {
+    /// Configured parallelism (`PROBDB_THREADS` / `--threads`).
+    pub threads: usize,
+    /// Tasks executed since the pool was created.
+    pub jobs: u64,
+    /// Tasks that ran on a thread other than the one that queued them.
+    pub steals: u64,
+    /// Fraction of available thread-time spent executing tasks, `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl From<pdb_par::PoolStats> for PoolSnapshot {
+    fn from(stats: pdb_par::PoolStats) -> PoolSnapshot {
+        PoolSnapshot {
+            threads: stats.threads,
+            jobs: stats.jobs,
+            steals: stats.steals,
+            utilization: stats.utilization(),
+        }
+    }
+}
+
 /// Shared counters for one serving instance.
 #[derive(Debug, Default)]
 pub struct Stats {
@@ -185,7 +210,13 @@ impl Stats {
     }
 
     /// Renders the `stats` command payload.
-    pub fn render(&self, cache_len: usize, cache_capacity: usize, views: ViewsSnapshot) -> String {
+    pub fn render(
+        &self,
+        cache_len: usize,
+        cache_capacity: usize,
+        views: ViewsSnapshot,
+        pool: PoolSnapshot,
+    ) -> String {
         let (lifted, safe_plan, grounded, approximate, errors) = (
             self.lifted.load(Ordering::Relaxed),
             self.safe_plan.load(Ordering::Relaxed),
@@ -218,6 +249,7 @@ impl Stats {
              views: count={} rows={} incremental={} recompiles={} \
              incremental_ratio={incremental_ratio:.3}\n\
              view_refresh_us: p50={} p95={} max={} samples={}\n\
+             pool: threads={} jobs={} steals={} utilization={:.3}\n\
              timeouts: {}\n\
              connections: active={} total={}\n",
             lat.quantile_us(0.50),
@@ -232,6 +264,10 @@ impl Stats {
             vlat.quantile_us(0.95),
             vlat.max_us(),
             vlat.count(),
+            pool.threads,
+            pool.jobs,
+            pool.steals,
+            pool.utilization,
             self.timeouts(),
             self.active_connections.load(Ordering::Relaxed),
             self.total_connections.load(Ordering::Relaxed),
@@ -289,6 +325,12 @@ mod tests {
                 incremental: 3,
                 recompiles: 1,
             },
+            PoolSnapshot {
+                threads: 4,
+                jobs: 12,
+                steals: 2,
+                utilization: 0.25,
+            },
         );
         for needle in [
             "total=3",
@@ -304,6 +346,7 @@ mod tests {
             "views: count=2 rows=7 incremental=3 recompiles=1",
             "incremental_ratio=0.750",
             "view_refresh_us:",
+            "pool: threads=4 jobs=12 steals=2 utilization=0.250",
             "timeouts: 1",
             "active=1 total=1",
         ] {

@@ -474,18 +474,42 @@ impl ViewManager {
     }
 
     /// Brings every view up to date; returns `(name, outcome)` in name
-    /// order. Stops at the first build error.
+    /// order. Independent views refresh in parallel on the current pool;
+    /// every view is attempted, and the first error (in name order) is
+    /// reported.
     pub fn refresh_all(
         &mut self,
         db: &ProbDb,
     ) -> Result<Vec<(String, RefreshOutcome)>, EngineError> {
-        let names: Vec<String> = self.views.keys().cloned().collect();
-        let mut out = Vec::with_capacity(names.len());
-        for name in names {
-            let outcome = self.refresh(&name, db)?;
-            out.push((name, outcome));
+        let views = std::mem::take(&mut self.views);
+        let opts = self.opts.clone();
+        let pool = pdb_par::current();
+        let refreshed = pool.parallel_map(views.into_iter().collect(), |(name, mut view)| {
+            let outcome = refresh_one(&opts, &mut view, db);
+            (name, view, outcome)
+        });
+        let mut out = Vec::with_capacity(refreshed.len());
+        let mut first_err = None;
+        for (name, view, outcome) in refreshed {
+            match outcome {
+                Ok(o) => {
+                    if o == RefreshOutcome::Rebuilt {
+                        self.recompiles += 1;
+                    }
+                    out.push((name.clone(), o));
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+            self.views.insert(name, view);
         }
-        Ok(out)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     fn refresh_inner(
@@ -493,128 +517,155 @@ impl ViewManager {
         view: &mut View,
         db: &ProbDb,
     ) -> Result<RefreshOutcome, EngineError> {
-        let out_of_sync = view
-            .relations
-            .iter()
-            .any(|r| view.applied.get(r).copied().unwrap_or(0) != db.relation_version(r));
-        if !view.stale && !out_of_sync {
-            return Ok(RefreshOutcome::Fresh);
+        let outcome = refresh_one(&self.opts, view, db)?;
+        if outcome == RefreshOutcome::Rebuilt {
+            self.recompiles += 1;
         }
-        self.build(view, db)?;
-        Ok(RefreshOutcome::Rebuilt)
+        Ok(outcome)
     }
 
     /// Materializes `view` from a snapshot: records the snapshot's version
     /// vector, numbers its tuples, and compiles every answer row.
     fn build(&mut self, view: &mut View, db: &ProbDb) -> Result<(), EngineError> {
-        view.applied = view
-            .relations
-            .iter()
-            .map(|r| (r.clone(), db.relation_version(r)))
-            .collect();
-        let index = db.tuple_db().index();
-        let probs: Vec<f64> = index.iter().map(|(_, r)| r.prob).collect();
-        view.leaves = Arc::new(
-            index
-                .iter()
-                .map(|(id, r)| ((r.relation.clone(), r.tuple.clone()), id.0))
-                .collect(),
-        );
-        let mut rows = Vec::new();
-        match &view.def {
-            ViewDef::Boolean { fo, .. } => {
-                rows.push(self.compile_row(fo, Vec::new(), db, &index, &probs)?);
-            }
-            ViewDef::Answers { head, cq, .. } => {
-                let candidates = pdb_lineage::cq_answer_bindings(cq, head, db.tuple_db());
-                for values in candidates {
-                    let mut bound = cq.clone();
-                    for (v, &c) in head.iter().zip(&values) {
-                        bound = bound.substitute(v, &Term::Const(c));
-                    }
-                    rows.push(self.compile_row(&bound.to_fo(), values, db, &index, &probs)?);
-                }
-            }
-        }
-        view.rows = rows;
-        view.stale = false;
-        view.rebuilds += 1;
+        build_rows(&self.opts, view, db)?;
         self.recompiles += 1;
         Ok(())
     }
+}
 
-    /// Compiles one answer row: lineage → CNF (the same three encodings the
-    /// engine's exact path uses) → DPLL trace → cached circuit; falls back
-    /// to the full cascade when the decision budget aborts the compilation.
-    fn compile_row(
-        &self,
-        fo: &Fo,
-        values: Vec<u64>,
-        db: &ProbDb,
-        index: &pdb_data::TupleIndex,
-        probs: &[f64],
-    ) -> Result<ViewRow, EngineError> {
-        let index_len = probs.len() as u32;
-        let lineage = pdb_lineage::lineage(fo, db.tuple_db(), index);
-        if let BoolExpr::Const(b) = lineage {
-            let circuit = IncrementalCircuit::constant(b);
-            return Ok(ViewRow {
+/// Rebuilds `view` iff it is stale or its version vector disagrees with the
+/// snapshot (the safety net for missed events).
+fn refresh_one(
+    opts: &ViewOptions,
+    view: &mut View,
+    db: &ProbDb,
+) -> Result<RefreshOutcome, EngineError> {
+    let out_of_sync = view
+        .relations
+        .iter()
+        .any(|r| view.applied.get(r).copied().unwrap_or(0) != db.relation_version(r));
+    if !view.stale && !out_of_sync {
+        return Ok(RefreshOutcome::Fresh);
+    }
+    build_rows(opts, view, db)?;
+    Ok(RefreshOutcome::Rebuilt)
+}
+
+/// Materializes `view` from a snapshot of `db`, compiling answer rows in
+/// parallel on the current pool (each row is an independent lineage → CNF →
+/// DPLL-trace pipeline).
+fn build_rows(opts: &ViewOptions, view: &mut View, db: &ProbDb) -> Result<(), EngineError> {
+    view.applied = view
+        .relations
+        .iter()
+        .map(|r| (r.clone(), db.relation_version(r)))
+        .collect();
+    let index = db.tuple_db().index();
+    let probs: Vec<f64> = index.iter().map(|(_, r)| r.prob).collect();
+    view.leaves = Arc::new(
+        index
+            .iter()
+            .map(|(id, r)| ((r.relation.clone(), r.tuple.clone()), id.0))
+            .collect(),
+    );
+    let rows = match &view.def {
+        ViewDef::Boolean { fo, .. } => {
+            vec![compile_row(opts, fo, Vec::new(), db, &index, &probs)?]
+        }
+        ViewDef::Answers { head, cq, .. } => {
+            let candidates = pdb_lineage::cq_answer_bindings(cq, head, db.tuple_db());
+            let pool = pdb_par::current();
+            let compiled = pool.parallel_map(candidates.into_iter().collect(), |values| {
+                let mut bound = cq.clone();
+                for (v, &c) in head.iter().zip(&values) {
+                    bound = bound.substitute(v, &Term::Const(c));
+                }
+                compile_row(opts, &bound.to_fo(), values, db, &index, &probs)
+            });
+            let mut rows = Vec::with_capacity(compiled.len());
+            for row in compiled {
+                rows.push(row?);
+            }
+            rows
+        }
+    };
+    view.rows = rows;
+    view.stale = false;
+    view.rebuilds += 1;
+    Ok(())
+}
+
+/// Compiles one answer row: lineage → CNF (the same three encodings the
+/// engine's exact path uses) → DPLL trace → cached circuit; falls back
+/// to the full cascade when the decision budget aborts the compilation.
+fn compile_row(
+    view_opts: &ViewOptions,
+    fo: &Fo,
+    values: Vec<u64>,
+    db: &ProbDb,
+    index: &pdb_data::TupleIndex,
+    probs: &[f64],
+) -> Result<ViewRow, EngineError> {
+    let index_len = probs.len() as u32;
+    let lineage = pdb_lineage::lineage(fo, db.tuple_db(), index);
+    if let BoolExpr::Const(b) = lineage {
+        let circuit = IncrementalCircuit::constant(b);
+        return Ok(ViewRow {
+            values,
+            probability: circuit.probability(),
+            bounds: None,
+            method: Method::Grounded,
+            backend: RowBackend::Circuit(circuit),
+        });
+    }
+    let opts = DpllOptions {
+        record_trace: true,
+        max_decisions: view_opts.compile_budget,
+        ..Default::default()
+    };
+    // Mirror the engine's CNF selection (`pdb-core`): negate a monotone
+    // DNF, encode directly when the shape allows, Tseitin otherwise.
+    let compiled = if lineage.is_monotone_dnf() {
+        let cnf = Cnf::from_negated_dnf(&lineage, index_len);
+        let r = Dpll::new(&cnf, probs.to_vec(), opts).run();
+        let trace = if r.aborted { None } else { r.trace };
+        trace.map(|t| (t, true, 1.0, probs.to_vec()))
+    } else if let Some(cnf) = Cnf::from_expr_direct(&lineage, index_len) {
+        let r = Dpll::new(&cnf, probs.to_vec(), opts).run();
+        let trace = if r.aborted { None } else { r.trace };
+        trace.map(|t| (t, false, 1.0, probs.to_vec()))
+    } else {
+        let cnf = Cnf::tseitin(&lineage, index_len);
+        let aux = cnf.aux_vars();
+        let mut all = probs.to_vec();
+        all.resize(cnf.num_vars as usize, 0.5);
+        let r = Dpll::new(&cnf, all.clone(), opts).run();
+        let trace = if r.aborted { None } else { r.trace };
+        trace.map(|t| (t, false, 2f64.powi(aux as i32), all))
+    };
+    match compiled {
+        Some((trace, negated, scale, leaf_probs)) => {
+            let dd = DecisionDnnf::from_trace(&trace);
+            let circuit = IncrementalCircuit::new(&dd, leaf_probs, negated, scale);
+            Ok(ViewRow {
                 values,
                 probability: circuit.probability(),
                 bounds: None,
                 method: Method::Grounded,
                 backend: RowBackend::Circuit(circuit),
-            });
+            })
         }
-        let opts = DpllOptions {
-            record_trace: true,
-            max_decisions: self.opts.compile_budget,
-            ..Default::default()
-        };
-        // Mirror the engine's CNF selection (`pdb-core`): negate a monotone
-        // DNF, encode directly when the shape allows, Tseitin otherwise.
-        let compiled = if lineage.is_monotone_dnf() {
-            let cnf = Cnf::from_negated_dnf(&lineage, index_len);
-            let r = Dpll::new(&cnf, probs.to_vec(), opts).run();
-            let trace = if r.aborted { None } else { r.trace };
-            trace.map(|t| (t, true, 1.0, probs.to_vec()))
-        } else if let Some(cnf) = Cnf::from_expr_direct(&lineage, index_len) {
-            let r = Dpll::new(&cnf, probs.to_vec(), opts).run();
-            let trace = if r.aborted { None } else { r.trace };
-            trace.map(|t| (t, false, 1.0, probs.to_vec()))
-        } else {
-            let cnf = Cnf::tseitin(&lineage, index_len);
-            let aux = cnf.aux_vars();
-            let mut all = probs.to_vec();
-            all.resize(cnf.num_vars as usize, 0.5);
-            let r = Dpll::new(&cnf, all.clone(), opts).run();
-            let trace = if r.aborted { None } else { r.trace };
-            trace.map(|t| (t, false, 2f64.powi(aux as i32), all))
-        };
-        match compiled {
-            Some((trace, negated, scale, leaf_probs)) => {
-                let dd = DecisionDnnf::from_trace(&trace);
-                let circuit = IncrementalCircuit::new(&dd, leaf_probs, negated, scale);
-                Ok(ViewRow {
-                    values,
-                    probability: circuit.probability(),
-                    bounds: None,
-                    method: Method::Grounded,
-                    backend: RowBackend::Circuit(circuit),
-                })
-            }
-            None => {
-                // Compilation too large: fall back to the cascade (lifted /
-                // approximate with dissociation bounds).
-                let answer = db.query_fo(fo, &self.opts.fallback)?;
-                Ok(ViewRow {
-                    values,
-                    probability: answer.probability,
-                    bounds: answer.bounds,
-                    method: answer.method,
-                    backend: RowBackend::Fallback,
-                })
-            }
+        None => {
+            // Compilation too large: fall back to the cascade (lifted /
+            // approximate with dissociation bounds).
+            let answer = db.query_fo(fo, &view_opts.fallback)?;
+            Ok(ViewRow {
+                values,
+                probability: answer.probability,
+                bounds: answer.bounds,
+                method: answer.method,
+                backend: RowBackend::Fallback,
+            })
         }
     }
 }

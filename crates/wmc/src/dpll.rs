@@ -17,7 +17,11 @@
 //! experiments measure its size.
 
 use pdb_lineage::{Clause, Cnf};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Tuning knobs for the counter (each maps to a §7 concept).
 #[derive(Clone, Debug)]
@@ -219,7 +223,10 @@ pub struct Dpll {
     order_rank: Vec<u32>,
     stats: DpllStats,
     trace: Trace,
-    cache: HashMap<Box<[i32]>, (f64, TraceNodeId)>,
+    cache: HashMap<Vec<i32>, (f64, TraceNodeId)>,
+    /// Reusable per-variable occurrence buffer for [`Dpll::pick_var`]
+    /// (all-zero between calls), replacing a per-call `HashMap`.
+    counts: Vec<u32>,
     aborted: bool,
 }
 
@@ -245,6 +252,7 @@ impl Dpll {
             stats: DpllStats::default(),
             trace: Trace::new(),
             cache: HashMap::new(),
+            counts: vec![0; cnf.num_vars as usize],
             aborted: false,
         }
     }
@@ -307,7 +315,7 @@ impl Dpll {
                     Trace::TRUE
                 };
                 if let Some(k) = key {
-                    self.cache.insert(k.into_boxed_slice(), (p, node));
+                    self.cache.insert(k, (p, node));
                     self.stats.cache_misses += 1;
                 }
                 return (p, node);
@@ -338,7 +346,7 @@ impl Dpll {
             Trace::TRUE
         };
         if let Some(k) = key {
-            self.cache.insert(k.into_boxed_slice(), (total, node));
+            self.cache.insert(k, (total, node));
             self.stats.cache_misses += 1;
         }
         (total, node)
@@ -346,35 +354,259 @@ impl Dpll {
 
     /// Branch-variable heuristic: lowest fixed-order rank if an order was
     /// given, otherwise the most frequently occurring variable.
-    fn pick_var(&self, clauses: &[Clause]) -> u32 {
+    fn pick_var(&mut self, clauses: &[Clause]) -> u32 {
         if self.options.var_order.is_some() {
-            let mut best = u32::MAX;
-            let mut best_rank = (u32::MAX, u32::MAX);
-            for c in clauses {
-                for l in c.lits() {
-                    let v = l.var();
-                    let rank = (self.order_rank[v as usize], v);
-                    if rank < best_rank {
-                        best_rank = rank;
-                        best = v;
-                    }
-                }
-            }
-            best
+            lowest_rank_var(clauses, &self.order_rank)
         } else {
-            let mut counts: HashMap<u32, u32> = HashMap::new();
-            for c in clauses {
-                for l in c.lits() {
-                    *counts.entry(l.var()).or_insert(0) += 1;
-                }
-            }
-            counts
-                .into_iter()
-                .max_by_key(|&(v, n)| (n, std::cmp::Reverse(v)))
-                .map(|(v, _)| v)
-                .expect("non-empty clauses have variables")
+            most_frequent_var(clauses, &mut self.counts)
         }
     }
+}
+
+/// The variable with the lowest `(rank, index)` among those occurring in
+/// `clauses` (fixed-order branching).
+fn lowest_rank_var(clauses: &[Clause], order_rank: &[u32]) -> u32 {
+    let mut best = u32::MAX;
+    let mut best_rank = (u32::MAX, u32::MAX);
+    for c in clauses {
+        for l in c.lits() {
+            let v = l.var();
+            let rank = (order_rank[v as usize], v);
+            if rank < best_rank {
+                best_rank = rank;
+                best = v;
+            }
+        }
+    }
+    best
+}
+
+/// The most frequently occurring variable, breaking ties toward the lowest
+/// index — the same choice `max_by_key` over `(count, Reverse(var))` made,
+/// but allocation-free. `counts` must be all-zero on entry (one slot per
+/// variable) and is zeroed again before returning.
+fn most_frequent_var(clauses: &[Clause], counts: &mut [u32]) -> u32 {
+    for c in clauses {
+        for l in c.lits() {
+            counts[l.var() as usize] += 1;
+        }
+    }
+    let mut best = u32::MAX;
+    let mut best_count = 0u32;
+    for c in clauses {
+        for l in c.lits() {
+            let v = l.var();
+            let n = counts[v as usize];
+            if n > best_count || (n == best_count && v < best) {
+                best_count = n;
+                best = v;
+            }
+        }
+    }
+    for c in clauses {
+        for l in c.lits() {
+            counts[l.var() as usize] = 0;
+        }
+    }
+    debug_assert!(best != u32::MAX, "non-empty clauses have variables");
+    best
+}
+
+/// Lock-striped component cache for [`run_parallel`]: keys are hashed to a
+/// shard, so concurrent branches contend only when they touch the same
+/// stripe. Values are probabilities only — parallel runs never record traces.
+struct ShardedCache {
+    shards: Vec<Mutex<HashMap<Vec<i32>, f64>>>,
+}
+
+impl ShardedCache {
+    fn new(shards: usize) -> ShardedCache {
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &[i32]) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn get(&self, key: &[i32]) -> Option<f64> {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap()
+            .get(key)
+            .copied()
+    }
+
+    fn insert(&self, key: Vec<i32>, p: f64) {
+        let shard = self.shard_of(&key);
+        self.shards[shard].lock().unwrap().insert(key, p);
+    }
+}
+
+/// Shared state of one [`run_parallel`] invocation.
+struct ParCtx<'a> {
+    probs: &'a [f64],
+    options: &'a DpllOptions,
+    order_rank: &'a [u32],
+    pool: &'a pdb_par::Pool,
+    cache: ShardedCache,
+    decisions: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    component_splits: AtomicU64,
+    max_depth: AtomicU64,
+    aborted: AtomicBool,
+}
+
+/// Fork parallel work only this close to the root: deeper subproblems are
+/// small and task overhead would dominate.
+const PAR_DEPTH: u64 = 4;
+
+/// Counts `cnf` on `pool`, running independent components (and the two
+/// Shannon branches) in parallel at shallow depths over a lock-striped
+/// component cache.
+///
+/// The returned probability is bit-identical to [`Dpll::run`]: subproblem
+/// values do not depend on execution order (cache entries equal what
+/// recomputation would produce), and every floating-point combination —
+/// the left-to-right component product and `p·hi + (1−p)·lo` — is evaluated
+/// in the same order as the sequential code. With a pool of size 1, or when
+/// a trace is requested, this *is* the sequential counter, trace and stats
+/// included. On larger pools `stats.decisions` and the cache counters can
+/// differ from the sequential run (concurrent branches race to the cache),
+/// so `max_decisions` budgets are only approximate there — abort detection
+/// itself remains reliable.
+pub fn run_parallel(
+    cnf: &Cnf,
+    probs: &[f64],
+    options: DpllOptions,
+    pool: &pdb_par::Pool,
+) -> DpllResult {
+    if pool.threads() == 1 || options.record_trace {
+        return Dpll::new(cnf, probs.to_vec(), options).run();
+    }
+    assert_eq!(probs.len() as u32, cnf.num_vars, "one probability per var");
+    let mut order_rank = vec![u32::MAX; cnf.num_vars as usize];
+    if let Some(order) = &options.var_order {
+        for (rank, &v) in order.iter().enumerate() {
+            if (v as usize) < order_rank.len() {
+                order_rank[v as usize] = rank as u32;
+            }
+        }
+    }
+    let ctx = ParCtx {
+        probs,
+        options: &options,
+        order_rank: &order_rank,
+        pool,
+        cache: ShardedCache::new(16),
+        decisions: AtomicU64::new(0),
+        cache_hits: AtomicU64::new(0),
+        cache_misses: AtomicU64::new(0),
+        component_splits: AtomicU64::new(0),
+        max_depth: AtomicU64::new(0),
+        aborted: AtomicBool::new(false),
+    };
+    let mut counts = vec![0u32; probs.len()];
+    let p = par_solve(&ctx, cnf.clauses.clone(), 0, &mut counts);
+    let aborted = ctx.aborted.load(Ordering::Acquire);
+    DpllResult {
+        probability: if aborted { f64::NAN } else { p },
+        stats: DpllStats {
+            decisions: ctx.decisions.load(Ordering::Relaxed),
+            cache_hits: ctx.cache_hits.load(Ordering::Relaxed),
+            cache_misses: ctx.cache_misses.load(Ordering::Relaxed),
+            component_splits: ctx.component_splits.load(Ordering::Relaxed),
+            max_depth: ctx.max_depth.load(Ordering::Relaxed),
+        },
+        trace: None,
+        aborted,
+    }
+}
+
+fn par_solve(ctx: &ParCtx<'_>, clauses: Vec<Clause>, depth: u64, counts: &mut [u32]) -> f64 {
+    ctx.max_depth.fetch_max(depth, Ordering::Relaxed);
+    if ctx.aborted.load(Ordering::Relaxed) {
+        return f64::NAN;
+    }
+    if clauses.is_empty() {
+        return 1.0;
+    }
+    if clauses.iter().any(Clause::is_empty) {
+        return 0.0;
+    }
+    let key = ctx.options.caching.then(|| serialize(&clauses));
+    if let Some(k) = &key {
+        if let Some(p) = ctx.cache.get(k) {
+            ctx.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return p;
+        }
+    }
+    let fork = depth < PAR_DEPTH;
+    if ctx.options.components {
+        let comps = split_components(&clauses);
+        if comps.len() > 1 {
+            ctx.component_splits.fetch_add(1, Ordering::Relaxed);
+            // Multiply in component order (it is deterministic — components
+            // are sorted by serialization) to match the sequential fold.
+            let p = if fork {
+                ctx.pool
+                    .parallel_map(comps, |comp| {
+                        let mut local = vec![0u32; ctx.probs.len()];
+                        par_solve(ctx, comp, depth + 1, &mut local)
+                    })
+                    .into_iter()
+                    .product()
+            } else {
+                let mut p = 1.0;
+                for comp in comps {
+                    p *= par_solve(ctx, comp, depth + 1, counts);
+                }
+                p
+            };
+            if let Some(k) = key {
+                ctx.cache.insert(k, p);
+                ctx.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            return p;
+        }
+    }
+    let var = match clauses.iter().find(|c| c.lits().len() == 1) {
+        Some(unit) => unit.lits()[0].var(),
+        None if ctx.options.var_order.is_some() => lowest_rank_var(&clauses, ctx.order_rank),
+        None => most_frequent_var(&clauses, counts),
+    };
+    let decisions = ctx.decisions.fetch_add(1, Ordering::Relaxed) + 1;
+    if ctx.options.max_decisions > 0 && decisions > ctx.options.max_decisions {
+        ctx.aborted.store(true, Ordering::Release);
+        return f64::NAN;
+    }
+    let p = ctx.probs[var as usize];
+    let (hi, lo) = if fork {
+        ctx.pool.join(
+            || {
+                let mut local = vec![0u32; ctx.probs.len()];
+                par_solve(ctx, condition(&clauses, var, true), depth + 1, &mut local)
+            },
+            || {
+                let mut local = vec![0u32; ctx.probs.len()];
+                par_solve(ctx, condition(&clauses, var, false), depth + 1, &mut local)
+            },
+        )
+    } else {
+        let hi = par_solve(ctx, condition(&clauses, var, true), depth + 1, counts);
+        let lo = par_solve(ctx, condition(&clauses, var, false), depth + 1, counts);
+        (hi, lo)
+    };
+    let total = p * hi + (1.0 - p) * lo;
+    if let Some(k) = key {
+        ctx.cache.insert(k, total);
+        ctx.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    total
 }
 
 /// Conditions the clause set on `var = value`: satisfied clauses vanish,
@@ -653,6 +885,97 @@ mod tests {
             ..Default::default()
         };
         let result = Dpll::new(&cnf, vec![0.5; 48], opts).run();
+        assert!(result.aborted);
+        assert!(result.probability.is_nan());
+    }
+
+    #[test]
+    fn run_parallel_matches_sequential_bitwise() {
+        // A mix of shapes: chains (cache-friendly), disjoint blocks
+        // (component splits), and a dense block (pure Shannon branching).
+        let mut clauses = Vec::new();
+        for i in 0..8u32 {
+            clauses.push(Clause::new(vec![Lit::neg(i), Lit::pos(i + 1)]));
+        }
+        for b in 0..4u32 {
+            let base = 9 + b * 3;
+            clauses.push(Clause::new(vec![Lit::pos(base), Lit::pos(base + 1)]));
+            clauses.push(Clause::new(vec![Lit::neg(base + 1), Lit::pos(base + 2)]));
+        }
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                clauses.push(Clause::new(vec![
+                    Lit::neg(21 + i),
+                    Lit::pos(25 + j),
+                    Lit::neg(21 + (i + j) % 4),
+                ]));
+            }
+        }
+        let cnf = Cnf::new(clauses, 29);
+        let probs: Vec<f64> = (0..29).map(|i| 0.05 + 0.9 * (i as f64 / 28.0)).collect();
+        for components in [false, true] {
+            for caching in [false, true] {
+                let opts = DpllOptions {
+                    components,
+                    caching,
+                    ..Default::default()
+                };
+                let seq = Dpll::new(&cnf, probs.clone(), opts.clone()).run();
+                for threads in [1, 2, 4, 8] {
+                    let pool = pdb_par::Pool::new(threads);
+                    let par = run_parallel(&cnf, &probs, opts.clone(), &pool);
+                    assert!(!par.aborted);
+                    assert_eq!(
+                        par.probability.to_bits(),
+                        seq.probability.to_bits(),
+                        "threads={threads} components={components} caching={caching}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_parallel_serial_pool_preserves_stats_and_trace() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(2), v(3)]),
+        ]);
+        let cnf = Cnf::from_negated_dnf(&f, 4);
+        let opts = DpllOptions {
+            record_trace: true,
+            ..Default::default()
+        };
+        let pool = pdb_par::Pool::new(1);
+        let seq = Dpll::new(&cnf, vec![0.5; 4], opts.clone()).run();
+        let par = run_parallel(&cnf, &[0.5; 4], opts, &pool);
+        assert_eq!(par.stats, seq.stats);
+        assert_eq!(
+            par.trace.as_ref().map(Trace::reachable_size),
+            seq.trace.as_ref().map(Trace::reachable_size)
+        );
+        assert_eq!(par.probability.to_bits(), seq.probability.to_bits());
+    }
+
+    #[test]
+    fn run_parallel_respects_max_decisions() {
+        let mut clauses = Vec::new();
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                clauses.push(Clause::new(vec![
+                    Lit::neg(i),
+                    Lit::pos(6 + i * 6 + j),
+                    Lit::neg(42 + j),
+                ]));
+            }
+        }
+        let cnf = Cnf::new(clauses, 48);
+        let opts = DpllOptions {
+            max_decisions: 3,
+            ..Default::default()
+        };
+        let pool = pdb_par::Pool::new(4);
+        let result = run_parallel(&cnf, &[0.5; 48], opts, &pool);
         assert!(result.aborted);
         assert!(result.probability.is_nan());
     }

@@ -9,7 +9,8 @@
 //! *first* term satisfied by the world; then `p(F) = U · E[score]`.
 
 use pdb_lineage::DnfLineage;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// An estimate with its standard error.
 #[derive(Clone, Copy, Debug)]
@@ -22,25 +23,29 @@ pub struct Estimate {
     pub samples: u64,
 }
 
-/// Runs the Karp–Luby estimator for `samples` rounds.
-///
-/// `probs[i]` is the probability of tuple variable `i` and must be a
-/// standard probability in `[0, 1]`. Terms of the lineage must be non-empty
-/// (guaranteed by lineage construction for non-trivial queries).
-pub fn estimate(lineage: &DnfLineage, probs: &[f64], samples: u64, rng: &mut impl Rng) -> Estimate {
+/// Precomputed sampling tables shared by every chunk of one estimation run.
+struct Prepared {
+    /// The union bound `U = Σ_i p(T_i)`.
+    total: f64,
+    /// Cumulative term-sampling distribution.
+    cdf: Vec<f64>,
+    /// Variables occurring in the lineage.
+    vars: Vec<u32>,
+}
+
+/// Computes term weights and the sampling CDF, or short-circuits with the
+/// exact answer for trivial lineages.
+fn prepare(lineage: &DnfLineage, probs: &[f64]) -> Result<Prepared, Estimate> {
+    let trivial = |value: f64| Estimate {
+        value,
+        std_error: 0.0,
+        samples: 0,
+    };
     if lineage.is_trivially_true() {
-        return Estimate {
-            value: 1.0,
-            std_error: 0.0,
-            samples: 0,
-        };
+        return Err(trivial(1.0));
     }
     if lineage.is_false() {
-        return Estimate {
-            value: 0.0,
-            std_error: 0.0,
-            samples: 0,
-        };
+        return Err(trivial(0.0));
     }
     let terms = lineage.terms();
     // Term weights p(T_i) = ∏_{t ∈ T_i} p_t and the union bound U.
@@ -61,33 +66,39 @@ pub fn estimate(lineage: &DnfLineage, probs: &[f64], samples: u64, rng: &mut imp
         .collect();
     let total: f64 = weights.iter().sum();
     if total == 0.0 {
-        return Estimate {
-            value: 0.0,
-            std_error: 0.0,
-            samples: 0,
-        };
+        return Err(trivial(0.0));
     }
-    // Cumulative distribution for term sampling.
     let mut cdf = Vec::with_capacity(weights.len());
     let mut acc = 0.0;
     for w in &weights {
         acc += w / total;
         cdf.push(acc);
     }
-    // Collect the variables relevant to the lineage; all others are
-    // irrelevant to term satisfaction.
     let vars: Vec<u32> = lineage.vars().into_iter().map(|t| t.0).collect();
-    let mut assignment: Vec<bool> = vec![false; probs.len()];
-    let mut hits: u64 = 0;
+    Ok(Prepared { total, cdf, vars })
+}
+
+/// Draws `samples` Karp–Luby rounds from `rng` and counts the hits
+/// (worlds whose first satisfied term is the sampled one).
+fn sample_hits(
+    lineage: &DnfLineage,
+    prep: &Prepared,
+    probs: &[f64],
+    samples: u64,
+    rng: &mut impl Rng,
+    assignment: &mut [bool],
+) -> u64 {
+    let terms = lineage.terms();
+    let mut hits = 0u64;
     for _ in 0..samples {
         // Sample a term index ∝ weight.
         let u: f64 = rng.gen();
-        let i = match cdf.iter().position(|&c| u <= c) {
+        let i = match prep.cdf.iter().position(|&c| u <= c) {
             Some(i) => i,
-            None => cdf.len() - 1,
+            None => prep.cdf.len() - 1,
         };
         // Sample a world conditioned on T_i true.
-        for &v in &vars {
+        for &v in &prep.vars {
             assignment[v as usize] = rng.gen_bool(probs[v as usize].clamp(0.0, 1.0));
         }
         for id in &terms[i] {
@@ -102,6 +113,10 @@ pub fn estimate(lineage: &DnfLineage, probs: &[f64], samples: u64, rng: &mut imp
             hits += 1;
         }
     }
+    hits
+}
+
+fn finish(total: f64, hits: u64, samples: u64) -> Estimate {
     let mean = hits as f64 / samples as f64;
     // Bernoulli standard error, scaled by U.
     let var = mean * (1.0 - mean) / samples as f64;
@@ -110,6 +125,66 @@ pub fn estimate(lineage: &DnfLineage, probs: &[f64], samples: u64, rng: &mut imp
         std_error: total * var.sqrt(),
         samples,
     }
+}
+
+/// Runs the Karp–Luby estimator for `samples` rounds.
+///
+/// `probs[i]` is the probability of tuple variable `i` and must be a
+/// standard probability in `[0, 1]`. Terms of the lineage must be non-empty
+/// (guaranteed by lineage construction for non-trivial queries).
+pub fn estimate(lineage: &DnfLineage, probs: &[f64], samples: u64, rng: &mut impl Rng) -> Estimate {
+    let prep = match prepare(lineage, probs) {
+        Ok(prep) => prep,
+        Err(trivial) => return trivial,
+    };
+    let mut assignment: Vec<bool> = vec![false; probs.len()];
+    let hits = sample_hits(lineage, &prep, probs, samples, rng, &mut assignment);
+    finish(prep.total, hits, samples)
+}
+
+/// Number of samples per parallel chunk. Fixed so the chunk boundaries —
+/// and hence every chunk's RNG stream — do not depend on the pool size.
+pub const CHUNK_SAMPLES: u64 = 4096;
+
+/// Derives the RNG seed of chunk `chunk` from the run seed (a splitmix64
+/// scramble, so neighbouring chunks get decorrelated streams).
+fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the Karp–Luby estimator with samples sharded into fixed-size chunks
+/// evaluated on `pool`, each chunk seeded from `(seed, chunk_index)`.
+///
+/// Because chunk boundaries and seeds are functions of `(seed, samples)`
+/// only, the estimate is **bit-identical for every pool size** — a serial
+/// run and an 8-thread run produce the same value, std error, and hit
+/// count. (It differs from [`estimate`] with a single RNG stream under the
+/// same seed; the chunked layout is its own deterministic estimator.)
+pub fn estimate_chunked(
+    lineage: &DnfLineage,
+    probs: &[f64],
+    samples: u64,
+    seed: u64,
+    pool: &pdb_par::Pool,
+) -> Estimate {
+    let prep = match prepare(lineage, probs) {
+        Ok(prep) => prep,
+        Err(trivial) => return trivial,
+    };
+    let chunks = samples.div_ceil(CHUNK_SAMPLES);
+    let chunk_hits = pool.map_indices(chunks as usize, |c| {
+        let c = c as u64;
+        let lo = c * CHUNK_SAMPLES;
+        let n = CHUNK_SAMPLES.min(samples - lo);
+        let mut rng = StdRng::seed_from_u64(chunk_seed(seed, c));
+        let mut assignment: Vec<bool> = vec![false; probs.len()];
+        sample_hits(lineage, &prep, probs, n, &mut rng, &mut assignment)
+    });
+    let hits: u64 = chunk_hits.into_iter().sum();
+    finish(prep.total, hits, samples)
 }
 
 #[cfg(test)]
@@ -160,6 +235,54 @@ mod tests {
         let est2 = estimate(&lin2, &[0.4], 1000, &mut rng);
         // One term: the estimator is deterministic (hit rate 1).
         assert!((est2.value - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_estimate_is_pool_size_invariant() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let db = generators::bipartite(4, 0.7, (0.2, 0.8), &mut rng);
+        let idx = db.index();
+        let lin = ucq_dnf_lineage(&parse_ucq("R(x), S(x,y), T(y)").unwrap(), &db, &idx);
+        let probs = probs_of(&db);
+        // 2.5 chunks' worth of samples: exercises the partial tail chunk.
+        let samples = CHUNK_SAMPLES * 2 + CHUNK_SAMPLES / 2;
+        let serial = {
+            let pool = pdb_par::Pool::new(1);
+            estimate_chunked(&lin, &probs, samples, 77, &pool)
+        };
+        for threads in [2, 3, 8] {
+            let pool = pdb_par::Pool::new(threads);
+            let est = estimate_chunked(&lin, &probs, samples, 77, &pool);
+            assert_eq!(
+                est.value.to_bits(),
+                serial.value.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(est.std_error.to_bits(), serial.std_error.to_bits());
+            assert_eq!(est.samples, serial.samples);
+        }
+        // And the estimate is still a good one.
+        let exact = brute::expr_probability(&lin.to_expr(), &probs);
+        assert!(
+            (serial.value - exact).abs() < 4.0 * serial.std_error.max(0.005),
+            "estimate {} vs exact {} (se {})",
+            serial.value,
+            exact,
+            serial.std_error
+        );
+    }
+
+    #[test]
+    fn chunked_estimate_handles_trivial_lineages() {
+        let mut db = pdb_data::TupleDb::new();
+        db.insert("R", [0], 0.4);
+        let idx = db.index();
+        let pool = pdb_par::Pool::new(4);
+        let lin = ucq_dnf_lineage(&parse_ucq("Z(x)").unwrap(), &db, &idx);
+        assert_eq!(estimate_chunked(&lin, &[0.4], 100, 1, &pool).value, 0.0);
+        let lin2 = ucq_dnf_lineage(&parse_ucq("R(x)").unwrap(), &db, &idx);
+        let est = estimate_chunked(&lin2, &[0.4], 1000, 1, &pool);
+        assert!((est.value - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -26,5 +26,7 @@ pub mod karp_luby;
 pub mod monte_carlo;
 pub mod prob;
 
-pub use dpll::{Dpll, DpllOptions, DpllResult, DpllStats, Trace, TraceNode, TraceNodeId};
+pub use dpll::{
+    run_parallel, Dpll, DpllOptions, DpllResult, DpllStats, Trace, TraceNode, TraceNodeId,
+};
 pub use prob::{probability_of_expr, probability_of_query};

@@ -16,6 +16,9 @@
 //!
 //! - `--addr HOST:PORT` — bind address (default `127.0.0.1:7171`)
 //! - `--workers N` — worker threads = max concurrent sessions (default 4)
+//! - `--threads N` — engine thread-pool size shared by every query
+//!   (parallel DPLL components, Karp–Luby chunks, answer rows, view
+//!   builds); defaults to `PROBDB_THREADS`, else the hardware parallelism
 //! - `--timeout-ms MS` — per-query wall-clock budget before degrading to
 //!   the approximate engine; `0` disables (default 10000)
 //! - `--cache-capacity N` — result-cache entries (default 1024)
@@ -29,8 +32,8 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: probdb-serve [--addr HOST:PORT] [--workers N] [--timeout-ms MS] \
-         [--cache-capacity N] [--preload FILE]"
+        "usage: probdb-serve [--addr HOST:PORT] [--workers N] [--threads N] \
+         [--timeout-ms MS] [--cache-capacity N] [--preload FILE]"
     );
     std::process::exit(2);
 }
@@ -49,6 +52,14 @@ fn parse_args() -> (ServerOptions, Option<String>) {
         match flag.as_str() {
             "--addr" => opts.addr = value("--addr"),
             "--workers" => opts.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                let n: usize = value("--threads").parse().unwrap_or_else(|_| usage());
+                // Must win the race with first pool use, so it is set here —
+                // before the preload script or server issue any query.
+                if !probdb::par::configure_global_threads(n) {
+                    eprintln!("--threads: engine pool already initialized; flag ignored");
+                }
+            }
             "--timeout-ms" => {
                 let ms: u64 = value("--timeout-ms").parse().unwrap_or_else(|_| usage());
                 opts.query_timeout = Duration::from_millis(ms);
@@ -114,9 +125,10 @@ fn main() {
     match serve(db, opts) {
         Ok(handle) => {
             eprintln!(
-                "probdb-serve listening on {} ({} workers)",
+                "probdb-serve listening on {} ({} workers, engine pool: {} threads)",
                 handle.local_addr(),
-                workers
+                workers,
+                probdb::par::global().threads()
             );
             handle.join();
         }

@@ -38,6 +38,7 @@
 //! | [`bid`] | block-independent-disjoint databases | §1 |
 //! | [`datalog`] | probabilistic datalog (ProbLog-style recursion) | §2, §9 |
 //! | [`engine`] | the [`ProbDb`] cascade | all |
+//! | [`par`] | work-stealing thread pool (`PROBDB_THREADS`) | infrastructure |
 //! | [`views`] | incrementally maintained materialized views | §7 in production |
 //! | [`server`] | concurrent TCP query service, result cache, stats | infrastructure |
 
@@ -55,6 +56,7 @@ pub use pdb_lineage as lineage;
 pub use pdb_logic as logic;
 pub use pdb_mln as mln;
 pub use pdb_num as num;
+pub use pdb_par as par;
 pub use pdb_plans as plans;
 pub use pdb_symmetric as symmetric;
 pub use pdb_wmc as wmc;

@@ -1,0 +1,141 @@
+//! Thread-count invariance: every query kind returns **bit-identical**
+//! results whether the engine pool has 1 thread or 8.
+//!
+//! This is the contract that makes `PROBDB_THREADS` safe to tune freely:
+//! Karp–Luby chunks its samples with per-chunk seeds, the parallel DPLL
+//! preserves the sequential floating-point combination order, and the
+//! per-row fan-outs (`query_answers`, view builds) keep input order. The
+//! tests run each query under explicit pools via `with_pool`, which is
+//! exactly what `PROBDB_THREADS=1` vs `PROBDB_THREADS=8` selects globally.
+
+use probdb::par::{with_pool, Pool};
+use probdb::views::{ViewDef, ViewManager, ViewOptions};
+use probdb::{ProbDb, QueryOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs `f` under a fresh pool of each size and asserts all outputs equal.
+fn invariant_under_pools<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) -> R {
+    let baseline = with_pool(&Pool::new(1), &f);
+    for threads in [2, 8] {
+        let out = with_pool(&Pool::new(threads), &f);
+        assert_eq!(out, baseline, "diverged at {threads} threads");
+    }
+    baseline
+}
+
+fn test_db(n: u64) -> ProbDb {
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    ProbDb::from_tuple_db(pdb_data::generators::bipartite(
+        n,
+        0.7,
+        (0.15, 0.85),
+        &mut rng,
+    ))
+}
+
+/// `(bits of probability, method)` — the full observable Boolean answer.
+fn fo_fingerprint(db: &ProbDb, query: &str, opts: &QueryOptions) -> (u64, String, Option<u64>) {
+    let a = db
+        .query_fo(&probdb::logic::parse_fo(query).unwrap(), opts)
+        .unwrap();
+    (
+        a.probability.to_bits(),
+        format!("{:?}", a.method),
+        a.std_error.map(f64::to_bits),
+    )
+}
+
+#[test]
+fn lifted_queries_are_pool_size_invariant() {
+    let db = test_db(4);
+    let opts = QueryOptions::default();
+    let (_, method, _) =
+        invariant_under_pools(|| fo_fingerprint(&db, "exists x. exists y. R(x) & S(x,y)", &opts));
+    assert_eq!(method, "Lifted");
+}
+
+#[test]
+fn grounded_queries_are_pool_size_invariant() {
+    let db = test_db(4);
+    let opts = QueryOptions::default();
+    let (_, method, _) = invariant_under_pools(|| {
+        fo_fingerprint(&db, "exists x. exists y. R(x) & S(x,y) & T(y)", &opts)
+    });
+    assert_eq!(method, "Grounded");
+}
+
+#[test]
+fn approximate_queries_are_pool_size_invariant() {
+    let db = test_db(6);
+    // A tiny exact budget forces the Karp–Luby path.
+    let opts = QueryOptions {
+        exact_budget: 2,
+        samples: 20_000,
+        ..Default::default()
+    };
+    let (_, method, std_error) = invariant_under_pools(|| {
+        fo_fingerprint(&db, "exists x. exists y. R(x) & S(x,y) & T(y)", &opts)
+    });
+    assert_eq!(method, "Approximate");
+    assert!(std_error.is_some());
+}
+
+#[test]
+fn answers_cq_rows_are_pool_size_invariant() {
+    let db = test_db(5);
+    let cq = probdb::logic::parse_cq("R(x), S(x,y), T(y)").unwrap();
+    let head = [probdb::logic::Var::new("x")];
+    let opts = QueryOptions::default();
+    let rows = invariant_under_pools(|| {
+        db.query_answers(&cq, &head, &opts)
+            .unwrap()
+            .into_iter()
+            .map(|r| (r.values, r.probability.to_bits(), format!("{:?}", r.method)))
+            .collect::<Vec<_>>()
+    });
+    assert!(!rows.is_empty(), "fixture should produce answer rows");
+}
+
+#[test]
+fn views_refresh_is_pool_size_invariant() {
+    let build = || {
+        // The whole lifecycle runs under the ambient pool: initial build,
+        // staleness via insert, then a full refresh_all.
+        let mut db = test_db(4);
+        let mut views = ViewManager::with_options(ViewOptions::default());
+        views
+            .create(
+                "vb",
+                ViewDef::boolean("exists x. exists y. R(x) & S(x,y) & T(y)").unwrap(),
+                &db,
+            )
+            .unwrap();
+        views
+            .create(
+                "va",
+                ViewDef::answers(&["x".into()], "R(x), S(x,y), T(y)").unwrap(),
+                &db,
+            )
+            .unwrap();
+        db.insert("R", [17], 0.35);
+        views.on_insert("R", db.relation_version("R"));
+        type ViewPrint = (String, String, Vec<(Vec<u64>, u64)>);
+        let outcomes = views.refresh_all(&db).unwrap();
+        let mut fingerprint: Vec<ViewPrint> = Vec::new();
+        for view in views.iter() {
+            let rows = view
+                .rows()
+                .iter()
+                .map(|r| (r.values.clone(), r.probability.to_bits()))
+                .collect();
+            fingerprint.push((
+                view.name().to_string(),
+                view.backend_summary().to_string(),
+                rows,
+            ));
+        }
+        (format!("{outcomes:?}"), fingerprint)
+    };
+    invariant_under_pools(build);
+}
