@@ -1,0 +1,484 @@
+//! A small, dependency-free Rust lexer.
+//!
+//! Produces a token stream with line/column spans plus a parallel list of
+//! comments, which is exactly what the lints need: identifiers and
+//! punctuation to recognise syntactic shapes, comments to check `// SAFETY:`
+//! annotations and `// pdb-lint: allow(...)` suppressions, and matched
+//! delimiter positions to reason about block extents (guard lifetimes, test
+//! modules, function bodies).
+//!
+//! It is *not* a parser: no precedence, no AST. The lints work on token
+//! shapes, which keeps the whole pass trivially fast (one linear scan per
+//! file) and robust against half-written code.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `foo`).
+    Ident,
+    /// Punctuation / operator, possibly multi-character (`::`, `+=`).
+    Punct,
+    /// A literal: string, raw string, byte string, char, or number.
+    Lit,
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token's class.
+    pub kind: TokKind,
+    /// The raw text (for literals, the opening characters only are
+    /// guaranteed; string contents are preserved but unescaped).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True iff this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True iff this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment (line or block), with its line extent.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// The comment text, including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based line where the comment ends (same as `line` for `//`).
+    pub end_line: u32,
+}
+
+/// A lexed file: tokens, comments, and matched-delimiter tables.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+    /// `matching[i] = j` when tokens `i` and `j` are a matched `{}`/`()`/
+    /// `[]` pair (both directions); `usize::MAX` when unmatched.
+    pub matching: Vec<usize>,
+}
+
+impl Lexed {
+    /// The index of the `{`/`(`/`[` or `}`/`)`/`]` matching token `i`, if
+    /// the file's delimiters balance there.
+    pub fn match_of(&self, i: usize) -> Option<usize> {
+        let j = *self.matching.get(i)?;
+        (j != usize::MAX).then_some(j)
+    }
+
+    /// The most recent comment that *ends* on `line`, if any.
+    pub fn comment_ending_on(&self, line: u32) -> Option<&Comment> {
+        self.comments.iter().rev().find(|c| c.end_line == line)
+    }
+
+    /// All comments that end on lines in `[lo, hi]`.
+    pub fn comments_ending_in(&self, lo: u32, hi: u32) -> impl Iterator<Item = &Comment> {
+        self.comments
+            .iter()
+            .filter(move |c| c.end_line >= lo && c.end_line <= hi)
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens + comments, recording matched delimiters.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    // Stack of (open index, open char) for delimiter matching.
+    let mut delims: Vec<(usize, char)> = Vec::new();
+
+    macro_rules! advance {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if chars[i] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        if c.is_whitespace() {
+            advance!(1);
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    advance!(1);
+                }
+                out.comments.push(Comment {
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    end_line: tline,
+                });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start = i;
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        advance!(2);
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        advance!(2);
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        advance!(1);
+                    }
+                }
+                out.comments.push(Comment {
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    end_line: line,
+                });
+                continue;
+            }
+        }
+
+        // Raw strings r"..." / r#"..."# (and br variants), checked before
+        // identifiers so `r` / `br` prefixes do not lex as idents.
+        if (c == 'r' || c == 'b') && i + 1 < chars.len() {
+            let (prefix_len, rest) = if c == 'b' && chars[i + 1] == 'r' {
+                (2, i + 2)
+            } else if c == 'r' {
+                (1, i + 1)
+            } else {
+                (0, i)
+            };
+            if prefix_len > 0 && rest < chars.len() {
+                let mut hashes = 0usize;
+                let mut j = rest;
+                while j < chars.len() && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < chars.len() && chars[j] == '"' {
+                    // Consume until `"` followed by `hashes` hashes.
+                    advance!(j + 1 - i);
+                    loop {
+                        if i >= chars.len() {
+                            break;
+                        }
+                        if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && i + 1 + k < chars.len() && chars[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                advance!(1 + hashes);
+                                break;
+                            }
+                        }
+                        advance!(1);
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lit,
+                        text: String::from("\"raw\""),
+                        line: tline,
+                        col: tcol,
+                    });
+                    out.matching.push(usize::MAX);
+                    continue;
+                }
+            }
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                advance!(1);
+            }
+            // A byte-string/char prefix directly attached to a quote
+            // (`b"…"` / `b'…'`) — fall through to the literal lexers by
+            // treating the prefix as consumed.
+            let text: String = chars[start..i].iter().collect();
+            if text == "b" && i < chars.len() && (chars[i] == '"' || chars[i] == '\'') {
+                // Let the quote be handled on the next loop turn; the `b`
+                // itself carries no information the lints need.
+                continue;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            out.matching.push(usize::MAX);
+            continue;
+        }
+
+        // String literals.
+        if c == '"' {
+            advance!(1);
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    advance!(2);
+                } else {
+                    advance!(1);
+                }
+            }
+            if i < chars.len() {
+                advance!(1); // closing quote
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Lit,
+                text: String::from("\"str\""),
+                line: tline,
+                col: tcol,
+            });
+            out.matching.push(usize::MAX);
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime = match (next, after) {
+                (Some(n), Some(a)) => is_ident_start(n) && a != '\'',
+                (Some(n), None) => is_ident_start(n),
+                _ => false,
+            };
+            if is_lifetime {
+                advance!(1);
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    advance!(1);
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+                out.matching.push(usize::MAX);
+                continue;
+            }
+            // Char literal: consume to the closing quote, honouring escapes.
+            advance!(1);
+            while i < chars.len() && chars[i] != '\'' {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    advance!(2);
+                } else {
+                    advance!(1);
+                }
+            }
+            if i < chars.len() {
+                advance!(1);
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Lit,
+                text: String::from("'c'"),
+                line: tline,
+                col: tcol,
+            });
+            out.matching.push(usize::MAX);
+            continue;
+        }
+
+        // Numbers (simple: enough to keep `1.0` one token and `0..n` three).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (is_ident_continue(chars[i])) {
+                advance!(1);
+            }
+            // A fractional part: `.` followed by a digit (not `..`).
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                advance!(1);
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    advance!(1);
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Lit,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            out.matching.push(usize::MAX);
+            continue;
+        }
+
+        // Multi-char operators (longest match), then single punctuation.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let n = op.len();
+            if i + n <= chars.len() && chars[i..i + n].iter().collect::<String>() == **op {
+                advance!(n);
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line: tline,
+                    col: tcol,
+                });
+                out.matching.push(usize::MAX);
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        advance!(1);
+        let idx = out.tokens.len();
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+        out.matching.push(usize::MAX);
+        match c {
+            '{' | '(' | '[' => delims.push((idx, c)),
+            '}' | ')' | ']' => {
+                let want = match c {
+                    '}' => '{',
+                    ')' => '(',
+                    _ => '[',
+                };
+                if let Some(&(open, oc)) = delims.last() {
+                    if oc == want {
+                        delims.pop();
+                        out.matching[open] = idx;
+                        out.matching[idx] = open;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_puncts_and_matches_braces() {
+        let lx = lex("fn foo(a: u32) -> u32 { a + 1 }");
+        let idents: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "foo", "a", "u32", "u32", "a"]);
+        let open = lx.tokens.iter().position(|t| t.is_punct("{")).unwrap();
+        let close = lx.match_of(open).unwrap();
+        assert!(lx.tokens[close].is_punct("}"));
+        assert_eq!(lx.match_of(close), Some(open));
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens_but_are_recorded() {
+        let lx = lex("// SAFETY: fine\nunsafe { x } /* block\ncomment */ y");
+        assert_eq!(lx.comments.len(), 2);
+        assert_eq!(lx.comments[0].line, 1);
+        assert!(lx.comments[0].text.contains("SAFETY:"));
+        assert_eq!(lx.comments[1].line, 2);
+        assert_eq!(lx.comments[1].end_line, 3);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!lx.tokens.iter().any(|t| t.text.contains("SAFETY")));
+    }
+
+    #[test]
+    fn strings_chars_and_lifetimes_are_opaque() {
+        let lx = lex(r#"let s = "unsafe { }"; let c = '{'; fn f<'a>(x: &'a str) {}"#);
+        // The string's braces must not confuse matching: the final {} pair
+        // still matches.
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("unsafe")));
+        let lifetimes: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let open = lx.tokens.iter().position(|t| t.is_punct("{")).unwrap();
+        assert!(lx.match_of(open).is_some());
+    }
+
+    #[test]
+    fn raw_strings_are_single_tokens() {
+        let lx = lex(r###"let x = r#"unsafe // not a comment"#; y"###);
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert!(lx.comments.is_empty());
+        assert!(lx.tokens.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn multi_char_operators_lex_as_one_token() {
+        let lx = lex("a += 1; b :: c; d ..= e; f != g");
+        let puncts: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"..="));
+        assert!(puncts.contains(&"!="));
+    }
+
+    #[test]
+    fn numbers_keep_fractions_together() {
+        let lx = lex("let p = 0.5; for i in 0..10 {}");
+        let lits: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, ["0.5", "0", "10"]);
+    }
+}

@@ -1,0 +1,278 @@
+//! # pdb-analyze — in-tree invariant linter for the probdb workspace
+//!
+//! A dependency-free static-analysis pass over the workspace's own Rust
+//! sources. It ships its own small lexer (`lexer`), a token-shape structural
+//! model (`model`), and four lints (`lints`):
+//!
+//! | code | default | invariant |
+//! |------|---------|-----------|
+//! | `D1` | warn    | no hash-ordered iteration feeding FP accumulation or output |
+//! | `U1` | deny    | every `unsafe` carries a `// SAFETY:` audit comment |
+//! | `L1` | warn    | lock acquisition graph is acyclic; no guard held across blocking calls |
+//! | `P1` | deny    | no panic (unwrap/expect/macros/indexing) on the server request path |
+//! | `S0` | deny    | suppression comments carry a non-empty reason |
+//!
+//! Findings can be waived in place with
+//! `// pdb-lint: allow(<lint>, reason = "…")` on the offending line or the
+//! line above. The reason is mandatory — an unexplained waiver is itself a
+//! finding (`S0`).
+//!
+//! The `probdb-lint` binary runs the pass over explicit paths or the whole
+//! workspace (`--workspace`), prints human or `--json` reports, and exits
+//! nonzero when any denying finding survives suppression.
+
+pub mod lexer;
+pub mod lints;
+pub mod model;
+pub mod suppress;
+
+pub use lints::{Lint, LintOptions};
+
+use model::SourceFile;
+
+/// One reported problem, after suppression filtering.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The lint that fired.
+    pub lint: Lint,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// True when this finding fails the run.
+    pub denies: bool,
+}
+
+/// Analysis configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    /// Promote warn-level lints (D1, L1) to deny.
+    pub deny_all: bool,
+    /// Run P1 on every file instead of only `crates/server/src` (fixtures).
+    pub p1_everywhere: bool,
+}
+
+/// The result of an analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression, sorted by (path, line, col, lint).
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by suppression comments.
+    pub suppressed: usize,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when any finding denies (fails the run).
+    pub fn failed(&self) -> bool {
+        self.findings.iter().any(|f| f.denies)
+    }
+}
+
+/// Analyzes `(path, source)` pairs and produces a report.
+pub fn analyze_sources(sources: &[(String, String)], opts: &Options) -> Report {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(p, s)| SourceFile::parse(p, s))
+        .collect();
+    let raw = lints::run_lints(
+        &files,
+        &LintOptions {
+            p1_everywhere: opts.p1_everywhere,
+        },
+    );
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed = 0usize;
+    let mut per_file_suppressions: Vec<Vec<suppress::Suppression>> = Vec::new();
+    for (fi, sf) in files.iter().enumerate() {
+        let (good, bad) = suppress::collect(&sf.lexed);
+        for b in &bad {
+            findings.push(Finding {
+                lint: Lint::S0,
+                path: sf.path.clone(),
+                line: b.line,
+                col: 1,
+                message: format!("malformed suppression: {}", b.problem),
+                denies: true,
+            });
+        }
+        // Unknown lint codes in otherwise well-formed suppressions are also
+        // S0: a typo'd code would otherwise silently waive nothing.
+        for s in &good {
+            if !matches!(s.code.as_str(), "D1" | "U1" | "L1" | "P1") {
+                findings.push(Finding {
+                    lint: Lint::S0,
+                    path: sf.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!("suppression names unknown lint `{}`", s.code),
+                    denies: true,
+                });
+            }
+        }
+        let _ = fi;
+        per_file_suppressions.push(good);
+    }
+
+    for r in raw {
+        let sf = &files[r.file];
+        let sup = &per_file_suppressions[r.file];
+        let waived = sup
+            .iter()
+            .any(|s| s.code == r.lint.code() && (s.line == r.line || s.line + 1 == r.line));
+        if waived {
+            suppressed += 1;
+            continue;
+        }
+        findings.push(Finding {
+            lint: r.lint,
+            path: sf.path.clone(),
+            line: r.line,
+            col: r.col,
+            message: r.message,
+            denies: r.lint.denies_by_default() || opts.deny_all,
+        });
+    }
+
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.lint).cmp(&(b.path.as_str(), b.line, b.col, b.lint))
+    });
+    Report {
+        findings,
+        suppressed,
+        files: files.len(),
+    }
+}
+
+/// Renders a report as a human-readable listing.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let sev = if f.denies { "deny" } else { "warn" };
+        out.push_str(&format!(
+            "{}:{}:{}: [{}/{}] {}\n",
+            f.path,
+            f.line,
+            f.col,
+            f.lint.code(),
+            sev,
+            f.message
+        ));
+    }
+    let denied = report.findings.iter().filter(|f| f.denies).count();
+    let warned = report.findings.len() - denied;
+    out.push_str(&format!(
+        "{} file(s) analyzed: {} deny finding(s), {} warning(s), {} suppressed\n",
+        report.files, denied, warned, report.suppressed
+    ));
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a report as a single JSON object (stable field order).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            f.lint.code(),
+            if f.denies { "deny" } else { "warn" },
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"files\":{},\"suppressed\":{},\"failed\":{}}}",
+        report.files,
+        report.suppressed,
+        report.failed()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, opts: &Options) -> Report {
+        analyze_sources(&[("crates/server/src/demo.rs".into(), src.into())], opts)
+    }
+
+    #[test]
+    fn suppression_waives_matching_line_and_next() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // pdb-lint: allow(P1, reason = \"checked by caller\")\n    x.unwrap()\n}\n";
+        let r = run(src, &Options::default());
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_finding() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // pdb-lint: allow(P1)\n    x.unwrap()\n}\n";
+        let r = run(src, &Options::default());
+        assert!(r.failed());
+        assert!(r.findings.iter().any(|f| f.lint == Lint::S0));
+        assert!(r.findings.iter().any(|f| f.lint == Lint::P1));
+    }
+
+    #[test]
+    fn unknown_lint_code_is_a_finding() {
+        let src = "// pdb-lint: allow(Z9, reason = \"typo\")\nfn f() {}\n";
+        let r = run(src, &Options::default());
+        assert!(r.failed());
+        assert!(r.findings.iter().any(|f| f.lint == Lint::S0));
+    }
+
+    #[test]
+    fn deny_all_promotes_warnings() {
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, f64>) -> f64 {\n    let mut s = 0.0f64;\n    for (_k, v) in &m { s += v; }\n    s\n}\n";
+        let warn = run(src, &Options::default());
+        assert!(!warn.failed(), "{:?}", warn.findings);
+        assert_eq!(warn.findings.len(), 1);
+        let deny = run(
+            src,
+            &Options {
+                deny_all: true,
+                ..Options::default()
+            },
+        );
+        assert!(deny.failed());
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let r = run(src, &Options::default());
+        let js = render_json(&r);
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("\"lint\":\"P1\""));
+        assert!(js.contains("\"failed\":true"));
+    }
+}

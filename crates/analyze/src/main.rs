@@ -1,0 +1,137 @@
+//! `probdb-lint` — run the in-tree invariant lints over the workspace.
+//!
+//! ```text
+//! probdb-lint --workspace [--json] [--deny-all]
+//! probdb-lint [--json] [--deny-all] <file.rs|dir>...
+//! ```
+//!
+//! Exit status: 0 when no denying finding survives suppression, 1 when one
+//! does, 2 on usage or I/O errors.
+
+use pdb_analyze::{analyze_sources, render_human, render_json, Options};
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!("usage: probdb-lint [--workspace] [--json] [--deny-all] [paths...]");
+    std::process::exit(2);
+}
+
+/// Walks up from the current directory to the workspace root (the nearest
+/// ancestor whose Cargo.toml contains `[workspace]`).
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collects `.rs` files under `dir`, skipping `target/` and hidden dirs.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort();
+    for path in children {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // `fixtures/` holds the linter's own intentionally-bad test
+            // inputs — linting them from a directory walk would fail every
+            // workspace run by design. Explicit file arguments still reach
+            // them.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let mut opts = Options::default();
+    let mut json = false;
+    let mut workspace = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--deny-all" => opts.deny_all = true,
+            "--p1-everywhere" => opts.p1_everywhere = true,
+            "--help" | "-h" => usage(),
+            a if a.starts_with('-') => {
+                eprintln!("probdb-lint: unknown flag {a}");
+                usage();
+            }
+            a => paths.push(PathBuf::from(a)),
+        }
+    }
+    if !workspace && paths.is_empty() {
+        usage();
+    }
+
+    let root = if workspace {
+        match workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("probdb-lint: no workspace Cargo.toml found above the current directory");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
+    };
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    if workspace {
+        collect_rs(&root.join("src"), &mut files);
+        collect_rs(&root.join("crates"), &mut files);
+        collect_rs(&root.join("tests"), &mut files);
+        collect_rs(&root.join("benches"), &mut files);
+    }
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, &mut files);
+        } else {
+            files.push(p);
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(text) => {
+                let rel = f
+                    .strip_prefix(&root)
+                    .unwrap_or(f)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                sources.push((rel, text));
+            }
+            Err(e) => {
+                eprintln!("probdb-lint: cannot read {}: {e}", f.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = analyze_sources(&sources, &opts);
+    if json {
+        println!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+    std::process::exit(i32::from(report.failed()));
+}

@@ -1,0 +1,287 @@
+//! A lightweight structural model over the token stream: function extents,
+//! `#[cfg(test)]` / `#[test]` regions, and the per-file facts the lints
+//! share (crate name, repo-relative path).
+
+use crate::lexer::{lex, Lexed, TokKind, Token};
+
+/// One `fn` item found in the token stream.
+#[derive(Clone, Debug)]
+pub struct Func {
+    /// The function's name.
+    pub name: String,
+    /// Token range `(open, close)` of the body braces, when it has a body.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the function lives inside a test region.
+    pub in_test: bool,
+}
+
+/// A lexed file plus the structure the lints need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// The crate the file belongs to (`pdb-server`, `probdb`, …).
+    pub crate_name: String,
+    /// The token stream.
+    pub lexed: Lexed,
+    /// Every function item, in source order.
+    pub functions: Vec<Func>,
+    /// Token index ranges (inclusive) that are test-only code.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (so `&mut [T]`, `in [a, b]`, … are not flagged as indexing).
+pub const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "dyn", "impl", "ref", "in", "as", "return", "break", "else", "match", "if", "while",
+    "loop", "move", "const", "static", "let", "fn", "where", "for", "type", "pub", "crate",
+    "super", "use", "mod", "enum", "struct", "trait", "unsafe", "extern", "box", "await",
+];
+
+impl SourceFile {
+    /// Lexes and models `source`. `path` should be repo-relative.
+    pub fn parse(path: &str, source: &str) -> SourceFile {
+        let path = path.replace('\\', "/");
+        let crate_name = crate_of(&path);
+        let lexed = lex(source);
+        let test_ranges = find_test_ranges(&lexed);
+        let functions = find_functions(&lexed, &test_ranges);
+        SourceFile {
+            path,
+            crate_name,
+            lexed,
+            functions,
+            test_ranges,
+        }
+    }
+
+    /// True when token `i` falls inside a test region.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| i >= a && i <= b)
+    }
+
+    /// The tokens, for concision at call sites.
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+}
+
+/// Derives the crate name from a repo-relative path.
+fn crate_of(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    if let Some(pos) = parts.iter().position(|p| *p == "crates") {
+        if let Some(name) = parts.get(pos + 1) {
+            return (*name).to_string();
+        }
+    }
+    String::from("probdb")
+}
+
+/// Finds `#[cfg(test)]` and `#[test]` item bodies: the attribute, then the
+/// next `{ … }` at the same nesting level before a `;`.
+fn find_test_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            let close = match lexed.match_of(i + 1) {
+                Some(c) => c,
+                None => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let attr: Vec<&str> = toks[i + 2..close]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            let is_test_attr = attr == ["test"]
+                || (attr.contains(&"cfg") && attr.contains(&"test"))
+                || attr == ["bench"];
+            if is_test_attr {
+                // Skip any further attributes, then find the item body.
+                let mut j = close + 1;
+                while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+                    match lexed.match_of(j + 1) {
+                        Some(c) => j = c + 1,
+                        None => break,
+                    }
+                }
+                // Scan to the first `{` before a top-level `;`.
+                let mut k = j;
+                let mut body = None;
+                while k < toks.len() {
+                    if toks[k].is_punct("{") {
+                        body = lexed.match_of(k).map(|c| (k, c));
+                        break;
+                    }
+                    if toks[k].is_punct(";") {
+                        break;
+                    }
+                    // Skip delimited groups in the signature.
+                    if toks[k].is_punct("(") || toks[k].is_punct("[") {
+                        if let Some(c) = lexed.match_of(k) {
+                            k = c;
+                        }
+                    }
+                    k += 1;
+                }
+                if let Some((open, closeb)) = body {
+                    out.push((open, closeb));
+                    i = closeb + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Finds every `fn` item and its body extent.
+fn find_functions(lexed: &Lexed, test_ranges: &[(usize, usize)]) -> Vec<Func> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            // The name is the next identifier (skip nothing else: `fn` in
+            // `dyn Fn(...)` lexes as `Fn`, so a bare `fn` here is an item
+            // or a closure-typed parameter `fn(...)`, which has no name).
+            let name_tok = toks.get(i + 1);
+            let name = match name_tok {
+                Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // Scan forward for the body `{` or a trailing `;` (trait
+            // method without a default body). Skip delimited groups so
+            // braces inside parameter defaults or const generics do not
+            // end the signature early.
+            let mut k = i + 2;
+            let mut body = None;
+            while k < toks.len() {
+                if toks[k].is_punct("{") {
+                    body = lexed.match_of(k).map(|c| (k, c));
+                    break;
+                }
+                if toks[k].is_punct(";") {
+                    break;
+                }
+                if toks[k].is_punct("(") || toks[k].is_punct("[") {
+                    if let Some(c) = lexed.match_of(k) {
+                        k = c;
+                    }
+                }
+                k += 1;
+            }
+            let in_test = test_ranges.iter().any(|&(a, b)| i >= a && i <= b);
+            out.push(Func {
+                name,
+                body,
+                line: toks[i].line,
+                in_test,
+            });
+            // Continue scanning *inside* the body too: nested fns are rare
+            // but exist (helpers inside tests), and lints want them.
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Walks backwards from the token before a `.method(` chain and returns the
+/// receiver's field path (last identifier is the innermost field). Returns
+/// an empty vector when the receiver is not a simple place expression.
+///
+/// `self.inner.db` → `["inner", "db"]`; `self.queues[q]` → `["queues"]`;
+/// `foo()` → `["foo"]`.
+pub fn receiver_chain(lexed: &Lexed, mut i: isize) -> Vec<String> {
+    let toks = &lexed.tokens;
+    let mut rev: Vec<String> = Vec::new();
+    while i >= 0 {
+        let t = &toks[i as usize];
+        if t.kind == TokKind::Ident {
+            if t.text != "self" {
+                rev.push(t.text.clone());
+            }
+            // Keep walking only if preceded by `.` or `::`.
+            if i >= 1
+                && (toks[(i - 1) as usize].is_punct(".") || toks[(i - 1) as usize].is_punct("::"))
+            {
+                i -= 2;
+                continue;
+            }
+            break;
+        }
+        if t.is_punct("]") || t.is_punct(")") {
+            // Skip the delimited group and continue from what precedes it.
+            match lexed.match_of(i as usize) {
+                Some(open) => {
+                    i = open as isize - 1;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        break;
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_functions_and_bodies() {
+        let src = "pub fn alpha(x: u32) -> u32 { x }\nfn beta();\nimpl T { fn gamma(&self) { let f = |y| y; } }";
+        let sf = SourceFile::parse("crates/demo/src/lib.rs", src);
+        let names: Vec<&str> = sf.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+        assert!(sf.functions[0].body.is_some());
+        assert!(sf.functions[1].body.is_none());
+        assert_eq!(sf.crate_name, "demo");
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n  #[test]\n  fn t() { y.unwrap(); }\n}";
+        let sf = SourceFile::parse("crates/demo/src/lib.rs", src);
+        assert_eq!(sf.test_ranges.len(), 1, "outer mod swallows the #[test]");
+        let live = sf.functions.iter().find(|f| f.name == "live").unwrap();
+        let helper = sf.functions.iter().find(|f| f.name == "helper").unwrap();
+        assert!(!live.in_test);
+        assert!(helper.in_test);
+    }
+
+    #[test]
+    fn receiver_chains_walk_fields_and_index_groups() {
+        let sf = SourceFile::parse(
+            "src/lib.rs",
+            "self.inner.db.write(); self.queues[q].lock();",
+        );
+        let toks = sf.tokens();
+        let w = toks.iter().position(|t| t.is_ident("write")).unwrap();
+        assert_eq!(
+            receiver_chain(&sf.lexed, w as isize - 2),
+            vec!["inner".to_string(), "db".to_string()]
+        );
+        let l = toks.iter().position(|t| t.is_ident("lock")).unwrap();
+        assert_eq!(
+            receiver_chain(&sf.lexed, l as isize - 2),
+            vec!["queues".to_string()]
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! D1 fixture: hash-ordered iteration feeding FP accumulation and output.
+use std::collections::{HashMap, HashSet};
+
+pub fn total_probability(weights: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0f64;
+    for (_tuple, w) in weights.iter() {
+        total += w;
+    }
+    total
+}
+
+pub fn render_members(members: &HashSet<String>) -> String {
+    let mut out = String::new();
+    for m in members {
+        out.push_str(&format!("{m}\n"));
+    }
+    out
+}

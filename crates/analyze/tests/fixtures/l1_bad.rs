@@ -1,0 +1,34 @@
+//! L1 fixture: opposite acquisition orders (deadlock cycle), a re-entrant
+//! acquisition, and a guard held across a channel send.
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn alpha_then_beta(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn beta_then_alpha(&self) -> u32 {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn reentrant(&self) -> u32 {
+        let first = self.alpha.lock().unwrap();
+        let second = self.alpha.lock().unwrap();
+        *first + *second
+    }
+
+    pub fn notify_locked(&self, tx: &Sender<u32>) {
+        let a = self.alpha.lock().unwrap();
+        let _ = tx.send(*a);
+    }
+}

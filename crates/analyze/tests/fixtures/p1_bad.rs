@@ -1,0 +1,15 @@
+//! P1 fixture: panics reachable from request-handling code.
+
+pub fn parse_request(parts: &[&str]) -> (String, u64) {
+    let name = parts[0].to_string();
+    let id: u64 = parts[1].parse().unwrap();
+    if id == 0 {
+        panic!("id must be positive");
+    }
+    (name, id)
+}
+
+pub fn pick(options: &[String], hint: Option<usize>) -> String {
+    let i = hint.expect("caller always passes a hint");
+    options[i].clone()
+}

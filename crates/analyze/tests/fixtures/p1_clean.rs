@@ -1,0 +1,19 @@
+//! P1 fixture (clean): the same surface, degrading instead of panicking.
+
+pub fn parse_request(parts: &[&str]) -> Result<(String, u64), String> {
+    let (name, id_text) = match parts {
+        [name, id] => (name, id),
+        _ => return Err("usage: <name> <id>".into()),
+    };
+    let id: u64 = id_text
+        .parse()
+        .map_err(|_| "id must be a number".to_string())?;
+    if id == 0 {
+        return Err("id must be positive".into());
+    }
+    Ok((name.to_string(), id))
+}
+
+pub fn pick(options: &[String], hint: Option<usize>) -> Option<String> {
+    options.get(hint?).cloned()
+}

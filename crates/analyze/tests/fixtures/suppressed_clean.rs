@@ -1,0 +1,7 @@
+//! Suppression fixture: a real violation waived in place, with the
+//! mandatory reason.
+
+pub fn startup_config(raw: &str) -> u64 {
+    // pdb-lint: allow(P1, reason = "runs once at boot before any connection is accepted; a bad config should abort loudly")
+    raw.parse().unwrap()
+}

@@ -1,0 +1,9 @@
+//! U1 fixture: unsafe without a SAFETY audit comment.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}
+
+pub unsafe fn transmute_u32(x: [u8; 4]) -> u32 {
+    u32::from_ne_bytes(x)
+}

@@ -1,0 +1,20 @@
+//! U1 fixture (clean): every unsafe site states its discharged obligation.
+
+pub fn first_byte(bytes: &[u8]) -> Option<u8> {
+    if bytes.is_empty() {
+        return None;
+    }
+    // SAFETY: the emptiness check above guarantees `as_ptr()` points at
+    // least one initialized byte, and the read does not outlive `bytes`.
+    Some(unsafe { *bytes.as_ptr() })
+}
+
+/// Reinterprets four native-endian bytes as a `u32`.
+///
+/// # Safety
+///
+/// The caller must ensure the bytes came from a `u32` with the same
+/// endianness (this is a fixture; the obligation is illustrative).
+pub unsafe fn transmute_u32(x: [u8; 4]) -> u32 {
+    u32::from_ne_bytes(x)
+}

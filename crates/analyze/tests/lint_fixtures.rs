@@ -1,0 +1,131 @@
+//! End-to-end tests of the `probdb-lint` binary over known-bad and
+//! known-clean fixtures, asserted through the `--json` output, plus the
+//! self-test: the workspace's own sources must be lint-clean.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_probdb-lint"))
+        .args(args)
+        .output()
+        .expect("run probdb-lint")
+}
+
+/// Runs the linter on one fixture with `--json` and returns (stdout, exit
+/// status). `extra` precedes the path (e.g. `--p1-everywhere`).
+fn lint_fixture(name: &str, extra: &[&str]) -> (String, i32) {
+    let path = fixture(name);
+    let mut args: Vec<&str> = vec!["--json", "--deny-all"];
+    args.extend_from_slice(extra);
+    let path_s = path.to_string_lossy().into_owned();
+    args.push(&path_s);
+    let out = run_lint(&args);
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn d1_bad_flags_both_sinks() {
+    let (json, code) = lint_fixture("d1_bad.rs", &[]);
+    assert_eq!(code, 1, "{json}");
+    assert!(json.contains("\"lint\":\"D1\""), "{json}");
+    assert!(json.contains("floating-point accumulation"), "{json}");
+    assert!(json.contains("formatted output"), "{json}");
+    assert!(json.contains("\"failed\":true"), "{json}");
+}
+
+#[test]
+fn d1_clean_passes() {
+    let (json, code) = lint_fixture("d1_clean.rs", &[]);
+    assert_eq!(code, 0, "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+}
+
+#[test]
+fn u1_bad_flags_block_and_fn() {
+    let (json, code) = lint_fixture("u1_bad.rs", &[]);
+    assert_eq!(code, 1, "{json}");
+    assert!(json.contains("\"lint\":\"U1\""), "{json}");
+    assert!(json.contains("`unsafe block`"), "{json}");
+    assert!(json.contains("`unsafe fn`"), "{json}");
+}
+
+#[test]
+fn u1_clean_accepts_safety_comment_and_doc_section() {
+    let (json, code) = lint_fixture("u1_clean.rs", &[]);
+    assert_eq!(code, 0, "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+}
+
+#[test]
+fn l1_bad_flags_cycle_reentry_and_guard_across_send() {
+    let (json, code) = lint_fixture("l1_bad.rs", &[]);
+    assert_eq!(code, 1, "{json}");
+    assert!(json.contains("lock-order cycle"), "{json}");
+    assert!(json.contains("alpha"), "{json}");
+    assert!(json.contains("beta"), "{json}");
+    assert!(
+        json.contains("while a guard on it is already held"),
+        "{json}"
+    );
+    assert!(json.contains("held across `send`"), "{json}");
+}
+
+#[test]
+fn l1_clean_passes() {
+    let (json, code) = lint_fixture("l1_clean.rs", &[]);
+    assert_eq!(code, 0, "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+}
+
+#[test]
+fn p1_bad_flags_every_panic_shape() {
+    let (json, code) = lint_fixture("p1_bad.rs", &["--p1-everywhere"]);
+    assert_eq!(code, 1, "{json}");
+    assert!(json.contains("`.unwrap()`"), "{json}");
+    assert!(json.contains("`.expect()`"), "{json}");
+    assert!(json.contains("`panic!`"), "{json}");
+    assert!(json.contains("indexing `parts[…]`"), "{json}");
+    assert!(json.contains("indexing `options[…]`"), "{json}");
+}
+
+#[test]
+fn p1_clean_passes() {
+    let (json, code) = lint_fixture("p1_clean.rs", &["--p1-everywhere"]);
+    assert_eq!(code, 0, "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+}
+
+#[test]
+fn suppression_with_reason_waives_the_finding() {
+    let (json, code) = lint_fixture("suppressed_clean.rs", &["--p1-everywhere"]);
+    assert_eq!(code, 0, "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+    assert!(json.contains("\"suppressed\":1"), "{json}");
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    // The self-test: every invariant the linter encodes holds on the
+    // workspace's own sources, with warnings promoted to errors — the same
+    // gate CI runs.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(env!("CARGO_BIN_EXE_probdb-lint"))
+        .args(["--workspace", "--deny-all", "--json"])
+        .current_dir(&root)
+        .output()
+        .expect("run probdb-lint");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+    assert!(json.contains("\"failed\":false"), "{json}");
+}

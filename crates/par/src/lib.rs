@@ -28,6 +28,8 @@
 //! so tests and benches can compare explicit pool sizes in one process;
 //! tasks inherit the pool they run on, so nested engine calls stay on it.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
@@ -355,6 +357,10 @@ impl Pool {
         latch.add();
         let latch = Arc::clone(latch);
         let pool = self.clone();
+        // SAFETY: only the lifetime is erased — the vtable and layout of a
+        // `Box<dyn FnOnce + Send>` do not depend on `'a`. The fn's own
+        // contract (see `# Safety` above) guarantees the borrows behind `f`
+        // stay live until `wait(latch)` drains the task.
         let f: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(f) };
         let job: Job = Box::new(move || {
             // Tasks inherit the pool they run on, so nested engine calls
@@ -436,6 +442,10 @@ impl Pool {
         }
         let slot: Mutex<Option<RB>> = Mutex::new(None);
         let latch = Latch::new();
+        // SAFETY: the task borrows `slot` and `b`, both of which outlive
+        // `self.wait(&latch)` below — and `wait` runs unconditionally (the
+        // unwind from `a` is caught first), so the borrows stay live until
+        // the latch confirms the task finished.
         unsafe {
             self.spawn_erased(
                 &latch,
@@ -470,6 +480,10 @@ impl Pool {
         let latch = Latch::new();
         let f = &f;
         for (slot, item) in slots.iter().zip(items) {
+            // SAFETY: each task borrows its `slot` and the shared `f`;
+            // `self.wait(&latch)` directly below blocks until every task
+            // has run (or panicked and been recorded), so neither borrow
+            // can dangle.
             unsafe {
                 self.spawn_erased(
                     &latch,
@@ -523,6 +537,10 @@ impl<'env> Scope<'_, 'env> {
             f();
             return;
         }
+        // SAFETY: `f` borrows at most `'env` data. `Pool::scope` waits on
+        // this latch before returning — even when the scope body panics —
+        // and the `'env` invariance on `Scope` keeps the environment alive
+        // for the whole scope call, so the erased borrows cannot dangle.
         unsafe {
             self.pool.spawn_erased(&self.latch, Box::new(f));
         }

@@ -24,14 +24,15 @@ pub struct LruCache<K, V> {
 }
 
 impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
-    /// An empty cache holding at most `capacity` entries (`capacity ≥ 1`).
+    /// An empty cache holding at most `capacity` entries; a capacity of 0
+    /// is clamped to 1 (a zero-capacity LRU cannot satisfy its own insert
+    /// postcondition, and the request path must not assert).
     pub fn new(capacity: usize) -> LruCache<K, V> {
-        assert!(capacity >= 1, "LruCache capacity must be at least 1");
         LruCache {
             map: HashMap::new(),
             recency: BTreeMap::new(),
             tick: 0,
-            capacity,
+            capacity: capacity.max(1),
         }
     }
 

@@ -225,9 +225,10 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             return Err(format!("usage: {verb} <rel> <c1> … <ck> <prob>"));
         }
         let relation = parts.remove(0).to_string();
-        let prob: f64 = parts
-            .pop()
-            .unwrap()
+        let Some(prob_text) = parts.pop() else {
+            return Err(format!("usage: {verb} <rel> <c1> … <ck> <prob>"));
+        };
+        let prob: f64 = prob_text
             .parse()
             .map_err(|_| "probability must be a number".to_string())?;
         if !(0.0..=1.0).contains(&prob) {

@@ -122,17 +122,31 @@ pub fn serve(db: ProbDb, opts: ServerOptions) -> std::io::Result<ServerHandle> {
     );
     let listener = Arc::new(listener);
     let stop = Arc::new(AtomicBool::new(false));
-    let workers = (0..opts.workers.max(1))
-        .map(|i| {
-            let listener = Arc::clone(&listener);
-            let stop = Arc::clone(&stop);
-            let service = service.clone();
-            std::thread::Builder::new()
-                .name(format!("pdb-worker-{i}"))
-                .spawn(move || worker_loop(&listener, &stop, &service))
-                .expect("spawn worker thread")
-        })
-        .collect();
+    let mut workers = Vec::with_capacity(opts.workers.max(1));
+    for i in 0..opts.workers.max(1) {
+        let listener = Arc::clone(&listener);
+        let worker_stop = Arc::clone(&stop);
+        let service = service.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("pdb-worker-{i}"))
+            .spawn(move || worker_loop(&listener, &worker_stop, &service));
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(e) => {
+                // Unwind the partially-started pool instead of panicking:
+                // each running worker needs one wake-up connection to leave
+                // `accept`, then the bind error surfaces to the caller.
+                stop.store(true, Ordering::SeqCst);
+                for _ in &workers {
+                    let _ = TcpStream::connect(local_addr);
+                }
+                for handle in workers {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
+        }
+    }
     Ok(ServerHandle {
         local_addr,
         service,
@@ -170,7 +184,17 @@ fn worker_loop(listener: &TcpListener, stop: &AtomicBool, service: &Service) {
             return; // the wake-up connection from shutdown
         }
         service.stats().connection_opened();
-        let _ = handle_connection(stream, stop, service);
+        // A panic escaping a session must not kill the worker: the pool is
+        // fixed-size, so every lost worker permanently shrinks capacity.
+        // `Service::handle_line` degrades instead of panicking (invariant
+        // P1), but engine internals are a large surface — contain the blast
+        // radius to the one connection either way.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(stream, stop, service)
+        }));
+        if outcome.is_err() {
+            service.stats().record_error();
+        }
         service.stats().connection_closed();
     }
 }
@@ -234,7 +258,7 @@ fn read_line_interruptible(
         };
         match available.iter().position(|&b| b == b'\n') {
             Some(pos) => {
-                line.extend_from_slice(&available[..pos]);
+                line.extend(available.iter().take(pos).copied());
                 reader.consume(pos + 1);
                 return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
             }

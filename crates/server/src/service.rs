@@ -53,8 +53,31 @@ use pdb_core::{Answer, Complexity, EngineError, ProbDb, QueryOptions};
 use pdb_data::Tuple;
 use pdb_views::{ViewDef, ViewManager};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{
+    mpsc, Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::time::{Duration, Instant};
+
+/// Acquires `m`, recovering the guard when a previous holder panicked.
+///
+/// Every structure behind the service's mutexes (LRU cache, view manager,
+/// latency histograms) is kept valid by construction at each call boundary,
+/// so a poisoned lock only means some *other* request died mid-flight —
+/// grounds to keep serving, not to kill this worker too (invariant P1:
+/// the request path degrades, it never dies).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires `l` for reading, recovering the guard on poison (see [`lock`]).
+fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires `l` for writing, recovering the guard on poison (see [`lock`]).
+fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What a cache entry was computed for.
 #[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
@@ -150,7 +173,7 @@ impl Service {
     /// The `stats` command payload.
     pub fn stats_text(&self) -> String {
         let views = {
-            let views = self.inner.views.lock().unwrap();
+            let views = lock(&self.inner.views);
             ViewsSnapshot {
                 views: views.len(),
                 rows: views.row_count(),
@@ -161,7 +184,7 @@ impl Service {
         // The pool every engine call in this process runs on: queries,
         // answer rows, sampling chunks, and view builds all share it.
         let pool = PoolSnapshot::from(pdb_par::current().stats());
-        let cache = self.inner.cache.lock().unwrap();
+        let cache = lock(&self.inner.cache);
         self.inner
             .stats
             .render(cache.len(), cache.capacity(), views, pool)
@@ -169,22 +192,22 @@ impl Service {
 
     /// Number of registered materialized views (diagnostics).
     pub fn view_count(&self) -> usize {
-        self.inner.views.lock().unwrap().len()
+        lock(&self.inner.views).len()
     }
 
     /// Current database version (for tests and diagnostics).
     pub fn db_version(&self) -> u64 {
-        self.inner.db.read().unwrap().version()
+        read(&self.inner.db).version()
     }
 
     /// Number of live cache entries.
     pub fn cache_len(&self) -> usize {
-        self.inner.cache.lock().unwrap().len()
+        lock(&self.inner.cache).len()
     }
 
     /// Drops every cached result (used by benches to measure cold paths).
     pub fn clear_cache(&self) {
-        self.inner.cache.lock().unwrap().clear();
+        lock(&self.inner.cache).clear();
     }
 
     /// Helper threads still evaluating timed-out queries.
@@ -224,16 +247,12 @@ impl Service {
                 // then deliver the event (see the module docs on lock
                 // ordering).
                 let version = {
-                    let mut guard = self.inner.db.write().unwrap();
+                    let mut guard = write(&self.inner.db);
                     let db = Arc::make_mut(&mut guard);
                     db.insert(&relation, tuple, prob);
                     db.relation_version(&relation)
                 };
-                self.inner
-                    .views
-                    .lock()
-                    .unwrap()
-                    .on_insert(&relation, version);
+                lock(&self.inner.views).on_insert(&relation, version);
                 (String::new(), true)
             }
             Command::Update {
@@ -243,16 +262,12 @@ impl Service {
             } => {
                 let t = Tuple::new(tuple.clone());
                 let version = {
-                    let mut guard = self.inner.db.write().unwrap();
+                    let mut guard = write(&self.inner.db);
                     Arc::make_mut(&mut guard).update_prob(&relation, &t, prob)
                 };
                 match version {
                     Some(v) => {
-                        self.inner
-                            .views
-                            .lock()
-                            .unwrap()
-                            .on_update_prob(&relation, &t, prob, v);
+                        lock(&self.inner.views).on_update_prob(&relation, &t, prob, v);
                         (String::new(), true)
                     }
                     None => (format_update_missing(&relation, &tuple), true),
@@ -260,10 +275,10 @@ impl Service {
             }
             Command::Domain(consts) => {
                 {
-                    let mut guard = self.inner.db.write().unwrap();
+                    let mut guard = write(&self.inner.db);
                     Arc::make_mut(&mut guard).extend_domain(consts);
                 }
-                self.inner.views.lock().unwrap().on_domain_extend();
+                lock(&self.inner.views).on_domain_extend();
                 (String::new(), true)
             }
             Command::View(cmd) => (self.run_view(cmd), true),
@@ -280,14 +295,14 @@ impl Service {
 
     /// A consistent `(contents, version)` snapshot.
     fn snapshot(&self) -> (Arc<ProbDb>, u64) {
-        let guard = self.inner.db.read().unwrap();
+        let guard = read(&self.inner.db);
         (Arc::clone(&guard), guard.version())
     }
 
     /// Executes a `view` subcommand. The manager lock is taken first; the
     /// database snapshot is acquired (and its lock released) inside.
     fn run_view(&self, cmd: ViewCommand) -> String {
-        let mut views = self.inner.views.lock().unwrap();
+        let mut views = lock(&self.inner.views);
         match cmd {
             ViewCommand::Create { name, query } => {
                 let def = match query {
@@ -373,7 +388,7 @@ impl Service {
             Self::version_key(&db, &norm),
         );
         let cached = {
-            let mut cache = self.inner.cache.lock().unwrap();
+            let mut cache = lock(&self.inner.cache);
             cache.get(&key).cloned()
         };
         let out = if let Some(CacheEntry::Answer(a)) = cached {
@@ -417,21 +432,26 @@ impl Service {
         let text = norm.to_string();
         let helper_key = key.clone();
         shared.inflight_helpers.fetch_add(1, Ordering::Relaxed);
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("pdb-query".into())
             .spawn(move || {
                 let result = db.query(&text);
                 if let Ok(a) = &result {
-                    shared
-                        .cache
-                        .lock()
-                        .unwrap()
-                        .insert(helper_key, CacheEntry::Answer(a.clone()));
+                    lock(&shared.cache).insert(helper_key, CacheEntry::Answer(a.clone()));
                 }
                 shared.inflight_helpers.fetch_sub(1, Ordering::Relaxed);
                 let _ = tx.send(result);
-            })
-            .expect("spawn query helper thread");
+            });
+        if spawned.is_err() {
+            // Thread exhaustion. The closure above was dropped unrun, so
+            // undo its in-flight count and reuse the timeout-degradation
+            // path: a process too loaded to spawn a helper should shed
+            // exact-inference work, not panic the worker.
+            self.inner.inflight_helpers.fetch_sub(1, Ordering::Relaxed);
+            self.inner.stats.record_timeout();
+            let (db_now, _) = self.snapshot();
+            return self.degraded_answer(&db_now, norm);
+        }
         match rx.recv_timeout(timeout) {
             Ok(result) => result,
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -464,11 +484,7 @@ impl Service {
     }
 
     fn cache_answer(&self, key: CacheKey, answer: &Answer) {
-        self.inner
-            .cache
-            .lock()
-            .unwrap()
-            .insert(key, CacheEntry::Answer(answer.clone()));
+        lock(&self.inner.cache).insert(key, CacheEntry::Answer(answer.clone()));
     }
 
     fn run_classify(&self, text: &str) -> String {
@@ -477,7 +493,7 @@ impl Service {
         // survives every insert.
         let key = (CacheKind::Classify, norm.clone(), VersionKey::Pinned);
         let cached = {
-            let mut cache = self.inner.cache.lock().unwrap();
+            let mut cache = lock(&self.inner.cache);
             cache.get(&key).cloned()
         };
         if let Some(CacheEntry::Classify(c)) = cached {
@@ -488,11 +504,7 @@ impl Service {
         match pdb_logic::parse_ucq(&norm) {
             Ok(ucq) => {
                 let c = pdb_core::classify_ucq(&ucq);
-                self.inner
-                    .cache
-                    .lock()
-                    .unwrap()
-                    .insert(key, CacheEntry::Classify(c));
+                lock(&self.inner.cache).insert(key, CacheEntry::Classify(c));
                 format!("{}\n", format_complexity(c))
             }
             Err(e) => format!("parse error: {e}\n"),

@@ -8,8 +8,15 @@
 
 use pdb_core::Method;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Acquires `m`, recovering the guard when a previous holder panicked: a
+/// histogram is valid after any prefix of `record`, so poison only means
+/// another request died and observability must keep working regardless.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Log₂-bucketed latency histogram over microseconds.
 #[derive(Debug)]
@@ -43,7 +50,9 @@ impl Histogram {
     /// Records one latency sample.
     pub fn record(&mut self, latency: Duration) {
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.buckets[Self::bucket(us)] += 1;
+        if let Some(slot) = self.buckets.get_mut(Self::bucket(us)) {
+            *slot += 1;
+        }
         self.count += 1;
         self.max_us = self.max_us.max(us);
     }
@@ -175,12 +184,12 @@ impl Stats {
 
     /// Records one query's end-to-end latency.
     pub fn record_latency(&self, latency: Duration) {
-        self.latency.lock().unwrap().record(latency);
+        lock(&self.latency).record(latency);
     }
 
     /// Records one view-materialization latency (`view create`/`refresh`).
     pub fn record_view_refresh(&self, latency: Duration) {
-        self.view_refresh_latency.lock().unwrap().record(latency);
+        lock(&self.view_refresh_latency).record(latency);
     }
 
     /// Marks a connection opened.
@@ -238,8 +247,8 @@ impl Stats {
         } else {
             views.incremental as f64 / maintenance as f64
         };
-        let lat = self.latency.lock().unwrap();
-        let vlat = self.view_refresh_latency.lock().unwrap();
+        let lat = lock(&self.latency);
+        let vlat = lock(&self.view_refresh_latency);
         format!(
             "queries: total={total} lifted={lifted} safe_plan={safe_plan} \
              grounded={grounded} approximate={approximate} errors={errors}\n\
