@@ -772,13 +772,16 @@ fn lint_p1(sf: &SourceFile, file: usize, out: &mut Vec<RawFinding>) {
 #[derive(Clone, Debug, Default)]
 pub struct LintOptions {
     /// Treat every file as request-path code for P1 (used by fixture
-    /// tests; the CLI scopes P1 to `crates/server/src`).
+    /// tests; the CLI scopes P1 to `crates/server/src` and
+    /// `crates/store/src`).
     pub p1_everywhere: bool,
 }
 
-/// True when P1 applies to `path` under the default scoping.
+/// True when P1 applies to `path` under the default scoping: the serving
+/// layer (a panic kills a pooled worker) and the durability layer (a panic
+/// between apply and log leaves memory ahead of the WAL).
 pub fn p1_applies(path: &str) -> bool {
-    path.contains("crates/server/src")
+    path.contains("crates/server/src") || path.contains("crates/store/src")
 }
 
 /// Runs all four lints over the analyzed set.

@@ -172,6 +172,34 @@ impl ProbDb {
         self.versions.get(relation).copied().unwrap_or(0)
     }
 
+    /// The full per-relation version vector, in relation-name order.
+    /// Together with [`ProbDb::domain_version`] this is the complete
+    /// mutation history summary — what a durable store must persist so
+    /// consumers keyed on versions (caches, materialized views) stay
+    /// coherent across a restart.
+    pub fn relation_versions(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.versions.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Reconstructs a [`ProbDb`] from persisted parts: the tuple store plus
+    /// the version vector it was saved with. The invariant
+    /// `total_version = Σ relation versions + domain_version` is restored
+    /// arithmetically, so version-keyed consumers (result caches, view
+    /// `applied` maps) resume exactly where the saved instance stopped.
+    pub fn from_snapshot(
+        db: TupleDb,
+        versions: BTreeMap<String, u64>,
+        domain_version: u64,
+    ) -> ProbDb {
+        let total_version = versions.values().sum::<u64>() + domain_version;
+        ProbDb {
+            db,
+            versions,
+            domain_version,
+            total_version,
+        }
+    }
+
     /// The domain version: bumped by [`ProbDb::extend_domain`] only.
     /// (Inserts can also grow the *active* domain; domain-sensitive
     /// consumers must therefore watch the global [`ProbDb::version`], not

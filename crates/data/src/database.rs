@@ -91,6 +91,15 @@ impl TupleDb {
         self.extra_domain.extend(consts);
     }
 
+    /// The constants added beyond the active domain (exactly what
+    /// [`TupleDb::extend_domain`] accumulated). [`TupleDb::domain`] merges
+    /// these with the active domain; persistence needs the raw set so a
+    /// serialized database round-trips even when an extra constant later
+    /// also appears in a tuple.
+    pub fn extra_domain(&self) -> &BTreeSet<Const> {
+        &self.extra_domain
+    }
+
     /// The finite domain `DOM`: active domain ∪ explicitly added constants.
     pub fn domain(&self) -> BTreeSet<Const> {
         let mut dom = self.extra_domain.clone();

@@ -504,6 +504,23 @@ impl Pool {
             .collect()
     }
 
+    /// Fire-and-forget: queue `f` for execution with no completion latch
+    /// (the store uses this for background checkpoints). On a pool of
+    /// size 1 there are no workers, so `f` runs inline before returning.
+    /// Panics inside `f` are caught and swallowed — there is no waiter to
+    /// re-raise them on. `f` must not capture the last handle to this
+    /// pool (dropping it on a worker would try to join that worker).
+    pub fn spawn_detached(&self, f: impl FnOnce() + Send + 'static) {
+        if self.inner.threads == 1 {
+            let _ = panic::catch_unwind(AssertUnwindSafe(f));
+            return;
+        }
+        let job: Job = Box::new(move || {
+            let _ = panic::catch_unwind(AssertUnwindSafe(f));
+        });
+        self.inner.shared.push(self.home_queue(), job);
+    }
+
     /// `parallel_map` over `0..n` — the shape sample-chunk sharding wants.
     pub fn map_indices<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
@@ -691,6 +708,31 @@ mod tests {
             assert_eq!(sum, 120, "round {round}");
             drop(pool);
         }
+    }
+
+    #[test]
+    fn spawn_detached_runs_inline_on_a_serial_pool() {
+        let pool = Pool::new(1);
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = Arc::clone(&hit);
+        pool.spawn_detached(move || h.store(true, Ordering::Release));
+        assert!(hit.load(Ordering::Acquire), "serial pool must run inline");
+    }
+
+    #[test]
+    fn spawn_detached_runs_on_a_worker_and_survives_panics() {
+        let pool = Pool::new(3);
+        pool.spawn_detached(|| panic!("detached boom"));
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = Arc::clone(&hit);
+        pool.spawn_detached(move || h.store(true, Ordering::Release));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !hit.load(Ordering::Acquire) {
+            assert!(Instant::now() < deadline, "detached job never ran");
+            std::thread::yield_now();
+        }
+        // The panic was swallowed; the pool still executes structured work.
+        assert_eq!(pool.map_indices(4, |i| i).len(), 4);
     }
 
     #[test]

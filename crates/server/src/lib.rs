@@ -31,5 +31,5 @@ pub mod server;
 pub mod service;
 pub mod stats;
 
-pub use server::{serve, ServerHandle, ServerOptions};
+pub use server::{serve, serve_service, ServerHandle, ServerOptions};
 pub use service::{Service, ServiceOptions};

@@ -71,6 +71,16 @@ pub enum Command {
     /// `source <path>` — run commands from a file (CLI only; the server
     /// refuses to read its own filesystem on behalf of clients).
     Source(String),
+    /// `save <path>` — write a snapshot of the database + views (CLI only;
+    /// same filesystem policy as `source`).
+    Save(String),
+    /// `open <path>` — replace the session state with a saved snapshot
+    /// (CLI only). Distinguished from `open <λ> <sentence>` by having a
+    /// single non-numeric token.
+    Open(String),
+    /// `shutdown` — gracefully stop the server: drain in-flight requests
+    /// and flush/fsync the write-ahead log before exiting.
+    Shutdown,
     /// `help`
     Help,
     /// `quit` / `exit`
@@ -298,9 +308,16 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             Ok(Command::Classify(rest.to_string()))
         }
         "open" => {
-            let (lambda, query) = rest
-                .split_once(char::is_whitespace)
-                .ok_or_else(|| "usage: open <lambda> <monotone sentence>".to_string())?;
+            let Some((lambda, query)) = rest.split_once(char::is_whitespace) else {
+                // One token: a snapshot path (`open db.pdb`), unless it is
+                // a bare number — then the user forgot the sentence.
+                if rest.is_empty() || rest.parse::<f64>().is_ok() {
+                    return Err(
+                        "usage: open <lambda> <monotone sentence> | open <snapshot path>".into(),
+                    );
+                }
+                return Ok(Command::Open(rest.to_string()));
+            };
             let lambda: f64 = lambda
                 .parse()
                 .map_err(|_| "λ must be a number".to_string())?;
@@ -319,6 +336,19 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 return Err("usage: source <file>".into());
             }
             Ok(Command::Source(rest.to_string()))
+        }
+        "save" => {
+            if rest.is_empty() {
+                return Err("usage: save <file>".into());
+            }
+            Ok(Command::Save(rest.to_string()))
+        }
+        "shutdown" => {
+            if rest.is_empty() {
+                Ok(Command::Shutdown)
+            } else {
+                Err("shutdown takes no arguments".into())
+            }
         }
         "help" => Ok(Command::Help),
         "quit" | "exit" => Ok(Command::Quit),
@@ -346,6 +376,9 @@ commands:
   show                           print the database
   stats                          engine + cache observability counters
   source <file>                  run commands from a file (CLI only)
+  save <file>                    snapshot the database + views (CLI only)
+  open <file>                    load a snapshot saved with `save` (CLI only)
+  shutdown                       stop the server, flushing the log (server)
   quit                           leave";
 
 /// Canonicalizes query text for use in cache keys: trims and collapses every
@@ -614,6 +647,34 @@ mod tests {
     }
 
     #[test]
+    fn open_disambiguates_snapshots_from_open_world() {
+        // Two tokens: λ + sentence (the open-world query).
+        assert_eq!(
+            parse_command("open 0.2 exists x. R(x)").unwrap(),
+            Command::OpenWorld {
+                lambda: 0.2,
+                query: "exists x. R(x)".into()
+            }
+        );
+        // One non-numeric token: a snapshot path.
+        assert_eq!(
+            parse_command("open db.pdb").unwrap(),
+            Command::Open("db.pdb".into())
+        );
+        // One numeric token: a forgotten sentence, not a path.
+        assert!(parse_command("open 0.2").is_err());
+        assert!(parse_command("open").is_err());
+        // Shutdown and save parse strictly.
+        assert_eq!(parse_command("shutdown").unwrap(), Command::Shutdown);
+        assert!(parse_command("shutdown now").is_err());
+        assert_eq!(
+            parse_command("save out.pdb").unwrap(),
+            Command::Save("out.pdb".into())
+        );
+        assert!(parse_command("save").is_err());
+    }
+
+    #[test]
     fn malformed_input_errors_instead_of_panicking() {
         // Every line here used to be accepted weirdly or is adversarial;
         // all must produce Err, never a panic or a bogus Ok.
@@ -706,6 +767,9 @@ mod tests {
                 Command::Show => "show".into(),
                 Command::Stats => "stats".into(),
                 Command::Source(p) => format!("source {p}"),
+                Command::Save(p) => format!("save {p}"),
+                Command::Open(p) => format!("open {p}"),
+                Command::Shutdown => "shutdown".into(),
                 Command::Help => "help".into(),
                 Command::Quit => "quit".into(),
                 Command::Nothing => return None,
@@ -754,6 +818,9 @@ mod tests {
             Command::Show,
             Command::Stats,
             Command::Source("script.pdb".into()),
+            Command::Save("state.pdb".into()),
+            Command::Open("state.pdb".into()),
+            Command::Shutdown,
             Command::Help,
             Command::Quit,
         ];

@@ -63,6 +63,13 @@ impl ServerHandle {
         &self.service
     }
 
+    /// True once every worker has exited — i.e. after a `shutdown` command
+    /// or a signal-initiated stop has fully drained. The `probdb-serve`
+    /// binary polls this so it can flush the store and exit.
+    pub fn is_finished(&self) -> bool {
+        self.workers.iter().all(JoinHandle::is_finished)
+    }
+
     /// Stops accepting, unblocks and joins every worker, prints the final
     /// observability summary.
     pub fn shutdown(mut self) {
@@ -108,10 +115,8 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds and starts serving `db` according to `opts`.
+/// Binds and starts serving `db` according to `opts` (no durability).
 pub fn serve(db: ProbDb, opts: ServerOptions) -> std::io::Result<ServerHandle> {
-    let listener = bind(&opts.addr)?;
-    let local_addr = listener.local_addr()?;
     let service = Service::new(
         db,
         ServiceOptions {
@@ -120,8 +125,30 @@ pub fn serve(db: ProbDb, opts: ServerOptions) -> std::io::Result<ServerHandle> {
             ..ServiceOptions::default()
         },
     );
+    serve_service(service, opts)
+}
+
+/// Binds and starts serving a pre-built [`Service`] — the entry point for
+/// `probdb-serve --data-dir`, where the service wraps recovered state and a
+/// durable store. The service's `shutdown` command is wired to stop this
+/// server: it sets the stop flag and wakes the acceptors, so a client
+/// issuing `shutdown` drains every session and [`ServerHandle::is_finished`]
+/// flips once the workers exit.
+pub fn serve_service(service: Service, opts: ServerOptions) -> std::io::Result<ServerHandle> {
+    let listener = bind(&opts.addr)?;
+    let local_addr = listener.local_addr()?;
     let listener = Arc::new(listener);
     let stop = Arc::new(AtomicBool::new(false));
+    let hook_stop = Arc::clone(&stop);
+    let hook_workers = opts.workers.max(1);
+    service.set_shutdown_hook(move || {
+        hook_stop.store(true, Ordering::SeqCst);
+        // Wake workers parked in accept() with throwaway connections (the
+        // same trick ServerHandle::shutdown uses).
+        for _ in 0..hook_workers {
+            let _ = TcpStream::connect(local_addr);
+        }
+    });
     let mut workers = Vec::with_capacity(opts.workers.max(1));
     for i in 0..opts.workers.max(1) {
         let listener = Arc::clone(&listener);
@@ -343,6 +370,28 @@ mod tests {
         let resp = roundtrip(&mut reader, &mut writer, "help");
         assert!(resp.contains("commands:"), "{resp}");
         server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_command_drains_the_server() {
+        let server = test_server();
+        let (mut reader, mut writer) = connect(server.local_addr());
+        roundtrip(&mut reader, &mut writer, "insert R 1 0.5");
+        assert!(!server.is_finished());
+        let resp = roundtrip(&mut reader, &mut writer, "shutdown");
+        assert_eq!(resp, "shutting down\n");
+        assert!(server.service().stopping());
+        // Every worker exits (the command's own session closed; the others
+        // were woken by the hook).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !server.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers never drained"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.join();
     }
 
     #[test]

@@ -51,8 +51,10 @@ use crate::protocol::{
 use crate::stats::{PoolSnapshot, Stats, ViewsSnapshot};
 use pdb_core::{Answer, Complexity, EngineError, ProbDb, QueryOptions};
 use pdb_data::Tuple;
+use pdb_store::{Store, WalOp};
+use pdb_views::persist::ViewDefState;
 use pdb_views::{ViewDef, ViewManager};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{
     mpsc, Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
@@ -141,6 +143,16 @@ struct Shared {
     opts: ServiceOptions,
     /// Helper threads spawned for timed-out queries that are still running.
     inflight_helpers: AtomicU64,
+    /// The durable store, when serving with `--data-dir`. Lock order:
+    /// store → db → views. Every mutation takes the store mutex outermost
+    /// (apply in memory, then log, then acknowledge), so a checkpoint —
+    /// which also holds it — always exports a database + view state that
+    /// matches the logged prefix exactly.
+    store: Option<Mutex<Store>>,
+    /// Set by the `shutdown` command; the TCP layer polls it.
+    stopping: AtomicBool,
+    /// Invoked (once) by the `shutdown` command, after the WAL flush.
+    shutdown_hook: Mutex<Option<Box<dyn Fn() + Send>>>,
 }
 
 /// A cloneable handle to one serving instance (shared by every worker).
@@ -150,18 +162,98 @@ pub struct Service {
 }
 
 impl Service {
-    /// Wraps `db` for serving under `opts`.
+    /// Wraps `db` for serving under `opts` (no durability).
     pub fn new(db: ProbDb, opts: ServiceOptions) -> Service {
+        Service::build(db, ViewManager::new(), None, opts)
+    }
+
+    /// Wraps recovered state for serving with a durable store: every
+    /// mutation is WAL-logged before it is acknowledged, and checkpoints
+    /// run in the background once the log grows past the configured size.
+    pub fn with_store(
+        db: ProbDb,
+        views: ViewManager,
+        store: Store,
+        opts: ServiceOptions,
+    ) -> Service {
+        Service::build(db, views, Some(store), opts)
+    }
+
+    fn build(
+        db: ProbDb,
+        views: ViewManager,
+        store: Option<Store>,
+        opts: ServiceOptions,
+    ) -> Service {
         let capacity = opts.cache_capacity.max(1);
         Service {
             inner: Arc::new(Shared {
                 db: RwLock::new(Arc::new(db)),
                 cache: Mutex::new(LruCache::new(capacity)),
-                views: Mutex::new(ViewManager::new()),
+                views: Mutex::new(views),
                 stats: Stats::default(),
                 opts,
                 inflight_helpers: AtomicU64::new(0),
+                store: store.map(Mutex::new),
+                stopping: AtomicBool::new(false),
+                shutdown_hook: Mutex::new(None),
             }),
+        }
+    }
+
+    /// True when serving with a durable store.
+    pub fn has_store(&self) -> bool {
+        self.inner.store.is_some()
+    }
+
+    /// `(base_lsn, next_lsn)` of the store, for diagnostics and tests.
+    pub fn store_lsns(&self) -> Option<(u64, u64)> {
+        self.inner.store.as_ref().map(|s| {
+            let s = lock(s);
+            (s.base_lsn(), s.next_lsn())
+        })
+    }
+
+    /// True once the `shutdown` command has been accepted.
+    pub fn stopping(&self) -> bool {
+        self.inner.stopping.load(Ordering::Acquire)
+    }
+
+    /// Registers the callback the `shutdown` command fires after flushing
+    /// the WAL (the TCP layer uses it to stop its accept loop).
+    pub fn set_shutdown_hook(&self, hook: impl Fn() + Send + 'static) {
+        *lock(&self.inner.shutdown_hook) = Some(Box::new(hook));
+    }
+
+    /// Forces the WAL to disk (no-op without a store). Returns whether the
+    /// log is known durable.
+    pub fn persist_flush(&self) -> bool {
+        match self.inner.store.as_ref() {
+            Some(s) => lock(s).flush().is_ok(),
+            None => true,
+        }
+    }
+
+    /// Runs a checkpoint if one is due — re-checked under the store lock,
+    /// so concurrently spawned requests collapse to one checkpoint. Public
+    /// so the binary can force a final compaction on graceful exit.
+    pub fn checkpoint_now(&self) {
+        let Some(m) = self.inner.store.as_ref() else {
+            return;
+        };
+        let mut store = lock(m);
+        if !store.should_checkpoint() {
+            return;
+        }
+        // Mutations hold the store mutex while they write, so with it held
+        // here the db + views are frozen at exactly the logged LSN. Views
+        // are exported before the db snapshot to match the views → db edge
+        // the read path already establishes.
+        let states = lock(&self.inner.views).export_states();
+        let db = Arc::clone(&read(&self.inner.db));
+        if let Err(e) = store.checkpoint(&db, &states) {
+            self.inner.stats.record_error();
+            eprintln!("pdb-server: checkpoint failed: {e}");
         }
     }
 
@@ -243,23 +335,35 @@ impl Service {
                 tuple,
                 prob,
             } => {
-                // Mutate, read the new version, RELEASE the write lock,
-                // then deliver the event (see the module docs on lock
-                // ordering).
+                // With a store, the store mutex is held across the whole
+                // mutation (apply → event → log); without one, mutate, read
+                // the new version, RELEASE the write lock, then deliver the
+                // event (see the module docs on lock ordering).
+                let mut store = self.store_guard();
                 let version = {
                     let mut guard = write(&self.inner.db);
                     let db = Arc::make_mut(&mut guard);
-                    db.insert(&relation, tuple, prob);
+                    db.insert(&relation, tuple.clone(), prob);
                     db.relation_version(&relation)
                 };
                 lock(&self.inner.views).on_insert(&relation, version);
-                (String::new(), true)
+                let logged = Self::log_mutation(
+                    &mut store,
+                    WalOp::Insert {
+                        relation,
+                        tuple,
+                        prob,
+                    },
+                );
+                drop(store);
+                self.after_mutation(logged)
             }
             Command::Update {
                 relation,
                 tuple,
                 prob,
             } => {
+                let mut store = self.store_guard();
                 let t = Tuple::new(tuple.clone());
                 let version = {
                     let mut guard = write(&self.inner.db);
@@ -268,18 +372,30 @@ impl Service {
                 match version {
                     Some(v) => {
                         lock(&self.inner.views).on_update_prob(&relation, &t, prob, v);
-                        (String::new(), true)
+                        let logged = Self::log_mutation(
+                            &mut store,
+                            WalOp::UpdateProb {
+                                relation,
+                                tuple,
+                                prob,
+                            },
+                        );
+                        drop(store);
+                        self.after_mutation(logged)
                     }
                     None => (format_update_missing(&relation, &tuple), true),
                 }
             }
             Command::Domain(consts) => {
+                let mut store = self.store_guard();
                 {
                     let mut guard = write(&self.inner.db);
-                    Arc::make_mut(&mut guard).extend_domain(consts);
+                    Arc::make_mut(&mut guard).extend_domain(consts.clone());
                 }
                 lock(&self.inner.views).on_domain_extend();
-                (String::new(), true)
+                let logged = Self::log_mutation(&mut store, WalOp::ExtendDomain { consts });
+                drop(store);
+                self.after_mutation(logged)
             }
             Command::View(cmd) => (self.run_view(cmd), true),
             Command::Show => {
@@ -290,6 +406,65 @@ impl Service {
             Command::Classify(q) => (self.run_classify(&q), true),
             Command::Answers { head, cq } => (self.run_answers(&head, &cq), true),
             Command::OpenWorld { lambda, query } => (self.run_open(lambda, &query), true),
+            Command::Save(_) | Command::Open(_) => (
+                "error: save/open are not available over the wire; snapshots \
+                 are managed client-side (probdb-cli) or via --data-dir\n"
+                    .into(),
+                true,
+            ),
+            Command::Shutdown => {
+                let flushed = self.persist_flush();
+                self.inner.stopping.store(true, Ordering::Release);
+                if let Some(hook) = lock(&self.inner.shutdown_hook).as_ref() {
+                    hook();
+                }
+                let msg = if flushed {
+                    "shutting down\n"
+                } else {
+                    "shutting down (warning: log flush failed)\n"
+                };
+                (msg.into(), false)
+            }
+        }
+    }
+
+    /// The store mutex guard, when a store is configured. Taken outermost
+    /// by every mutation (lock order: store → db → views).
+    fn store_guard(&self) -> Option<MutexGuard<'_, Store>> {
+        self.inner.store.as_ref().map(lock)
+    }
+
+    /// Appends `op` to the WAL when a store is configured. `Ok(true)` means
+    /// a checkpoint is now due; `Err` carries the client-facing refusal (the
+    /// store wedges and the mutation is NOT acknowledged as durable).
+    fn log_mutation(store: &mut Option<MutexGuard<'_, Store>>, op: WalOp) -> Result<bool, String> {
+        match store.as_deref_mut() {
+            None => Ok(false),
+            Some(s) => match s.append(&op) {
+                Ok(_) => Ok(s.should_checkpoint()),
+                Err(e) => Err(format!("error: mutation not persisted: {e}\n")),
+            },
+        }
+    }
+
+    /// Turns a [`Self::log_mutation`] outcome into the protocol reply,
+    /// scheduling a background checkpoint when one is due. Must be called
+    /// with every lock released.
+    fn after_mutation(&self, logged: Result<bool, String>) -> (String, bool) {
+        match logged {
+            Ok(true) => {
+                let svc = self.clone();
+                // On a 1-thread pool this runs inline (no workers exist);
+                // either way `checkpoint_now` re-acquires the store lock
+                // itself, which is why the caller must have released it.
+                pdb_par::current().spawn_detached(move || svc.checkpoint_now());
+                (String::new(), true)
+            }
+            Ok(false) => (String::new(), true),
+            Err(e) => {
+                self.inner.stats.record_error();
+                (e, true)
+            }
         }
     }
 
@@ -299,12 +474,26 @@ impl Service {
         (Arc::clone(&guard), guard.version())
     }
 
-    /// Executes a `view` subcommand. The manager lock is taken first; the
-    /// database snapshot is acquired (and its lock released) inside.
+    /// Executes a `view` subcommand. For the mutating subcommands (create,
+    /// drop) the store mutex is taken first — same lock order as the data
+    /// mutations — so the definition change is WAL-logged atomically with
+    /// its application. The manager lock comes next; the database snapshot
+    /// is acquired (and its lock released) inside.
     fn run_view(&self, cmd: ViewCommand) -> String {
+        let mut store = match cmd {
+            ViewCommand::Create { .. } | ViewCommand::Drop { .. } => self.store_guard(),
+            _ => None,
+        };
         let mut views = lock(&self.inner.views);
         match cmd {
             ViewCommand::Create { name, query } => {
+                let def_state = match &query {
+                    ViewQueryText::Boolean(q) => ViewDefState::Boolean(q.clone()),
+                    ViewQueryText::Answers { head, cq } => ViewDefState::Answers {
+                        head: head.clone(),
+                        body: cq.clone(),
+                    },
+                };
                 let def = match query {
                     ViewQueryText::Boolean(q) => ViewDef::boolean(&q),
                     ViewQueryText::Answers { head, cq } => ViewDef::answers(&head, &cq),
@@ -316,7 +505,19 @@ impl Service {
                 let start = Instant::now();
                 let (db, _) = self.snapshot();
                 let out = match views.create(&name, def, &db) {
-                    Ok(view) => format_view_created(view),
+                    Ok(view) => {
+                        let created = format_view_created(view);
+                        match Self::log_mutation(
+                            &mut store,
+                            WalOp::ViewCreate {
+                                name,
+                                def: def_state,
+                            },
+                        ) {
+                            Ok(_) => created,
+                            Err(e) => e,
+                        }
+                    }
                     Err(e) => format!("error: {e}\n"),
                 };
                 self.inner.stats.record_view_refresh(start.elapsed());
@@ -349,7 +550,10 @@ impl Service {
             }
             ViewCommand::Drop { name } => {
                 if views.drop_view(&name) {
-                    format!("view {name} dropped\n")
+                    match Self::log_mutation(&mut store, WalOp::ViewDrop { name: name.clone() }) {
+                        Ok(_) => format!("view {name} dropped\n"),
+                        Err(e) => e,
+                    }
                 } else {
                     format!("error: no view named {name}\n")
                 }
@@ -831,6 +1035,108 @@ mod tests {
             "cache hit should serve the exact lifted answer: {second}"
         );
         assert_eq!(svc.stats().cache_hits(), 1);
+    }
+
+    #[test]
+    fn mutations_are_wal_logged_and_survive_kill_minus_nine() {
+        use pdb_store::{MemFs, StoreOptions};
+        let fs = Arc::new(MemFs::new());
+        let dir = std::path::Path::new("data");
+        {
+            let (store, rec) = Store::open(fs.clone(), dir, StoreOptions::default()).unwrap();
+            let svc = Service::with_store(rec.db, rec.views, store, inline_opts());
+            assert!(svc.has_store());
+            svc.handle_line("insert R 1 0.5");
+            svc.handle_line("insert S 1 2 0.8");
+            svc.handle_line("view create v query exists x. exists y. R(x) & S(x,y)");
+            svc.handle_line("update S 1 2 0.4");
+            assert_eq!(svc.store_lsns(), Some((0, 4)));
+            // No graceful close: the service is just dropped.
+        }
+        fs.crash(); // power loss on top
+        let (store, rec) = Store::open(fs, dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.info.replayed_ops, 4);
+        // The view create sits in the WAL tail (no checkpoint ran), so
+        // replay compiles it exactly once — snapshot-resident views resume
+        // without any compile (see the pdb-store checkpoint tests).
+        assert_eq!(rec.views.recompiles(), 1);
+        let svc = Service::with_store(rec.db, rec.views, store, inline_opts());
+        let (shown, _) = svc.handle_line("view show v");
+        assert!(shown.contains("p = 0.200000"), "{shown}");
+        let (q, _) = svc.handle_line(Q);
+        assert!(q.contains("p = 0.200000"), "{q}");
+        // The recovered service keeps logging.
+        svc.handle_line("insert R 2 0.5");
+        assert_eq!(svc.store_lsns(), Some((0, 5)));
+    }
+
+    #[test]
+    fn checkpoint_runs_in_the_background_and_truncates_the_log() {
+        use pdb_store::{MemFs, StoreOptions};
+        let fs = Arc::new(MemFs::new());
+        let dir = std::path::Path::new("data");
+        let sopts = StoreOptions {
+            checkpoint_every: 3,
+            ..StoreOptions::default()
+        };
+        let (store, rec) = Store::open(fs.clone(), dir, sopts.clone()).unwrap();
+        let svc = Service::with_store(rec.db, rec.views, store, inline_opts());
+        svc.handle_line("insert R 1 0.5");
+        svc.handle_line("insert S 1 2 0.8");
+        svc.handle_line("update S 1 2 0.4");
+        // The third append crossed the threshold and spawned a detached
+        // checkpoint; on a 1-thread pool it already ran inline, otherwise
+        // wait for the pool worker.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some((base, _)) = svc.store_lsns() {
+                if base == 3 {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "checkpoint never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(svc);
+        // Recovery now starts from the snapshot with an empty tail.
+        let (_store, rec) = Store::open(fs, dir, sopts).unwrap();
+        assert_eq!(rec.info.snapshot_lsn, 3);
+        assert_eq!(rec.info.replayed_ops, 0);
+        assert_eq!(rec.db.version(), 3);
+    }
+
+    #[test]
+    fn shutdown_flushes_fires_the_hook_and_closes_the_session() {
+        use pdb_store::{MemFs, StoreOptions};
+        let fs = Arc::new(MemFs::new());
+        let dir = std::path::Path::new("data");
+        let (store, rec) = Store::open(fs.clone(), dir, StoreOptions::default()).unwrap();
+        let svc = Service::with_store(rec.db, rec.views, store, inline_opts());
+        let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&fired);
+        svc.set_shutdown_hook(move || flag.store(true, Ordering::Release));
+        svc.handle_line("insert R 1 0.5");
+        assert!(!svc.stopping());
+        let (resp, keep_open) = svc.handle_line("shutdown");
+        assert_eq!(resp, "shutting down\n");
+        assert!(!keep_open, "shutdown must close the session");
+        assert!(svc.stopping());
+        assert!(fired.load(Ordering::Acquire), "hook not fired");
+        // Everything acknowledged before the shutdown is on disk.
+        drop(svc);
+        fs.crash();
+        let (_store, rec) = Store::open(fs, dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec.info.replayed_ops, 1);
+    }
+
+    #[test]
+    fn save_and_open_are_refused_over_the_wire() {
+        let svc = seeded_service(inline_opts());
+        for line in ["save out.pdb", "open out.pdb"] {
+            let (resp, keep) = svc.handle_line(line);
+            assert!(resp.starts_with("error:"), "{line}: {resp}");
+            assert!(keep);
+        }
     }
 
     #[test]

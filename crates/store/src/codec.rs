@@ -1,0 +1,268 @@
+//! Panic-free binary encoding primitives.
+//!
+//! All on-disk formats (WAL records, snapshots) are little-endian,
+//! length-prefixed compositions of these primitives. The decoder treats
+//! every input as untrusted: short reads, bad UTF-8, and absurd length
+//! prefixes come back as [`CodecError`] — recovery paths must return errors,
+//! never panic (the P1 lint enforces this for the whole crate), so there is
+//! no indexing or unwrapping anywhere here.
+
+use std::fmt;
+
+/// Where and why a decode failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset the decoder had reached.
+    pub at: usize,
+    /// What was being decoded.
+    pub what: &'static str,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An append-only little-endian encoder.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Consumes the encoder, yielding the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern — round-trips are
+    /// bit-identical by construction.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a `u32` length prefix followed by the raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// A checked little-endian decoder over a borrowed buffer.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// True when every byte has been consumed.
+    pub fn finished(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CodecError { at: self.pos, what })?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CodecError { at: self.pos, what })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads exactly `n` raw bytes (no length prefix).
+    pub fn raw(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        self.take(n, what)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        let s = self.take(1, what)?;
+        Ok(s.first().copied().unwrap_or(0))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        let s = self.take(4, what)?;
+        let arr: [u8; 4] = s
+            .try_into()
+            .map_err(|_| CodecError { at: self.pos, what })?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        let s = self.take(8, what)?;
+        let arr: [u8; 8] = s
+            .try_into()
+            .map_err(|_| CodecError { at: self.pos, what })?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a bool byte (strictly 0 or 1).
+    pub fn bool(&mut self, what: &'static str) -> Result<bool, CodecError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError { at: self.pos, what }),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed byte slice.
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], CodecError> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<String, CodecError> {
+        let at = self.pos;
+        let bytes = self.bytes(what)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| CodecError { at, what })
+    }
+
+    /// Reads a `u32` element count for a collection about to be decoded,
+    /// validating it against the bytes actually remaining (each element
+    /// needs at least `min_elem_bytes`); a corrupt length prefix fails here
+    /// instead of driving a huge allocation.
+    pub fn seq_len(
+        &mut self,
+        min_elem_bytes: usize,
+        what: &'static str,
+    ) -> Result<usize, CodecError> {
+        let at = self.pos;
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(CodecError { at, what });
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 3);
+        e.f64(0.1 + 0.2); // a value with an "ugly" bit pattern
+        e.bool(true);
+        e.str("héllo");
+        e.bytes(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8("a").unwrap(), 7);
+        assert_eq!(d.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64("c").unwrap(), u64::MAX - 3);
+        assert_eq!(d.f64("d").unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert!(d.bool("e").unwrap());
+        assert_eq!(d.str("f").unwrap(), "héllo");
+        assert_eq!(d.bytes("g").unwrap(), &[1, 2, 3]);
+        assert!(d.finished());
+    }
+
+    #[test]
+    fn short_reads_error_instead_of_panicking() {
+        let mut d = Dec::new(&[1, 2]);
+        assert!(d.u64("x").is_err());
+        // Failed reads do not advance.
+        assert_eq!(d.u8("y").unwrap(), 1);
+    }
+
+    #[test]
+    fn absurd_length_prefixes_are_rejected() {
+        let mut e = Enc::new();
+        e.u32(u32::MAX); // claims 4 billion elements
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(d.seq_len(8, "vec").is_err());
+        let mut d2 = Dec::new(&bytes);
+        assert!(d2.bytes("blob").is_err());
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        let mut d = Dec::new(&[2]);
+        assert!(d.bool("flag").is_err());
+    }
+
+    #[test]
+    fn utf8_is_validated() {
+        let mut e = Enc::new();
+        e.bytes(&[0xFF, 0xFE]);
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).str("s").is_err());
+    }
+}

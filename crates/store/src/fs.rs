@@ -1,0 +1,630 @@
+//! File-system abstraction for the store, with fault injection.
+//!
+//! All store I/O goes through [`StoreFs`] / [`StoreFile`] so tests can swap
+//! the real filesystem for an in-memory one and inject faults at any write
+//! boundary:
+//!
+//! * [`RealFs`] — `std::fs`, used by `probdb-serve --data-dir`.
+//! * [`MemFs`] — an in-memory filesystem with **page-cache semantics**:
+//!   written bytes become durable only at `sync`; [`MemFs::crash`] discards
+//!   everything after the last sync of each file, modelling `kill -9` +
+//!   power loss.
+//! * [`FailpointFs`] — wraps any `StoreFs` and injects one [`Fault`] at a
+//!   chosen global write/sync ordinal: torn writes, silent bit flips,
+//!   failed fsyncs, or a halt (every later operation fails, as if the
+//!   process died mid-write).
+//!
+//! Renames are modelled as atomic and immediately durable (the POSIX
+//! contract the store's tmp-file + rename protocol relies on; `RealFs`
+//! additionally syncs the parent directory, best-effort).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A writable file handle (append-positioned).
+pub trait StoreFile: Send {
+    /// Writes all of `buf` at the current end of file.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Makes everything written so far durable.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The file operations the store needs.
+pub trait StoreFs: Send + Sync {
+    /// Creates `dir` and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates (truncating) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StoreFile>>;
+    /// Opens a file for appending, creating it if absent.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StoreFile>>;
+    /// Atomically renames `from` to `to` (replacing `to`).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Lists the files directly inside `dir`.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Truncates a file to `len` bytes (used to drop a torn WAL tail).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// True when the file exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// RealFs
+// ---------------------------------------------------------------------------
+
+/// The real filesystem.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealFs;
+
+struct RealFile {
+    file: std::fs::File,
+}
+
+impl StoreFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(&mut self.file, buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+impl StoreFs for RealFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StoreFile>> {
+        let file = std::fs::File::create(path)?;
+        Ok(Box::new(RealFile { file }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StoreFile>> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        Ok(Box::new(RealFile { file }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)?;
+        // Make the rename itself durable: sync the parent directory.
+        // Best-effort — some filesystems refuse to open directories.
+        if let Some(dir) = to.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_all()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemFs
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct MemFileData {
+    data: Vec<u8>,
+    /// Bytes guaranteed to survive a crash (advanced by `sync`).
+    synced_len: usize,
+}
+
+#[derive(Default)]
+struct MemState {
+    files: BTreeMap<PathBuf, MemFileData>,
+}
+
+/// An in-memory filesystem with crash semantics (see the module docs).
+/// Clones share the same state, so a test can keep a handle while the store
+/// owns another.
+#[derive(Clone, Default)]
+pub struct MemFs {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemFs {
+    /// An empty in-memory filesystem.
+    pub fn new() -> MemFs {
+        MemFs::default()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, MemState> {
+        // Mutex poisoning cannot happen here (no code panics while holding
+        // the guard), but recover anyway instead of propagating a panic.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Simulates a crash + restart: every file loses the bytes written
+    /// after its last `sync`. Renames and creations are metadata and stay.
+    pub fn crash(&self) {
+        let mut st = self.locked();
+        for file in st.files.values_mut() {
+            file.data.truncate(file.synced_len);
+        }
+    }
+
+    /// The current (volatile) contents of a file, for assertions.
+    pub fn contents(&self, path: &Path) -> Option<Vec<u8>> {
+        self.locked().files.get(path).map(|f| f.data.clone())
+    }
+}
+
+struct MemFile {
+    fs: MemFs,
+    path: PathBuf,
+}
+
+impl StoreFile for MemFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut st = self.fs.locked();
+        match st.files.get_mut(&self.path) {
+            Some(f) => {
+                f.data.extend_from_slice(buf);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} vanished", self.path.display()),
+            )),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut st = self.fs.locked();
+        match st.files.get_mut(&self.path) {
+            Some(f) => {
+                f.synced_len = f.data.len();
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} vanished", self.path.display()),
+            )),
+        }
+    }
+}
+
+impl StoreFs for MemFs {
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.locked()
+            .files
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("{} not found", path.display()),
+                )
+            })
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StoreFile>> {
+        let mut st = self.locked();
+        st.files.insert(path.to_path_buf(), MemFileData::default());
+        drop(st);
+        Ok(Box::new(MemFile {
+            fs: self.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StoreFile>> {
+        let mut st = self.locked();
+        st.files.entry(path.to_path_buf()).or_default();
+        drop(st);
+        Ok(Box::new(MemFile {
+            fs: self.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.locked();
+        match st.files.remove(from) {
+            Some(f) => {
+                st.files.insert(to.to_path_buf(), f);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} not found", from.display()),
+            )),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.locked().files.remove(path) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} not found", path.display()),
+            )),
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        Ok(self
+            .locked()
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut st = self.locked();
+        match st.files.get_mut(path) {
+            Some(f) => {
+                f.data.truncate(len as usize);
+                f.synced_len = f.synced_len.min(f.data.len());
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} not found", path.display()),
+            )),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.locked().files.contains_key(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FailpointFs
+// ---------------------------------------------------------------------------
+
+/// One injectable fault, addressed by a global operation ordinal (0-based)
+/// counted across every file the wrapped filesystem touches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// The `at`-th write persists only its first `keep` bytes, then errors.
+    TornWrite {
+        /// Which write (0-based, global).
+        at: u64,
+        /// Prefix bytes that do reach the file.
+        keep: usize,
+    },
+    /// The `at`-th write silently flips one bit of its payload (the write
+    /// "succeeds"; only checksums can catch it).
+    BitFlip {
+        /// Which write (0-based, global).
+        at: u64,
+        /// Which bit of the payload to flip (wrapped modulo payload size).
+        bit: u64,
+    },
+    /// The `at`-th sync reports failure without making data durable.
+    FailSync {
+        /// Which sync (0-based, global).
+        at: u64,
+    },
+    /// From the `at`-th write on, every operation fails — the process is
+    /// gone mid-write. Combine with [`MemFs::crash`] to test recovery.
+    Halt {
+        /// Which write (0-based, global).
+        at: u64,
+    },
+}
+
+#[derive(Default)]
+struct FailState {
+    writes: u64,
+    syncs: u64,
+    fault: Option<Fault>,
+    halted: bool,
+    triggered: bool,
+}
+
+/// A [`StoreFs`] wrapper injecting one [`Fault`] (see the module docs).
+#[derive(Clone)]
+pub struct FailpointFs {
+    inner: Arc<dyn StoreFs>,
+    state: Arc<Mutex<FailState>>,
+}
+
+impl FailpointFs {
+    /// Wraps `inner` with no fault armed.
+    pub fn new(inner: Arc<dyn StoreFs>) -> FailpointFs {
+        FailpointFs {
+            inner,
+            state: Arc::new(Mutex::new(FailState::default())),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, FailState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Arms a fault (replacing any armed one) and resets the counters.
+    pub fn inject(&self, fault: Fault) {
+        let mut st = self.locked();
+        *st = FailState {
+            fault: Some(fault),
+            ..FailState::default()
+        };
+    }
+
+    /// Disarms any fault (counters keep running; a halt stays in force).
+    pub fn disarm(&self) {
+        self.locked().fault = None;
+    }
+
+    /// Writes observed since the last [`FailpointFs::inject`].
+    pub fn writes_seen(&self) -> u64 {
+        self.locked().writes
+    }
+
+    /// Syncs observed since the last [`FailpointFs::inject`].
+    pub fn syncs_seen(&self) -> u64 {
+        self.locked().syncs
+    }
+
+    /// True once the armed fault has actually fired.
+    pub fn triggered(&self) -> bool {
+        self.locked().triggered
+    }
+
+    fn check_halted(&self) -> io::Result<()> {
+        if self.locked().halted {
+            Err(io::Error::other("failpoint: halted"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Decides the fate of the next write. Returns the (possibly mutated)
+    /// payload to pass down, plus an error to surface after writing `keep`
+    /// bytes (`None` = write everything, succeed).
+    fn on_write(&self, buf: &[u8]) -> io::Result<(Vec<u8>, Option<usize>)> {
+        let mut st = self.locked();
+        if st.halted {
+            return Err(io::Error::other("failpoint: halted"));
+        }
+        let ordinal = st.writes;
+        st.writes += 1;
+        match st.fault {
+            Some(Fault::TornWrite { at, keep }) if ordinal == at => {
+                st.triggered = true;
+                Ok((buf.to_vec(), Some(keep.min(buf.len()))))
+            }
+            Some(Fault::BitFlip { at, bit }) if ordinal == at && !buf.is_empty() => {
+                st.triggered = true;
+                let mut out = buf.to_vec();
+                let idx = ((bit / 8) as usize) % out.len();
+                let mask = 1u8 << (bit % 8);
+                if let Some(byte) = out.get_mut(idx) {
+                    *byte ^= mask;
+                }
+                Ok((out, None))
+            }
+            Some(Fault::Halt { at }) if ordinal >= at => {
+                st.triggered = true;
+                st.halted = true;
+                Err(io::Error::other("failpoint: halted"))
+            }
+            _ => Ok((buf.to_vec(), None)),
+        }
+    }
+
+    fn on_sync(&self) -> io::Result<()> {
+        let mut st = self.locked();
+        if st.halted {
+            return Err(io::Error::other("failpoint: halted"));
+        }
+        let ordinal = st.syncs;
+        st.syncs += 1;
+        match st.fault {
+            Some(Fault::FailSync { at }) if ordinal == at => {
+                st.triggered = true;
+                Err(io::Error::other("failpoint: fsync failed"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+struct FailpointFile {
+    owner: FailpointFs,
+    inner: Box<dyn StoreFile>,
+}
+
+impl StoreFile for FailpointFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let (payload, torn_at) = self.owner.on_write(buf)?;
+        match torn_at {
+            Some(keep) => {
+                let kept = payload.get(..keep).unwrap_or(&payload);
+                self.inner.write_all(kept)?;
+                Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failpoint: torn write",
+                ))
+            }
+            None => self.inner.write_all(&payload),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.owner.on_sync()?;
+        self.inner.sync()
+    }
+}
+
+impl StoreFs for FailpointFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.check_halted()?;
+        self.inner.create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check_halted()?;
+        self.inner.read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StoreFile>> {
+        self.check_halted()?;
+        let inner = self.inner.create(path)?;
+        Ok(Box::new(FailpointFile {
+            owner: self.clone(),
+            inner,
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StoreFile>> {
+        self.check_halted()?;
+        let inner = self.inner.open_append(path)?;
+        Ok(Box::new(FailpointFile {
+            owner: self.clone(),
+            inner,
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.check_halted()?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.check_halted()?;
+        self.inner.remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.check_halted()?;
+        self.inner.list(dir)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.check_halted()?;
+        self.inner.truncate(path, len)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memfs_crash_discards_unsynced_bytes() {
+        let fs = MemFs::new();
+        let p = Path::new("d/f");
+        let mut f = fs.create(p).unwrap();
+        f.write_all(b"durable").unwrap();
+        f.sync().unwrap();
+        f.write_all(b" volatile").unwrap();
+        assert_eq!(fs.contents(p).unwrap(), b"durable volatile");
+        fs.crash();
+        assert_eq!(fs.contents(p).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn memfs_rename_is_atomic_and_durable() {
+        let fs = MemFs::new();
+        let mut f = fs.create(Path::new("d/a.tmp")).unwrap();
+        f.write_all(b"xyz").unwrap();
+        f.sync().unwrap();
+        fs.rename(Path::new("d/a.tmp"), Path::new("d/a")).unwrap();
+        fs.crash();
+        assert!(!fs.exists(Path::new("d/a.tmp")));
+        assert_eq!(fs.contents(Path::new("d/a")).unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix() {
+        let mem = MemFs::new();
+        let fs = FailpointFs::new(Arc::new(mem.clone()));
+        fs.inject(Fault::TornWrite { at: 1, keep: 2 });
+        let mut f = fs.create(Path::new("d/f")).unwrap();
+        f.write_all(b"aaaa").unwrap(); // write 0: clean
+        assert!(f.write_all(b"bbbb").is_err()); // write 1: torn after 2 bytes
+        assert!(fs.triggered());
+        assert_eq!(mem.contents(Path::new("d/f")).unwrap(), b"aaaabb");
+    }
+
+    #[test]
+    fn bit_flip_is_silent() {
+        let mem = MemFs::new();
+        let fs = FailpointFs::new(Arc::new(mem.clone()));
+        fs.inject(Fault::BitFlip { at: 0, bit: 9 });
+        let mut f = fs.create(Path::new("d/f")).unwrap();
+        f.write_all(&[0x00, 0x00]).unwrap(); // "succeeds"
+        assert_eq!(mem.contents(Path::new("d/f")).unwrap(), vec![0x00, 0x02]);
+    }
+
+    #[test]
+    fn halt_kills_everything_after_the_boundary() {
+        let mem = MemFs::new();
+        let fs = FailpointFs::new(Arc::new(mem.clone()));
+        fs.inject(Fault::Halt { at: 1 });
+        let mut f = fs.create(Path::new("d/f")).unwrap();
+        f.write_all(b"ok").unwrap();
+        assert!(f.write_all(b"no").is_err());
+        assert!(f.sync().is_err());
+        assert!(fs.read(Path::new("d/f")).is_err());
+        assert!(fs.create(Path::new("d/g")).is_err());
+        assert_eq!(mem.contents(Path::new("d/f")).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn failed_sync_leaves_data_volatile() {
+        let mem = MemFs::new();
+        let fs = FailpointFs::new(Arc::new(mem.clone()));
+        fs.inject(Fault::FailSync { at: 0 });
+        let mut f = fs.create(Path::new("d/f")).unwrap();
+        f.write_all(b"data").unwrap();
+        assert!(f.sync().is_err());
+        mem.crash();
+        assert_eq!(mem.contents(Path::new("d/f")).unwrap(), b"");
+    }
+}

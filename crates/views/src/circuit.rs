@@ -126,6 +126,69 @@ impl IncrementalCircuit {
         circuit
     }
 
+    /// Rebuilds a circuit from persisted parts (the inverse of the
+    /// [`nodes`](IncrementalCircuit::nodes) / [`root`](IncrementalCircuit::root)
+    /// / [`probs`](IncrementalCircuit::probs) accessors). Gate values are
+    /// **recomputed**, not trusted from disk — `eval_gate` is deterministic
+    /// f64 arithmetic over the same post-order, so the resulting cached
+    /// values (and [`IncrementalCircuit::probability`]) are bit-identical to
+    /// the instance that was saved.
+    ///
+    /// Returns `None` when the parts are not a well-formed circuit: the root
+    /// or a child index out of bounds, or an edge that does not point
+    /// strictly downward (`child < parent` holds for every trace-built
+    /// decision-DNNF and rules out cycles, which would hang construction).
+    pub fn from_parts(
+        nodes: Vec<DdnnfNode>,
+        root: u32,
+        probs: Vec<f64>,
+        negated: bool,
+        scale: f64,
+    ) -> Option<IncrementalCircuit> {
+        if nodes.is_empty() || root as usize >= nodes.len() {
+            return None;
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            let ok = match node {
+                DdnnfNode::True | DdnnfNode::False => true,
+                DdnnfNode::Decision { hi, lo, .. } => (*hi as usize) < i && (*lo as usize) < i,
+                DdnnfNode::And { children } => children.iter().all(|&c| (c as usize) < i),
+            };
+            if !ok {
+                return None;
+            }
+        }
+        let dd = DecisionDnnf::new(nodes, root);
+        Some(IncrementalCircuit::new(&dd, probs, negated, scale))
+    }
+
+    /// The gate arena (for persistence).
+    pub fn nodes(&self) -> &[DdnnfNode] {
+        &self.nodes
+    }
+
+    /// The root gate index (for persistence).
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The current leaf probabilities, indexed by circuit variable (for
+    /// persistence).
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Whether the root counts the **negation** of the query (for
+    /// persistence).
+    pub fn negated(&self) -> bool {
+        self.negated
+    }
+
+    /// The Tseitin `2^aux` correction factor (for persistence).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
     /// A constant circuit (for lineages that simplify to ⊤/⊥); it has no
     /// leaves, so [`IncrementalCircuit::set_prob`] is always a no-op.
     pub fn constant(value: bool) -> IncrementalCircuit {
@@ -319,6 +382,54 @@ mod tests {
         let mut probs2 = probs.clone();
         probs2[0] = 0.25;
         assert_close(c.probability(), brute::expr_probability(&f, &probs2), 1e-12);
+    }
+
+    #[test]
+    fn from_parts_round_trips_bit_identically() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(1), v(2)]),
+        ]);
+        let probs = [0.3, 0.6, 0.8];
+        let mut c = compile(&f, &probs);
+        c.set_prob(1, 0.17);
+        let restored = IncrementalCircuit::from_parts(
+            c.nodes().to_vec(),
+            c.root(),
+            c.probs().to_vec(),
+            c.negated(),
+            c.scale(),
+        )
+        .unwrap();
+        // Recomputed values must be *bit-identical*, not merely close: the
+        // durability contract promises exact pre-crash probabilities.
+        assert_eq!(c.probability().to_bits(), restored.probability().to_bits());
+        assert_eq!(c.prob_of(1), restored.prob_of(1));
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_circuits() {
+        // Root out of bounds.
+        assert!(
+            IncrementalCircuit::from_parts(vec![DdnnfNode::True], 7, vec![], false, 1.0).is_none()
+        );
+        // Upward edge (would cycle / hang construction).
+        let nodes = vec![
+            DdnnfNode::True,
+            DdnnfNode::Decision {
+                var: 0,
+                hi: 2,
+                lo: 0,
+            },
+            DdnnfNode::Decision {
+                var: 1,
+                hi: 1,
+                lo: 0,
+            },
+        ];
+        assert!(IncrementalCircuit::from_parts(nodes, 2, vec![0.5, 0.5], false, 1.0).is_none());
+        // Empty arena.
+        assert!(IncrementalCircuit::from_parts(vec![], 0, vec![], false, 1.0).is_none());
     }
 
     #[test]

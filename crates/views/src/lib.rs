@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 pub mod circuit;
+pub mod persist;
 pub mod view;
 
 pub use circuit::IncrementalCircuit;
+pub use persist::{CircuitState, RowState, ViewDefState, ViewState};
 pub use view::{RefreshOutcome, View, ViewDef, ViewManager, ViewOptions, ViewRow};
 
 #[cfg(test)]
@@ -378,6 +380,60 @@ mod tests {
         assert!(!views.drop_view("v"));
         assert!(views.is_empty());
         assert!(views.refresh("v", &db).is_err());
+    }
+
+    #[test]
+    fn export_import_round_trips_bit_identically() {
+        let mut db = fig1_like_db();
+        let mut views = ViewManager::new();
+        views
+            .create(
+                "b",
+                ViewDef::boolean("exists x. exists y. R(x) & S(x,y)").unwrap(),
+                &db,
+            )
+            .unwrap();
+        views
+            .create(
+                "a",
+                ViewDef::answers(&["x".into()], "R(x), S(x,y)").unwrap(),
+                &db,
+            )
+            .unwrap();
+        // Exercise the incremental path before exporting, so the exported
+        // circuits carry post-update leaf probabilities.
+        let t = Tuple::from([1, 1]);
+        let version = db.update_prob("S", &t, 0.35).unwrap();
+        views.on_update_prob("S", &t, 0.35, version);
+
+        let restored = ViewManager::import_states(views.export_states()).unwrap();
+        assert_eq!(restored.len(), views.len());
+        assert_eq!(restored.recompiles(), 0, "restore must not recompile");
+        for (orig, back) in views.iter().zip(restored.iter()) {
+            assert_eq!(orig.name(), back.name());
+            assert_eq!(orig.is_stale(), back.is_stale());
+            assert_eq!(orig.rebuilds(), back.rebuilds());
+            assert_eq!(orig.incremental_updates(), back.incremental_updates());
+            assert_eq!(orig.rows().len(), back.rows().len());
+            for (r1, r2) in orig.rows().iter().zip(back.rows()) {
+                assert_eq!(r1.values, r2.values);
+                assert_eq!(
+                    r1.probability.to_bits(),
+                    r2.probability.to_bits(),
+                    "restored probabilities must be bit-identical"
+                );
+            }
+        }
+
+        // The restored manager keeps absorbing updates incrementally.
+        let mut restored = restored;
+        let version = db.update_prob("S", &t, 0.6).unwrap();
+        let absorbed = restored.on_update_prob("S", &t, 0.6, version);
+        assert!(absorbed >= 1, "restored circuits must absorb updates");
+        assert_eq!(restored.recompiles(), 0);
+        let expect = fresh_probability(&db, "exists x. exists y. R(x) & S(x,y)");
+        let got = restored.get("b").unwrap().boolean_answer().unwrap();
+        assert_close(got.probability, expect, 1e-12);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Plain-data snapshots of materialized views, for persistence.
+//!
+//! A durable store (see `pdb-store`) must save not just view *definitions*
+//! but the expensive artifact behind them: the compiled decision-DNNF
+//! circuits (cf. Monet & Olteanu — the circuit, not the query, is what is
+//! worth keeping). These types are the flattened, owner-free form of a
+//! [`View`](crate::View): every field is public data with deterministic
+//! ordering, so a byte codec living in another crate can serialize them
+//! without reaching into view internals.
+//!
+//! Round-trip contract: [`crate::ViewManager::export_states`] followed by
+//! [`crate::ViewManager::import_states`] yields views whose materialized
+//! probabilities are **bit-identical** to the originals (circuit gate values
+//! are recomputed deterministically, never trusted from disk) and whose
+//! maintenance state (`applied` version vectors, staleness, leaf index)
+//! resumes exactly where the exported manager stopped — no recompilation.
+
+use pdb_compile::ddnnf::DdnnfNode;
+use pdb_core::Method;
+use pdb_data::Tuple;
+
+/// The persistent parts of one [`IncrementalCircuit`](crate::IncrementalCircuit):
+/// gate arena, root, current leaf probabilities, and the encoding correction
+/// (`negated` / Tseitin `scale`). Cached gate values are deliberately absent —
+/// they are recomputed on restore.
+#[derive(Clone, Debug)]
+pub struct CircuitState {
+    /// The gate arena (children strictly precede parents).
+    pub nodes: Vec<DdnnfNode>,
+    /// Root gate index.
+    pub root: u32,
+    /// Leaf probabilities, indexed by circuit variable.
+    pub probs: Vec<f64>,
+    /// Whether the root counts the negation of the query.
+    pub negated: bool,
+    /// Tseitin `2^aux` correction factor.
+    pub scale: f64,
+}
+
+/// A view definition in re-parseable textual form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewDefState {
+    /// A Boolean sentence (the `view create <name> query <fo>` payload).
+    Boolean(String),
+    /// Head-variable names plus a CQ body (the `answers` payload).
+    Answers {
+        /// Head variable names, in output order.
+        head: Vec<String>,
+        /// The conjunctive-query body text.
+        body: String,
+    },
+}
+
+/// One materialized row: head constants, current probability, provenance,
+/// and the circuit that maintains it (`None` for cascade-fallback rows).
+#[derive(Clone, Debug)]
+pub struct RowState {
+    /// Head constants (empty for Boolean views).
+    pub values: Vec<u64>,
+    /// Materialized probability at export time (authoritative only for
+    /// fallback rows; circuit rows recompute it on restore).
+    pub probability: f64,
+    /// Dissociation bounds, when the row came from the approximate path.
+    pub bounds: Option<(f64, f64)>,
+    /// The engine that produced the row.
+    pub method: Method,
+    /// The compiled circuit, or `None` for fallback rows.
+    pub circuit: Option<CircuitState>,
+}
+
+/// The full persistent state of one view.
+#[derive(Clone, Debug)]
+pub struct ViewState {
+    /// The view's name.
+    pub name: String,
+    /// Its definition, re-parseable on restore.
+    pub def: ViewDefState,
+    /// Per-relation versions the materialization reflects, in name order.
+    pub applied: Vec<(String, u64)>,
+    /// The build snapshot's tuple→circuit-variable index, sorted by
+    /// `(relation, tuple)` so exports are deterministic.
+    pub leaves: Vec<(String, Tuple, u32)>,
+    /// Whether the materialization lags the database.
+    pub stale: bool,
+    /// Full rebuilds so far.
+    pub rebuilds: u64,
+    /// Probability updates absorbed incrementally so far.
+    pub incremental_updates: u64,
+    /// The materialized rows.
+    pub rows: Vec<RowState>,
+}

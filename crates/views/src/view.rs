@@ -32,6 +32,7 @@
 //! check makes late or duplicated events harmless.
 
 use crate::circuit::IncrementalCircuit;
+use crate::persist::{CircuitState, RowState, ViewDefState, ViewState};
 use pdb_compile::DecisionDnnf;
 use pdb_core::{Answer, AnswerTuple, EngineError, Method, ProbDb, QueryOptions};
 use pdb_data::Tuple;
@@ -245,6 +246,111 @@ impl View {
         }
     }
 
+    /// Flattens the view into its persistent form (see [`crate::persist`]).
+    /// The leaf index is emitted sorted so exports are byte-deterministic.
+    pub fn to_state(&self) -> ViewState {
+        let def = match &self.def {
+            ViewDef::Boolean { text, .. } => ViewDefState::Boolean(text.clone()),
+            ViewDef::Answers { text, head, .. } => ViewDefState::Answers {
+                head: head.iter().map(|v| v.to_string()).collect(),
+                body: text.clone(),
+            },
+        };
+        let mut leaves: Vec<(String, Tuple, u32)> = self
+            .leaves
+            .iter()
+            .map(|((r, t), &var)| (r.clone(), t.clone(), var))
+            .collect();
+        leaves.sort();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| RowState {
+                values: row.values.clone(),
+                probability: row.probability,
+                bounds: row.bounds,
+                method: row.method,
+                circuit: match &row.backend {
+                    RowBackend::Circuit(c) => Some(CircuitState {
+                        nodes: c.nodes().to_vec(),
+                        root: c.root(),
+                        probs: c.probs().to_vec(),
+                        negated: c.negated(),
+                        scale: c.scale(),
+                    }),
+                    RowBackend::Fallback => None,
+                },
+            })
+            .collect();
+        ViewState {
+            name: self.name.clone(),
+            def,
+            applied: self.applied.iter().map(|(r, &v)| (r.clone(), v)).collect(),
+            leaves,
+            stale: self.stale,
+            rebuilds: self.rebuilds,
+            incremental_updates: self.incremental_updates,
+            rows,
+        }
+    }
+
+    /// Reconstructs a view from its persistent form. The definition is
+    /// re-parsed from text; circuit rows are rebuilt through the validated
+    /// [`IncrementalCircuit::from_parts`] path, which recomputes gate values
+    /// deterministically — the restored probabilities are bit-identical to
+    /// the exported ones. No query compilation happens here.
+    pub fn from_state(state: ViewState) -> Result<View, EngineError> {
+        let def = match &state.def {
+            ViewDefState::Boolean(text) => ViewDef::boolean(text)?,
+            ViewDefState::Answers { head, body } => ViewDef::answers(head, body)?,
+        };
+        let relations = def.relations();
+        let domain_sensitive = def.domain_sensitive();
+        let mut leaf_vars: HashMap<(String, Tuple), u32> =
+            HashMap::with_capacity(state.leaves.len());
+        for (r, t, var) in state.leaves {
+            leaf_vars.insert((r, t), var);
+        }
+        let mut rows = Vec::with_capacity(state.rows.len());
+        for row in state.rows {
+            let backend = match row.circuit {
+                Some(c) => RowBackend::Circuit(
+                    IncrementalCircuit::from_parts(c.nodes, c.root, c.probs, c.negated, c.scale)
+                        .ok_or_else(|| {
+                            EngineError::Unsupported(format!(
+                                "view {}: persisted circuit is malformed",
+                                state.name
+                            ))
+                        })?,
+                ),
+                None => RowBackend::Fallback,
+            };
+            let probability = match &backend {
+                RowBackend::Circuit(c) => c.probability(),
+                RowBackend::Fallback => row.probability,
+            };
+            rows.push(ViewRow {
+                values: row.values,
+                probability,
+                bounds: row.bounds,
+                method: row.method,
+                backend,
+            });
+        }
+        Ok(View {
+            name: state.name,
+            def,
+            relations,
+            domain_sensitive,
+            applied: state.applied.into_iter().collect(),
+            leaves: Arc::new(leaf_vars),
+            rows,
+            stale: state.stale,
+            rebuilds: state.rebuilds,
+            incremental_updates: state.incremental_updates,
+        })
+    }
+
     /// The answer rows with head-variable names, for `Answers` views.
     pub fn answer_rows(&self) -> Option<(Vec<String>, Vec<AnswerTuple>)> {
         match &self.def {
@@ -350,6 +456,39 @@ impl ViewManager {
     /// Iterates views in name order.
     pub fn iter(&self) -> impl Iterator<Item = &View> {
         self.views.values()
+    }
+
+    /// Exports every view's persistent state, in name order (see
+    /// [`crate::persist`]).
+    pub fn export_states(&self) -> Vec<ViewState> {
+        self.views.values().map(View::to_state).collect()
+    }
+
+    /// Rebuilds a manager from exported states with default options.
+    /// Restored circuits count as neither recompiles nor incremental
+    /// updates — the manager counters start at zero, so a caller can assert
+    /// that recovery performed no compilation by checking
+    /// [`ViewManager::recompiles`] afterwards.
+    pub fn import_states(states: Vec<ViewState>) -> Result<ViewManager, EngineError> {
+        ViewManager::import_states_with(states, ViewOptions::default())
+    }
+
+    /// [`ViewManager::import_states`] with explicit options.
+    pub fn import_states_with(
+        states: Vec<ViewState>,
+        opts: ViewOptions,
+    ) -> Result<ViewManager, EngineError> {
+        let mut views = BTreeMap::new();
+        for state in states {
+            let view = View::from_state(state)?;
+            views.insert(view.name.clone(), view);
+        }
+        Ok(ViewManager {
+            views,
+            opts,
+            incremental_applied: 0,
+            recompiles: 0,
+        })
     }
 
     /// Registers and materializes a view. Fails if the name is taken or the

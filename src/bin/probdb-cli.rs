@@ -101,6 +101,46 @@ fn execute(
             },
             Err(e) => writeln!(out, "parse error: {e}")?,
         },
+        Command::Save(path) => {
+            let states = views.export_states();
+            let bytes = probdb::store::snapshot::encode_snapshot(db.version(), db, &states);
+            match std::fs::write(&path, bytes) {
+                Ok(()) => writeln!(
+                    out,
+                    "saved {} tuple(s), {} view(s) to {path}",
+                    db.tuple_db().tuple_count(),
+                    states.len()
+                )?,
+                Err(e) => writeln!(out, "error: cannot write {path}: {e}")?,
+            }
+        }
+        Command::Open(path) => match std::fs::read(&path) {
+            Ok(bytes) => match probdb::store::snapshot::decode_snapshot(&bytes) {
+                Ok((_lsn, opened_db, states)) => {
+                    let view_count = states.len();
+                    match ViewManager::import_states(states) {
+                        Ok(opened_views) => {
+                            // Replace the whole session state; restored
+                            // views keep their compiled circuits, so they
+                            // resume incremental maintenance immediately.
+                            *db = opened_db;
+                            *views = opened_views;
+                            writeln!(
+                                out,
+                                "opened {path}: {} tuple(s), {view_count} view(s)",
+                                db.tuple_db().tuple_count()
+                            )?;
+                        }
+                        Err(e) => writeln!(out, "error: cannot restore views from {path}: {e}")?,
+                    }
+                }
+                Err(e) => writeln!(out, "error: {path} is not a probdb snapshot: {e}")?,
+            },
+            Err(e) => writeln!(out, "error: cannot read {path}: {e}")?,
+        },
+        Command::Shutdown => {
+            writeln!(out, "shutdown stops probdb-serve; this CLI exits with quit")?
+        }
         Command::Source(path) => match std::fs::read_to_string(&path) {
             Ok(content) => {
                 for line in content.lines() {
@@ -277,6 +317,69 @@ mod tests {
     #[test]
     fn stats_points_at_the_server() {
         assert!(run(&["stats"]).contains("probdb-serve"));
+    }
+
+    /// `save` then `open` in a fresh session restores tuples AND views with
+    /// their compiled circuits — the reopened view updates incrementally
+    /// (zero recompiles), exactly like server recovery from a snapshot.
+    #[test]
+    fn save_and_open_round_trip_database_and_views() {
+        let dir = std::env::temp_dir().join(format!("probdb-cli-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.pdb");
+        let path = path.to_str().unwrap();
+
+        let mut db = ProbDb::new();
+        let mut views = ViewManager::new();
+        let mut out = Vec::new();
+        for line in [
+            "insert R 1 0.5".to_string(),
+            "insert S 1 2 0.8".to_string(),
+            "view create v query exists x. exists y. R(x) & S(x,y)".to_string(),
+            format!("save {path}"),
+        ] {
+            assert!(execute(parse_command(&line).unwrap(), &mut db, &mut views, &mut out).unwrap());
+        }
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("saved 2 tuple(s), 1 view(s)"));
+
+        let mut db2 = ProbDb::new();
+        let mut views2 = ViewManager::new();
+        let mut out2 = Vec::new();
+        for line in [
+            format!("open {path}"),
+            "view show v".to_string(),
+            "update S 1 2 0.4".to_string(),
+            "view show v".to_string(),
+        ] {
+            assert!(execute(
+                parse_command(&line).unwrap(),
+                &mut db2,
+                &mut views2,
+                &mut out2
+            )
+            .unwrap());
+        }
+        let text = String::from_utf8(out2).unwrap();
+        assert!(text.contains("opened"), "{text}");
+        assert!(text.contains("p = 0.400000"), "{text}");
+        assert!(text.contains("p = 0.200000"), "{text}");
+        assert_eq!(views2.recompiles(), 0, "restored view must not recompile");
+        std::fs::remove_dir_all(std::path::Path::new(path).parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn open_of_a_missing_or_garbage_file_is_not_fatal() {
+        let text = run(&["open /nonexistent/definitely/missing.pdb"]);
+        assert!(text.contains("error: cannot read"), "{text}");
+        let dir = std::env::temp_dir().join(format!("probdb-cli-garbage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.pdb");
+        std::fs::write(&bad, b"definitely not a snapshot").unwrap();
+        let text = run(&[&format!("open {}", bad.to_str().unwrap())]);
+        assert!(text.contains("is not a probdb snapshot"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// The CLI must print exactly what the server's service layer returns

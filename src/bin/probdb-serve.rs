@@ -24,23 +24,49 @@
 //! - `--cache-capacity N` — result-cache entries (default 1024)
 //! - `--preload FILE` — run a script of commands (typically `insert`/
 //!   `domain` lines) before accepting connections
+//! - `--data-dir DIR` — serve durably: recover from `DIR` on start, WAL
+//!   every mutation before acknowledging it, checkpoint in the background
+//! - `--fsync always|never|interval:MS` — WAL fsync policy (default
+//!   `always`; only meaningful with `--data-dir`)
+//! - `--checkpoint-every N` — snapshot + truncate the log every N records
+//!   (`0` disables; default 1024; only meaningful with `--data-dir`)
+//!
+//! `SIGTERM`/`SIGINT` trigger the same graceful path as the wire
+//! `shutdown` command: drain in-flight sessions, flush + fsync the WAL,
+//! then exit.
 
-use probdb::server::protocol::parse_command;
-use probdb::server::{serve, ServerOptions};
+use probdb::server::protocol::{parse_command, Command};
+use probdb::server::{serve_service, ServerOptions, Service, ServiceOptions};
+use probdb::store::{FsyncPolicy, RealFs, Store, StoreOptions};
 use probdb::ProbDb;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: probdb-serve [--addr HOST:PORT] [--workers N] [--threads N] \
-         [--timeout-ms MS] [--cache-capacity N] [--preload FILE]"
+         [--timeout-ms MS] [--cache-capacity N] [--preload FILE] \
+         [--data-dir DIR] [--fsync always|never|interval:MS] [--checkpoint-every N]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (ServerOptions, Option<String>) {
-    let mut opts = ServerOptions::default();
-    let mut preload = None;
+struct Args {
+    opts: ServerOptions,
+    preload: Option<String>,
+    data_dir: Option<PathBuf>,
+    store_opts: StoreOptions,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        opts: ServerOptions::default(),
+        preload: None,
+        data_dir: None,
+        store_opts: StoreOptions::default(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -50,8 +76,10 @@ fn parse_args() -> (ServerOptions, Option<String>) {
             })
         };
         match flag.as_str() {
-            "--addr" => opts.addr = value("--addr"),
-            "--workers" => opts.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--addr" => parsed.opts.addr = value("--addr"),
+            "--workers" => {
+                parsed.opts.workers = value("--workers").parse().unwrap_or_else(|_| usage())
+            }
             "--threads" => {
                 let n: usize = value("--threads").parse().unwrap_or_else(|_| usage());
                 // Must win the race with first pool use, so it is set here —
@@ -62,14 +90,27 @@ fn parse_args() -> (ServerOptions, Option<String>) {
             }
             "--timeout-ms" => {
                 let ms: u64 = value("--timeout-ms").parse().unwrap_or_else(|_| usage());
-                opts.query_timeout = Duration::from_millis(ms);
+                parsed.opts.query_timeout = Duration::from_millis(ms);
             }
             "--cache-capacity" => {
-                opts.cache_capacity = value("--cache-capacity")
+                parsed.opts.cache_capacity = value("--cache-capacity")
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
-            "--preload" => preload = Some(value("--preload")),
+            "--preload" => parsed.preload = Some(value("--preload")),
+            "--data-dir" => parsed.data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--fsync" => {
+                parsed.store_opts.fsync =
+                    FsyncPolicy::parse(&value("--fsync")).unwrap_or_else(|| {
+                        eprintln!("--fsync: expected always, never, or interval:MS");
+                        usage()
+                    })
+            }
+            "--checkpoint-every" => {
+                parsed.store_opts.checkpoint_every = value("--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -77,59 +118,137 @@ fn parse_args() -> (ServerOptions, Option<String>) {
             }
         }
     }
-    (opts, preload)
+    parsed
 }
 
-/// Applies a preload script to the database; query-like commands run too
-/// (their output goes to stderr) so a script can sanity-check itself.
-fn preload_db(db: &mut ProbDb, path: &str) -> Result<(), String> {
+/// Set by the signal handler; the main loop polls it and initiates the
+/// same graceful shutdown the wire `shutdown` command performs.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_term(_signum: i32) {
+        // Only async-signal-safe work here: a single atomic store.
+        TERM.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is the C standard library function; the handler is a
+    // non-capturing `extern "C" fn(i32)` whose body performs exactly one
+    // atomic store into a `static`, which is async-signal-safe.
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Applies a preload script through the service layer — so with
+/// `--data-dir` every preloaded mutation is WAL-logged exactly like one
+/// arriving over the wire. Query-like commands run too (their output goes
+/// to stderr) so a script can sanity-check itself.
+fn preload(service: &Service, path: &str) -> Result<u64, String> {
     let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut applied = 0u64;
     for (lineno, line) in content.lines().enumerate() {
-        match parse_command(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))? {
-            probdb::server::protocol::Command::Insert {
-                relation,
-                tuple,
-                prob,
-            } => db.insert(&relation, tuple, prob),
-            probdb::server::protocol::Command::Domain(consts) => db.extend_domain(consts),
-            probdb::server::protocol::Command::Nothing => {}
-            probdb::server::protocol::Command::Query(q) => match db.query(&q) {
-                Ok(a) => eprintln!("{path}: query -> p = {:.6}", a.probability),
-                Err(e) => eprintln!("{path}: query error: {e}"),
-            },
-            other => {
-                return Err(format!(
-                    "{path}:{}: {other:?} is not allowed in a preload script",
-                    lineno + 1
-                ))
+        let at = |msg: &str| format!("{path}:{}: {msg}", lineno + 1);
+        match parse_command(line).map_err(|e| at(&e))? {
+            Command::Nothing => {}
+            Command::Insert { .. } | Command::Domain(_) => {
+                let (response, _) = service.handle_line(line);
+                if !response.is_empty() {
+                    // A durable store refusing the write (wedged WAL, full
+                    // disk) must abort startup, not serve a silent subset.
+                    return Err(at(response.trim_end()));
+                }
+                applied += 1;
             }
+            Command::Query(_) => {
+                let (response, _) = service.handle_line(line);
+                eprintln!("{path}: {}", response.trim_end());
+            }
+            other => return Err(at(&format!("{other:?} is not allowed in a preload script"))),
         }
     }
-    Ok(())
+    Ok(applied)
 }
 
 fn main() {
-    let (opts, preload) = parse_args();
-    let mut db = ProbDb::new();
-    if let Some(path) = preload {
-        if let Err(e) = preload_db(&mut db, &path) {
-            eprintln!("preload failed: {e}");
-            std::process::exit(1);
+    let args = parse_args();
+    install_signal_handlers();
+    let service_opts = ServiceOptions {
+        query_timeout: args.opts.query_timeout,
+        cache_capacity: args.opts.cache_capacity,
+        ..ServiceOptions::default()
+    };
+    let service = match &args.data_dir {
+        Some(dir) => match Store::open(Arc::new(RealFs), dir, args.store_opts.clone()) {
+            Ok((store, recovered)) => {
+                let info = &recovered.info;
+                eprintln!(
+                    "recovered {}: snapshot lsn {}, {} op(s) replayed, {} torn byte(s) dropped, next lsn {}",
+                    dir.display(),
+                    info.snapshot_lsn,
+                    info.replayed_ops,
+                    info.truncated_bytes,
+                    info.next_lsn,
+                );
+                Service::with_store(recovered.db, recovered.views, store, service_opts)
+            }
+            Err(e) => {
+                eprintln!("cannot open data dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        },
+        None => Service::new(ProbDb::new(), service_opts),
+    };
+    if let Some(path) = &args.preload {
+        match preload(&service, path) {
+            Ok(applied) => eprintln!("preloaded {applied} mutation(s) from {path}"),
+            Err(e) => {
+                eprintln!("preload failed: {e}");
+                std::process::exit(1);
+            }
         }
-        eprintln!(
-            "preloaded {} tuples from {path}",
-            db.tuple_db().tuple_count()
-        );
     }
-    let workers = opts.workers;
-    match serve(db, opts) {
+    let workers = args.opts.workers;
+    match serve_service(service, args.opts) {
         Ok(handle) => {
             eprintln!(
-                "probdb-serve listening on {} ({} workers, engine pool: {} threads)",
+                "probdb-serve listening on {} ({} workers, engine pool: {} threads{})",
                 handle.local_addr(),
                 workers,
-                probdb::par::global().threads()
+                probdb::par::global().threads(),
+                if args.data_dir.is_some() {
+                    ", durable"
+                } else {
+                    ""
+                }
             );
+            // Poll instead of blocking in join(): a signal must be able to
+            // start the drain, and is_finished() tells us when it is done.
+            loop {
+                if TERM.swap(false, Ordering::SeqCst) && !handle.service().stopping() {
+                    eprintln!("signal received: draining sessions and flushing the log");
+                    // Same code path as the wire command — flushes + fsyncs
+                    // the WAL, sets the stop flag, wakes the acceptors.
+                    let _ = handle.service().handle_line("shutdown");
+                }
+                if handle.is_finished() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            // Belt and braces: `shutdown` already flushed, but a worker may
+            // have acknowledged one last interval-policy write after it.
+            if !handle.service().persist_flush() {
+                eprintln!("probdb-serve: final log flush failed");
+            }
             handle.join();
         }
         Err(e) => {

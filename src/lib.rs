@@ -41,10 +41,12 @@
 //! | [`par`] | work-stealing thread pool (`PROBDB_THREADS`) | infrastructure |
 //! | [`views`] | incrementally maintained materialized views | §7 in production |
 //! | [`server`] | concurrent TCP query service, result cache, stats | infrastructure |
+//! | [`store`] | durable WAL + snapshots, crash recovery, fault injection | infrastructure |
 
 pub use pdb_core as engine;
 pub use pdb_core::{Answer, Complexity, EngineError, Method, ProbDb, QueryOptions};
 pub use pdb_server as server;
+pub use pdb_store as store;
 pub use pdb_views as views;
 
 pub use pdb_bid as bid;
