@@ -52,7 +52,8 @@ pub struct Finding {
 pub struct Options {
     /// Promote warn-level lints (D1, L1) to deny.
     pub deny_all: bool,
-    /// Run P1 on every file instead of only `crates/server/src` (fixtures).
+    /// Run P1 on every file instead of only the server/store/replica
+    /// request paths (fixtures).
     pub p1_everywhere: bool,
 }
 

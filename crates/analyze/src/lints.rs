@@ -772,16 +772,20 @@ fn lint_p1(sf: &SourceFile, file: usize, out: &mut Vec<RawFinding>) {
 #[derive(Clone, Debug, Default)]
 pub struct LintOptions {
     /// Treat every file as request-path code for P1 (used by fixture
-    /// tests; the CLI scopes P1 to `crates/server/src` and
-    /// `crates/store/src`).
+    /// tests; the CLI scopes P1 to `crates/server/src`,
+    /// `crates/store/src`, and `crates/replica/src`).
     pub p1_everywhere: bool,
 }
 
 /// True when P1 applies to `path` under the default scoping: the serving
-/// layer (a panic kills a pooled worker) and the durability layer (a panic
-/// between apply and log leaves memory ahead of the WAL).
+/// layer (a panic kills a pooled worker), the durability layer (a panic
+/// between apply and log leaves memory ahead of the WAL), and the
+/// replication layer (a panic in the client thread silently stops a
+/// replica converging; one in the hub kills the publishing mutation).
 pub fn p1_applies(path: &str) -> bool {
-    path.contains("crates/server/src") || path.contains("crates/store/src")
+    path.contains("crates/server/src")
+        || path.contains("crates/store/src")
+        || path.contains("crates/replica/src")
 }
 
 /// Runs all four lints over the analyzed set.

@@ -1,0 +1,348 @@
+//! Stream-level fault injection: the replication analogue of
+//! `pdb_store::FailpointFs`.
+//!
+//! [`FaultConnector`] wraps any [`Connector`] and perturbs the byte stream
+//! at a chosen **global read ordinal** (reads are counted across every
+//! connection the connector ever makes, like `FailpointFs` counts write
+//! boundaries) — so a test can place a fault at *every* protocol boundary
+//! by sweeping the ordinal: mid-handshake, mid-frame-header, mid-payload,
+//! between frames. Supported faults:
+//!
+//! * [`StreamFault::Disconnect`] — the read fails with `ConnectionReset`.
+//! * [`StreamFault::Torn`] — the read returns a byte prefix, then the
+//!   connection is silent EOF: a torn frame on the wire.
+//! * [`StreamFault::Stall`] — the connection goes silent (reads time out)
+//!   until the client gives up on the heartbeat; cleared on reconnect.
+//! * [`StreamFault::RefuseConnects`] — the next `n` dials fail outright
+//!   (a down primary), exercising the backoff ladder.
+
+use crate::client::{Connector, ReplicaConn};
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One injected stream fault. Ordinals count read calls globally across
+/// connections, starting at 0.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StreamFault {
+    /// Fail the `at`-th read with `ConnectionReset`.
+    Disconnect {
+        /// Global read ordinal to fire at.
+        at: u64,
+    },
+    /// Truncate the `at`-th read to at most `keep` bytes, then EOF until
+    /// the next connect — a torn frame.
+    Torn {
+        /// Global read ordinal to fire at.
+        at: u64,
+        /// Bytes of the read to let through.
+        keep: usize,
+    },
+    /// From the `at`-th read on, the connection is silent (every read
+    /// times out) until the client reconnects.
+    Stall {
+        /// Global read ordinal to fire at.
+        at: u64,
+    },
+    /// Refuse the next `n` connection attempts.
+    RefuseConnects {
+        /// How many dials to reject.
+        n: u64,
+    },
+}
+
+#[derive(Default)]
+struct Armed {
+    fault: Option<StreamFault>,
+}
+
+/// Shared fault state: inject, observe, disarm — same shape as
+/// `FailpointFs`.
+#[derive(Default)]
+pub struct StreamFaults {
+    armed: Mutex<Armed>,
+    reads: AtomicU64,
+    connects: AtomicU64,
+    triggered: AtomicBool,
+}
+
+impl StreamFaults {
+    /// Fresh, disarmed state.
+    pub fn new() -> StreamFaults {
+        StreamFaults::default()
+    }
+
+    /// Arms `fault` (replacing any previous one) and resets the trigger
+    /// flag. Read/connect ordinals keep counting from where they are.
+    pub fn inject(&self, fault: StreamFault) {
+        lock(&self.armed).fault = Some(fault);
+        self.triggered.store(false, Ordering::SeqCst);
+    }
+
+    /// Removes any armed fault.
+    pub fn disarm(&self) {
+        lock(&self.armed).fault = None;
+    }
+
+    /// True once an armed fault has fired.
+    pub fn triggered(&self) -> bool {
+        self.triggered.load(Ordering::SeqCst)
+    }
+
+    /// Read calls observed so far (across all connections).
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
+    }
+
+    /// Connection attempts observed so far.
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::SeqCst)
+    }
+
+    fn fire(&self) {
+        self.triggered.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A [`Connector`] that injects [`StreamFault`]s into whatever transport
+/// `inner` provides.
+pub struct FaultConnector {
+    inner: Box<dyn Connector>,
+    faults: Arc<StreamFaults>,
+}
+
+impl FaultConnector {
+    /// Wraps `inner`; faults are controlled through the shared `faults`.
+    pub fn new(inner: Box<dyn Connector>, faults: Arc<StreamFaults>) -> FaultConnector {
+        FaultConnector { inner, faults }
+    }
+}
+
+impl Connector for FaultConnector {
+    fn connect(&self) -> io::Result<Box<dyn ReplicaConn>> {
+        self.faults.connects.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut armed = lock(&self.faults.armed);
+            if let Some(StreamFault::RefuseConnects { n }) = armed.fault {
+                if n > 1 {
+                    armed.fault = Some(StreamFault::RefuseConnects { n: n - 1 });
+                } else {
+                    armed.fault = None;
+                }
+                self.faults.fire();
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "injected: connection refused",
+                ));
+            }
+        }
+        let conn = self.inner.connect()?;
+        Ok(Box::new(FaultConn {
+            inner: conn,
+            faults: Arc::clone(&self.faults),
+            eof: false,
+            stalled: false,
+        }))
+    }
+}
+
+/// One faulted connection; per-connection latches (`eof`, `stalled`) clear
+/// naturally on reconnect because a fresh `FaultConn` is built.
+struct FaultConn {
+    inner: Box<dyn ReplicaConn>,
+    faults: Arc<StreamFaults>,
+    eof: bool,
+    stalled: bool,
+}
+
+impl FaultConn {
+    /// Consumes the armed fault if its ordinal is the current read.
+    fn take_read_fault(&self) -> Option<StreamFault> {
+        let ordinal = self.faults.reads.fetch_add(1, Ordering::SeqCst);
+        let mut armed = lock(&self.faults.armed);
+        match armed.fault {
+            Some(f @ StreamFault::Disconnect { at })
+            | Some(f @ StreamFault::Torn { at, .. })
+            | Some(f @ StreamFault::Stall { at })
+                if at == ordinal =>
+            {
+                armed.fault = None;
+                self.faults.fire();
+                Some(f)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Read for FaultConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.eof {
+            return Ok(0);
+        }
+        if self.stalled {
+            std::thread::sleep(Duration::from_millis(10));
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "injected: stall"));
+        }
+        match self.take_read_fault() {
+            Some(StreamFault::Disconnect { .. }) => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected: connection reset",
+            )),
+            Some(StreamFault::Torn { keep, .. }) => {
+                let n = self.inner.read(buf)?;
+                self.eof = true;
+                Ok(n.min(keep))
+            }
+            Some(StreamFault::Stall { .. }) => {
+                self.stalled = true;
+                Err(io::Error::new(io::ErrorKind::TimedOut, "injected: stall"))
+            }
+            _ => self.inner.read(buf),
+        }
+    }
+}
+
+impl Write for FaultConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl ReplicaConn for FaultConn {
+    fn set_read_timeout(&mut self, d: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory "primary": a fixed byte script served read by read.
+    struct ScriptConn {
+        bytes: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for ScriptConn {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let left = &self.bytes[self.pos..];
+            if left.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "script drained"));
+            }
+            let n = left.len().min(buf.len()).min(4); // small reads: more boundaries
+            buf[..n].copy_from_slice(&left[..n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for ScriptConn {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl ReplicaConn for ScriptConn {
+        fn set_read_timeout(&mut self, _d: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    struct ScriptConnector {
+        bytes: Vec<u8>,
+    }
+
+    impl Connector for ScriptConnector {
+        fn connect(&self) -> io::Result<Box<dyn ReplicaConn>> {
+            Ok(Box::new(ScriptConn {
+                bytes: self.bytes.clone(),
+                pos: 0,
+            }))
+        }
+    }
+
+    fn connector(faults: &Arc<StreamFaults>) -> FaultConnector {
+        FaultConnector::new(
+            Box::new(ScriptConnector {
+                bytes: (0u8..64).collect(),
+            }),
+            Arc::clone(faults),
+        )
+    }
+
+    #[test]
+    fn disconnect_fires_at_the_exact_ordinal() {
+        let faults = Arc::new(StreamFaults::new());
+        let c = connector(&faults);
+        faults.inject(StreamFault::Disconnect { at: 2 });
+        let mut conn = c.connect().unwrap();
+        let mut buf = [0u8; 8];
+        assert!(conn.read(&mut buf).is_ok()); // ordinal 0
+        assert!(conn.read(&mut buf).is_ok()); // ordinal 1
+        let err = conn.read(&mut buf).unwrap_err(); // ordinal 2: boom
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert!(faults.triggered());
+        // Disarmed after firing: a new connection reads cleanly.
+        let mut conn2 = c.connect().unwrap();
+        assert!(conn2.read(&mut buf).is_ok());
+    }
+
+    #[test]
+    fn torn_read_truncates_then_goes_eof() {
+        let faults = Arc::new(StreamFaults::new());
+        let c = connector(&faults);
+        faults.inject(StreamFault::Torn { at: 1, keep: 2 });
+        let mut conn = c.connect().unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(conn.read(&mut buf).unwrap(), 4);
+        assert_eq!(conn.read(&mut buf).unwrap(), 2); // torn: 2 of 4 bytes
+        assert_eq!(conn.read(&mut buf).unwrap(), 0); // then EOF
+        assert_eq!(conn.read(&mut buf).unwrap(), 0);
+        assert!(faults.triggered());
+    }
+
+    #[test]
+    fn stall_turns_reads_into_timeouts_until_reconnect() {
+        let faults = Arc::new(StreamFaults::new());
+        let c = connector(&faults);
+        faults.inject(StreamFault::Stall { at: 0 });
+        let mut conn = c.connect().unwrap();
+        let mut buf = [0u8; 8];
+        for _ in 0..3 {
+            let err = conn.read(&mut buf).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        }
+        // A fresh connection is healthy again.
+        let mut conn2 = c.connect().unwrap();
+        assert!(conn2.read(&mut buf).is_ok());
+    }
+
+    #[test]
+    fn refused_connects_count_down() {
+        let faults = Arc::new(StreamFaults::new());
+        let c = connector(&faults);
+        faults.inject(StreamFault::RefuseConnects { n: 2 });
+        assert!(c.connect().is_err());
+        assert!(c.connect().is_err());
+        assert!(c.connect().is_ok());
+        assert_eq!(faults.connects(), 3);
+    }
+}

@@ -1,0 +1,246 @@
+//! Primary-side fan-out: one [`ReplicaHub`] per serving process, one
+//! [`ReplicaFeed`] per connected replica.
+//!
+//! The serving layer calls [`ReplicaHub::publish`] for every mutation it
+//! logs, *while still holding the lock that serializes WAL appends*. A new
+//! replica's catch-up plan (snapshot or WAL tail) is computed and its feed
+//! registered under that same lock, so every record is delivered exactly
+//! once: everything below the cut arrives via catch-up, everything at or
+//! above it via the feed. Publishing never blocks — each feed is a bounded
+//! queue, and a replica too slow to drain it is dropped (it reconnects and
+//! resumes from its LSN).
+
+use crate::wire::Frame;
+use pdb_store::WalOp;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Frames a feed may buffer before its replica is considered too slow.
+const FEED_CAPACITY: usize = 1024;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct Peer {
+    id: u64,
+    tx: SyncSender<Frame>,
+}
+
+/// The registry of connected replicas on a primary.
+pub struct ReplicaHub {
+    peers: Mutex<Vec<Peer>>,
+    next_peer_id: AtomicU64,
+    next_lsn: AtomicU64,
+    streamed: AtomicU64,
+    heartbeat: Duration,
+}
+
+impl ReplicaHub {
+    /// A hub whose stream currently stands at `next_lsn`, heartbeating
+    /// idle feeds every `heartbeat`.
+    pub fn new(next_lsn: u64, heartbeat: Duration) -> ReplicaHub {
+        ReplicaHub {
+            peers: Mutex::new(Vec::new()),
+            next_peer_id: AtomicU64::new(0),
+            next_lsn: AtomicU64::new(next_lsn),
+            streamed: AtomicU64::new(0),
+            heartbeat,
+        }
+    }
+
+    /// How often idle streams emit a heartbeat frame.
+    pub fn heartbeat(&self) -> Duration {
+        self.heartbeat
+    }
+
+    /// The LSN the next published record will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn.load(Ordering::SeqCst)
+    }
+
+    /// Connected replicas right now.
+    pub fn replica_count(&self) -> usize {
+        lock(&self.peers).len()
+    }
+
+    /// Record frames fanned out since the hub was created.
+    pub fn streamed(&self) -> u64 {
+        self.streamed.load(Ordering::Relaxed)
+    }
+
+    /// Registers a new replica feed. Call under the same lock that
+    /// serializes [`publish`](Self::publish) so the catch-up cut and the
+    /// feed's first frame meet with no gap and no overlap.
+    pub fn register(self: &Arc<Self>) -> ReplicaFeed {
+        let (tx, rx) = sync_channel(FEED_CAPACITY);
+        let id = self.next_peer_id.fetch_add(1, Ordering::SeqCst);
+        lock(&self.peers).push(Peer { id, tx });
+        ReplicaFeed {
+            hub: Arc::clone(self),
+            id,
+            rx,
+        }
+    }
+
+    /// Fans one logged mutation out to every feed and advances the hub's
+    /// head LSN. Never blocks: a feed whose queue is full (or whose reader
+    /// is gone) is dropped on the spot.
+    pub fn publish(&self, lsn: u64, op: &WalOp) {
+        self.next_lsn.store(lsn + 1, Ordering::SeqCst);
+        let mut peers = lock(&self.peers);
+        peers.retain(|p| {
+            let frame = Frame::Record {
+                lsn,
+                op: op.clone(),
+            };
+            if p.tx.try_send(frame).is_ok() {
+                self.streamed.fetch_add(1, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    /// Announces a clean shutdown to every feed (graceful drain): replicas
+    /// mark the primary down immediately instead of waiting out the
+    /// heartbeat timeout.
+    pub fn broadcast_shutdown(&self) {
+        let peers = lock(&self.peers);
+        for p in peers.iter() {
+            let _ = p.tx.try_send(Frame::Shutdown);
+        }
+    }
+
+    fn unregister(&self, id: u64) {
+        lock(&self.peers).retain(|p| p.id != id);
+    }
+}
+
+/// The hub dropped this feed (its queue overflowed or the hub is gone):
+/// the replica behind it fell too far behind and must reconnect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FeedClosed;
+
+impl std::fmt::Display for FeedClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("replica feed closed: the replica fell behind and must reconnect")
+    }
+}
+
+impl std::error::Error for FeedClosed {}
+
+/// The receiving end of one replica's stream; unregisters itself on drop.
+pub struct ReplicaFeed {
+    hub: Arc<ReplicaHub>,
+    id: u64,
+    rx: Receiver<Frame>,
+}
+
+impl ReplicaFeed {
+    /// Waits up to `timeout` for the next frame. `Ok(None)` means the wait
+    /// timed out (send a heartbeat); [`FeedClosed`] means the hub dropped
+    /// this feed — the replica fell behind and must reconnect.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Frame>, FeedClosed> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(f) => Ok(Some(f)),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(FeedClosed),
+        }
+    }
+
+    /// Drains any immediately available frame without blocking.
+    pub fn try_recv(&self) -> Result<Option<Frame>, FeedClosed> {
+        match self.rx.try_recv() {
+            Ok(f) => Ok(Some(f)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(FeedClosed),
+        }
+    }
+}
+
+impl Drop for ReplicaFeed {
+    fn drop(&mut self) {
+        self.hub.unregister(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(x: u64) -> WalOp {
+        WalOp::ExtendDomain { consts: vec![x] }
+    }
+
+    #[test]
+    fn published_records_reach_every_feed_in_order() {
+        let hub = Arc::new(ReplicaHub::new(0, Duration::from_millis(10)));
+        let a = hub.register();
+        let b = hub.register();
+        assert_eq!(hub.replica_count(), 2);
+        for i in 0..5 {
+            hub.publish(i, &op(i));
+        }
+        assert_eq!(hub.next_lsn(), 5);
+        assert_eq!(hub.streamed(), 10);
+        for feed in [&a, &b] {
+            for i in 0..5 {
+                match feed.try_recv() {
+                    Ok(Some(Frame::Record { lsn, op: o })) => {
+                        assert_eq!(lsn, i);
+                        assert_eq!(o, op(i));
+                    }
+                    other => panic!("expected record {i}, got {other:?}"),
+                }
+            }
+            assert_eq!(feed.try_recv(), Ok(None));
+        }
+    }
+
+    #[test]
+    fn dropping_a_feed_unregisters_it() {
+        let hub = Arc::new(ReplicaHub::new(0, Duration::from_millis(10)));
+        let a = hub.register();
+        drop(a);
+        assert_eq!(hub.replica_count(), 0);
+        hub.publish(0, &op(1)); // no peers: nothing streamed
+        assert_eq!(hub.streamed(), 0);
+    }
+
+    #[test]
+    fn a_slow_feed_is_dropped_not_blocked_on() {
+        let hub = Arc::new(ReplicaHub::new(0, Duration::from_millis(10)));
+        let feed = hub.register();
+        for i in 0..(FEED_CAPACITY as u64 + 8) {
+            hub.publish(i, &op(i));
+        }
+        // The queue filled; the peer was evicted rather than waited for.
+        assert_eq!(hub.replica_count(), 0);
+        // The feed still drains what was buffered, then reports the drop.
+        let mut drained = 0;
+        loop {
+            match feed.try_recv() {
+                Ok(Some(_)) => drained += 1,
+                Err(FeedClosed) => break,
+                Ok(None) => break,
+            }
+        }
+        assert_eq!(drained, FEED_CAPACITY);
+        assert_eq!(feed.recv_timeout(Duration::from_millis(1)), Err(FeedClosed));
+    }
+
+    #[test]
+    fn shutdown_broadcast_reaches_feeds() {
+        let hub = Arc::new(ReplicaHub::new(3, Duration::from_millis(10)));
+        let feed = hub.register();
+        hub.broadcast_shutdown();
+        assert_eq!(feed.try_recv(), Ok(Some(Frame::Shutdown)));
+    }
+}

@@ -1,0 +1,267 @@
+//! The replication wire protocol: self-delimiting binary frames.
+//!
+//! A replica opens an ordinary protocol connection and sends one text line,
+//! `replicate from <lsn>\n`, naming the next LSN it expects (`0` for a
+//! fresh replica). From that point the connection is no longer
+//! line-oriented: the primary answers with a stream of binary frames and
+//! the replica never writes again.
+//!
+//! ```text
+//! frame   := tag u8 · len u32 · crc32 u32 · payload (len bytes)
+//! tag     := 1 snapshot | 2 record | 3 heartbeat | 4 shutdown | 5 deny
+//! ```
+//!
+//! Payloads reuse the store codecs: a snapshot frame carries a complete
+//! `pdb-store` snapshot image (including compiled view circuits — replicas
+//! never recompile), a record frame carries `lsn u64 · op` exactly as the
+//! WAL does. The CRC makes torn or corrupted frames detectable at the
+//! boundary where they occur: a replica that reads a damaged frame drops
+//! the connection and resumes from its last applied LSN.
+
+use pdb_store::codec::{Dec, Enc};
+use pdb_store::crc::crc32;
+use pdb_store::wal::{decode_op, encode_op};
+use pdb_store::WalOp;
+use std::io::{self, Read, Write};
+
+/// Largest frame a peer will accept (a snapshot of a very large database);
+/// anything bigger is treated as stream corruption, not an allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+const TAG_SNAPSHOT: u8 = 1;
+const TAG_RECORD: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_SHUTDOWN: u8 = 4;
+const TAG_DENY: u8 = 5;
+
+/// One replication frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A complete snapshot image (bootstrap / re-bootstrap). The embedded
+    /// LSN is the point the record stream continues from.
+    Snapshot(Vec<u8>),
+    /// One logged mutation at its LSN; LSNs arrive dense.
+    Record {
+        /// The record's log sequence number.
+        lsn: u64,
+        /// The logged mutation.
+        op: WalOp,
+    },
+    /// Primary liveness plus its current head LSN (lag = head − applied).
+    Heartbeat {
+        /// The LSN the primary's next mutation will get.
+        next_lsn: u64,
+    },
+    /// Clean shutdown: the primary is going away on purpose; mark it down
+    /// immediately instead of waiting out the heartbeat timeout.
+    Shutdown,
+    /// The server refused to replicate (e.g. it has no durable store).
+    Deny(
+        /// Why.
+        String,
+    ),
+}
+
+/// Errors reading a frame: transport failures stay `Io` (timeouts included);
+/// structurally bad bytes are `Corrupt` — the stream cannot be resynced and
+/// the reader must reconnect.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (or timed out).
+    Io(io::Error),
+    /// The bytes on the wire are not a valid frame.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "replication stream i/o: {e}"),
+            FrameError::Corrupt(what) => write!(f, "replication stream corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Encodes one frame to bytes.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut p = Enc::new();
+    let tag = match frame {
+        Frame::Snapshot(bytes) => {
+            // The payload is the snapshot image itself, no inner prefix.
+            let mut e = Enc::new();
+            e.u8(TAG_SNAPSHOT);
+            e.u32(bytes.len() as u32);
+            e.u32(crc32(bytes));
+            let mut out = e.into_bytes();
+            out.extend_from_slice(bytes);
+            return out;
+        }
+        Frame::Record { lsn, op } => {
+            p.u64(*lsn);
+            encode_op(&mut p, op);
+            TAG_RECORD
+        }
+        Frame::Heartbeat { next_lsn } => {
+            p.u64(*next_lsn);
+            TAG_HEARTBEAT
+        }
+        Frame::Shutdown => TAG_SHUTDOWN,
+        Frame::Deny(reason) => {
+            p.str(reason);
+            TAG_DENY
+        }
+    };
+    let payload = p.into_bytes();
+    let mut e = Enc::new();
+    e.u8(tag);
+    e.u32(payload.len() as u32);
+    e.u32(crc32(&payload));
+    let mut out = e.into_bytes();
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut dyn Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Reads one frame, blocking until a full frame, an error, or a read
+/// timeout arrives. Short reads mid-frame surface as `Io(UnexpectedEof)`;
+/// CRC mismatches and unknown tags as `Corrupt`.
+pub fn read_frame(r: &mut dyn Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; 9];
+    r.read_exact(&mut header)?;
+    let mut d = Dec::new(&header);
+    let tag = d.u8("frame tag").map_err(|_| FrameError::Corrupt("tag"))?;
+    let len = d.u32("frame len").map_err(|_| FrameError::Corrupt("len"))?;
+    let crc = d.u32("frame crc").map_err(|_| FrameError::Corrupt("crc"))?;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Corrupt("frame length over limit"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(FrameError::Corrupt("frame crc mismatch"));
+    }
+    let mut d = Dec::new(&payload);
+    let frame = match tag {
+        TAG_SNAPSHOT => Frame::Snapshot(payload),
+        TAG_RECORD => {
+            let lsn = d
+                .u64("record lsn")
+                .map_err(|_| FrameError::Corrupt("record lsn"))?;
+            let op = decode_op(&mut d).map_err(|_| FrameError::Corrupt("record op"))?;
+            if !d.finished() {
+                return Err(FrameError::Corrupt("record trailing bytes"));
+            }
+            Frame::Record { lsn, op }
+        }
+        TAG_HEARTBEAT => Frame::Heartbeat {
+            next_lsn: d
+                .u64("heartbeat lsn")
+                .map_err(|_| FrameError::Corrupt("heartbeat lsn"))?,
+        },
+        TAG_SHUTDOWN => Frame::Shutdown,
+        TAG_DENY => Frame::Deny(
+            d.str("deny reason")
+                .map_err(|_| FrameError::Corrupt("deny reason"))?,
+        ),
+        _ => return Err(FrameError::Corrupt("unknown frame tag")),
+    };
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Snapshot(b"PDBSNAP1 pretend image".to_vec()),
+            Frame::Record {
+                lsn: 42,
+                op: WalOp::Insert {
+                    relation: "R".into(),
+                    tuple: vec![1, 2],
+                    prob: 0.5,
+                },
+            },
+            Frame::Heartbeat { next_lsn: 99 },
+            Frame::Shutdown,
+            Frame::Deny("not a primary".into()),
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for f in frames() {
+            let bytes = encode_frame(&f);
+            let mut r = &bytes[..];
+            assert_eq!(read_frame(&mut r).unwrap(), f);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn a_stream_of_frames_reads_back_in_order() {
+        let mut bytes = Vec::new();
+        for f in frames() {
+            write_frame(&mut bytes, &f).unwrap();
+        }
+        let mut r = &bytes[..];
+        for f in frames() {
+            assert_eq!(read_frame(&mut r).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn torn_frames_error_at_every_cut() {
+        let bytes = encode_frame(&frames().remove(1));
+        for cut in 0..bytes.len() {
+            let mut r = &bytes[..cut];
+            match read_frame(&mut r) {
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}")
+                }
+                other => panic!("cut {cut}: torn frame must be an EOF error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_the_crc() {
+        let bytes = encode_frame(&frames().remove(1));
+        // Flip a bit in every payload byte position (skip tag/len header
+        // bytes whose damage shows up as other Corrupt kinds or EOF).
+        for i in 9..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x04;
+            let mut r = &bad[..];
+            assert!(
+                matches!(read_frame(&mut r), Err(FrameError::Corrupt(_))),
+                "flip at {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_lengths_are_corruption_not_allocations() {
+        let mut bytes = vec![TAG_RECORD];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = &bytes[..];
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Corrupt("frame length over limit"))
+        ));
+    }
+}

@@ -81,6 +81,10 @@ pub enum Command {
     /// `shutdown` — gracefully stop the server: drain in-flight requests
     /// and flush/fsync the write-ahead log before exiting.
     Shutdown,
+    /// `wal inspect <path>` — decode a write-ahead log (a `wal` file or a
+    /// data directory containing one) and print its LSN range, records,
+    /// and any truncation point (CLI only; debugging aid for replication).
+    WalInspect(String),
     /// `help`
     Help,
     /// `quit` / `exit`
@@ -350,6 +354,12 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 Err("shutdown takes no arguments".into())
             }
         }
+        "wal" => match rest.split_once(char::is_whitespace) {
+            Some(("inspect", path)) if !path.trim().is_empty() => {
+                Ok(Command::WalInspect(path.trim().to_string()))
+            }
+            _ => Err("usage: wal inspect <path>".into()),
+        },
         "help" => Ok(Command::Help),
         "quit" | "exit" => Ok(Command::Quit),
         other => Err(format!("unknown command {other:?}; try `help`")),
@@ -379,6 +389,7 @@ commands:
   save <file>                    snapshot the database + views (CLI only)
   open <file>                    load a snapshot saved with `save` (CLI only)
   shutdown                       stop the server, flushing the log (server)
+  wal inspect <path>             decode a write-ahead log file (CLI only)
   quit                           leave";
 
 /// Canonicalizes query text for use in cache keys: trims and collapses every
@@ -672,6 +683,14 @@ mod tests {
             Command::Save("out.pdb".into())
         );
         assert!(parse_command("save").is_err());
+        // wal inspect needs both the subcommand and a path.
+        assert_eq!(
+            parse_command("wal inspect data/wal").unwrap(),
+            Command::WalInspect("data/wal".into())
+        );
+        assert!(parse_command("wal").is_err());
+        assert!(parse_command("wal inspect").is_err());
+        assert!(parse_command("wal compact x").is_err());
     }
 
     #[test]
@@ -770,6 +789,7 @@ mod tests {
                 Command::Save(p) => format!("save {p}"),
                 Command::Open(p) => format!("open {p}"),
                 Command::Shutdown => "shutdown".into(),
+                Command::WalInspect(p) => format!("wal inspect {p}"),
                 Command::Help => "help".into(),
                 Command::Quit => "quit".into(),
                 Command::Nothing => return None,
@@ -805,6 +825,7 @@ mod tests {
             Command::View(ViewCommand::List),
             Command::View(ViewCommand::Show { name: "v".into() }),
             Command::Domain(vec![0, 1, 2]),
+            Command::WalInspect("data/wal".into()),
             Command::Query("exists x. R(x) & S(x,y)".into()),
             Command::Answers {
                 head: vec!["x".into(), "y".into()],

@@ -12,7 +12,8 @@
 use crate::protocol::write_framed;
 use crate::service::{Service, ServiceOptions};
 use pdb_core::ProbDb;
-use std::io::{BufRead, BufReader, BufWriter};
+use pdb_replica::{write_frame, Frame};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -243,10 +244,89 @@ fn handle_connection(
         let Some(line) = read_line_interruptible(&mut reader, stop)? else {
             return Ok(()); // client hung up or server stopping
         };
+        if let Some(from_lsn) = parse_replicate(&line) {
+            // The session stops speaking the line protocol: it becomes a
+            // one-way replication stream until the replica hangs up, falls
+            // behind, or the server stops. A bounded write timeout keeps a
+            // wedged replica from parking this worker forever.
+            writer
+                .get_ref()
+                .set_write_timeout(Some(Duration::from_secs(5)))
+                .ok();
+            return serve_replication(&mut writer, stop, service, from_lsn);
+        }
         let (response, keep_open) = service.handle_line(&line);
         write_framed(&mut writer, &response)?;
         if !keep_open {
             return Ok(());
+        }
+    }
+}
+
+/// Recognizes the replication handshake line `replicate from <lsn>`.
+/// Malformed variants fall through to the normal parser (and its error).
+fn parse_replicate(line: &str) -> Option<u64> {
+    line.trim()
+        .strip_prefix("replicate from ")?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Streams frames to one replica: catch-up (snapshot or WAL tail) first,
+/// then live records from the feed, heartbeats when idle, and a shutdown
+/// frame on graceful drain. Returns when the replica is gone, evicted for
+/// falling behind, or the server stops.
+fn serve_replication(
+    writer: &mut BufWriter<TcpStream>,
+    stop: &AtomicBool,
+    service: &Service,
+    from_lsn: u64,
+) -> std::io::Result<()> {
+    let (catchup, feed) = match service.replication_sync(from_lsn) {
+        Ok(plan) => plan,
+        Err(e) => {
+            write_frame(writer, &Frame::Deny(e))?;
+            return writer.flush();
+        }
+    };
+    let Some(hub) = service.replication() else {
+        return Ok(()); // unreachable: replication_sync already checked
+    };
+    for frame in &catchup {
+        write_frame(writer, frame)?;
+    }
+    writer.flush()?;
+    loop {
+        if stop.load(Ordering::SeqCst) || service.stopping() {
+            // Signal-initiated drain: tell the replica explicitly so it
+            // marks the primary down without waiting out its heartbeat
+            // timeout (the `shutdown` command also broadcasts via the hub).
+            let _ = write_frame(writer, &Frame::Shutdown);
+            let _ = writer.flush();
+            return Ok(());
+        }
+        match feed.recv_timeout(hub.heartbeat()) {
+            Ok(Some(frame)) => {
+                let closing = matches!(frame, Frame::Shutdown);
+                write_frame(writer, &frame)?;
+                writer.flush()?;
+                if closing {
+                    return Ok(());
+                }
+            }
+            Ok(None) => {
+                write_frame(
+                    writer,
+                    &Frame::Heartbeat {
+                        next_lsn: hub.next_lsn(),
+                    },
+                )?;
+                writer.flush()?;
+            }
+            // Evicted for falling behind: close; the replica reconnects
+            // and resumes (or re-bootstraps) from its own LSN.
+            Err(pdb_replica::FeedClosed) => return Ok(()),
         }
     }
 }

@@ -51,6 +51,8 @@ use crate::protocol::{
 use crate::stats::{PoolSnapshot, Stats, ViewsSnapshot};
 use pdb_core::{Answer, Complexity, EngineError, ProbDb, QueryOptions};
 use pdb_data::Tuple;
+use pdb_replica::{Frame, ReadOnlyReplica, ReplicaFeed, ReplicaHub, ReplicaStatus};
+use pdb_store::snapshot::{decode_snapshot, encode_snapshot};
 use pdb_store::{Store, WalOp};
 use pdb_views::persist::ViewDefState;
 use pdb_views::{ViewDef, ViewManager};
@@ -153,7 +155,23 @@ struct Shared {
     stopping: AtomicBool,
     /// Invoked (once) by the `shutdown` command, after the WAL flush.
     shutdown_hook: Mutex<Option<Box<dyn Fn() + Send>>>,
+    /// Primary-side replication fan-out; present whenever a store is
+    /// (every durable server can feed replicas). Mutations publish to it
+    /// while holding the store mutex, so feeds see the exact WAL order.
+    replication: Option<Arc<ReplicaHub>>,
+    /// Replica-side role: where the stream comes from and how it is doing.
+    /// A service with this set refuses every write command.
+    replica: Option<ReplicaRole>,
 }
+
+/// The replica role's identity + live status (rendered under `stats`).
+struct ReplicaRole {
+    primary: String,
+    status: Arc<ReplicaStatus>,
+}
+
+/// How often an idle replication stream emits a heartbeat frame.
+const REPLICATION_HEARTBEAT: Duration = Duration::from_millis(500);
 
 /// A cloneable handle to one serving instance (shared by every worker).
 #[derive(Clone)]
@@ -164,7 +182,7 @@ pub struct Service {
 impl Service {
     /// Wraps `db` for serving under `opts` (no durability).
     pub fn new(db: ProbDb, opts: ServiceOptions) -> Service {
-        Service::build(db, ViewManager::new(), None, opts)
+        Service::build(db, ViewManager::new(), None, None, opts)
     }
 
     /// Wraps recovered state for serving with a durable store: every
@@ -176,16 +194,42 @@ impl Service {
         store: Store,
         opts: ServiceOptions,
     ) -> Service {
-        Service::build(db, views, Some(store), opts)
+        Service::build(db, views, Some(store), None, opts)
+    }
+
+    /// A read-only replica service: starts empty and is populated entirely
+    /// by the replication client (snapshot installs + record applies).
+    /// Every write command is refused with [`ReadOnlyReplica`]; the full
+    /// read surface stays available. `primary` is the address shown in
+    /// `stats`; `status` is shared with the running client.
+    pub fn new_replica(
+        primary: impl Into<String>,
+        status: Arc<ReplicaStatus>,
+        opts: ServiceOptions,
+    ) -> Service {
+        Service::build(
+            ProbDb::new(),
+            ViewManager::new(),
+            None,
+            Some(ReplicaRole {
+                primary: primary.into(),
+                status,
+            }),
+            opts,
+        )
     }
 
     fn build(
         db: ProbDb,
         views: ViewManager,
         store: Option<Store>,
+        replica: Option<ReplicaRole>,
         opts: ServiceOptions,
     ) -> Service {
         let capacity = opts.cache_capacity.max(1);
+        let replication = store
+            .as_ref()
+            .map(|s| Arc::new(ReplicaHub::new(s.next_lsn(), REPLICATION_HEARTBEAT)));
         Service {
             inner: Arc::new(Shared {
                 db: RwLock::new(Arc::new(db)),
@@ -197,6 +241,8 @@ impl Service {
                 store: store.map(Mutex::new),
                 stopping: AtomicBool::new(false),
                 shutdown_hook: Mutex::new(None),
+                replication,
+                replica,
             }),
         }
     }
@@ -212,6 +258,152 @@ impl Service {
             let s = lock(s);
             (s.base_lsn(), s.next_lsn())
         })
+    }
+
+    /// The primary-side replication hub, when this server can feed
+    /// replicas (i.e. it has a durable store).
+    pub fn replication(&self) -> Option<Arc<ReplicaHub>> {
+        self.inner.replication.as_ref().map(Arc::clone)
+    }
+
+    /// True when this service is a read-only replica.
+    pub fn is_replica(&self) -> bool {
+        self.inner.replica.is_some()
+    }
+
+    /// The replica-side status, when this service is a replica.
+    pub fn replica_status(&self) -> Option<Arc<ReplicaStatus>> {
+        self.inner.replica.as_ref().map(|r| Arc::clone(&r.status))
+    }
+
+    /// Builds the catch-up plan for a replica whose next expected LSN is
+    /// `from_lsn`, and registers its live feed — both under the store
+    /// mutex, so the plan and the feed meet with no gap and no overlap
+    /// (mutations publish while holding the same mutex).
+    ///
+    /// The plan is a snapshot frame (bootstrap: fresh replica, or its LSN
+    /// was checkpointed away / is from the future) or the WAL tail from
+    /// `from_lsn` (resume), followed by a heartbeat carrying the head LSN.
+    pub fn replication_sync(&self, from_lsn: u64) -> Result<(Vec<Frame>, ReplicaFeed), String> {
+        let (Some(store_m), Some(hub)) =
+            (self.inner.store.as_ref(), self.inner.replication.as_ref())
+        else {
+            return Err("this server has no durable store (start it with --data-dir)".into());
+        };
+        let store = lock(store_m);
+        let next = store.next_lsn();
+        let mut frames = Vec::new();
+        if from_lsn == 0 || from_lsn < store.base_lsn() || from_lsn > next {
+            // Bootstrap from *live* state: no disk round trip, and the
+            // snapshot carries every view's compiled circuit, so the
+            // replica never recompiles.
+            let states = lock(&self.inner.views).export_states();
+            let db = Arc::clone(&read(&self.inner.db));
+            frames.push(Frame::Snapshot(encode_snapshot(next, &db, &states)));
+        } else {
+            let follower = store
+                .follow(from_lsn)
+                .map_err(|e| format!("wal read failed: {e}"))?;
+            for rec in follower {
+                if rec.lsn >= next {
+                    break;
+                }
+                frames.push(Frame::Record {
+                    lsn: rec.lsn,
+                    op: rec.op,
+                });
+            }
+        }
+        frames.push(Frame::Heartbeat { next_lsn: next });
+        let feed = hub.register();
+        drop(store);
+        Ok((frames, feed))
+    }
+
+    /// Replica side: replaces all state with a streamed snapshot image.
+    /// Returns the LSN the record stream continues from.
+    pub fn install_replicated_snapshot(&self, bytes: &[u8]) -> Result<u64, String> {
+        let (lsn, db, states) = decode_snapshot(bytes).map_err(|e| e.to_string())?;
+        let views = ViewManager::import_states(states).map_err(|e| e.to_string())?;
+        {
+            let mut guard = write(&self.inner.db);
+            *guard = Arc::new(db);
+        }
+        *lock(&self.inner.views) = views;
+        // Cached results were computed against the pre-install history;
+        // version keys need not be comparable across a wholesale swap.
+        lock(&self.inner.cache).clear();
+        Ok(lsn)
+    }
+
+    /// Replica side: applies one replicated mutation through exactly the
+    /// code paths the primary's own write commands use (mutate the
+    /// database, release the write lock, deliver the versioned view
+    /// event), so the replica's state — versions, staleness flags, f64 bit
+    /// patterns — tracks the primary's bit for bit.
+    pub fn apply_replicated(&self, op: &WalOp) -> Result<(), String> {
+        match op {
+            WalOp::Insert {
+                relation,
+                tuple,
+                prob,
+            } => {
+                let version = {
+                    let mut guard = write(&self.inner.db);
+                    let db = Arc::make_mut(&mut guard);
+                    db.insert(relation, tuple.clone(), *prob);
+                    db.relation_version(relation)
+                };
+                lock(&self.inner.views).on_insert(relation, version);
+                Ok(())
+            }
+            WalOp::UpdateProb {
+                relation,
+                tuple,
+                prob,
+            } => {
+                let t = Tuple::new(tuple.clone());
+                let version = {
+                    let mut guard = write(&self.inner.db);
+                    Arc::make_mut(&mut guard).update_prob(relation, &t, *prob)
+                };
+                match version {
+                    Some(v) => {
+                        lock(&self.inner.views).on_update_prob(relation, &t, *prob, v);
+                        Ok(())
+                    }
+                    None => Err(format!("replicated update of absent tuple in {relation}")),
+                }
+            }
+            WalOp::ExtendDomain { consts } => {
+                {
+                    let mut guard = write(&self.inner.db);
+                    Arc::make_mut(&mut guard).extend_domain(consts.clone());
+                }
+                lock(&self.inner.views).on_domain_extend();
+                Ok(())
+            }
+            WalOp::ViewCreate { name, def } => {
+                let def = match def {
+                    ViewDefState::Boolean(q) => ViewDef::boolean(q),
+                    ViewDefState::Answers { head, body } => ViewDef::answers(head, body),
+                }
+                .map_err(|e| e.to_string())?;
+                let mut views = lock(&self.inner.views);
+                let (db, _) = self.snapshot();
+                views
+                    .create(name, def, &db)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+            WalOp::ViewDrop { name } => {
+                if lock(&self.inner.views).drop_view(name) {
+                    Ok(())
+                } else {
+                    Err(format!("replicated drop of absent view {name}"))
+                }
+            }
+        }
     }
 
     /// True once the `shutdown` command has been accepted.
@@ -276,15 +468,54 @@ impl Service {
         // The pool every engine call in this process runs on: queries,
         // answer rows, sampling chunks, and view builds all share it.
         let pool = PoolSnapshot::from(pdb_par::current().stats());
-        let cache = lock(&self.inner.cache);
-        self.inner
-            .stats
-            .render(cache.len(), cache.capacity(), views, pool)
+        let mut text = {
+            let cache = lock(&self.inner.cache);
+            self.inner
+                .stats
+                .render(cache.len(), cache.capacity(), views, pool)
+        };
+        if let Some(role) = self.inner.replica.as_ref() {
+            let s = &role.status;
+            text.push_str(&format!(
+                "replication: role=replica primary={} connected={} \
+                 primary_down={} applied_lsn={} primary_lsn={} lag={} \
+                 bootstraps={} reconnects={}\n",
+                role.primary,
+                s.connected(),
+                s.primary_down(),
+                s.next_lsn(),
+                s.primary_lsn(),
+                s.lag(),
+                s.bootstraps(),
+                s.reconnects(),
+            ));
+        } else if let Some(hub) = self.inner.replication.as_ref() {
+            text.push_str(&format!(
+                "replication: role=primary replicas={} streamed={} next_lsn={}\n",
+                hub.replica_count(),
+                hub.streamed(),
+                hub.next_lsn(),
+            ));
+        }
+        text
     }
 
     /// Number of registered materialized views (diagnostics).
     pub fn view_count(&self) -> usize {
         lock(&self.inner.views).len()
+    }
+
+    /// An immutable snapshot of the current database (diagnostics; the
+    /// replication tests compare primary and replica snapshots bit for
+    /// bit).
+    pub fn db_snapshot(&self) -> Arc<ProbDb> {
+        Arc::clone(&read(&self.inner.db))
+    }
+
+    /// Runs `f` under the view-manager lock (diagnostics; replication
+    /// tests compare materialized rows bit for bit).
+    pub fn inspect_views<R>(&self, f: impl FnOnce(&ViewManager) -> R) -> R {
+        f(&lock(&self.inner.views))
     }
 
     /// Current database version (for tests and diagnostics).
@@ -316,9 +547,31 @@ impl Service {
         }
     }
 
+    /// The verb a command mutates state under, if any — exactly the
+    /// commands a read-only replica must refuse. `view refresh` counts:
+    /// refreshes are not WAL-logged, so one executed locally would fork
+    /// the replica's materialized rows away from the primary's.
+    fn write_verb(cmd: &Command) -> Option<&'static str> {
+        match cmd {
+            Command::Insert { .. } => Some("insert"),
+            Command::Update { .. } => Some("update"),
+            Command::Domain(_) => Some("domain"),
+            Command::View(ViewCommand::Create { .. }) => Some("view create"),
+            Command::View(ViewCommand::Drop { .. }) => Some("view drop"),
+            Command::View(ViewCommand::Refresh { .. }) => Some("view refresh"),
+            _ => None,
+        }
+    }
+
     /// Executes one parsed command. Returns the response text and whether
     /// the session stays open.
     pub fn handle_command(&self, cmd: Command) -> (String, bool) {
+        if self.inner.replica.is_some() {
+            if let Some(verb) = Self::write_verb(&cmd) {
+                self.inner.stats.record_error();
+                return (format!("error: {}\n", ReadOnlyReplica { verb }), true);
+            }
+        }
         match cmd {
             Command::Nothing => (String::new(), true),
             Command::Quit => (String::new(), false),
@@ -347,7 +600,7 @@ impl Service {
                     db.relation_version(&relation)
                 };
                 lock(&self.inner.views).on_insert(&relation, version);
-                let logged = Self::log_mutation(
+                let logged = self.log_mutation(
                     &mut store,
                     WalOp::Insert {
                         relation,
@@ -372,7 +625,7 @@ impl Service {
                 match version {
                     Some(v) => {
                         lock(&self.inner.views).on_update_prob(&relation, &t, prob, v);
-                        let logged = Self::log_mutation(
+                        let logged = self.log_mutation(
                             &mut store,
                             WalOp::UpdateProb {
                                 relation,
@@ -393,7 +646,7 @@ impl Service {
                     Arc::make_mut(&mut guard).extend_domain(consts.clone());
                 }
                 lock(&self.inner.views).on_domain_extend();
-                let logged = Self::log_mutation(&mut store, WalOp::ExtendDomain { consts });
+                let logged = self.log_mutation(&mut store, WalOp::ExtendDomain { consts });
                 drop(store);
                 self.after_mutation(logged)
             }
@@ -412,8 +665,20 @@ impl Service {
                     .into(),
                 true,
             ),
+            Command::WalInspect(_) => (
+                "error: wal inspect is not available over the wire; run it \
+                 in probdb-cli against the data directory\n"
+                    .into(),
+                true,
+            ),
             Command::Shutdown => {
                 let flushed = self.persist_flush();
+                // Graceful drain tells replicas explicitly: they mark the
+                // primary down now instead of waiting out the heartbeat
+                // timeout.
+                if let Some(hub) = self.inner.replication.as_ref() {
+                    hub.broadcast_shutdown();
+                }
                 self.inner.stopping.store(true, Ordering::Release);
                 if let Some(hook) = lock(&self.inner.shutdown_hook).as_ref() {
                     hook();
@@ -434,14 +699,25 @@ impl Service {
         self.inner.store.as_ref().map(lock)
     }
 
-    /// Appends `op` to the WAL when a store is configured. `Ok(true)` means
-    /// a checkpoint is now due; `Err` carries the client-facing refusal (the
-    /// store wedges and the mutation is NOT acknowledged as durable).
-    fn log_mutation(store: &mut Option<MutexGuard<'_, Store>>, op: WalOp) -> Result<bool, String> {
+    /// Appends `op` to the WAL when a store is configured, then fans it
+    /// out to connected replicas — still under the store mutex, so every
+    /// feed observes exact WAL order. `Ok(true)` means a checkpoint is now
+    /// due; `Err` carries the client-facing refusal (the store wedges and
+    /// the mutation is NOT acknowledged as durable, locally or remotely).
+    fn log_mutation(
+        &self,
+        store: &mut Option<MutexGuard<'_, Store>>,
+        op: WalOp,
+    ) -> Result<bool, String> {
         match store.as_deref_mut() {
             None => Ok(false),
             Some(s) => match s.append(&op) {
-                Ok(_) => Ok(s.should_checkpoint()),
+                Ok(lsn) => {
+                    if let Some(hub) = self.inner.replication.as_ref() {
+                        hub.publish(lsn, &op);
+                    }
+                    Ok(s.should_checkpoint())
+                }
                 Err(e) => Err(format!("error: mutation not persisted: {e}\n")),
             },
         }
@@ -507,7 +783,7 @@ impl Service {
                 let out = match views.create(&name, def, &db) {
                     Ok(view) => {
                         let created = format_view_created(view);
-                        match Self::log_mutation(
+                        match self.log_mutation(
                             &mut store,
                             WalOp::ViewCreate {
                                 name,
@@ -550,7 +826,7 @@ impl Service {
             }
             ViewCommand::Drop { name } => {
                 if views.drop_view(&name) {
-                    match Self::log_mutation(&mut store, WalOp::ViewDrop { name: name.clone() }) {
+                    match self.log_mutation(&mut store, WalOp::ViewDrop { name: name.clone() }) {
                         Ok(_) => format!("view {name} dropped\n"),
                         Err(e) => e,
                     }
@@ -739,6 +1015,19 @@ impl Service {
             },
             Err(e) => format!("parse error: {e}\n"),
         }
+    }
+}
+
+/// The replication client applies its stream straight into the service, so
+/// a replica's in-memory state walks the exact mutation path the primary's
+/// did — the basis of the bit-identity guarantee.
+impl pdb_replica::ReplicaApply for Service {
+    fn install_snapshot(&self, bytes: &[u8]) -> Result<u64, String> {
+        self.install_replicated_snapshot(bytes)
+    }
+
+    fn apply(&self, _lsn: u64, op: &WalOp) -> Result<(), String> {
+        self.apply_replicated(op)
     }
 }
 
@@ -1169,5 +1458,140 @@ mod tests {
             svc.stats().cache_hits() + svc.stats().cache_misses(),
             8 * 50
         );
+    }
+
+    #[test]
+    fn a_replica_service_refuses_every_write_and_serves_reads() {
+        let status = Arc::new(ReplicaStatus::new());
+        let svc = Service::new_replica("127.0.0.1:9", Arc::clone(&status), inline_opts());
+        assert!(svc.is_replica());
+        for line in [
+            "insert R 1 0.5",
+            "update R 1 0.7",
+            "domain 1 2",
+            "view create v query exists x. R(x)",
+            "view refresh",
+            "view drop v",
+        ] {
+            let (resp, keep) = svc.handle_line(line);
+            assert!(
+                resp.contains("read-only replica") && resp.contains("must run on the primary"),
+                "{line}: {resp}"
+            );
+            assert!(keep, "a refused write must not close the session");
+        }
+        // State arrives via the replication path instead.
+        svc.apply_replicated(&WalOp::Insert {
+            relation: "R".into(),
+            tuple: vec![1],
+            prob: 0.5,
+        })
+        .unwrap();
+        let (resp, _) = svc.handle_line("query exists x. R(x)");
+        assert!(resp.contains("p = 0.500000"), "{resp}");
+        let stats = svc.stats_text();
+        assert!(
+            stats.contains("replication: role=replica primary=127.0.0.1:9"),
+            "{stats}"
+        );
+    }
+
+    #[test]
+    fn replication_sync_bootstraps_then_streams_in_wal_order() {
+        use pdb_store::{MemFs, StoreOptions};
+        let fs = Arc::new(MemFs::new());
+        let (store, rec) =
+            Store::open(fs, std::path::Path::new("data"), StoreOptions::default()).unwrap();
+        let svc = Service::with_store(rec.db, rec.views, store, inline_opts());
+        svc.handle_line("insert R 1 0.5");
+        svc.handle_line("insert S 1 2 0.8");
+        // LSN 0 is unservable from the log's perspective only for a fresh
+        // replica: catch-up is a snapshot of the live state.
+        let (frames, feed) = svc.replication_sync(0).unwrap();
+        assert!(
+            matches!(frames.first(), Some(Frame::Snapshot(_))),
+            "fresh replicas bootstrap from a snapshot: {frames:?}"
+        );
+        assert!(
+            matches!(frames.last(), Some(Frame::Heartbeat { next_lsn: 2 })),
+            "catch-up ends with the primary's head: {frames:?}"
+        );
+        // Later mutations arrive on the live feed, in WAL order.
+        svc.handle_line("update S 1 2 0.4");
+        svc.handle_line("insert R 2 0.25");
+        match feed.try_recv() {
+            Ok(Some(Frame::Record { lsn: 2, op })) => {
+                assert!(matches!(op, WalOp::UpdateProb { .. }), "{op:?}")
+            }
+            other => panic!("expected the update at lsn 2, got {other:?}"),
+        }
+        match feed.try_recv() {
+            Ok(Some(Frame::Record { lsn: 3, op })) => {
+                assert!(matches!(op, WalOp::Insert { .. }), "{op:?}")
+            }
+            other => panic!("expected the insert at lsn 3, got {other:?}"),
+        }
+        // A resume from an in-log LSN replays the tail instead.
+        let (frames, _feed2) = svc.replication_sync(1).unwrap();
+        let lsns: Vec<u64> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Record { lsn, .. } => Some(*lsn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lsns, vec![1, 2, 3], "{frames:?}");
+        let stats = svc.stats_text();
+        assert!(stats.contains("replication: role=primary"), "{stats}");
+        assert!(stats.contains("next_lsn=4"), "{stats}");
+    }
+
+    #[test]
+    fn snapshot_install_replaces_state_and_resumes_the_stream() {
+        // Primary with two tuples and a view.
+        let primary = seeded_service(inline_opts());
+        primary.handle_line("view create v query exists x. exists y. R(x) & S(x,y)");
+        let image = {
+            let states = lock(&primary.inner.views).export_states();
+            let db = primary.snapshot().0;
+            encode_snapshot(7, &db, &states)
+        };
+        // Replica starts empty, installs the image, then applies a record.
+        let status = Arc::new(ReplicaStatus::new());
+        let replica = Service::new_replica("nowhere:0", status, inline_opts());
+        assert_eq!(replica.install_replicated_snapshot(&image).unwrap(), 7);
+        let (shown, _) = replica.handle_line("view show v");
+        assert!(shown.contains("p = 0.400000"), "{shown}");
+        replica
+            .apply_replicated(&WalOp::UpdateProb {
+                relation: "S".into(),
+                tuple: vec![1, 2],
+                prob: 0.4,
+            })
+            .unwrap();
+        let (q, _) = replica.handle_line(Q);
+        assert!(q.contains("p = 0.200000"), "{q}");
+        // The view absorbed the replicated update incrementally too.
+        let (shown, _) = replica.handle_line("view show v");
+        assert!(shown.contains("p = 0.200000"), "{shown}");
+    }
+
+    #[test]
+    fn shutdown_broadcasts_to_replica_feeds() {
+        use pdb_store::{MemFs, StoreOptions};
+        let fs = Arc::new(MemFs::new());
+        let (store, rec) =
+            Store::open(fs, std::path::Path::new("data"), StoreOptions::default()).unwrap();
+        let svc = Service::with_store(rec.db, rec.views, store, inline_opts());
+        svc.handle_line("insert R 1 0.5");
+        let (_frames, feed) = svc.replication_sync(0).unwrap();
+        svc.handle_line("shutdown");
+        let mut saw_shutdown = false;
+        while let Ok(Some(f)) = feed.try_recv() {
+            if matches!(f, Frame::Shutdown) {
+                saw_shutdown = true;
+            }
+        }
+        assert!(saw_shutdown, "graceful drain must notify replicas");
     }
 }

@@ -37,7 +37,7 @@ pub mod wal;
 
 pub use fs::{FailpointFs, Fault, MemFs, RealFs, StoreFile, StoreFs};
 pub use store::{FsyncPolicy, Recovered, RecoveryInfo, Store, StoreOptions};
-pub use wal::{WalOp, WalRecord};
+pub use wal::{WalFollower, WalOp, WalRecord};
 
 use std::fmt;
 

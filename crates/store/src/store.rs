@@ -29,7 +29,7 @@
 
 use crate::fs::{StoreFile, StoreFs};
 use crate::snapshot::{apply_op, decode_snapshot, encode_snapshot};
-use crate::wal::{encode_header, encode_record, read_wal, WalOp, WAL_HEADER_LEN};
+use crate::wal::{encode_header, encode_record, read_wal, WalFollower, WalOp, WAL_HEADER_LEN};
 use crate::StoreError;
 use pdb_core::ProbDb;
 use pdb_views::persist::ViewState;
@@ -320,6 +320,18 @@ impl Store {
             }
         }
         Ok(lsn)
+    }
+
+    /// Opens a [`WalFollower`] over the current on-disk log, positioned at
+    /// `from_lsn`. Appends are plain unbuffered writes, so the follower
+    /// sees every record acknowledged so far (synced or not); hold
+    /// whatever lock serializes [`Store::append`] to get a consistent
+    /// cut at [`Store::next_lsn`]. If `from_lsn` is below
+    /// [`Store::base_lsn`] the requested records were checkpointed away —
+    /// the caller must restart from a snapshot instead.
+    pub fn follow(&self, from_lsn: u64) -> Result<WalFollower, StoreError> {
+        let bytes = self.fs.read(&self.dir.join("wal"))?;
+        WalFollower::from_bytes(&bytes, from_lsn)
     }
 
     /// The LSN the next mutation will get (== ops logged since genesis).
@@ -689,6 +701,32 @@ mod tests {
         );
         assert_eq!(FsyncPolicy::parse("interval:"), None);
         assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn follow_reads_the_live_tail_and_reports_checkpoint_gaps() {
+        let fs = Arc::new(MemFs::new());
+        let ops = workload();
+        let (mut store, rec) = Store::open(fs, &dir(), opts(0)).unwrap();
+        let mut db = rec.db;
+        let mut views = rec.views;
+        for op in &ops {
+            apply_op(op, &mut db, &mut views).unwrap();
+            store.append(op).unwrap();
+        }
+        // Unsynced appends are already visible to a follower.
+        let f = store.follow(3).unwrap();
+        assert_eq!(f.base_lsn(), 0);
+        assert_eq!(f.next_lsn(), ops.len() as u64);
+        let tail: Vec<WalOp> = f.map(|r| r.op).collect();
+        assert_eq!(tail, ops[3..].to_vec());
+        // After a checkpoint the old records are gone: a follower asking
+        // for LSN 3 sees base_lsn above its position — the re-bootstrap
+        // signal.
+        store.checkpoint(&db, &views.export_states()).unwrap();
+        let f = store.follow(3).unwrap();
+        assert_eq!(f.base_lsn(), ops.len() as u64);
+        assert_eq!(f.remaining(), 0);
     }
 
     #[test]

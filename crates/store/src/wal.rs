@@ -314,6 +314,87 @@ fn read_record(d: &mut Dec<'_>, expected_lsn: u64) -> Option<(WalRecord, u64)> {
     Some(((WalRecord { lsn, op }), 8 + len as u64))
 }
 
+/// A positioned reader over a WAL image: parses the valid prefix once, then
+/// iterates the records at or above a requested LSN. This is the read-side
+/// primitive replication catch-up and `probdb-cli wal inspect` share: it
+/// exposes where the log starts ([`base_lsn`](Self::base_lsn) — anything
+/// below it lives only in the snapshot, so a follower asking for less must
+/// re-bootstrap), where the valid tail ends
+/// ([`next_lsn`](Self::next_lsn)), and whether a torn/corrupt suffix was
+/// dropped ([`truncated`](Self::truncated) /
+/// [`valid_len`](Self::valid_len)).
+#[derive(Debug)]
+pub struct WalFollower {
+    base_lsn: u64,
+    next_lsn: u64,
+    valid_len: u64,
+    truncated: bool,
+    records: std::vec::IntoIter<WalRecord>,
+}
+
+impl WalFollower {
+    /// Opens a follower over a full WAL image, positioned at `from_lsn`.
+    /// Records below `from_lsn` are skipped; if `from_lsn` precedes
+    /// [`base_lsn`](Self::base_lsn) the iterator starts at `base_lsn`
+    /// instead and the caller should notice the gap and re-bootstrap from a
+    /// snapshot. Fails only on an unrecoverable header
+    /// ([`StoreError::Corrupt`]); a damaged *tail* merely ends the
+    /// iteration early with [`truncated`](Self::truncated) set.
+    pub fn from_bytes(bytes: &[u8], from_lsn: u64) -> Result<WalFollower, StoreError> {
+        let wal = read_wal(bytes)?;
+        let next_lsn = wal.base_lsn + wal.records.len() as u64;
+        let mut records = wal.records;
+        if from_lsn > wal.base_lsn {
+            let skip = (from_lsn - wal.base_lsn).min(records.len() as u64) as usize;
+            records.drain(..skip);
+        }
+        Ok(WalFollower {
+            base_lsn: wal.base_lsn,
+            next_lsn,
+            valid_len: wal.valid_len,
+            truncated: wal.truncated,
+            records: records.into_iter(),
+        })
+    }
+
+    /// The LSN the log file starts at (its snapshot boundary). A follower
+    /// positioned below this has a gap: the records it wants were
+    /// checkpointed away.
+    pub fn base_lsn(&self) -> u64 {
+        self.base_lsn
+    }
+
+    /// One past the last valid record's LSN — where the next append goes.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Byte length of the valid prefix (header + intact records). When
+    /// [`truncated`](Self::truncated) is true this is the truncation
+    /// point: everything beyond it is torn/corrupt tail.
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+
+    /// True when a damaged suffix was dropped from the iteration.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// How many records remain to iterate.
+    pub fn remaining(&self) -> usize {
+        self.records.len()
+    }
+}
+
+impl Iterator for WalFollower {
+    type Item = WalRecord;
+
+    fn next(&mut self) -> Option<WalRecord> {
+        self.records.next()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,5 +521,47 @@ mod tests {
         assert_eq!(wal.base_lsn, 9);
         assert!(wal.records.is_empty());
         assert!(!wal.truncated);
+    }
+
+    #[test]
+    fn follower_yields_the_tail_from_every_position() {
+        let bytes = full_log(10);
+        let n = ops().len() as u64;
+        for from in 0..(10 + n + 3) {
+            let f = WalFollower::from_bytes(&bytes, from).unwrap();
+            assert_eq!(f.base_lsn(), 10);
+            assert_eq!(f.next_lsn(), 10 + n);
+            assert!(!f.truncated());
+            let start = from.max(10).min(10 + n);
+            assert_eq!(f.remaining() as u64, 10 + n - start);
+            let got: Vec<WalRecord> = f.collect();
+            for (i, rec) in got.iter().enumerate() {
+                assert_eq!(rec.lsn, start + i as u64);
+                assert_eq!(rec.op, ops()[(rec.lsn - 10) as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn follower_surfaces_the_truncation_point() {
+        let mut bytes = full_log(0);
+        let whole = read_wal(&bytes).unwrap();
+        // Tear the last record in half.
+        let cut = bytes.len() - 5;
+        bytes.truncate(cut);
+        let f = WalFollower::from_bytes(&bytes, 0).unwrap();
+        assert!(f.truncated());
+        assert!(f.valid_len() < cut as u64);
+        assert_eq!(f.next_lsn(), whole.records.len() as u64 - 1);
+        // The truncation point is a clean record boundary.
+        let again = WalFollower::from_bytes(&bytes[..f.valid_len() as usize], 0).unwrap();
+        assert!(!again.truncated());
+        assert_eq!(again.remaining(), f.remaining());
+    }
+
+    #[test]
+    fn follower_rejects_a_damaged_header() {
+        assert!(WalFollower::from_bytes(b"PDBWAL99\0\0\0\0\0\0\0\0", 0).is_err());
+        assert!(WalFollower::from_bytes(&[], 3).is_err());
     }
 }

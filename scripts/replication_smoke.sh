@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# End-to-end replication smoke test (the CI `replication` job):
+#
+#   1. start a durable primary (`--data-dir`) and a read-only replica
+#      (`--replica-of`) as two real processes over loopback TCP
+#   2. insert tuples and create a materialized view on the primary
+#   3. wait until the replica serves the same answers and refuses writes
+#   4. kill -9 the primary — the replica must KEEP serving reads
+#   5. restart the primary on the same directory, mutate again, and verify
+#      the replica catches up to the new answer
+#   6. stop both with SIGTERM and expect clean exits
+#
+# Uses bash's /dev/tcp so the only dependencies are bash + cargo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRIMARY_PORT="${PRIMARY_PORT:-7941}"
+REPLICA_PORT="${REPLICA_PORT:-7942}"
+BIN="${BIN:-target/release/probdb-serve}"
+DATA_DIR="$(mktemp -d)"
+PRIMARY_PID=""
+REPLICA_PID=""
+
+cleanup() {
+    [ -n "$PRIMARY_PID" ] && kill -9 "$PRIMARY_PID" 2>/dev/null || true
+    [ -n "$REPLICA_PID" ] && kill -9 "$REPLICA_PID" 2>/dev/null || true
+    rm -rf "$DATA_DIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "replication_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+# Sends each argument as one protocol line to $1 (a port) and prints every
+# framed response; the trailing `quit` closes the session.
+send_to() {
+    local port=$1
+    shift
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf '%s\n' "$@" "quit" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+wait_listening() {
+    local port=$1
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    fail "nothing listening on port $port after 10s"
+}
+
+start_primary() {
+    "$BIN" --addr "127.0.0.1:$PRIMARY_PORT" --workers 3 --data-dir "$DATA_DIR" &
+    PRIMARY_PID=$!
+    wait_listening "$PRIMARY_PORT"
+}
+
+# Polls the replica until a query returns the expected answer (replication
+# is asynchronous; convergence is bounded but not instant).
+wait_replica_answer() {
+    local expected=$1
+    for _ in $(seq 1 100); do
+        if send_to "$REPLICA_PORT" "query exists x. exists y. R(x) & S(x,y)" 2>/dev/null \
+            | grep -q "$expected"; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    fail "replica never converged to $expected"
+}
+
+[ -x "$BIN" ] || cargo build --release --bin probdb-serve
+
+echo "== start primary and replica =="
+start_primary
+"$BIN" --addr "127.0.0.1:$REPLICA_PORT" --workers 2 \
+    --replica-of "127.0.0.1:$PRIMARY_PORT" &
+REPLICA_PID=$!
+wait_listening "$REPLICA_PORT"
+
+echo "== populate the primary =="
+send_to "$PRIMARY_PORT" \
+    "insert R 1 0.5" \
+    "insert S 1 2 0.8" \
+    "view create v query exists x. exists y. R(x) & S(x,y)" >/dev/null
+
+echo "== replica converges =="
+wait_replica_answer "p = 0.400000"
+OUT="$(send_to "$REPLICA_PORT" "view show v" "insert R 9 0.9" "stats")"
+grep -q "p = 0.400000" <<<"$OUT" || fail "replica view did not materialize"
+grep -q "read-only replica" <<<"$OUT" || fail "replica accepted a write"
+grep -q "role=replica" <<<"$OUT" || fail "replica stats missing replication line"
+
+echo "== kill -9 the primary: replica keeps serving =="
+kill -9 "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+PRIMARY_PID=""
+sleep 0.5
+OUT="$(send_to "$REPLICA_PORT" "query exists x. exists y. R(x) & S(x,y)")"
+grep -q "p = 0.400000" <<<"$OUT" || fail "replica stopped serving after primary death"
+
+echo "== restart primary: replica catches up =="
+start_primary
+send_to "$PRIMARY_PORT" "update S 1 2 0.4" >/dev/null
+wait_replica_answer "p = 0.200000"
+
+echo "== SIGTERM both: graceful drain =="
+for pid in "$PRIMARY_PID" "$REPLICA_PID"; do
+    kill -TERM "$pid"
+done
+for pid in "$PRIMARY_PID" "$REPLICA_PID"; do
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        fail "process $pid did not exit within 10s of SIGTERM"
+    fi
+    wait "$pid" 2>/dev/null || fail "process $pid exited non-zero after SIGTERM"
+done
+PRIMARY_PID=""
+REPLICA_PID=""
+
+echo "replication_smoke: OK"

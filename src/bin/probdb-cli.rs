@@ -141,6 +141,7 @@ fn execute(
         Command::Shutdown => {
             writeln!(out, "shutdown stops probdb-serve; this CLI exits with quit")?
         }
+        Command::WalInspect(path) => inspect_wal(&path, out)?,
         Command::Source(path) => match std::fs::read_to_string(&path) {
             Ok(content) => {
                 for line in content.lines() {
@@ -216,6 +217,70 @@ fn execute_view(
         },
     }
     Ok(())
+}
+
+/// Implements `wal inspect <path>`: decodes a write-ahead log (the `wal`
+/// file itself, or a data directory containing one) and prints its LSN
+/// range, every intact record, and the truncation point when the tail is
+/// torn — the same read path replication catch-up uses.
+fn inspect_wal(path: &str, out: &mut dyn Write) -> std::io::Result<()> {
+    let p = std::path::Path::new(path);
+    let file = if p.is_dir() {
+        p.join("wal")
+    } else {
+        p.to_path_buf()
+    };
+    let bytes = match std::fs::read(&file) {
+        Ok(b) => b,
+        Err(e) => return writeln!(out, "error: cannot read {}: {e}", file.display()),
+    };
+    let follower = match probdb::store::WalFollower::from_bytes(&bytes, 0) {
+        Ok(f) => f,
+        Err(e) => return writeln!(out, "error: {} is not a probdb wal: {e}", file.display()),
+    };
+    writeln!(
+        out,
+        "{}: base_lsn={} next_lsn={} records={} valid_bytes={} of {}",
+        file.display(),
+        follower.base_lsn(),
+        follower.next_lsn(),
+        follower.remaining(),
+        follower.valid_len(),
+        bytes.len(),
+    )?;
+    let (truncated, valid_len) = (follower.truncated(), follower.valid_len());
+    for rec in follower {
+        writeln!(out, "  lsn {:>6}  {}", rec.lsn, describe_wal_op(&rec.op))?;
+    }
+    if truncated {
+        writeln!(
+            out,
+            "  torn tail: {} byte(s) after offset {valid_len} are not intact records",
+            bytes.len() as u64 - valid_len
+        )?;
+    }
+    Ok(())
+}
+
+/// One-line human rendering of a WAL op for `wal inspect`.
+fn describe_wal_op(op: &probdb::store::WalOp) -> String {
+    use probdb::store::WalOp;
+    let consts = |cs: &[u64]| cs.iter().map(u64::to_string).collect::<Vec<_>>().join(" ");
+    match op {
+        WalOp::Insert {
+            relation,
+            tuple,
+            prob,
+        } => format!("insert {relation} {} {prob}", consts(tuple)),
+        WalOp::UpdateProb {
+            relation,
+            tuple,
+            prob,
+        } => format!("update {relation} {} {prob}", consts(tuple)),
+        WalOp::ExtendDomain { consts: cs } => format!("domain {}", consts(cs)),
+        WalOp::ViewCreate { name, .. } => format!("view create {name}"),
+        WalOp::ViewDrop { name } => format!("view drop {name}"),
+    }
 }
 
 fn main() -> std::io::Result<()> {

@@ -30,11 +30,18 @@
 //!   `always`; only meaningful with `--data-dir`)
 //! - `--checkpoint-every N` — snapshot + truncate the log every N records
 //!   (`0` disables; default 1024; only meaningful with `--data-dir`)
+//! - `--replica-of HOST:PORT` — serve as a **read-only replica**: bootstrap
+//!   from the primary's snapshot, then continuously apply its replicated
+//!   WAL stream. Serves every query command; refuses writes with a typed
+//!   error. Incompatible with `--data-dir` and `--preload` (the replica's
+//!   state belongs to the primary).
 //!
 //! `SIGTERM`/`SIGINT` trigger the same graceful path as the wire
 //! `shutdown` command: drain in-flight sessions, flush + fsync the WAL,
-//! then exit.
+//! then exit. A durable primary also broadcasts a shutdown frame to its
+//! replicas so they mark it down immediately.
 
+use probdb::replica::{start_replica, ReplicaHandle, ReplicaOptions, ReplicaStatus, TcpConnector};
 use probdb::server::protocol::{parse_command, Command};
 use probdb::server::{serve_service, ServerOptions, Service, ServiceOptions};
 use probdb::store::{FsyncPolicy, RealFs, Store, StoreOptions};
@@ -48,7 +55,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: probdb-serve [--addr HOST:PORT] [--workers N] [--threads N] \
          [--timeout-ms MS] [--cache-capacity N] [--preload FILE] \
-         [--data-dir DIR] [--fsync always|never|interval:MS] [--checkpoint-every N]"
+         [--data-dir DIR] [--fsync always|never|interval:MS] [--checkpoint-every N] \
+         [--replica-of HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -58,6 +66,7 @@ struct Args {
     preload: Option<String>,
     data_dir: Option<PathBuf>,
     store_opts: StoreOptions,
+    replica_of: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -66,6 +75,7 @@ fn parse_args() -> Args {
         preload: None,
         data_dir: None,
         store_opts: StoreOptions::default(),
+        replica_of: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -98,6 +108,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage())
             }
             "--preload" => parsed.preload = Some(value("--preload")),
+            "--replica-of" => parsed.replica_of = Some(value("--replica-of")),
             "--data-dir" => parsed.data_dir = Some(PathBuf::from(value("--data-dir"))),
             "--fsync" => {
                 parsed.store_opts.fsync =
@@ -186,11 +197,28 @@ fn main() {
         cache_capacity: args.opts.cache_capacity,
         ..ServiceOptions::default()
     };
-    let service = match &args.data_dir {
-        Some(dir) => match Store::open(Arc::new(RealFs), dir, args.store_opts.clone()) {
-            Ok((store, recovered)) => {
-                let info = &recovered.info;
-                eprintln!(
+    let mut replica_client: Option<ReplicaHandle> = None;
+    let service = if let Some(primary) = &args.replica_of {
+        if args.data_dir.is_some() || args.preload.is_some() {
+            eprintln!("--replica-of is incompatible with --data-dir and --preload: a replica's state comes from its primary");
+            std::process::exit(2);
+        }
+        let status = Arc::new(ReplicaStatus::new());
+        let service = Service::new_replica(primary.clone(), Arc::clone(&status), service_opts);
+        replica_client = Some(start_replica(
+            Arc::new(service.clone()),
+            Box::new(TcpConnector::new(primary.clone())),
+            status,
+            ReplicaOptions::default(),
+        ));
+        eprintln!("replicating from {primary} (read-only)");
+        service
+    } else {
+        match &args.data_dir {
+            Some(dir) => match Store::open(Arc::new(RealFs), dir, args.store_opts.clone()) {
+                Ok((store, recovered)) => {
+                    let info = &recovered.info;
+                    eprintln!(
                     "recovered {}: snapshot lsn {}, {} op(s) replayed, {} torn byte(s) dropped, next lsn {}",
                     dir.display(),
                     info.snapshot_lsn,
@@ -198,14 +226,15 @@ fn main() {
                     info.truncated_bytes,
                     info.next_lsn,
                 );
-                Service::with_store(recovered.db, recovered.views, store, service_opts)
-            }
-            Err(e) => {
-                eprintln!("cannot open data dir {}: {e}", dir.display());
-                std::process::exit(1);
-            }
-        },
-        None => Service::new(ProbDb::new(), service_opts),
+                    Service::with_store(recovered.db, recovered.views, store, service_opts)
+                }
+                Err(e) => {
+                    eprintln!("cannot open data dir {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            },
+            None => Service::new(ProbDb::new(), service_opts),
+        }
     };
     if let Some(path) = &args.preload {
         match preload(&service, path) {
@@ -226,6 +255,8 @@ fn main() {
                 probdb::par::global().threads(),
                 if args.data_dir.is_some() {
                     ", durable"
+                } else if args.replica_of.is_some() {
+                    ", read-only replica"
                 } else {
                     ""
                 }
@@ -248,6 +279,11 @@ fn main() {
             // have acknowledged one last interval-policy write after it.
             if !handle.service().persist_flush() {
                 eprintln!("probdb-serve: final log flush failed");
+            }
+            // Stop the replication client before the final summary so its
+            // thread is not mid-apply while the process tears down.
+            if let Some(mut client) = replica_client.take() {
+                client.stop();
             }
             handle.join();
         }

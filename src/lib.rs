@@ -42,9 +42,11 @@
 //! | [`views`] | incrementally maintained materialized views | §7 in production |
 //! | [`server`] | concurrent TCP query service, result cache, stats | infrastructure |
 //! | [`store`] | durable WAL + snapshots, crash recovery, fault injection | infrastructure |
+//! | [`replica`] | primary/replica WAL shipping for read scale-out | infrastructure |
 
 pub use pdb_core as engine;
 pub use pdb_core::{Answer, Complexity, EngineError, Method, ProbDb, QueryOptions};
+pub use pdb_replica as replica;
 pub use pdb_server as server;
 pub use pdb_store as store;
 pub use pdb_views as views;
