@@ -773,19 +773,23 @@ fn lint_p1(sf: &SourceFile, file: usize, out: &mut Vec<RawFinding>) {
 pub struct LintOptions {
     /// Treat every file as request-path code for P1 (used by fixture
     /// tests; the CLI scopes P1 to `crates/server/src`,
-    /// `crates/store/src`, and `crates/replica/src`).
+    /// `crates/store/src`, `crates/replica/src`, and
+    /// `crates/kernel/src`).
     pub p1_everywhere: bool,
 }
 
 /// True when P1 applies to `path` under the default scoping: the serving
 /// layer (a panic kills a pooled worker), the durability layer (a panic
-/// between apply and log leaves memory ahead of the WAL), and the
-/// replication layer (a panic in the client thread silently stops a
-/// replica converging; one in the hub kills the publishing mutation).
+/// between apply and log leaves memory ahead of the WAL), the replication
+/// layer (a panic in the client thread silently stops a replica
+/// converging; one in the hub kills the publishing mutation), and the
+/// evaluation kernel (flat programs run inside server workers and view
+/// refreshes; a malformed program must degrade to NaN, not panic).
 pub fn p1_applies(path: &str) -> bool {
     path.contains("crates/server/src")
         || path.contains("crates/store/src")
         || path.contains("crates/replica/src")
+        || path.contains("crates/kernel/src")
 }
 
 /// Runs all four lints over the analyzed set.

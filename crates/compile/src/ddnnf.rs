@@ -8,6 +8,7 @@
 //! decision-DNNF into a d-DNNF whose ∨-disjointness is guaranteed by the
 //! guard literals.
 
+use pdb_kernel::{FlatBuilder, FlatProgram};
 use pdb_wmc::{Trace, TraceNode, TraceNodeId};
 use std::collections::{BTreeSet, HashMap};
 
@@ -229,6 +230,53 @@ impl DecisionDnnf {
         Ok(())
     }
 
+    /// Lowers the circuit into a flat kernel program: reachable nodes in
+    /// topological (post-DFS) order, evaluated by `pdb-kernel`'s
+    /// non-recursive loop. Each node performs the same arithmetic as
+    /// [`DecisionDnnf::probability`] — `p·hi + (1−p)·lo` for decisions, a
+    /// left-to-right product for ∧ — and both compute every node exactly
+    /// once, so `flatten().eval(probs)` is **bit-identical** to
+    /// `probability(probs)`.
+    pub fn flatten(&self) -> FlatProgram {
+        let mut b = FlatBuilder::new();
+        let mut map: Vec<u32> = vec![u32::MAX; self.nodes.len()];
+        // Iterative post-order DFS: children flatten before parents.
+        let mut stack: Vec<(u32, bool)> = vec![(self.root, false)];
+        while let Some((i, expanded)) = stack.pop() {
+            if map[i as usize] != u32::MAX {
+                continue;
+            }
+            if expanded {
+                let flat = match &self.nodes[i as usize] {
+                    DdnnfNode::True => b.push_const(true),
+                    DdnnfNode::False => b.push_const(false),
+                    DdnnfNode::Decision { var, hi, lo } => {
+                        b.push_decision(*var, map[*hi as usize], map[*lo as usize])
+                    }
+                    DdnnfNode::And { children } => {
+                        let kids: Vec<u32> = children.iter().map(|&c| map[c as usize]).collect();
+                        b.push_mul(&kids)
+                    }
+                };
+                map[i as usize] = flat;
+                continue;
+            }
+            stack.push((i, true));
+            match &self.nodes[i as usize] {
+                DdnnfNode::True | DdnnfNode::False => {}
+                DdnnfNode::Decision { hi, lo, .. } => {
+                    stack.push((*hi, false));
+                    stack.push((*lo, false));
+                }
+                DdnnfNode::And { children } => {
+                    stack.extend(children.iter().map(|&c| (c, false)));
+                }
+            }
+        }
+        b.finish()
+            .expect("a post-order walk of a DAG flattens cleanly")
+    }
+
     /// Expands into a general [`Ddnnf`].
     pub fn to_ddnnf(&self) -> Ddnnf {
         let mut out = Ddnnf::default();
@@ -388,6 +436,54 @@ impl Ddnnf {
         }
         go(self, self.root, probs, &mut memo)
     }
+
+    /// Lowers the circuit into a flat kernel program (see
+    /// [`DecisionDnnf::flatten`]): disjoint-∨ becomes a left-to-right sum,
+    /// independent-∧ a left-to-right product, literals become (negated)
+    /// leaf reads — the exact arithmetic of [`Ddnnf::probability`], node
+    /// for node, so the flat evaluation is bit-identical to it.
+    pub fn flatten(&self) -> FlatProgram {
+        let mut b = FlatBuilder::new();
+        let mut map: Vec<u32> = vec![u32::MAX; self.nodes.len()];
+        let mut stack: Vec<(u32, bool)> = vec![(self.root, false)];
+        while let Some((i, expanded)) = stack.pop() {
+            if map[i as usize] != u32::MAX {
+                continue;
+            }
+            if expanded {
+                let flat = match &self.nodes[i as usize] {
+                    DNode::True => b.push_const(true),
+                    DNode::False => b.push_const(false),
+                    DNode::Lit { var, positive } => {
+                        if *positive {
+                            b.push_leaf(*var)
+                        } else {
+                            b.push_neg_leaf(*var)
+                        }
+                    }
+                    DNode::And { children } => {
+                        let kids: Vec<u32> = children.iter().map(|&c| map[c as usize]).collect();
+                        b.push_mul(&kids)
+                    }
+                    DNode::Or { children } => {
+                        let kids: Vec<u32> = children.iter().map(|&c| map[c as usize]).collect();
+                        b.push_add(&kids)
+                    }
+                };
+                map[i as usize] = flat;
+                continue;
+            }
+            stack.push((i, true));
+            match &self.nodes[i as usize] {
+                DNode::And { children } | DNode::Or { children } => {
+                    stack.extend(children.iter().map(|&c| (c, false)));
+                }
+                _ => {}
+            }
+        }
+        b.finish()
+            .expect("a post-order walk of a DAG flattens cleanly")
+    }
 }
 
 #[cfg(test)]
@@ -490,6 +586,46 @@ mod tests {
         }
         // Expansion adds Or/Lit nodes.
         assert!(circuit.size() >= dd.size());
+    }
+
+    #[test]
+    fn flatten_is_bit_identical_to_tree_walk() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(2), v(3)]),
+            BoolExpr::and_all([v(1), v(4)]),
+        ]);
+        let (trace, _) = trace_of(&f, 5, true);
+        let dd = DecisionDnnf::from_trace(&trace);
+        let flat = dd.flatten();
+        let circuit = dd.to_ddnnf();
+        let flat_circuit = circuit.flatten();
+        for probs in [
+            vec![0.5; 5],
+            vec![0.1, 0.9, 0.33, 0.77, 0.5],
+            vec![0.0, 1.0, 0.25, 0.5, 0.125],
+        ] {
+            assert_eq!(
+                flat.eval(&probs).to_bits(),
+                dd.probability(&probs).to_bits()
+            );
+            assert_eq!(
+                flat_circuit.eval(&probs).to_bits(),
+                circuit.probability(&probs).to_bits()
+            );
+        }
+        // Batched evaluation over three stacked vectors matches too.
+        let stacked: Vec<f64> = [
+            vec![0.5; 5],
+            vec![0.1, 0.9, 0.33, 0.77, 0.5],
+            vec![0.0, 1.0, 0.25, 0.5, 0.125],
+        ]
+        .concat();
+        let lanes = flat.eval_batch(&stacked, 5);
+        assert_eq!(lanes.len(), 3);
+        for (lane, chunk) in lanes.iter().zip(stacked.chunks(5)) {
+            assert_eq!(lane.to_bits(), dd.probability(chunk).to_bits());
+        }
     }
 
     #[test]

@@ -67,6 +67,12 @@ impl Fbdd {
         self.inner.probability(probs)
     }
 
+    /// Lowers the FBDD into a flat kernel program; bit-identical to
+    /// [`Fbdd::probability`] (see [`DecisionDnnf::flatten`]).
+    pub fn flatten(&self) -> pdb_kernel::FlatProgram {
+        self.inner.flatten()
+    }
+
     /// Whether every path reads the variables in one global order — i.e.
     /// whether this FBDD happens to be an OBDD. (Checks that the order of
     /// first reads is consistent across all root-to-leaf paths, via a
@@ -202,6 +208,22 @@ mod tests {
         let fbdd = Fbdd::from_trace(&result.trace.unwrap()).unwrap();
         let expected = 1.0 - brute::expr_probability(&f, &probs);
         assert_close(fbdd.probability(&probs), expected, 1e-12);
+    }
+
+    #[test]
+    fn flatten_is_bit_identical_to_tree_walk() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(1), v(2)]),
+        ]);
+        let fbdd = fbdd_of(&f, 3);
+        let flat = fbdd.flatten();
+        for probs in [vec![0.5; 3], vec![0.3, 0.5, 0.7]] {
+            assert_eq!(
+                flat.eval(&probs).to_bits(),
+                fbdd.probability(&probs).to_bits()
+            );
+        }
     }
 
     #[test]

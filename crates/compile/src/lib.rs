@@ -16,6 +16,12 @@
 //! * [`fig2`] — the two circuits of Figure 2, constructed verbatim,
 //! * [`order`] — variable-order heuristics, including the hierarchical
 //!   grouping that yields the linear-size OBDDs of Theorem 7.1(i-a).
+//!
+//! Every circuit type also exposes `flatten()`, lowering it into a
+//! `pdb-kernel` [`FlatProgram`](pdb_kernel::FlatProgram) — a contiguous,
+//! topologically-ordered array program evaluated by a non-recursive loop
+//! (optionally over many probability vectors at once) with bit-identical
+//! results to the tree walks here.
 
 pub mod ddnnf;
 pub mod fbdd;

@@ -6,6 +6,7 @@
 //! hierarchical self-join-free CQs have linear-size OBDDs under the right
 //! order; non-hierarchical ones are exponential under *every* order.
 
+use pdb_kernel::{FlatBuilder, FlatProgram};
 use pdb_lineage::BoolExpr;
 use std::collections::HashMap;
 
@@ -256,6 +257,37 @@ impl Obdd {
         p
     }
 
+    /// Lowers the reachable part of the OBDD into a flat kernel program:
+    /// terminals become constants, each internal node a decision on
+    /// `order[level]` computing `p·hi + (1−p)·lo` — the exact arithmetic of
+    /// [`Obdd::probability`], node for node (elided levels contribute a
+    /// factor of 1 in both), so the flat evaluation is bit-identical to it.
+    pub fn flatten(&self) -> FlatProgram {
+        let mut b = FlatBuilder::new();
+        let mut map: Vec<u32> = vec![u32::MAX; self.nodes.len()];
+        let mut stack: Vec<(Ref, bool)> = vec![(self.root, false)];
+        while let Some((r, expanded)) = stack.pop() {
+            if map[r as usize] != u32::MAX {
+                continue;
+            }
+            if r <= TRUE {
+                map[r as usize] = b.push_const(r == TRUE);
+                continue;
+            }
+            let n = self.nodes[r as usize];
+            if expanded {
+                let var = self.order[n.level as usize];
+                map[r as usize] = b.push_decision(var, map[n.hi as usize], map[n.lo as usize]);
+                continue;
+            }
+            stack.push((r, true));
+            stack.push((n.hi, false));
+            stack.push((n.lo, false));
+        }
+        b.finish()
+            .expect("a post-order walk of a reduced OBDD flattens cleanly")
+    }
+
     /// Unweighted model count over `num_vars` variables.
     pub fn model_count(&self, num_vars: u32) -> f64 {
         let probs = vec![0.5; self.order.len().max(num_vars as usize)];
@@ -358,6 +390,28 @@ mod tests {
             let a = |var: u32| mask >> var & 1 == 1;
             assert_eq!(good.eval(&a), bad.eval(&a));
         }
+    }
+
+    #[test]
+    fn flatten_is_bit_identical_to_tree_walk() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1).negate()]),
+            BoolExpr::and_all([v(1), v(2)]),
+            v(3).negate(),
+        ]);
+        let obdd = Obdd::compile(&f, &ident_order(4));
+        let flat = obdd.flatten();
+        for probs in [vec![0.5; 4], vec![0.2, 0.7, 0.4, 0.9]] {
+            assert_eq!(
+                flat.eval(&probs).to_bits(),
+                obdd.probability(&probs).to_bits()
+            );
+        }
+        // Terminal-rooted OBDDs flatten to constants.
+        let t = Obdd::compile(&BoolExpr::TRUE, &[]);
+        assert_eq!(t.flatten().eval(&[]), 1.0);
+        let z = Obdd::compile(&BoolExpr::FALSE, &[]);
+        assert_eq!(z.flatten().eval(&[]), 0.0);
     }
 
     #[test]

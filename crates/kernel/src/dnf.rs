@@ -1,0 +1,160 @@
+//! A monotone DNF flattened into term spans over one literal array.
+//!
+//! The Karp–Luby inner loop does two things per sample: force the sampled
+//! term's tuples true, and find the **first** term satisfied by the world.
+//! On the nested `Vec<Vec<TupleId>>` representation that second step is a
+//! pointer chase per term; [`FlatDnf`] stores all terms contiguously
+//! (prefix offsets + flat literal array) so the scan is a linear walk over
+//! one allocation. Term order — which defines "first" and therefore the
+//! estimator's hit sequence — is exactly the construction order.
+
+/// A monotone DNF as prefix-offset term spans into a flat literal array.
+#[derive(Clone, Debug, Default)]
+pub struct FlatDnf {
+    /// `starts[i]..starts[i+1]` is term `i`'s span (length = terms + 1).
+    starts: Vec<u32>,
+    /// Tuple indices of every term, concatenated in term order.
+    lits: Vec<u32>,
+}
+
+impl FlatDnf {
+    /// An empty DNF (no terms — the constant ⊥).
+    pub fn new() -> FlatDnf {
+        FlatDnf {
+            starts: vec![0],
+            lits: Vec::new(),
+        }
+    }
+
+    /// Appends one term (its tuple indices, in order).
+    pub fn push_term(&mut self, term: impl IntoIterator<Item = u32>) {
+        self.lits.extend(term);
+        self.starts.push(self.lits.len() as u32);
+    }
+
+    /// Number of terms.
+    pub fn terms(&self) -> usize {
+        self.starts.len().max(1) - 1
+    }
+
+    /// The tuple indices of term `i` (empty out of range).
+    pub fn term(&self, i: usize) -> &[u32] {
+        let s = match self.starts.get(i) {
+            Some(&s) => s as usize,
+            None => return &[],
+        };
+        let e = match self.starts.get(i + 1) {
+            Some(&e) => e as usize,
+            None => return &[],
+        };
+        match self.lits.get(s..e) {
+            Some(t) => t,
+            None => &[],
+        }
+    }
+
+    /// Sets every tuple of term `i` true in `assignment` (the Karp–Luby
+    /// conditioning step `T_i ⊆ W`).
+    pub fn force_true(&self, i: usize, assignment: &mut [bool]) {
+        for &v in self.term(i) {
+            if let Some(slot) = assignment.get_mut(v as usize) {
+                *slot = true;
+            }
+        }
+    }
+
+    /// Index of the first term fully satisfied by `assignment`, scanning
+    /// in term order (`None` when no term is satisfied). Out-of-range
+    /// tuples read as false.
+    pub fn first_satisfied(&self, assignment: &[bool]) -> Option<usize> {
+        let sat = |&v: &u32| match assignment.get(v as usize) {
+            Some(&b) => b,
+            None => false,
+        };
+        let mut start = match self.starts.first() {
+            Some(&s) => s as usize,
+            None => return None,
+        };
+        for (i, &end) in self.starts.iter().skip(1).enumerate() {
+            let end = end as usize;
+            let term = match self.lits.get(start..end) {
+                Some(t) => t,
+                None => return None,
+            };
+            if term.iter().all(sat) {
+                return Some(i);
+            }
+            start = end;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dnf(terms: &[&[u32]]) -> FlatDnf {
+        let mut d = FlatDnf::new();
+        for t in terms {
+            d.push_term(t.iter().copied());
+        }
+        d
+    }
+
+    #[test]
+    fn term_spans_round_trip() {
+        let d = dnf(&[&[0, 1], &[2], &[1, 3, 4]]);
+        assert_eq!(d.terms(), 3);
+        assert_eq!(d.term(0), &[0, 1]);
+        assert_eq!(d.term(1), &[2]);
+        assert_eq!(d.term(2), &[1, 3, 4]);
+        assert_eq!(d.term(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn first_satisfied_respects_term_order() {
+        let d = dnf(&[&[0, 1], &[2], &[1, 3]]);
+        let mut w = vec![false; 5];
+        assert_eq!(d.first_satisfied(&w), None);
+        w[2] = true;
+        assert_eq!(d.first_satisfied(&w), Some(1));
+        w[0] = true;
+        w[1] = true;
+        assert_eq!(d.first_satisfied(&w), Some(0), "first in order, not best");
+    }
+
+    #[test]
+    fn force_true_conditions_a_world() {
+        let d = dnf(&[&[0, 1], &[2, 4]]);
+        let mut w = vec![false; 5];
+        d.force_true(1, &mut w);
+        assert_eq!(w, [false, false, true, false, true]);
+        assert_eq!(d.first_satisfied(&w), Some(1));
+        // Out-of-range tuples are ignored, not a panic.
+        let mut short = vec![false; 2];
+        d.force_true(1, &mut short);
+        assert_eq!(d.first_satisfied(&short), None);
+    }
+
+    #[test]
+    fn matches_a_nested_vec_reference_scan() {
+        let terms: Vec<Vec<u32>> = vec![vec![0, 2], vec![1], vec![2, 3]];
+        let mut d = FlatDnf::new();
+        for t in &terms {
+            d.push_term(t.iter().copied());
+        }
+        for mask in 0u32..16 {
+            let w: Vec<bool> = (0..4).map(|v| mask >> v & 1 == 1).collect();
+            let reference = terms.iter().position(|t| t.iter().all(|&v| w[v as usize]));
+            assert_eq!(d.first_satisfied(&w), reference, "mask={mask}");
+        }
+    }
+
+    #[test]
+    fn empty_dnf_is_false() {
+        let d = FlatDnf::new();
+        assert_eq!(d.terms(), 0);
+        assert_eq!(d.first_satisfied(&[true, true]), None);
+    }
+}

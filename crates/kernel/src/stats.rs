@@ -1,0 +1,98 @@
+//! Process-global kernel counters.
+//!
+//! The flattening pass and both evaluators tick lock-free atomics so the
+//! server's `stats` command can report how much work runs on the flat
+//! kernels and how well batching amortizes program decode. Counting is
+//! per *evaluation* (one atomic add per program pass), never per node, so
+//! the hot loops stay free of shared-cache-line traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLATTENED: AtomicU64 = AtomicU64::new(0);
+static EVALS: AtomicU64 = AtomicU64::new(0);
+static BATCHED_EVALS: AtomicU64 = AtomicU64::new(0);
+static EVAL_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the kernel counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Programs lowered by [`crate::FlatBuilder::finish`] (circuits,
+    /// boolean programs — every successful flatten).
+    pub flattened: u64,
+    /// Full-program evaluations. A batched call of `B` lanes counts `B`
+    /// (each lane is one circuit evaluation).
+    pub evals: u64,
+    /// Batched evaluation calls ([`crate::FlatProgram::eval_batch_into`]).
+    pub batched_evals: u64,
+    /// Program bytes streamed by all evaluations. A batched call charges
+    /// its program size **once** — that is the decode amortization the
+    /// batch entry point exists for, and `bytes_per_eval` makes it visible.
+    pub eval_bytes: u64,
+}
+
+impl KernelStats {
+    /// Average program bytes touched per evaluation; drops as batching
+    /// amortizes decode across lanes.
+    pub fn bytes_per_eval(&self) -> u64 {
+        if self.evals == 0 {
+            0
+        } else {
+            self.eval_bytes / self.evals
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn stats() -> KernelStats {
+    KernelStats {
+        flattened: FLATTENED.load(Ordering::Relaxed),
+        evals: EVALS.load(Ordering::Relaxed),
+        batched_evals: BATCHED_EVALS.load(Ordering::Relaxed),
+        eval_bytes: EVAL_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_flatten() {
+    FLATTENED.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_eval(bytes: usize) {
+    EVALS.fetch_add(1, Ordering::Relaxed);
+    EVAL_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_batched(bytes: usize, lanes: usize) {
+    BATCHED_EVALS.fetch_add(1, Ordering::Relaxed);
+    EVALS.fetch_add(lanes as u64, Ordering::Relaxed);
+    EVAL_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let before = stats();
+        record_flatten();
+        record_eval(100);
+        record_batched(100, 64);
+        let after = stats();
+        assert_eq!(after.flattened - before.flattened, 1);
+        assert_eq!(after.evals - before.evals, 65);
+        assert_eq!(after.batched_evals - before.batched_evals, 1);
+        assert_eq!(after.eval_bytes - before.eval_bytes, 200);
+    }
+
+    #[test]
+    fn bytes_per_eval_handles_zero() {
+        let s = KernelStats::default();
+        assert_eq!(s.bytes_per_eval(), 0);
+        let s = KernelStats {
+            evals: 4,
+            eval_bytes: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.bytes_per_eval(), 25);
+    }
+}

@@ -48,7 +48,7 @@ use crate::protocol::{
     format_view_created, format_view_list, format_view_refreshed, format_view_show,
     normalize_query, parse_command, Command, ViewCommand, ViewQueryText, HELP,
 };
-use crate::stats::{PoolSnapshot, Stats, ViewsSnapshot};
+use crate::stats::{KernelSnapshot, PoolSnapshot, Stats, ViewsSnapshot};
 use pdb_core::{Answer, Complexity, EngineError, ProbDb, QueryOptions};
 use pdb_data::Tuple;
 use pdb_replica::{Frame, ReadOnlyReplica, ReplicaFeed, ReplicaHub, ReplicaStatus};
@@ -468,11 +468,14 @@ impl Service {
         // The pool every engine call in this process runs on: queries,
         // answer rows, sampling chunks, and view builds all share it.
         let pool = PoolSnapshot::from(pdb_par::current().stats());
+        // Process-global flat-kernel counters (circuit flattening, scalar
+        // and batched evaluations).
+        let kernel = KernelSnapshot::from(pdb_kernel::stats());
         let mut text = {
             let cache = lock(&self.inner.cache);
             self.inner
                 .stats
-                .render(cache.len(), cache.capacity(), views, pool)
+                .render(cache.len(), cache.capacity(), views, pool, kernel)
         };
         if let Some(role) = self.inner.replica.as_ref() {
             let s = &role.status;

@@ -131,6 +131,34 @@ impl From<pdb_par::PoolStats> for PoolSnapshot {
     }
 }
 
+/// Point-in-time kernel counters injected into the stats payload (taken
+/// from `pdb_kernel::stats()` by the render caller): how much evaluation
+/// runs through flattened circuit programs and how well the batched path
+/// amortizes program bytes across evaluations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelSnapshot {
+    /// Circuits lowered into flat programs since process start.
+    pub flattened: u64,
+    /// Flat-program evaluations (each batched lane counts as one).
+    pub evals: u64,
+    /// Batched evaluation calls (each covering many lanes).
+    pub batched: u64,
+    /// Program bytes read per evaluation, amortized (batched calls charge
+    /// their program once across all lanes).
+    pub bytes_per_eval: u64,
+}
+
+impl From<pdb_kernel::KernelStats> for KernelSnapshot {
+    fn from(stats: pdb_kernel::KernelStats) -> KernelSnapshot {
+        KernelSnapshot {
+            flattened: stats.flattened,
+            evals: stats.evals,
+            batched: stats.batched_evals,
+            bytes_per_eval: stats.bytes_per_eval(),
+        }
+    }
+}
+
 /// Shared counters for one serving instance.
 #[derive(Debug, Default)]
 pub struct Stats {
@@ -225,6 +253,7 @@ impl Stats {
         cache_capacity: usize,
         views: ViewsSnapshot,
         pool: PoolSnapshot,
+        kernel: KernelSnapshot,
     ) -> String {
         let (lifted, safe_plan, grounded, approximate, errors) = (
             self.lifted.load(Ordering::Relaxed),
@@ -259,6 +288,7 @@ impl Stats {
              incremental_ratio={incremental_ratio:.3}\n\
              view_refresh_us: p50={} p95={} max={} samples={}\n\
              pool: threads={} jobs={} steals={} utilization={:.3}\n\
+             kernel: flattened={} evals={} batched={} bytes_per_eval={}\n\
              timeouts: {}\n\
              connections: active={} total={}\n",
             lat.quantile_us(0.50),
@@ -277,6 +307,10 @@ impl Stats {
             pool.jobs,
             pool.steals,
             pool.utilization,
+            kernel.flattened,
+            kernel.evals,
+            kernel.batched,
+            kernel.bytes_per_eval,
             self.timeouts(),
             self.active_connections.load(Ordering::Relaxed),
             self.total_connections.load(Ordering::Relaxed),
@@ -340,6 +374,12 @@ mod tests {
                 steals: 2,
                 utilization: 0.25,
             },
+            KernelSnapshot {
+                flattened: 6,
+                evals: 130,
+                batched: 2,
+                bytes_per_eval: 48,
+            },
         );
         for needle in [
             "total=3",
@@ -356,6 +396,7 @@ mod tests {
             "incremental_ratio=0.750",
             "view_refresh_us:",
             "pool: threads=4 jobs=12 steals=2 utilization=0.250",
+            "kernel: flattened=6 evals=130 batched=2 bytes_per_eval=48",
             "timeouts: 1",
             "active=1 total=1",
         ] {

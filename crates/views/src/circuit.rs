@@ -2,23 +2,34 @@
 //!
 //! [`pdb_compile::DecisionDnnf::probability`] is a full bottom-up pass —
 //! the right tool for a one-shot WMC, wasteful when the same circuit is
-//! re-evaluated after every tuple-probability change. This module keeps the
-//! per-gate values of the last evaluation and, on [`set_prob`], re-evaluates
-//! only the **dirty cone**: the decision gates on the changed variable and,
-//! transitively, any parent whose value actually moved. For the balanced
-//! circuits produced by DPLL with components (§7, eqs. (11)–(13)) that is
-//! O(depth) gates per update instead of O(size) — the asymptotic gap that
-//! makes materialized views cheaper to maintain than to recompute.
+//! re-evaluated after every tuple-probability change. This module lowers
+//! the circuit into a `pdb-kernel` [`FlatProgram`] at construction — gate
+//! index = topological rank, evaluation a non-recursive forward pass — and
+//! keeps the per-gate values of the last evaluation. On [`set_prob`] it
+//! re-evaluates only the **dirty cone**: the decision gates on the changed
+//! variable and, transitively, any parent whose value actually moved. For
+//! the balanced circuits produced by DPLL with components (§7, eqs.
+//! (11)–(13)) that is O(depth) gates per update instead of O(size) — the
+//! asymptotic gap that makes materialized views cheaper to maintain than to
+//! recompute. [`probability_batch`] evaluates the same flat program under
+//! many probability vectors at once (the full-refresh / what-if path).
 //!
 //! [`set_prob`]: IncrementalCircuit::set_prob
+//! [`probability_batch`]: IncrementalCircuit::probability_batch
 
 use pdb_compile::ddnnf::DdnnfNode;
 use pdb_compile::DecisionDnnf;
+use pdb_kernel::{FlatBuilder, FlatProgram};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// A decision-DNNF with cached gate values, parent pointers, and a
-/// topological rank per gate, supporting incremental re-evaluation.
+/// A decision-DNNF flattened into a kernel program with cached gate values
+/// and parent pointers, supporting incremental re-evaluation.
+///
+/// The original node arena is kept verbatim for persistence (`nodes()` /
+/// `root()` round-trip through the store unchanged); all evaluation state —
+/// values, parents, per-variable gate lists — lives in **flat index space**,
+/// where a gate's index *is* its topological rank.
 ///
 /// The circuit may have been produced by any of the three CNF encodings used
 /// by the engine; `negated` and `scale` record how to map the root value
@@ -29,19 +40,21 @@ use std::collections::BinaryHeap;
 ///   `2^aux` correction (`P(Q) = scale · root`).
 #[derive(Clone, Debug)]
 pub struct IncrementalCircuit {
+    /// The persisted gate arena (unchanged on-disk format).
     nodes: Vec<DdnnfNode>,
     root: u32,
+    /// The reachable sub-DAG lowered into a flat kernel program; the flat
+    /// node order is the DFS post-order, so index = topological rank.
+    program: FlatProgram,
     /// Leaf probabilities, indexed by circuit variable.
     probs: Vec<f64>,
-    /// Cached value of every reachable gate.
+    /// Cached value of every flat gate (index = flat index).
     values: Vec<f64>,
-    /// Reverse edges: `parents[i]` lists the reachable gates reading gate `i`.
+    /// Reverse edges in flat space: `parents[i]` lists the flat gates
+    /// reading flat gate `i`.
     parents: Vec<Vec<u32>>,
-    /// `var_gates[v]` lists the reachable decision gates on variable `v`.
+    /// `var_gates[v]` lists the flat decision gates on variable `v`.
     var_gates: Vec<Vec<u32>>,
-    /// Topological rank (children strictly below parents); `u32::MAX` for
-    /// unreachable gates, which are never evaluated.
-    rank: Vec<u32>,
     negated: bool,
     scale: f64,
     gates_recomputed: u64,
@@ -61,18 +74,29 @@ impl IncrementalCircuit {
         let root = dd.root();
         let n = nodes.len();
 
-        // Iterative DFS post-order over the reachable sub-DAG: children
-        // always receive a smaller rank than their parents.
+        // Iterative DFS post-order over the reachable sub-DAG, lowering
+        // each gate into the flat program as it finishes: children always
+        // receive a smaller flat index than their parents, so the flat
+        // index *is* the topological rank.
+        let mut b = FlatBuilder::new();
         let mut rank = vec![u32::MAX; n];
-        let mut order: Vec<u32> = Vec::with_capacity(n);
         let mut stack: Vec<(u32, bool)> = vec![(root, false)];
         while let Some((i, expanded)) = stack.pop() {
             if rank[i as usize] != u32::MAX {
                 continue;
             }
             if expanded {
-                rank[i as usize] = order.len() as u32;
-                order.push(i);
+                rank[i as usize] = match &nodes[i as usize] {
+                    DdnnfNode::True => b.push_const(true),
+                    DdnnfNode::False => b.push_const(false),
+                    DdnnfNode::Decision { var, hi, lo } => {
+                        b.push_decision(*var, rank[*hi as usize], rank[*lo as usize])
+                    }
+                    DdnnfNode::And { children } => {
+                        let kids: Vec<u32> = children.iter().map(|&c| rank[c as usize]).collect();
+                        b.push_mul(&kids)
+                    }
+                };
                 continue;
             }
             stack.push((i, true));
@@ -87,43 +111,50 @@ impl IncrementalCircuit {
                 }
             }
         }
+        let program = b
+            .finish()
+            .expect("a post-order walk of a decision-DNNF flattens cleanly");
 
-        let mut parents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Reverse edges and per-variable gate lists, in flat index space.
+        let mut parents: Vec<Vec<u32>> = vec![Vec::new(); program.len()];
         let mut var_gates: Vec<Vec<u32>> = vec![Vec::new(); probs.len()];
-        for &i in &order {
-            match &nodes[i as usize] {
-                DdnnfNode::True | DdnnfNode::False => {}
-                DdnnfNode::Decision { var, hi, lo } => {
-                    parents[*hi as usize].push(i);
-                    parents[*lo as usize].push(i);
-                    if (*var as usize) < var_gates.len() {
-                        var_gates[*var as usize].push(i);
+        for (i, node) in program.iter().enumerate() {
+            let i = i as u32;
+            match node {
+                pdb_kernel::FlatNode::Decision { var, hi, lo } => {
+                    parents[hi as usize].push(i);
+                    parents[lo as usize].push(i);
+                    if (var as usize) < var_gates.len() {
+                        var_gates[var as usize].push(i);
                     }
                 }
-                DdnnfNode::And { children } => {
-                    for &c in children {
+                pdb_kernel::FlatNode::Mul(kids) => {
+                    for &c in kids {
                         parents[c as usize].push(i);
                     }
                 }
+                _ => {}
             }
         }
 
-        let mut circuit = IncrementalCircuit {
+        // Initial evaluation: one non-recursive forward pass over the flat
+        // program — the same per-gate arithmetic, in the same post-order,
+        // as a gate-by-gate loop, so the cached values are bit-identical.
+        let mut values = Vec::new();
+        program.eval_into(&probs, &mut values);
+
+        IncrementalCircuit {
             nodes,
             root,
+            program,
             probs,
-            values: vec![0.0; n],
+            values,
             parents,
             var_gates,
-            rank,
             negated,
             scale,
             gates_recomputed: 0,
-        };
-        for &i in &order {
-            circuit.values[i as usize] = circuit.eval_gate(i);
         }
-        circuit
     }
 
     /// Rebuilds a circuit from persisted parts (the inverse of the
@@ -197,61 +228,50 @@ impl IncrementalCircuit {
         } else {
             DdnnfNode::False
         };
+        let mut b = FlatBuilder::new();
+        b.push_const(value);
+        let program = b.finish().expect("a single constant flattens cleanly");
         IncrementalCircuit {
             nodes: vec![node],
             root: 0,
+            program,
             probs: Vec::new(),
             values: vec![if value { 1.0 } else { 0.0 }],
             parents: vec![Vec::new()],
             var_gates: Vec::new(),
-            rank: vec![0],
             negated: false,
             scale: 1.0,
             gates_recomputed: 0,
         }
     }
 
-    fn eval_gate(&self, i: u32) -> f64 {
-        match &self.nodes[i as usize] {
-            DdnnfNode::True => 1.0,
-            DdnnfNode::False => 0.0,
-            DdnnfNode::Decision { var, hi, lo } => {
-                let pv = self.probs[*var as usize];
-                pv * self.values[*hi as usize] + (1.0 - pv) * self.values[*lo as usize]
-            }
-            DdnnfNode::And { children } => {
-                children.iter().map(|&c| self.values[c as usize]).product()
-            }
-        }
-    }
-
     /// Changes one leaf probability and re-evaluates the dirty cone
-    /// bottom-up (a min-heap on topological rank guarantees every gate is
-    /// recomputed at most once, after all of its dirty children). Returns
-    /// the number of gates recomputed — the work actually done, as opposed
-    /// to the O(size) of a from-scratch pass.
+    /// bottom-up (a min-heap on the flat index — the topological rank —
+    /// guarantees every gate is recomputed at most once, after all of its
+    /// dirty children). Returns the number of gates recomputed — the work
+    /// actually done, as opposed to the O(size) of a from-scratch pass.
     pub fn set_prob(&mut self, var: u32, p: f64) -> usize {
         let v = var as usize;
         if v >= self.probs.len() || self.probs[v] == p {
             return 0;
         }
         self.probs[v] = p;
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-        let mut queued = vec![false; self.nodes.len()];
+        let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+        let mut queued = vec![false; self.program.len()];
         for &g in &self.var_gates[v] {
             queued[g as usize] = true;
-            heap.push(Reverse((self.rank[g as usize], g)));
+            heap.push(Reverse(g));
         }
         let mut recomputed = 0;
-        while let Some(Reverse((_, g))) = heap.pop() {
-            let new = self.eval_gate(g);
+        while let Some(Reverse(g)) = heap.pop() {
+            let new = self.program.eval_node(g, &self.probs, &self.values);
             recomputed += 1;
             if new != self.values[g as usize] {
                 self.values[g as usize] = new;
                 for &parent in &self.parents[g as usize] {
                     if !queued[parent as usize] {
                         queued[parent as usize] = true;
-                        heap.push(Reverse((self.rank[parent as usize], parent)));
+                        heap.push(Reverse(parent));
                     }
                 }
             }
@@ -263,12 +283,28 @@ impl IncrementalCircuit {
     /// The query probability implied by the cached root value (undoing the
     /// encoding's negation / Tseitin scale).
     pub fn probability(&self) -> f64 {
-        let p = self.values[self.root as usize] * self.scale;
+        let root = self.values.last().copied().unwrap_or(0.0);
+        let p = root * self.scale;
         if self.negated {
             1.0 - p
         } else {
             p
         }
+    }
+
+    /// Evaluates the circuit under `B = probs.len() / stride` stacked
+    /// probability vectors at once through the kernel's batched entry
+    /// point, applying the encoding correction (negation / Tseitin scale)
+    /// per lane. Lane `j` is bit-identical to a circuit whose leaves hold
+    /// `probs[j*stride .. (j+1)*stride]` — the full-refresh / what-if path,
+    /// amortizing one instruction stream over all lanes.
+    pub fn probability_batch(&self, probs: &[f64], stride: usize) -> Vec<f64> {
+        let mut out = self.program.eval_batch(probs, stride);
+        for p in &mut out {
+            let scaled = *p * self.scale;
+            *p = if self.negated { 1.0 - scaled } else { scaled };
+        }
+        out
     }
 
     /// The current probability of a leaf variable.
@@ -430,6 +466,31 @@ mod tests {
         assert!(IncrementalCircuit::from_parts(nodes, 2, vec![0.5, 0.5], false, 1.0).is_none());
         // Empty arena.
         assert!(IncrementalCircuit::from_parts(vec![], 0, vec![], false, 1.0).is_none());
+    }
+
+    #[test]
+    fn probability_batch_matches_per_lane_circuits() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1)]),
+            BoolExpr::and_all([v(1), v(2)]),
+        ]);
+        let base = [0.3, 0.6, 0.8];
+        let c = compile(&f, &base);
+        // Three stacked vectors: the base, a perturbed one, extremes.
+        let stacked: Vec<f64> = [
+            vec![0.3, 0.6, 0.8],
+            vec![0.9, 0.1, 0.5],
+            vec![0.0, 1.0, 1.0],
+        ]
+        .concat();
+        let lanes = c.probability_batch(&stacked, 3);
+        assert_eq!(lanes.len(), 3);
+        for (lane, chunk) in lanes.iter().zip(stacked.chunks(3)) {
+            let per_lane = compile(&f, chunk);
+            assert_eq!(lane.to_bits(), per_lane.probability().to_bits());
+        }
+        // Lane 0 is the circuit's own cached value.
+        assert_eq!(lanes[0].to_bits(), c.probability().to_bits());
     }
 
     #[test]

@@ -15,13 +15,25 @@
 //! The trace is recorded as a [`Trace`] DAG (cache hits create sharing);
 //! `pdb-compile` re-exports it as a decision-DNNF circuit, and the Theorem 7.1
 //! experiments measure its size.
+//!
+//! ## The de-allocated hot path
+//!
+//! Clause storage is **interned once** per run: working sets are
+//! `Vec<Arc<Clause>>`, so conditioning shares every untouched clause by
+//! reference-count bump instead of deep-cloning it per branch (and
+//! [`run_parallel`] hands the interned root set to its forks without the
+//! former per-branch `clauses.clone()`). Component-cache probes compute a
+//! cheap commutative 64-bit **prefilter hash** first; the canonical
+//! `Vec<i32>` key is materialized — into a reusable scratch buffer, not a
+//! fresh allocation — only when a bucket with that hash already exists,
+//! and is allocated only when a new entry is actually stored. The
+//! [`clone_stats`] counters make the "zero per-branch clause clones"
+//! property observable (asserted by `e15_kernel`).
 
 use pdb_lineage::{Clause, Cnf};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Tuning knobs for the counter (each maps to a §7 concept).
 #[derive(Clone, Debug)]
@@ -66,6 +78,71 @@ pub struct DpllStats {
     pub component_splits: u64,
     /// Maximum recursion depth reached.
     pub max_depth: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Clause-storage accounting
+// ---------------------------------------------------------------------------
+
+/// Deep `Clause` copies taken when interning a CNF at the start of a run
+/// (one per input clause — the only place whole clauses are copied).
+static INTERNED_CLAUSES: AtomicU64 = AtomicU64::new(0);
+/// Untouched clauses carried into a branch by `Arc` reference-count bump.
+static SHARED_CLAUSES: AtomicU64 = AtomicU64::new(0);
+/// New (shorter) clauses allocated because conditioning removed a literal —
+/// inherent to Shannon expansion, not a copy of an existing clause.
+static REDUCED_CLAUSES: AtomicU64 = AtomicU64::new(0);
+/// Whole-clause deep copies taken **per branch** — the pre-kernel hot-path
+/// allocation. No remaining code path increments this; the counter exists
+/// so tests and `e15_kernel` can assert it stays zero.
+static CLONED_CLAUSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-global clause-storage counters (cumulative across runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CloneStats {
+    /// Deep copies at interning time (run setup; one per input clause).
+    pub interned: u64,
+    /// Untouched clauses shared into branches via `Arc` (no allocation).
+    pub shared: u64,
+    /// Shorter clauses allocated by literal removal during conditioning.
+    pub reduced: u64,
+    /// Per-branch whole-clause deep copies. Stays 0: the clone sites were
+    /// removed when clause storage was interned.
+    pub cloned: u64,
+}
+
+/// Reads the cumulative clause-storage counters.
+pub fn clone_stats() -> CloneStats {
+    CloneStats {
+        interned: INTERNED_CLAUSES.load(Ordering::Relaxed),
+        shared: SHARED_CLAUSES.load(Ordering::Relaxed),
+        reduced: REDUCED_CLAUSES.load(Ordering::Relaxed),
+        cloned: CLONED_CLAUSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Per-run clause-storage tally, accumulated locally (no atomic traffic in
+/// the hot loop) and flushed to the globals when a run or fork finishes.
+#[derive(Clone, Copy, Debug, Default)]
+struct CloneTally {
+    shared: u64,
+    reduced: u64,
+}
+
+fn flush_tally(t: &CloneTally) {
+    if t.shared > 0 {
+        SHARED_CLAUSES.fetch_add(t.shared, Ordering::Relaxed);
+    }
+    if t.reduced > 0 {
+        REDUCED_CLAUSES.fetch_add(t.reduced, Ordering::Relaxed);
+    }
+}
+
+/// Interns a CNF's clauses for a run: the single place whole clauses are
+/// deep-copied. Every branch afterwards shares them through the `Arc`s.
+fn intern(cnf: &Cnf) -> Vec<Arc<Clause>> {
+    INTERNED_CLAUSES.fetch_add(cnf.clauses.len() as u64, Ordering::Relaxed);
+    cnf.clauses.iter().map(|c| Arc::new(c.clone())).collect()
 }
 
 /// Identifier of a trace node.
@@ -215,18 +292,30 @@ pub struct DpllResult {
     pub aborted: bool,
 }
 
+/// Sequential component cache: buckets of `(exact key, value)` pairs keyed
+/// by the commutative prefilter hash. A probe whose hash has no bucket
+/// skips key materialization entirely; the exact comparison backs the
+/// (rare) hash collisions.
+type SeqCache = HashMap<u64, Vec<(Vec<i32>, (f64, TraceNodeId))>>;
+
 /// The counter itself. Create with [`Dpll::new`], run with [`Dpll::run`].
 pub struct Dpll {
-    clauses: Vec<Clause>,
+    clauses: Vec<Arc<Clause>>,
     probs: Vec<f64>,
     options: DpllOptions,
     order_rank: Vec<u32>,
     stats: DpllStats,
     trace: Trace,
-    cache: HashMap<Vec<i32>, (f64, TraceNodeId)>,
+    cache: SeqCache,
     /// Reusable per-variable occurrence buffer for [`Dpll::pick_var`]
     /// (all-zero between calls), replacing a per-call `HashMap`.
     counts: Vec<u32>,
+    /// Reusable clause-index sort buffer for [`serialize_into`].
+    sort_scratch: Vec<u32>,
+    /// Reusable canonical-key buffer: cache probes serialize into this
+    /// instead of allocating a fresh `Vec<i32>` per probe.
+    key_scratch: Vec<i32>,
+    tally: CloneTally,
     aborted: bool,
 }
 
@@ -245,7 +334,7 @@ impl Dpll {
             }
         }
         Dpll {
-            clauses: cnf.clauses.clone(),
+            clauses: intern(cnf),
             probs,
             options,
             order_rank,
@@ -253,6 +342,9 @@ impl Dpll {
             trace: Trace::new(),
             cache: HashMap::new(),
             counts: vec![0; cnf.num_vars as usize],
+            sort_scratch: Vec::new(),
+            key_scratch: Vec::new(),
+            tally: CloneTally::default(),
             aborted: false,
         }
     }
@@ -262,6 +354,7 @@ impl Dpll {
         let clauses = std::mem::take(&mut self.clauses);
         let (p, node) = self.solve(clauses, 0);
         self.trace.root = Some(node);
+        flush_tally(&self.tally);
         DpllResult {
             probability: if self.aborted { f64::NAN } else { p },
             stats: self.stats,
@@ -274,7 +367,28 @@ impl Dpll {
         }
     }
 
-    fn solve(&mut self, clauses: Vec<Clause>, depth: u64) -> (f64, TraceNodeId) {
+    /// Probes the cache: on a prefilter-hash bucket, materializes the
+    /// canonical key into the reusable scratch and compares exactly.
+    fn cache_probe(&mut self, h: u64, clauses: &[Arc<Clause>]) -> Option<(f64, TraceNodeId)> {
+        let bucket = self.cache.get(&h)?;
+        serialize_into(clauses, &mut self.sort_scratch, &mut self.key_scratch);
+        bucket
+            .iter()
+            .find(|(k, _)| *k == self.key_scratch)
+            .map(|&(_, v)| v)
+    }
+
+    /// Stores a solved component. The canonical key is (re)built here —
+    /// the scratch may have been overwritten by the recursive solves — and
+    /// this is the only point a key is allocated.
+    fn cache_store(&mut self, h: u64, clauses: &[Arc<Clause>], value: (f64, TraceNodeId)) {
+        serialize_into(clauses, &mut self.sort_scratch, &mut self.key_scratch);
+        let key = self.key_scratch.clone();
+        self.cache.entry(h).or_default().push((key, value));
+        self.stats.cache_misses += 1;
+    }
+
+    fn solve(&mut self, clauses: Vec<Arc<Clause>>, depth: u64) -> (f64, TraceNodeId) {
         self.stats.max_depth = self.stats.max_depth.max(depth);
         if self.aborted {
             return (f64::NAN, Trace::TRUE);
@@ -282,24 +396,24 @@ impl Dpll {
         if clauses.is_empty() {
             return (1.0, Trace::TRUE);
         }
-        if clauses.iter().any(Clause::is_empty) {
+        if clauses.iter().any(|c| c.is_empty()) {
             return (0.0, Trace::FALSE);
         }
-        // Cache lookup on the canonical component serialization.
-        let key = if self.options.caching {
-            Some(serialize(&clauses))
+        // Cache lookup: prefilter hash first, exact key only on a bucket.
+        let hash = if self.options.caching {
+            Some(prefilter_hash(&clauses))
         } else {
             None
         };
-        if let Some(k) = &key {
-            if let Some(&(p, node)) = self.cache.get(k.as_slice()) {
+        if let Some(h) = hash {
+            if let Some((p, node)) = self.cache_probe(h, &clauses) {
                 self.stats.cache_hits += 1;
                 return (p, node);
             }
         }
         // Component decomposition.
         if self.options.components {
-            let comps = split_components(&clauses);
+            let comps = split_components(&clauses, &mut self.tally);
             if comps.len() > 1 {
                 self.stats.component_splits += 1;
                 let mut p = 1.0;
@@ -314,9 +428,8 @@ impl Dpll {
                 } else {
                     Trace::TRUE
                 };
-                if let Some(k) = key {
-                    self.cache.insert(k, (p, node));
-                    self.stats.cache_misses += 1;
+                if let Some(h) = hash {
+                    self.cache_store(h, &clauses, (p, node));
                 }
                 return (p, node);
             }
@@ -333,8 +446,10 @@ impl Dpll {
             return (f64::NAN, Trace::TRUE);
         }
         let p = self.probs[var as usize];
-        let (hi_p, hi_node) = self.solve(condition(&clauses, var, true), depth + 1);
-        let (lo_p, lo_node) = self.solve(condition(&clauses, var, false), depth + 1);
+        let hi_set = condition(&clauses, var, true, &mut self.tally);
+        let (hi_p, hi_node) = self.solve(hi_set, depth + 1);
+        let lo_set = condition(&clauses, var, false, &mut self.tally);
+        let (lo_p, lo_node) = self.solve(lo_set, depth + 1);
         let total = p * hi_p + (1.0 - p) * lo_p;
         let node = if self.options.record_trace {
             self.trace.push(TraceNode::Decision {
@@ -345,16 +460,15 @@ impl Dpll {
         } else {
             Trace::TRUE
         };
-        if let Some(k) = key {
-            self.cache.insert(k, (total, node));
-            self.stats.cache_misses += 1;
+        if let Some(h) = hash {
+            self.cache_store(h, &clauses, (total, node));
         }
         (total, node)
     }
 
     /// Branch-variable heuristic: lowest fixed-order rank if an order was
     /// given, otherwise the most frequently occurring variable.
-    fn pick_var(&mut self, clauses: &[Clause]) -> u32 {
+    fn pick_var(&mut self, clauses: &[Arc<Clause>]) -> u32 {
         if self.options.var_order.is_some() {
             lowest_rank_var(clauses, &self.order_rank)
         } else {
@@ -365,7 +479,7 @@ impl Dpll {
 
 /// The variable with the lowest `(rank, index)` among those occurring in
 /// `clauses` (fixed-order branching).
-fn lowest_rank_var(clauses: &[Clause], order_rank: &[u32]) -> u32 {
+fn lowest_rank_var(clauses: &[Arc<Clause>], order_rank: &[u32]) -> u32 {
     let mut best = u32::MAX;
     let mut best_rank = (u32::MAX, u32::MAX);
     for c in clauses {
@@ -385,7 +499,7 @@ fn lowest_rank_var(clauses: &[Clause], order_rank: &[u32]) -> u32 {
 /// index — the same choice `max_by_key` over `(count, Reverse(var))` made,
 /// but allocation-free. `counts` must be all-zero on entry (one slot per
 /// variable) and is zeroed again before returning.
-fn most_frequent_var(clauses: &[Clause], counts: &mut [u32]) -> u32 {
+fn most_frequent_var(clauses: &[Arc<Clause>], counts: &mut [u32]) -> u32 {
     for c in clauses {
         for l in c.lits() {
             counts[l.var() as usize] += 1;
@@ -412,11 +526,13 @@ fn most_frequent_var(clauses: &[Clause], counts: &mut [u32]) -> u32 {
     best
 }
 
-/// Lock-striped component cache for [`run_parallel`]: keys are hashed to a
-/// shard, so concurrent branches contend only when they touch the same
-/// stripe. Values are probabilities only — parallel runs never record traces.
+/// Lock-striped component cache for [`run_parallel`]: prefilter hashes pick
+/// a shard, so concurrent branches contend only when they touch the same
+/// stripe; inside a shard, buckets of `(exact key, value)` pairs back the
+/// hash with an exact comparison. Values are probabilities only — parallel
+/// runs never record traces.
 struct ShardedCache {
-    shards: Vec<Mutex<HashMap<Vec<i32>, f64>>>,
+    shards: Vec<Mutex<HashMap<u64, Vec<(Vec<i32>, f64)>>>>,
 }
 
 impl ShardedCache {
@@ -426,23 +542,48 @@ impl ShardedCache {
         }
     }
 
-    fn shard_of(&self, key: &[i32]) -> usize {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() % self.shards.len() as u64) as usize
+    fn shard_of(&self, h: u64) -> usize {
+        // The prefilter hash is already well mixed; fold the high bits in
+        // so shard choice is not just the low bits of the clause hashes.
+        ((h ^ (h >> 32)) % self.shards.len() as u64) as usize
     }
 
-    fn get(&self, key: &[i32]) -> Option<f64> {
-        self.shards[self.shard_of(key)]
-            .lock()
-            .unwrap()
-            .get(key)
-            .copied()
+    /// Probes under the shard lock. On a prefilter miss (no bucket for
+    /// `h`) the canonical key is **never materialized** — the fast path
+    /// the sharded cache exists for; on a candidate bucket the key is
+    /// serialized into the caller's reusable scratch and compared exactly.
+    fn get(
+        &self,
+        h: u64,
+        clauses: &[Arc<Clause>],
+        sort_scratch: &mut Vec<u32>,
+        key_scratch: &mut Vec<i32>,
+    ) -> Option<f64> {
+        let map = self.shards[self.shard_of(h)].lock().unwrap();
+        let bucket = map.get(&h)?;
+        serialize_into(clauses, sort_scratch, key_scratch);
+        bucket
+            .iter()
+            .find(|(k, _)| k == key_scratch)
+            .map(|&(_, p)| p)
     }
 
-    fn insert(&self, key: Vec<i32>, p: f64) {
-        let shard = self.shard_of(&key);
-        self.shards[shard].lock().unwrap().insert(key, p);
+    fn insert(
+        &self,
+        h: u64,
+        clauses: &[Arc<Clause>],
+        sort_scratch: &mut Vec<u32>,
+        key_scratch: &mut Vec<i32>,
+        p: f64,
+    ) {
+        serialize_into(clauses, sort_scratch, key_scratch);
+        let mut map = self.shards[self.shard_of(h)].lock().unwrap();
+        let bucket = map.entry(h).or_default();
+        // Two branches may race to solve the same component; the values
+        // are deterministic, so keep the first entry and drop the echo.
+        if !bucket.iter().any(|(k, _)| k == key_scratch) {
+            bucket.push((key_scratch.clone(), p));
+        }
     }
 }
 
@@ -461,13 +602,34 @@ struct ParCtx<'a> {
     aborted: AtomicBool,
 }
 
+/// Per-task scratch space for [`par_solve`]: forks get a fresh one, the
+/// sequential tail under a fork reuses its task's buffers.
+struct Scratch {
+    counts: Vec<u32>,
+    sort: Vec<u32>,
+    key: Vec<i32>,
+    tally: CloneTally,
+}
+
+impl Scratch {
+    fn new(num_vars: usize) -> Scratch {
+        Scratch {
+            counts: vec![0; num_vars],
+            sort: Vec::new(),
+            key: Vec::new(),
+            tally: CloneTally::default(),
+        }
+    }
+}
+
 /// Fork parallel work only this close to the root: deeper subproblems are
 /// small and task overhead would dominate.
 const PAR_DEPTH: u64 = 4;
 
 /// Counts `cnf` on `pool`, running independent components (and the two
 /// Shannon branches) in parallel at shallow depths over a lock-striped
-/// component cache.
+/// component cache. The clause set is interned **once** and shared into
+/// every fork through `Arc`s — no per-branch clause cloning.
 ///
 /// The returned probability is bit-identical to [`Dpll::run`]: subproblem
 /// values do not depend on execution order (cache entries equal what
@@ -510,8 +672,9 @@ pub fn run_parallel(
         max_depth: AtomicU64::new(0),
         aborted: AtomicBool::new(false),
     };
-    let mut counts = vec![0u32; probs.len()];
-    let p = par_solve(&ctx, cnf.clauses.clone(), 0, &mut counts);
+    let mut scratch = Scratch::new(probs.len());
+    let p = par_solve(&ctx, intern(cnf), 0, &mut scratch);
+    flush_tally(&scratch.tally);
     let aborted = ctx.aborted.load(Ordering::Acquire);
     DpllResult {
         probability: if aborted { f64::NAN } else { p },
@@ -527,7 +690,16 @@ pub fn run_parallel(
     }
 }
 
-fn par_solve(ctx: &ParCtx<'_>, clauses: Vec<Clause>, depth: u64, counts: &mut [u32]) -> f64 {
+/// Runs `f` in a forked task with its own scratch, flushing the fork's
+/// clause tally before the task ends.
+fn forked<R>(num_vars: usize, f: impl FnOnce(&mut Scratch) -> R) -> R {
+    let mut scratch = Scratch::new(num_vars);
+    let r = f(&mut scratch);
+    flush_tally(&scratch.tally);
+    r
+}
+
+fn par_solve(ctx: &ParCtx<'_>, clauses: Vec<Arc<Clause>>, depth: u64, s: &mut Scratch) -> f64 {
     ctx.max_depth.fetch_max(depth, Ordering::Relaxed);
     if ctx.aborted.load(Ordering::Relaxed) {
         return f64::NAN;
@@ -535,19 +707,19 @@ fn par_solve(ctx: &ParCtx<'_>, clauses: Vec<Clause>, depth: u64, counts: &mut [u
     if clauses.is_empty() {
         return 1.0;
     }
-    if clauses.iter().any(Clause::is_empty) {
+    if clauses.iter().any(|c| c.is_empty()) {
         return 0.0;
     }
-    let key = ctx.options.caching.then(|| serialize(&clauses));
-    if let Some(k) = &key {
-        if let Some(p) = ctx.cache.get(k) {
+    let hash = ctx.options.caching.then(|| prefilter_hash(&clauses));
+    if let Some(h) = hash {
+        if let Some(p) = ctx.cache.get(h, &clauses, &mut s.sort, &mut s.key) {
             ctx.cache_hits.fetch_add(1, Ordering::Relaxed);
             return p;
         }
     }
     let fork = depth < PAR_DEPTH;
     if ctx.options.components {
-        let comps = split_components(&clauses);
+        let comps = split_components(&clauses, &mut s.tally);
         if comps.len() > 1 {
             ctx.component_splits.fetch_add(1, Ordering::Relaxed);
             // Multiply in component order (it is deterministic — components
@@ -555,20 +727,21 @@ fn par_solve(ctx: &ParCtx<'_>, clauses: Vec<Clause>, depth: u64, counts: &mut [u
             let p = if fork {
                 ctx.pool
                     .parallel_map(comps, |comp| {
-                        let mut local = vec![0u32; ctx.probs.len()];
-                        par_solve(ctx, comp, depth + 1, &mut local)
+                        forked(ctx.probs.len(), |local| {
+                            par_solve(ctx, comp, depth + 1, local)
+                        })
                     })
                     .into_iter()
                     .product()
             } else {
                 let mut p = 1.0;
                 for comp in comps {
-                    p *= par_solve(ctx, comp, depth + 1, counts);
+                    p *= par_solve(ctx, comp, depth + 1, s);
                 }
                 p
             };
-            if let Some(k) = key {
-                ctx.cache.insert(k, p);
+            if let Some(h) = hash {
+                ctx.cache.insert(h, &clauses, &mut s.sort, &mut s.key, p);
                 ctx.cache_misses.fetch_add(1, Ordering::Relaxed);
             }
             return p;
@@ -577,7 +750,7 @@ fn par_solve(ctx: &ParCtx<'_>, clauses: Vec<Clause>, depth: u64, counts: &mut [u
     let var = match clauses.iter().find(|c| c.lits().len() == 1) {
         Some(unit) => unit.lits()[0].var(),
         None if ctx.options.var_order.is_some() => lowest_rank_var(&clauses, ctx.order_rank),
-        None => most_frequent_var(&clauses, counts),
+        None => most_frequent_var(&clauses, &mut s.counts),
     };
     let decisions = ctx.decisions.fetch_add(1, Ordering::Relaxed) + 1;
     if ctx.options.max_decisions > 0 && decisions > ctx.options.max_decisions {
@@ -586,32 +759,49 @@ fn par_solve(ctx: &ParCtx<'_>, clauses: Vec<Clause>, depth: u64, counts: &mut [u
     }
     let p = ctx.probs[var as usize];
     let (hi, lo) = if fork {
+        let (hi_set, lo_set) = {
+            let hi_set = condition(&clauses, var, true, &mut s.tally);
+            let lo_set = condition(&clauses, var, false, &mut s.tally);
+            (hi_set, lo_set)
+        };
         ctx.pool.join(
             || {
-                let mut local = vec![0u32; ctx.probs.len()];
-                par_solve(ctx, condition(&clauses, var, true), depth + 1, &mut local)
+                forked(ctx.probs.len(), |local| {
+                    par_solve(ctx, hi_set, depth + 1, local)
+                })
             },
             || {
-                let mut local = vec![0u32; ctx.probs.len()];
-                par_solve(ctx, condition(&clauses, var, false), depth + 1, &mut local)
+                forked(ctx.probs.len(), |local| {
+                    par_solve(ctx, lo_set, depth + 1, local)
+                })
             },
         )
     } else {
-        let hi = par_solve(ctx, condition(&clauses, var, true), depth + 1, counts);
-        let lo = par_solve(ctx, condition(&clauses, var, false), depth + 1, counts);
+        let hi_set = condition(&clauses, var, true, &mut s.tally);
+        let hi = par_solve(ctx, hi_set, depth + 1, s);
+        let lo_set = condition(&clauses, var, false, &mut s.tally);
+        let lo = par_solve(ctx, lo_set, depth + 1, s);
         (hi, lo)
     };
     let total = p * hi + (1.0 - p) * lo;
-    if let Some(k) = key {
-        ctx.cache.insert(k, total);
+    if let Some(h) = hash {
+        ctx.cache
+            .insert(h, &clauses, &mut s.sort, &mut s.key, total);
         ctx.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
     total
 }
 
 /// Conditions the clause set on `var = value`: satisfied clauses vanish,
-/// falsified literals are removed.
-fn condition(clauses: &[Clause], var: u32, value: bool) -> Vec<Clause> {
+/// falsified literals are removed. Untouched clauses are **shared** into
+/// the branch by `Arc` clone (a reference-count bump, not a copy); only
+/// clauses that actually lose a literal allocate.
+fn condition(
+    clauses: &[Arc<Clause>],
+    var: u32,
+    value: bool,
+    tally: &mut CloneTally,
+) -> Vec<Arc<Clause>> {
     let mut out = Vec::with_capacity(clauses.len());
     for c in clauses {
         let mut touched = false;
@@ -629,22 +819,28 @@ fn condition(clauses: &[Clause], var: u32, value: bool) -> Vec<Clause> {
             continue;
         }
         if touched {
-            out.push(Clause::new(
+            tally.reduced += 1;
+            out.push(Arc::new(Clause::new(
                 c.lits()
                     .iter()
                     .filter(|l| l.var() != var)
                     .copied()
                     .collect(),
-            ));
+            )));
         } else {
-            out.push(c.clone());
+            tally.shared += 1;
+            out.push(Arc::clone(c));
         }
     }
     out
 }
 
-/// Splits a clause set into variable-disjoint components (rule (12)).
-fn split_components(clauses: &[Clause]) -> Vec<Vec<Clause>> {
+/// Splits a clause set into variable-disjoint components (rule (12)),
+/// sharing every clause into its component via `Arc`. Components are
+/// sorted by their canonical serialization — the order the sequential
+/// fold multiplies them in — with each key computed **once** (the former
+/// `sort_by_key` re-serialized per comparison).
+fn split_components(clauses: &[Arc<Clause>], tally: &mut CloneTally) -> Vec<Vec<Arc<Clause>>> {
     // Union-find over clause indices, keyed by shared variables.
     let n = clauses.len();
     let mut parent: Vec<usize> = (0..n).collect();
@@ -671,31 +867,67 @@ fn split_components(clauses: &[Clause]) -> Vec<Vec<Clause>> {
             }
         }
     }
-    let mut groups: HashMap<usize, Vec<Clause>> = HashMap::new();
+    let mut groups: HashMap<usize, Vec<Arc<Clause>>> = HashMap::new();
     for (i, c) in clauses.iter().enumerate() {
+        tally.shared += 1;
         groups
             .entry(find(&mut parent, i))
             .or_default()
-            .push(c.clone());
+            .push(Arc::clone(c));
     }
-    let mut out: Vec<Vec<Clause>> = groups.into_values().collect();
-    out.sort_by_key(|a| serialize(a));
-    out
+    let mut keyed: Vec<(Vec<i32>, Vec<Arc<Clause>>)> = groups
+        .into_values()
+        .map(|g| {
+            let mut sort = Vec::new();
+            let mut key = Vec::new();
+            serialize_into(&g, &mut sort, &mut key);
+            (key, g)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed.into_iter().map(|(_, g)| g).collect()
 }
 
-/// Canonical serialization of a clause set (cache key).
-fn serialize(clauses: &[Clause]) -> Vec<i32> {
-    let mut sorted: Vec<&Clause> = clauses.iter().collect();
-    sorted.sort();
-    let mut out = Vec::with_capacity(clauses.len() * 4);
-    for c in sorted {
+/// Commutative 64-bit prefilter over a clause set: per-clause FNV-1a over
+/// the literal codes, avalanched, then combined order-independently
+/// (wrapping add) — so the hash needs **no sort and no allocation**, while
+/// still matching whenever the canonical serializations match. Collisions
+/// are resolved by the exact key comparison behind it.
+fn prefilter_hash(clauses: &[Arc<Clause>]) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64 ^ (clauses.len() as u64);
+    for c in clauses {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
         for l in c.lits() {
+            let v = l.var() as i64 + 1;
+            let code = if l.is_pos() { v } else { -v } as u64;
+            h = (h ^ code).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // splitmix64 avalanche so the commutative combine mixes well.
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc = acc.wrapping_add(z ^ (z >> 31));
+    }
+    acc
+}
+
+/// Canonical serialization of a clause set into a reusable buffer (the
+/// exact cache key): clauses in sorted order, each literal as `±(var+1)`,
+/// `0` terminating every clause. `sort_scratch` holds clause indices so no
+/// per-call allocation survives warm-up.
+fn serialize_into(clauses: &[Arc<Clause>], sort_scratch: &mut Vec<u32>, out: &mut Vec<i32>) {
+    sort_scratch.clear();
+    sort_scratch.extend(0..clauses.len() as u32);
+    sort_scratch.sort_by(|&a, &b| clauses[a as usize].cmp(&clauses[b as usize]));
+    out.clear();
+    out.reserve(clauses.len() * 4);
+    for &i in sort_scratch.iter() {
+        for l in clauses[i as usize].lits() {
             let v = l.var() as i32 + 1;
             out.push(if l.is_pos() { v } else { -v });
         }
         out.push(0);
     }
-    out
 }
 
 #[cfg(test)]
@@ -994,5 +1226,65 @@ mod tests {
         let expected = brute::cnf_model_count(&cnf) as f64;
         let result = Dpll::new(&cnf, vec![0.5; 3], DpllOptions::default()).run();
         assert_close(result.probability * 8.0, expected, 1e-12);
+    }
+
+    #[test]
+    fn prefilter_hash_is_order_independent_and_discriminating() {
+        let a = Arc::new(Clause::new(vec![Lit::pos(0), Lit::neg(1)]));
+        let b = Arc::new(Clause::new(vec![Lit::pos(2)]));
+        let c = Arc::new(Clause::new(vec![Lit::neg(3), Lit::pos(4)]));
+        let fwd = vec![a.clone(), b.clone(), c.clone()];
+        let rev = vec![c.clone(), b.clone(), a.clone()];
+        assert_eq!(prefilter_hash(&fwd), prefilter_hash(&rev));
+        // Same serialization ⇒ same hash; different sets (almost surely)
+        // differ.
+        let other = vec![a, b];
+        assert_ne!(prefilter_hash(&fwd), prefilter_hash(&other));
+    }
+
+    #[test]
+    fn serialize_into_matches_canonical_layout() {
+        let clauses = vec![
+            Arc::new(Clause::new(vec![Lit::pos(2)])),
+            Arc::new(Clause::new(vec![Lit::pos(0), Lit::neg(1)])),
+        ];
+        let mut sort = Vec::new();
+        let mut key = Vec::new();
+        serialize_into(&clauses, &mut sort, &mut key);
+        // Clauses sorted (x0 ∨ ¬x1) < (x2); literals in `Lit` order,
+        // encoded ±(var+1), 0-terminated.
+        assert_eq!(key, vec![-2, 1, 0, 3, 0]);
+        // The buffers are reusable: a second call overwrites cleanly.
+        serialize_into(&clauses[..1], &mut sort, &mut key);
+        assert_eq!(key, vec![3, 0]);
+    }
+
+    #[test]
+    fn no_per_branch_clause_clones_sequential_or_parallel() {
+        let mut clauses = Vec::new();
+        for i in 0..8u32 {
+            clauses.push(Clause::new(vec![Lit::neg(i), Lit::pos(i + 1)]));
+        }
+        for b in 0..3u32 {
+            let base = 9 + b * 3;
+            clauses.push(Clause::new(vec![Lit::pos(base), Lit::pos(base + 1)]));
+        }
+        let cnf = Cnf::new(clauses, 18);
+        let probs = vec![0.4; 18];
+        let before = clone_stats();
+        let seq = Dpll::new(&cnf, probs.clone(), DpllOptions::default()).run();
+        let pool = pdb_par::Pool::new(4);
+        let par = run_parallel(&cnf, &probs, DpllOptions::default(), &pool);
+        assert_eq!(seq.probability.to_bits(), par.probability.to_bits());
+        let after = clone_stats();
+        // Branches shared clauses through the interned storage...
+        assert!(after.shared > before.shared, "branches share via Arc");
+        // ...interning copied exactly the input clauses, per run...
+        assert_eq!(
+            after.interned - before.interned,
+            2 * cnf.clauses.len() as u64
+        );
+        // ...and nothing deep-cloned a clause per branch.
+        assert_eq!(after.cloned, 0, "per-branch clause clones must stay zero");
     }
 }

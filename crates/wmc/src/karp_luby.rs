@@ -8,6 +8,7 @@
 //! sample a world conditioned on `T_i ⊆ W`, and score 1 iff `i` is the
 //! *first* term satisfied by the world; then `p(F) = U · E[score]`.
 
+use pdb_kernel::FlatDnf;
 use pdb_lineage::DnfLineage;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,6 +32,11 @@ struct Prepared {
     cdf: Vec<f64>,
     /// Variables occurring in the lineage.
     vars: Vec<u32>,
+    /// The lineage flattened into contiguous term spans: the per-sample
+    /// force-term and first-satisfied scans run over one allocation
+    /// instead of chasing `Vec<Vec<TupleId>>` pointers. Term order — which
+    /// defines "first" — is exactly the lineage's.
+    flat: FlatDnf,
 }
 
 /// Computes term weights and the sampling CDF, or short-circuits with the
@@ -75,20 +81,27 @@ fn prepare(lineage: &DnfLineage, probs: &[f64]) -> Result<Prepared, Estimate> {
         cdf.push(acc);
     }
     let vars: Vec<u32> = lineage.vars().into_iter().map(|t| t.0).collect();
-    Ok(Prepared { total, cdf, vars })
+    let mut flat = FlatDnf::new();
+    for t in terms {
+        flat.push_term(t.iter().map(|id| id.index() as u32));
+    }
+    Ok(Prepared {
+        total,
+        cdf,
+        vars,
+        flat,
+    })
 }
 
 /// Draws `samples` Karp–Luby rounds from `rng` and counts the hits
 /// (worlds whose first satisfied term is the sampled one).
 fn sample_hits(
-    lineage: &DnfLineage,
     prep: &Prepared,
     probs: &[f64],
     samples: u64,
     rng: &mut impl Rng,
     assignment: &mut [bool],
 ) -> u64 {
-    let terms = lineage.terms();
     let mut hits = 0u64;
     for _ in 0..samples {
         // Sample a term index ∝ weight.
@@ -101,13 +114,12 @@ fn sample_hits(
         for &v in &prep.vars {
             assignment[v as usize] = rng.gen_bool(probs[v as usize].clamp(0.0, 1.0));
         }
-        for id in &terms[i] {
-            assignment[id.index()] = true;
-        }
-        // Is i the first satisfied term?
-        let first = terms
-            .iter()
-            .position(|t| t.iter().all(|id| assignment[id.index()]))
+        prep.flat.force_true(i, assignment);
+        // Is i the first satisfied term? (The scan over the flat spans
+        // visits terms in exactly the order the old nested scan did.)
+        let first = prep
+            .flat
+            .first_satisfied(assignment)
             .expect("term i itself is satisfied");
         if first == i {
             hits += 1;
@@ -138,7 +150,7 @@ pub fn estimate(lineage: &DnfLineage, probs: &[f64], samples: u64, rng: &mut imp
         Err(trivial) => return trivial,
     };
     let mut assignment: Vec<bool> = vec![false; probs.len()];
-    let hits = sample_hits(lineage, &prep, probs, samples, rng, &mut assignment);
+    let hits = sample_hits(&prep, probs, samples, rng, &mut assignment);
     finish(prep.total, hits, samples)
 }
 
@@ -181,7 +193,7 @@ pub fn estimate_chunked(
         let n = CHUNK_SAMPLES.min(samples - lo);
         let mut rng = StdRng::seed_from_u64(chunk_seed(seed, c));
         let mut assignment: Vec<bool> = vec![false; probs.len()];
-        sample_hits(lineage, &prep, probs, n, &mut rng, &mut assignment)
+        sample_hits(&prep, probs, n, &mut rng, &mut assignment)
     });
     let hits: u64 = chunk_hits.into_iter().sum();
     finish(prep.total, hits, samples)

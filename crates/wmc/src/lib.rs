@@ -27,6 +27,7 @@ pub mod monte_carlo;
 pub mod prob;
 
 pub use dpll::{
-    run_parallel, Dpll, DpllOptions, DpllResult, DpllStats, Trace, TraceNode, TraceNodeId,
+    clone_stats, run_parallel, CloneStats, Dpll, DpllOptions, DpllResult, DpllStats, Trace,
+    TraceNode, TraceNodeId,
 };
 pub use prob::{probability_of_expr, probability_of_query};

@@ -6,6 +6,7 @@
 //! how small `p` is). The E9-style ablations use this contrast; it is also
 //! the only sampler that works for non-monotone formulas.
 
+use pdb_kernel::{BoolBuilder, FlatBool};
 use pdb_lineage::BoolExpr;
 use rand::Rng;
 
@@ -21,18 +22,52 @@ pub struct McEstimate {
     pub samples: u64,
 }
 
+/// Lowers a `BoolExpr` tree into a [`FlatBool`] program (post-order, so
+/// children precede parents). Boolean operators are total and
+/// deterministic, so the flat program agrees with `BoolExpr::eval` on
+/// every assignment.
+fn flatten(expr: &BoolExpr) -> FlatBool {
+    fn go(e: &BoolExpr, b: &mut BoolBuilder) -> u32 {
+        match e {
+            BoolExpr::Const(v) => b.push_const(*v),
+            BoolExpr::Var(id) => b.push_var(id.index() as u32),
+            BoolExpr::Not(inner) => {
+                let c = go(inner, b);
+                b.push_not(c)
+            }
+            BoolExpr::And(parts) => {
+                let kids: Vec<u32> = parts.iter().map(|p| go(p, b)).collect();
+                b.push_all(&kids)
+            }
+            BoolExpr::Or(parts) => {
+                let kids: Vec<u32> = parts.iter().map(|p| go(p, b)).collect();
+                b.push_any(&kids)
+            }
+        }
+    }
+    let mut b = BoolBuilder::new();
+    go(expr, &mut b);
+    b.finish()
+}
+
 /// Estimates `p(F)` by direct world sampling. `probs[i] = p(Xᵢ)` must be
 /// standard probabilities.
+///
+/// The formula is flattened once into a [`FlatBool`] kernel program; each
+/// sampled world is then a single non-recursive forward pass instead of a
+/// `BoolExpr` tree walk per sample.
 pub fn estimate(expr: &BoolExpr, probs: &[f64], samples: u64, rng: &mut impl Rng) -> McEstimate {
     // Only the variables mentioned matter; sample just those.
     let vars: Vec<u32> = expr.vars().into_iter().map(|t| t.0).collect();
+    let flat = flatten(expr);
     let mut assignment = vec![false; probs.len()];
+    let mut scratch = Vec::new();
     let mut hits: u64 = 0;
     for _ in 0..samples {
         for &v in &vars {
             assignment[v as usize] = rng.gen_bool(probs[v as usize].clamp(0.0, 1.0));
         }
-        if expr.eval(&|id| assignment[id.index()]) {
+        if flat.eval_into(&assignment, &mut scratch) {
             hits += 1;
         }
     }
@@ -103,6 +138,20 @@ mod tests {
             pdb_lineage::ucq_dnf_lineage(&pdb_logic::parse_ucq("R(x), S(x)").unwrap(), &db, &idx);
         let kl = crate::karp_luby::estimate(&lin, &[1e-3, 1e-3], 10_000, &mut rng);
         assert!((kl.value - 1e-6).abs() < 1e-9, "KL is exact on one term");
+    }
+
+    #[test]
+    fn flat_program_matches_tree_walk_exhaustively() {
+        let f = BoolExpr::or_all([
+            BoolExpr::and_all([v(0), v(1).negate()]),
+            BoolExpr::and_all([v(1), v(2), v(3).negate()]),
+            v(3),
+        ]);
+        let flat = super::flatten(&f);
+        for mask in 0u32..16 {
+            let w: Vec<bool> = (0..4).map(|b| mask >> b & 1 == 1).collect();
+            assert_eq!(flat.eval(&w), f.eval(&|id| w[id.index()]), "mask={mask}");
+        }
     }
 
     #[test]

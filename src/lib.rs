@@ -31,6 +31,7 @@
 //! | [`lineage`] | Boolean provenance, CNF, model checking | §7 + appendix |
 //! | [`wmc`] | brute force, DPLL (+trace), Karp–Luby | §7 |
 //! | [`compile`] | OBDD, FBDD, decision-DNNF, d-DNNF | §7, Fig. 2 |
+//! | [`kernel`] | flat SoA circuit programs, batched evaluation | §7 engineering |
 //! | [`lifted`] | lifted rules + inclusion/exclusion, dichotomy | §4, §5 |
 //! | [`plans`] | extensional plans, safe plans, bounds | §6 |
 //! | [`mln`] | Markov Logic Networks ↔ TID + constraint | §3, Fig. 3 |
@@ -55,6 +56,7 @@ pub use pdb_bid as bid;
 pub use pdb_compile as compile;
 pub use pdb_data as data;
 pub use pdb_datalog as datalog;
+pub use pdb_kernel as kernel;
 pub use pdb_lifted as lifted;
 pub use pdb_lineage as lineage;
 pub use pdb_logic as logic;
