@@ -471,6 +471,69 @@ mod tests {
     }
 
     #[test]
+    fn raw_string_spans_stay_exact_across_lines() {
+        // The raw string spans two lines; every token after it must carry
+        // the position it has in the source, not one skewed by the loop
+        // that consumes the literal.
+        let src = "let s = r#\"line one\nline two\"#; next_ident";
+        let lx = lex(src);
+        let raw = lx
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Lit)
+            .expect("raw literal token");
+        assert_eq!((raw.text.as_str(), raw.line, raw.col), ("\"raw\"", 1, 9));
+        let semi = lx.tokens.iter().find(|t| t.is_punct(";")).expect("semi");
+        assert_eq!((semi.line, semi.col), (2, 11));
+        let next = lx
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("next_ident"))
+            .expect("trailing ident");
+        assert_eq!((next.line, next.col), (2, 13));
+    }
+
+    #[test]
+    fn nested_block_comment_spans_stay_exact() {
+        // A nested `/* /* */ */` must close at the *outer* terminator and
+        // leave following tokens with exact positions.
+        let src = "x /* one /* two\nthree */ four */ y";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 1);
+        assert_eq!(lx.comments[0].line, 1);
+        assert_eq!(lx.comments[0].end_line, 2);
+        assert!(lx.comments[0].text.contains("four"));
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("three")));
+        let y = lx.tokens.iter().find(|t| t.is_ident("y")).expect("y");
+        assert_eq!((y.line, y.col), (2, 18));
+    }
+
+    #[test]
+    fn byte_string_spans_stay_exact() {
+        // `b"…"` lexes as one opaque literal (the `b` prefix is dropped);
+        // the escaped quote must not end the literal early, and the raw
+        // byte-string form `br#"…"#` must behave like `r#"…"#`.
+        let src = "let v = b\"ab\\\"cd\"; tail\nlet w = br#\"x\"#; after";
+        let lx = lex(src);
+        let lits: Vec<(&str, u32, u32)> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lit)
+            .map(|t| (t.text.as_str(), t.line, t.col))
+            .collect();
+        assert_eq!(lits, [("\"str\"", 1, 10), ("\"raw\"", 2, 9)]);
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("cd")));
+        let tail = lx.tokens.iter().find(|t| t.is_ident("tail")).expect("tail");
+        assert_eq!((tail.line, tail.col), (1, 20));
+        let after = lx
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after");
+        assert_eq!((after.line, after.col), (2, 18));
+    }
+
+    #[test]
     fn numbers_keep_fractions_together() {
         let lx = lex("let p = 0.5; for i in 0..10 {}");
         let lits: Vec<&str> = lx

@@ -34,6 +34,16 @@ pub enum Lint {
     P1,
     /// Malformed suppression comment (missing or empty reason).
     S0,
+    /// Allocation reachable from an evaluation hot root (interprocedural).
+    A1,
+    /// Blocking call reachable from a pool worker (interprocedural).
+    B1,
+    /// Float accumulation fed by hash/parallel order (interprocedural).
+    F1,
+    /// Mutation acked without passing the WAL (interprocedural).
+    W1,
+    /// Stale or malformed baseline entry.
+    B0,
 }
 
 impl Lint {
@@ -45,14 +55,20 @@ impl Lint {
             Lint::L1 => "L1",
             Lint::P1 => "P1",
             Lint::S0 => "S0",
+            Lint::A1 => "A1",
+            Lint::B1 => "B1",
+            Lint::F1 => "F1",
+            Lint::W1 => "W1",
+            Lint::B0 => "B0",
         }
     }
 
     /// Whether a finding of this lint fails the build by default. The
-    /// heuristic lints (D1, L1) warn by default and are promoted by
-    /// `--deny-all`; the mechanical ones (U1, P1, S0) always deny.
+    /// heuristic lints (D1, L1, A1, B1, F1) warn by default and are
+    /// promoted by `--deny-all`; the contract lints (U1, P1, S0, W1) and
+    /// baseline hygiene (B0) always deny.
     pub fn denies_by_default(self) -> bool {
-        matches!(self, Lint::U1 | Lint::P1 | Lint::S0)
+        matches!(self, Lint::U1 | Lint::P1 | Lint::S0 | Lint::W1 | Lint::B0)
     }
 }
 
@@ -69,6 +85,8 @@ pub struct RawFinding {
     pub col: u32,
     /// Human-readable description.
     pub message: String,
+    /// Baseline key (`fn site`), for findings the ratchet may grandfather.
+    pub key: Option<String>,
 }
 
 fn finding(lint: Lint, file: usize, sf: &SourceFile, tok: usize, message: String) -> RawFinding {
@@ -79,6 +97,7 @@ fn finding(lint: Lint, file: usize, sf: &SourceFile, tok: usize, message: String
         line: t.line,
         col: t.col,
         message,
+        key: None,
     }
 }
 
@@ -115,7 +134,7 @@ const OUTPUT_MACROS: &[&str] = &[
 /// this file (fields, lets, params). A file-local, name-based
 /// approximation: good enough because the workspace's own style keeps hash
 /// collections short-lived and locally named.
-fn hash_typed_names(sf: &SourceFile) -> BTreeSet<String> {
+pub(crate) fn hash_typed_names(sf: &SourceFile) -> BTreeSet<String> {
     let toks = sf.tokens();
     let mut names = BTreeSet::new();
     for (h, t) in toks.iter().enumerate() {
@@ -351,23 +370,23 @@ const BLOCKING_CALLS: &[&str] = &[
 ];
 
 /// One lock acquisition with its guard's live region.
-struct Acq {
+pub(crate) struct Acq {
     /// Crate-qualified lock name (`server::db`).
-    lock: String,
+    pub(crate) lock: String,
     /// Token index of the acquiring method/helper call.
-    site: usize,
+    pub(crate) site: usize,
     /// Token index where the guard is last live (inclusive).
-    end: usize,
+    pub(crate) end: usize,
     /// Enclosing function name.
-    func: String,
+    pub(crate) func: String,
     /// File index in the analyzed set.
-    file: usize,
+    pub(crate) file: usize,
 }
 
 /// Finds lock acquisitions in one file: `recv.lock()` / `.read()` /
 /// `.write()` with empty argument lists, plus the poison-recovering helper
 /// form `lock(&recv)` / `read(&recv)` / `write(&recv)`.
-fn find_acquisitions(sf: &SourceFile, file: usize) -> Vec<Acq> {
+pub(crate) fn find_acquisitions(sf: &SourceFile, file: usize) -> Vec<Acq> {
     let toks = sf.tokens();
     // Enclosing `{` for each token, for statement/block extent queries.
     let mut enclosing = vec![usize::MAX; toks.len()];
@@ -668,6 +687,7 @@ fn find_cycles<'a>(
                         canon[0],
                         locs.join("; ")
                     ),
+                    key: None,
                 });
             }
             continue;
@@ -773,8 +793,8 @@ fn lint_p1(sf: &SourceFile, file: usize, out: &mut Vec<RawFinding>) {
 pub struct LintOptions {
     /// Treat every file as request-path code for P1 (used by fixture
     /// tests; the CLI scopes P1 to `crates/server/src`,
-    /// `crates/store/src`, `crates/replica/src`, and
-    /// `crates/kernel/src`).
+    /// `crates/store/src`, `crates/replica/src`, `crates/kernel/src`,
+    /// and `crates/views/src`).
     pub p1_everywhere: bool,
 }
 
@@ -782,14 +802,17 @@ pub struct LintOptions {
 /// layer (a panic kills a pooled worker), the durability layer (a panic
 /// between apply and log leaves memory ahead of the WAL), the replication
 /// layer (a panic in the client thread silently stops a replica
-/// converging; one in the hub kills the publishing mutation), and the
+/// converging; one in the hub kills the publishing mutation), the
 /// evaluation kernel (flat programs run inside server workers and view
-/// refreshes; a malformed program must degrade to NaN, not panic).
+/// refreshes; a malformed program must degrade to NaN, not panic), and the
+/// view layer (view compilation and refresh run inside server mutations
+/// and pool jobs; a panic there poisons the service locks).
 pub fn p1_applies(path: &str) -> bool {
     path.contains("crates/server/src")
         || path.contains("crates/store/src")
         || path.contains("crates/replica/src")
         || path.contains("crates/kernel/src")
+        || path.contains("crates/views/src")
 }
 
 /// Runs all four lints over the analyzed set.

@@ -1,18 +1,27 @@
 //! `probdb-lint` — run the in-tree invariant lints over the workspace.
 //!
 //! ```text
-//! probdb-lint --workspace [--json] [--deny-all]
-//! probdb-lint [--json] [--deny-all] <file.rs|dir>...
+//! probdb-lint --workspace [--json] [--deny-all] [--stats]
+//! probdb-lint [--json] [--deny-all] [--baseline <file>] <file.rs|dir>...
 //! ```
+//!
+//! Under `--workspace`, the committed baseline at
+//! `crates/analyze/baseline.txt` is applied automatically when it exists;
+//! `--baseline <file>` selects one explicitly. `--stats` prints the
+//! call-graph summary line (files, functions, call sites, edges,
+//! resolution rate).
 //!
 //! Exit status: 0 when no denying finding survives suppression, 1 when one
 //! does, 2 on usage or I/O errors.
 
-use pdb_analyze::{analyze_sources, render_human, render_json, Options};
+use pdb_analyze::{analyze_sources, render_human, render_json, render_stats, Options};
 use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
-    eprintln!("usage: probdb-lint [--workspace] [--json] [--deny-all] [paths...]");
+    eprintln!(
+        "usage: probdb-lint [--workspace] [--json] [--deny-all] [--stats] \
+         [--baseline <file>] [--p1-everywhere] [--hot-everywhere] [paths...]"
+    );
     std::process::exit(2);
 }
 
@@ -60,14 +69,26 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 fn main() {
     let mut opts = Options::default();
     let mut json = false;
+    let mut stats = false;
     let mut workspace = false;
+    let mut baseline_arg: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--json" => json = true,
+            "--stats" => stats = true,
             "--deny-all" => opts.deny_all = true,
             "--p1-everywhere" => opts.p1_everywhere = true,
+            "--hot-everywhere" => opts.hot_everywhere = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("probdb-lint: --baseline needs a file argument");
+                    usage();
+                }
+            },
             "--help" | "-h" => usage(),
             a if a.starts_with('-') => {
                 eprintln!("probdb-lint: unknown flag {a}");
@@ -127,7 +148,37 @@ fn main() {
         }
     }
 
+    // Baseline: explicit flag wins; a workspace run picks up the committed
+    // file automatically when present.
+    let baseline_path = baseline_arg.or_else(|| {
+        if workspace {
+            let p = root.join("crates/analyze/baseline.txt");
+            p.is_file().then_some(p)
+        } else {
+            None
+        }
+    });
+    if let Some(bp) = baseline_path {
+        match std::fs::read_to_string(&bp) {
+            Ok(text) => {
+                let label = bp
+                    .strip_prefix(&root)
+                    .unwrap_or(&bp)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                opts.baseline = Some((label, text));
+            }
+            Err(e) => {
+                eprintln!("probdb-lint: cannot read baseline {}: {e}", bp.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
     let report = analyze_sources(&sources, &opts);
+    if stats {
+        println!("{}", render_stats(&report.stats));
+    }
     if json {
         println!("{}", render_json(&report));
     } else {

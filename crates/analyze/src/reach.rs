@@ -1,0 +1,324 @@
+//! Reachability queries over the call graph.
+//!
+//! Interprocedural lints phrase themselves as "is a *sink site* reachable
+//! from a *root function*?". Forward BFS from the roots records one parent
+//! pointer per reached function, so every finding can print a concrete
+//! call-path trace (`root → f (file:line) → g (file:line)`) rather than a
+//! bare "reachable". Reverse BFS answers the dual question — "can this
+//! function end up inside a worker closure?" — with a next-hop per function
+//! for the same reason.
+
+use crate::graph::{CallGraph, Resolution};
+use crate::model::SourceFile;
+use std::collections::VecDeque;
+
+/// How a function became reachable.
+#[derive(Clone, Debug)]
+pub enum Via {
+    /// It is a root; the string names the root spec (e.g. `FlatProgram::eval`).
+    Root(String),
+    /// Called from `parent` at `line` of the parent's file.
+    Call { parent: usize, line: u32 },
+}
+
+/// Forward reachability from a set of root functions.
+#[derive(Debug)]
+pub struct Reach {
+    /// `via[f]` is `Some` iff fn `f` is reachable.
+    pub via: Vec<Option<Via>>,
+}
+
+impl Reach {
+    /// BFS forward from `roots` (fn id, root label).
+    pub fn forward(graph: &CallGraph, roots: &[(usize, String)]) -> Reach {
+        let n = graph.symbols.fns.len();
+        let mut via: Vec<Option<Via>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        for (id, label) in roots {
+            if via[*id].is_none() {
+                via[*id] = Some(Via::Root(label.clone()));
+                queue.push_back(*id);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &(g, site) in &graph.callees[f] {
+                if via[g].is_none() {
+                    via[g] = Some(Via::Call {
+                        parent: f,
+                        line: graph.sites[site].line,
+                    });
+                    queue.push_back(g);
+                }
+            }
+        }
+        Reach { via }
+    }
+
+    /// Whether fn `f` is reachable.
+    pub fn reaches(&self, f: usize) -> bool {
+        self.via[f].is_some()
+    }
+
+    /// Renders `root → … → fns[f]` as a human-readable trace. Each hop
+    /// shows the *call site* (file:line in the caller) that introduced it.
+    pub fn trace(&self, graph: &CallGraph, files: &[SourceFile], f: usize) -> String {
+        let mut hops: Vec<String> = Vec::new();
+        let mut cur = f;
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            if guard > 256 {
+                hops.push("…".to_string());
+                break;
+            }
+            match &self.via[cur] {
+                None => break,
+                Some(Via::Root(label)) => {
+                    hops.push(format!("[root {label}]"));
+                    break;
+                }
+                Some(Via::Call { parent, line }) => {
+                    let info = &graph.symbols.fns[cur];
+                    let pfile = &files[graph.symbols.fns[*parent].file].path;
+                    hops.push(format!("{} ({pfile}:{line})", info.qual(files)));
+                    cur = *parent;
+                }
+            }
+        }
+        hops.reverse();
+        hops.join(" -> ")
+    }
+}
+
+/// Reverse reachability: which functions can *reach* one of `targets`.
+/// `next[f]` holds `(callee, line-of-call-in-f)` — the first hop of a path
+/// from `f` to a target — so traces can be printed forward.
+#[derive(Debug)]
+pub struct ReverseReach {
+    /// `next[f]` is `Some` iff fn `f` reaches a target. Targets map to
+    /// themselves with line 0.
+    pub next: Vec<Option<(usize, u32)>>,
+}
+
+impl ReverseReach {
+    /// BFS backward from `targets`.
+    pub fn backward(graph: &CallGraph, targets: &[usize]) -> ReverseReach {
+        let n = graph.symbols.fns.len();
+        let mut next: Vec<Option<(usize, u32)>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        for &t in targets {
+            if next[t].is_none() {
+                next[t] = Some((t, 0));
+                queue.push_back(t);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &(caller, site) in &graph.callers[f] {
+                if next[caller].is_none() {
+                    next[caller] = Some((f, graph.sites[site].line));
+                    queue.push_back(caller);
+                }
+            }
+        }
+        ReverseReach { next }
+    }
+
+    /// Whether fn `f` reaches a target.
+    pub fn reaches(&self, f: usize) -> bool {
+        self.next[f].is_some()
+    }
+
+    /// Renders `fns[f] → … → target` forward.
+    pub fn trace(&self, graph: &CallGraph, files: &[SourceFile], f: usize) -> String {
+        let mut hops: Vec<String> = Vec::new();
+        let mut cur = f;
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            if guard > 256 {
+                hops.push("…".to_string());
+                break;
+            }
+            let info = &graph.symbols.fns[cur];
+            match self.next[cur] {
+                None => break,
+                Some((n, _)) if n == cur => {
+                    hops.push(info.qual(files));
+                    break;
+                }
+                Some((n, line)) => {
+                    let file = &files[info.file].path;
+                    hops.push(format!("{} ({file}:{line})", info.qual(files)));
+                    cur = n;
+                }
+            }
+        }
+        hops.join(" -> ")
+    }
+}
+
+/// Resolves a root spec `(crate, fn-name-prefix-or-exact, self_type)` into
+/// fn ids with labels. `name` ending in `*` matches by prefix. `hot_everywhere`
+/// drops the crate filter (single-file fixtures have crate "probdb").
+pub fn find_roots(
+    graph: &CallGraph,
+    files: &[SourceFile],
+    specs: &[(&str, &str, Option<&str>)],
+    everywhere: bool,
+) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (id, f) in graph.symbols.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        for (krate, name, self_ty) in specs {
+            let crate_ok = everywhere || files[f.file].crate_name == *krate;
+            if !crate_ok {
+                continue;
+            }
+            let name_ok = match name.strip_suffix('*') {
+                Some(prefix) => f.name.starts_with(prefix),
+                None => f.name == *name,
+            };
+            if !name_ok {
+                continue;
+            }
+            if let Some(ty) = self_ty {
+                if f.self_type.as_deref() != Some(*ty) {
+                    continue;
+                }
+            }
+            out.push((id, f.qual(files)));
+            break;
+        }
+    }
+    out
+}
+
+/// Workspace fn ids whose name matches one of `names` in crate `krate`
+/// (crate filter dropped when `everywhere`).
+pub fn fns_named(
+    graph: &CallGraph,
+    files: &[SourceFile],
+    krate: &str,
+    names: &[&str],
+    everywhere: bool,
+) -> Vec<usize> {
+    graph
+        .symbols
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            !f.in_test
+                && names.contains(&f.name.as_str())
+                && (everywhere || files[f.file].crate_name == krate)
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// All call sites in fn `caller` that resolved to workspace fn ids
+/// accepted by `pred`, as `(site index, callee id)`.
+pub fn calls_from(
+    graph: &CallGraph,
+    caller: usize,
+    pred: impl Fn(usize) -> bool,
+) -> Vec<(usize, usize)> {
+    graph.callees[caller]
+        .iter()
+        .filter(|&&(g, _)| pred(g))
+        .map(|&(g, site)| (site, g))
+        .collect()
+}
+
+/// Convenience: the workspace fn a site resolved to, if any.
+pub fn workspace_target(graph: &CallGraph, site: usize) -> Option<usize> {
+    match graph.sites[site].resolution {
+        Resolution::Workspace(id) => Some(id),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build;
+
+    fn setup(src: &str) -> (Vec<SourceFile>, CallGraph) {
+        let files = vec![SourceFile::parse("crates/a/src/lib.rs", src)];
+        let g = build(&files);
+        (files, g)
+    }
+
+    fn id_of(g: &CallGraph, name: &str) -> usize {
+        g.symbols
+            .fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn forward_reach_and_trace() {
+        let (files, g) =
+            setup("fn leaf() {}\nfn mid() { leaf(); }\nfn root() { mid(); }\nfn other() {}\n");
+        let roots = vec![(id_of(&g, "root"), "root".to_string())];
+        let r = Reach::forward(&g, &roots);
+        assert!(r.reaches(id_of(&g, "leaf")));
+        assert!(!r.reaches(id_of(&g, "other")));
+        let trace = r.trace(&g, &files, id_of(&g, "leaf"));
+        assert!(trace.contains("[root root]"), "{trace}");
+        assert!(trace.contains("mid"), "{trace}");
+        assert!(trace.contains("leaf"), "{trace}");
+    }
+
+    #[test]
+    fn reverse_reach_finds_callers() {
+        let (files, g) =
+            setup("fn sink() {}\nfn a() { sink(); }\nfn b() { a(); }\nfn unrelated() {}\n");
+        let rr = ReverseReach::backward(&g, &[id_of(&g, "sink")]);
+        assert!(rr.reaches(id_of(&g, "b")));
+        assert!(!rr.reaches(id_of(&g, "unrelated")));
+        let trace = rr.trace(&g, &files, id_of(&g, "b"));
+        assert!(trace.contains("b"), "{trace}");
+        assert!(trace.contains("sink"), "{trace}");
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let (_files, g) = setup("fn ping() { pong(); }\nfn pong() { ping(); }\n");
+        let roots = vec![(id_of(&g, "ping"), "ping".to_string())];
+        let r = Reach::forward(&g, &roots);
+        assert!(r.reaches(id_of(&g, "pong")));
+    }
+
+    #[test]
+    fn root_specs_match_prefix_and_type() {
+        let src = "pub struct FlatProgram;\n\
+                   impl FlatProgram { pub fn eval(&self) {} pub fn eval_batch(&self) {} }\n\
+                   pub fn eval_free() {}\n";
+        let files = vec![SourceFile::parse("crates/kernel/src/lib.rs", src)];
+        let g = build(&files);
+        let roots = find_roots(
+            &g,
+            &files,
+            &[("kernel", "eval*", Some("FlatProgram"))],
+            false,
+        );
+        assert_eq!(roots.len(), 2, "{roots:?}");
+        let none = find_roots(&g, &files, &[("wmc", "eval*", None)], false);
+        assert!(none.is_empty());
+        let all = find_roots(&g, &files, &[("wmc", "eval*", None)], true);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn test_fns_are_never_roots() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn eval_helper() {}\n}\npub fn eval() {}\n";
+        let files = vec![SourceFile::parse("crates/kernel/src/lib.rs", src)];
+        let g = build(&files);
+        let roots = find_roots(&g, &files, &[("kernel", "eval*", None)], false);
+        assert_eq!(roots.len(), 1, "{roots:?}");
+    }
+}

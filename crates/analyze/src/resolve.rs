@@ -1,0 +1,402 @@
+//! Workspace-wide symbol table: every `fn` item with its impl-block type
+//! association and `self` parameter, per-file `use` import maps, and the
+//! crate/module namespace the call-graph resolver (`graph`) matches
+//! qualified paths against.
+//!
+//! The table is built from the token stream alone (no AST): `impl` headers
+//! are parsed by tracking angle-bracket depth, `use` trees by a small
+//! recursive-descent walk. Crate names are normalized between their two
+//! spellings — the directory name (`wmc`) and the lib name (`pdb_wmc`) —
+//! so `pdb_wmc::solve` resolves into `crates/wmc/`.
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `fn` item, workspace-wide.
+#[derive(Clone, Debug)]
+pub struct FnInfo {
+    /// Index of the file in the analyzed set.
+    pub file: usize,
+    /// The function's name.
+    pub name: String,
+    /// The `impl` block's type, for associated functions and methods.
+    pub self_type: Option<String>,
+    /// True when the first parameter is (a borrow of) `self`.
+    pub has_self: bool,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token range `(open, close)` of the body braces, when present.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the function lives inside a test region.
+    pub in_test: bool,
+}
+
+impl FnInfo {
+    /// `crate::Type::name` / `crate::name`, for traces and reports.
+    pub fn qual(&self, files: &[SourceFile]) -> String {
+        let krate = &files[self.file].crate_name;
+        match &self.self_type {
+            Some(t) => format!("{krate}::{t}::{}", self.name),
+            None => format!("{krate}::{}", self.name),
+        }
+    }
+}
+
+/// The workspace symbol table.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every function item, in (file, token) order.
+    pub fns: Vec<FnInfo>,
+    /// Function name → ids, for candidate lookup.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Types that have at least one `impl` block in the workspace.
+    pub impl_types: BTreeSet<String>,
+    /// Normalized crate directory names (`wmc`, `par`, `probdb`, …).
+    pub crates: BTreeSet<String>,
+    /// Module names: file stems of the analyzed set.
+    pub modules: BTreeSet<String>,
+    /// Per-file import map: local name → full path segments.
+    pub imports: Vec<BTreeMap<String, Vec<String>>>,
+}
+
+/// Strips the repo's lib-name prefix so `pdb_wmc` and `wmc` compare equal.
+pub fn norm_crate(seg: &str) -> &str {
+    seg.strip_prefix("pdb_").unwrap_or(seg)
+}
+
+/// `impl` blocks in one file: `(type name, body open, body close)`.
+///
+/// The type is the last angle-depth-0 identifier before the body brace
+/// (after `for`, when present), which handles `impl Foo`, `impl<T> Foo<T>`,
+/// `impl Trait for Foo`, and `impl std::fmt::Debug for Foo`; a `where`
+/// clause ends the scan so its bound names are not mistaken for the type.
+fn impl_blocks(sf: &SourceFile) -> Vec<(String, usize, usize)> {
+    let toks = sf.tokens();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut angle = 0i32;
+        let mut last_type: Option<String> = None;
+        let mut in_where = false;
+        let mut j = i + 1;
+        let mut open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if angle == 0 && t.is_punct("{") {
+                open = Some(j);
+                break;
+            }
+            if angle == 0 && t.is_punct(";") {
+                break;
+            }
+            match t.text.as_str() {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                _ => {}
+            }
+            if angle == 0 && t.kind == TokKind::Ident && !in_where {
+                match t.text.as_str() {
+                    // Bound names in a `where` clause are not the type; keep
+                    // scanning for the body brace without recording them.
+                    "where" => in_where = true,
+                    "for" => last_type = None,
+                    "dyn" | "mut" | "const" | "unsafe" | "as" => {}
+                    _ => last_type = Some(t.text.clone()),
+                }
+            }
+            j += 1;
+        }
+        if let (Some(ty), Some(open)) = (last_type, open) {
+            if let Some(close) = sf.lexed.match_of(open) {
+                out.push((ty, open, close));
+            }
+        }
+        i = j.max(i) + 1;
+    }
+    out
+}
+
+/// Whether the parameter list opening at `open` starts with (a borrow of)
+/// `self`.
+fn params_take_self(sf: &SourceFile, open: usize) -> bool {
+    let toks = sf.tokens();
+    let mut k = open + 1;
+    while toks
+        .get(k)
+        .is_some_and(|t| t.is_punct("&") || t.is_ident("mut") || t.kind == TokKind::Lifetime)
+    {
+        k += 1;
+    }
+    toks.get(k).is_some_and(|t| t.is_ident("self"))
+}
+
+/// Finds every `fn` item with its token position, body, and `self` flag.
+fn scan_fns(sf: &SourceFile, file: usize, out: &mut Vec<FnInfo>) {
+    let toks = sf.tokens();
+    let lexed = &sf.lexed;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Walk the signature: the first `(` is the parameter list (generic
+        // params sit inside `<…>`, which the angle counter skips), the
+        // first depth-0 `{` is the body, a depth-0 `;` ends a bodyless
+        // declaration.
+        let mut body = None;
+        let mut has_self = false;
+        let mut seen_params = false;
+        let mut angle = 0i32;
+        let mut k = i + 2;
+        while k < toks.len() {
+            let t = &toks[k];
+            match t.text.as_str() {
+                "<" if t.kind == TokKind::Punct => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                _ => {}
+            }
+            if t.is_punct("(") || t.is_punct("[") {
+                if !seen_params && t.is_punct("(") && angle == 0 {
+                    seen_params = true;
+                    has_self = params_take_self(sf, k);
+                }
+                if let Some(c) = lexed.match_of(k) {
+                    k = c;
+                }
+            } else if t.is_punct("{") && angle == 0 {
+                body = lexed.match_of(k).map(|c| (k, c));
+                break;
+            } else if t.is_punct(";") && angle == 0 {
+                break;
+            }
+            k += 1;
+        }
+        out.push(FnInfo {
+            file,
+            name: name_tok.text.clone(),
+            self_type: None, // filled by the impl pass below
+            has_self,
+            fn_tok: i,
+            body,
+            line: toks[i].line,
+            in_test: sf.in_test(i),
+        });
+        i += 2;
+    }
+}
+
+/// Parses one file's `use` declarations into `local name → path segments`.
+/// Grouped trees (`use a::{b, c::d}`) and `as` renames are handled; glob
+/// imports are skipped (nothing to name).
+fn parse_imports(sf: &SourceFile) -> BTreeMap<String, Vec<String>> {
+    let toks = sf.tokens();
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            let mut j = i + 1;
+            parse_use_tree(sf, &mut j, &mut Vec::new(), &mut out, 0);
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_use_tree(
+    sf: &SourceFile,
+    j: &mut usize,
+    prefix: &mut Vec<String>,
+    out: &mut BTreeMap<String, Vec<String>>,
+    depth: usize,
+) {
+    if depth > 8 {
+        return;
+    }
+    let toks = sf.tokens();
+    let base_len = prefix.len();
+    while *j < toks.len() {
+        let t = &toks[*j];
+        if t.kind == TokKind::Ident && t.text != "as" {
+            prefix.push(t.text.clone());
+            *j += 1;
+            if toks.get(*j).is_some_and(|t| t.is_punct("::")) {
+                *j += 1;
+                continue;
+            }
+        } else if t.is_punct("{") {
+            let close = sf.lexed.match_of(*j).unwrap_or(toks.len() - 1);
+            *j += 1;
+            while *j < close {
+                parse_use_tree(sf, j, prefix, out, depth + 1);
+                if toks.get(*j).is_some_and(|t| t.is_punct(",")) {
+                    *j += 1;
+                }
+            }
+            *j = close + 1;
+            prefix.truncate(base_len);
+            return;
+        } else if t.is_punct("*") {
+            *j += 1; // glob: nothing to record
+            prefix.truncate(base_len);
+            return;
+        }
+        // End of one leaf: optional `as` rename, then record it.
+        let mut local = prefix.last().cloned();
+        if toks.get(*j).is_some_and(|t| t.is_ident("as")) {
+            if let Some(name) = toks.get(*j + 1).filter(|t| t.kind == TokKind::Ident) {
+                local = Some(name.text.clone());
+                *j += 2;
+            }
+        }
+        if let Some(name) = local {
+            if prefix.len() > 1 || depth > 0 {
+                out.insert(name, prefix.clone());
+            }
+        }
+        prefix.truncate(base_len);
+        return;
+    }
+}
+
+/// Builds the symbol table for the analyzed set.
+pub fn build_symbols(files: &[SourceFile]) -> SymbolTable {
+    let mut table = SymbolTable::default();
+    for (fi, sf) in files.iter().enumerate() {
+        table.crates.insert(norm_crate(&sf.crate_name).to_string());
+        if let Some(stem) = sf
+            .path
+            .rsplit('/')
+            .next()
+            .and_then(|n| n.strip_suffix(".rs"))
+        {
+            table.modules.insert(stem.to_string());
+        }
+        let first = table.fns.len();
+        scan_fns(sf, fi, &mut table.fns);
+        // Impl association: a fn belongs to the innermost impl body that
+        // contains its `fn` keyword — unless another fn's body does too
+        // (a nested helper fn inside a method is free, not associated).
+        let impls = impl_blocks(sf);
+        let spans: Vec<(usize, usize)> = table.fns[first..].iter().filter_map(|f| f.body).collect();
+        for f in &mut table.fns[first..] {
+            let nested = spans
+                .iter()
+                .any(|&(a, b)| a < f.fn_tok && f.fn_tok < b && f.body != Some((a, b)));
+            if nested {
+                continue;
+            }
+            f.self_type = impls
+                .iter()
+                .filter(|&&(_, open, close)| open < f.fn_tok && f.fn_tok < close)
+                .max_by_key(|&&(_, open, _)| open)
+                .map(|(ty, _, _)| ty.clone());
+        }
+        for (ty, _, _) in &impls {
+            table.impl_types.insert(ty.clone());
+        }
+        table.imports.push(parse_imports(sf));
+    }
+    for (id, f) in table.fns.iter().enumerate() {
+        table.by_name.entry(f.name.clone()).or_default().push(id);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> (Vec<SourceFile>, SymbolTable) {
+        let files = vec![SourceFile::parse("crates/demo/src/lib.rs", src)];
+        let t = build_symbols(&files);
+        (files, t)
+    }
+
+    #[test]
+    fn impl_association_and_self_detection() {
+        let src = "pub struct Pool;\nimpl Pool {\n  pub fn new(n: usize) -> Pool { Pool }\n  fn wait(&self) {}\n}\nimpl std::fmt::Debug for Pool { fn fmt(&self, f: &mut F) -> R { ok() }\n}\nfn free(x: u32) {}\n";
+        let (_files, t) = table(src);
+        let get = |n: &str| {
+            let id = t.by_name[n][0];
+            &t.fns[id]
+        };
+        assert_eq!(get("new").self_type.as_deref(), Some("Pool"));
+        assert!(!get("new").has_self);
+        assert_eq!(get("wait").self_type.as_deref(), Some("Pool"));
+        assert!(get("wait").has_self);
+        assert_eq!(get("fmt").self_type.as_deref(), Some("Pool"));
+        assert_eq!(get("free").self_type, None);
+        assert!(t.impl_types.contains("Pool"));
+    }
+
+    #[test]
+    fn generic_impl_headers_and_where_clauses() {
+        let src =
+            "impl<T: Send> Holder<T> where T: Clone {\n  fn get(&self) -> &T { &self.0 }\n}\n";
+        let (_files, t) = table(src);
+        let id = t.by_name["get"][0];
+        assert_eq!(t.fns[id].self_type.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn nested_fns_are_free() {
+        let src = "impl W {\n  fn outer(&self) { fn inner(x: u32) -> u32 { x } inner(1); }\n}\n";
+        let (_files, t) = table(src);
+        let outer = &t.fns[t.by_name["outer"][0]];
+        let inner = &t.fns[t.by_name["inner"][0]];
+        assert_eq!(outer.self_type.as_deref(), Some("W"));
+        assert_eq!(inner.self_type, None);
+    }
+
+    #[test]
+    fn use_trees_record_renames_and_groups() {
+        let src = "use std::collections::{HashMap, BTreeMap as Tree};\nuse pdb_wmc::solve;\nuse crate::util::*;\n";
+        let (_files, t) = table(src);
+        let imp = &t.imports[0];
+        assert_eq!(
+            imp.get("HashMap"),
+            Some(&vec![
+                "std".to_string(),
+                "collections".to_string(),
+                "HashMap".to_string()
+            ])
+        );
+        assert_eq!(
+            imp.get("Tree"),
+            Some(&vec![
+                "std".to_string(),
+                "collections".to_string(),
+                "BTreeMap".to_string()
+            ])
+        );
+        assert_eq!(
+            imp.get("solve"),
+            Some(&vec!["pdb_wmc".to_string(), "solve".to_string()])
+        );
+        assert!(!imp.contains_key("*"));
+    }
+
+    #[test]
+    fn crate_name_normalization() {
+        assert_eq!(norm_crate("pdb_wmc"), "wmc");
+        assert_eq!(norm_crate("wmc"), "wmc");
+        assert_eq!(norm_crate("probdb"), "probdb");
+    }
+}

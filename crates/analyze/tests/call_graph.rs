@@ -1,0 +1,162 @@
+//! Integration tests of the call-graph resolver across multiple files:
+//! free functions imported across crates, methods resolved through typed
+//! receivers, deliberate ambiguity, and the aggregate resolution rate.
+
+use pdb_analyze::graph::{self, CallGraph, Resolution};
+use pdb_analyze::model::SourceFile;
+
+fn build(files: &[(&str, &str)]) -> CallGraph {
+    let parsed: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+    graph::build(&parsed)
+}
+
+fn resolution_of<'g>(g: &'g CallGraph, name: &str) -> &'g Resolution {
+    &g.sites
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no call site named `{name}`"))
+        .resolution
+}
+
+#[test]
+fn free_fn_resolves_across_crates_through_use() {
+    let g = build(&[
+        (
+            "crates/wmc/src/lib.rs",
+            "pub fn solve_exact(n: u32) -> u32 { n }\n",
+        ),
+        (
+            "crates/server/src/lib.rs",
+            "use pdb_wmc::solve_exact;\n\
+             pub fn answer(n: u32) -> u32 { solve_exact(n) }\n",
+        ),
+    ]);
+    match resolution_of(&g, "solve_exact") {
+        Resolution::Workspace(id) => {
+            assert_eq!(g.symbols.fns[*id].name, "solve_exact");
+        }
+        other => panic!("expected Workspace, got {other:?}"),
+    }
+}
+
+#[test]
+fn method_resolves_through_typed_receiver_across_files() {
+    let g = build(&[
+        (
+            "crates/views/src/manager.rs",
+            "pub struct ViewManager;\n\
+             impl ViewManager { pub fn refresh_all(&mut self) {} }\n",
+        ),
+        (
+            "crates/server/src/lib.rs",
+            "use pdb_views::ViewManager;\n\
+             pub fn tick(mgr: &mut ViewManager) { mgr.refresh_all(); }\n",
+        ),
+    ]);
+    match resolution_of(&g, "refresh_all") {
+        Resolution::Workspace(id) => {
+            let f = &g.symbols.fns[*id];
+            assert_eq!(f.self_type.as_deref(), Some("ViewManager"));
+        }
+        other => panic!("expected Workspace, got {other:?}"),
+    }
+}
+
+#[test]
+fn same_name_two_self_types_without_type_evidence_is_ambiguous() {
+    // The receiver's type is not inferable (`acquire` is opaque), and two
+    // workspace impls define `replay` — neither may be claimed.
+    let g = build(&[(
+        "crates/a/src/lib.rs",
+        "pub struct Wal;\nimpl Wal { pub fn replay(&self) {} }\n\
+             pub struct Log;\nimpl Log { pub fn replay(&self) {} }\n\
+             pub fn go() { let x = acquire(); x.replay(); }\n",
+    )]);
+    assert_eq!(resolution_of(&g, "replay"), &Resolution::Ambiguous);
+}
+
+#[test]
+fn common_std_method_names_stay_external() {
+    // `lock`, `unwrap`, `send` exist in the workspace too, but without
+    // receiver-type evidence the resolver must not claim std calls.
+    let g = build(&[
+        (
+            "crates/a/src/lib.rs",
+            "pub struct Pool;\nimpl Pool { pub fn send(&self) {} }\n",
+        ),
+        (
+            "crates/b/src/lib.rs",
+            "pub fn go(tx: &Sender<u32>) { tx.send(1).unwrap(); }\n",
+        ),
+    ]);
+    assert_eq!(resolution_of(&g, "send"), &Resolution::External);
+    assert_eq!(resolution_of(&g, "unwrap"), &Resolution::External);
+}
+
+#[test]
+fn guard_receiver_peels_to_protected_type() {
+    // A `Mutex<ViewManager>` field: calling through the locked guard must
+    // resolve the method on the protected type, not stop at `Mutex`.
+    let g = build(&[
+        (
+            "crates/views/src/lib.rs",
+            "pub struct ViewManager;\n\
+             impl ViewManager { pub fn create_view(&mut self) {} }\n",
+        ),
+        (
+            "crates/server/src/lib.rs",
+            "use std::sync::Mutex;\nuse pdb_views::ViewManager;\n\
+             pub struct Svc { views: Mutex<ViewManager> }\n\
+             impl Svc {\n\
+                 pub fn run(&self) {\n\
+                     let mut views = self.views.lock().unwrap();\n\
+                     views.create_view();\n\
+                 }\n\
+             }\n",
+        ),
+    ]);
+    match resolution_of(&g, "create_view") {
+        Resolution::Workspace(id) => {
+            let f = &g.symbols.fns[*id];
+            assert_eq!(f.self_type.as_deref(), Some("ViewManager"));
+        }
+        other => panic!("expected Workspace, got {other:?}"),
+    }
+}
+
+#[test]
+fn caller_and_callee_edges_are_symmetric() {
+    let g = build(&[(
+        "crates/a/src/lib.rs",
+        "pub fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+    )]);
+    let id_of = |name: &str| {
+        g.symbols
+            .fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn `{name}`"))
+    };
+    let (top, mid, leaf) = (id_of("top"), id_of("mid"), id_of("leaf"));
+    assert!(g.callees[top].iter().any(|&(callee, _)| callee == mid));
+    assert!(g.callees[mid].iter().any(|&(callee, _)| callee == leaf));
+    assert!(g.callers[mid].iter().any(|&(caller, _)| caller == top));
+    assert!(g.callers[leaf].iter().any(|&(caller, _)| caller == mid));
+    assert_eq!(g.stats.edges, 2);
+}
+
+#[test]
+fn resolution_rate_counts_only_ambiguous_as_unresolved() {
+    let g = build(&[(
+        "crates/a/src/lib.rs",
+        "pub struct X;\nimpl X { pub fn hit(&self) {} }\n\
+         pub struct Y;\nimpl Y { pub fn hit(&self) {} }\n\
+         pub fn go() { let u = acquire(); known(); u.hit(); }\n\
+         pub fn known() {}\n",
+    )]);
+    // `acquire` -> External, `known` -> Workspace (both count as
+    // resolved); `hit` -> Ambiguous (two candidates, untyped receiver).
+    assert_eq!(g.stats.call_sites, 3);
+    assert_eq!(g.stats.resolved, 2);
+    assert!((g.stats.resolution_rate() - 2.0 / 3.0).abs() < 1e-9);
+}

@@ -1,0 +1,20 @@
+//! Known-bad fixture for A1: a hot root (`eval`) reaches a helper that
+//! allocates on every call. The allocation is one hop away from the root,
+//! so the finding must carry an interprocedural trace.
+
+pub fn eval(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += widen(x);
+    }
+    acc
+}
+
+fn widen(x: f64) -> f64 {
+    let lanes = vec![x; 4];
+    let mut total = 0.0;
+    for l in &lanes {
+        total += *l;
+    }
+    total
+}

@@ -1,0 +1,17 @@
+//! Known-clean fixture for A1: the hot root (`eval`) only amortizes into a
+//! caller-owned buffer (`.push` is deliberately not an allocation shape),
+//! and the fn that *does* allocate is setup code unreachable from any root.
+
+pub fn eval(xs: &[f64], out: &mut Vec<f64>) {
+    for &x in xs {
+        out.push(x * 0.5);
+    }
+}
+
+pub fn build_table(n: usize) -> Vec<f64> {
+    let mut table = Vec::with_capacity(n);
+    for i in 0..n {
+        table.push(i as f64);
+    }
+    table
+}

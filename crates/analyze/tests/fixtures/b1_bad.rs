@@ -1,0 +1,16 @@
+//! Known-bad fixture for B1: the worker entry point (`worker_loop`)
+//! reaches a helper that parks on a mutex. The block is one hop away, so
+//! the finding must carry an interprocedural trace.
+
+use std::sync::Mutex;
+
+pub fn worker_loop(counter: &Mutex<u64>, rounds: u32) {
+    for _ in 0..rounds {
+        bump(counter);
+    }
+}
+
+fn bump(counter: &Mutex<u64>) {
+    let mut guard = counter.lock().unwrap();
+    *guard += 1;
+}

@@ -1,0 +1,21 @@
+//! Known-clean fixture for B1: the worker entry point stays compute-only;
+//! the fn that does block is unreachable from any worker root.
+
+use std::sync::Mutex;
+
+pub fn worker_loop(xs: &mut [u64], rounds: u32) {
+    for _ in 0..rounds {
+        for x in xs.iter_mut() {
+            *x = bump(*x);
+        }
+    }
+}
+
+fn bump(x: u64) -> u64 {
+    x.wrapping_add(1)
+}
+
+pub fn checkpoint(counter: &Mutex<u64>) -> u64 {
+    let guard = counter.lock().unwrap();
+    *guard
+}

@@ -1,0 +1,17 @@
+//! Known-bad fixture for F1: a hash-ordered loop calls a helper that
+//! accumulates into an `f64`. FP addition does not commute with rounding,
+//! so the sum depends on the hash seed.
+
+use std::collections::HashMap;
+
+pub fn total(probs: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, p) in probs.iter() {
+        accumulate(&mut acc, *p);
+    }
+    acc
+}
+
+fn accumulate(acc: &mut f64, p: f64) {
+    *acc += p;
+}

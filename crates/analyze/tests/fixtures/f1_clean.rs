@@ -1,0 +1,17 @@
+//! Known-clean fixture for F1: the same accumulation, but over a
+//! `BTreeMap` — iteration order is the key order, independent of any hash
+//! seed, so the operand order of the FP sum is deterministic.
+
+use std::collections::BTreeMap;
+
+pub fn total(probs: &BTreeMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, p) in probs.iter() {
+        accumulate(&mut acc, *p);
+    }
+    acc
+}
+
+fn accumulate(acc: &mut f64, p: f64) {
+    *acc += p;
+}

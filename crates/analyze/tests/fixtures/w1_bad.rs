@@ -1,0 +1,22 @@
+//! Known-bad fixture for W1: the protocol handler mutates served state
+//! (`db.update_prob`) and replies without a WAL append in between — an
+//! acked mutation that missed the WAL is lost on crash.
+
+pub struct Db {
+    rows: Vec<(u32, f64)>,
+}
+
+impl Db {
+    pub fn update_prob(&mut self, id: u32, p: f64) {
+        for row in self.rows.iter_mut() {
+            if row.0 == id {
+                row.1 = p;
+            }
+        }
+    }
+}
+
+pub fn handle_command(db: &mut Db, id: u32, p: f64) -> &'static str {
+    db.update_prob(id, p);
+    "ok"
+}

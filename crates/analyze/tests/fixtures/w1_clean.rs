@@ -1,0 +1,27 @@
+//! Known-clean fixture for W1: the same mutation, but a `log_mutation`
+//! call sits between the mutation and the reply, so the ack implies the
+//! WAL record exists.
+
+pub struct Db {
+    rows: Vec<(u32, f64)>,
+}
+
+impl Db {
+    pub fn update_prob(&mut self, id: u32, p: f64) {
+        for row in self.rows.iter_mut() {
+            if row.0 == id {
+                row.1 = p;
+            }
+        }
+    }
+}
+
+pub fn handle_command(db: &mut Db, wal: &mut Vec<u32>, id: u32, p: f64) -> &'static str {
+    db.update_prob(id, p);
+    log_mutation(wal, id);
+    "ok"
+}
+
+fn log_mutation(wal: &mut Vec<u32>, id: u32) {
+    wal.push(id);
+}

@@ -114,6 +114,107 @@ fn suppression_with_reason_waives_the_finding() {
 }
 
 #[test]
+fn a1_bad_traces_allocation_to_hot_root() {
+    let (json, code) = lint_fixture("a1_bad.rs", &["--hot-everywhere"]);
+    assert_eq!(code, 1, "{json}");
+    assert!(json.contains("\"lint\":\"A1\""), "{json}");
+    assert!(
+        json.contains("`vec!` allocates inside `fn widen`"),
+        "{json}"
+    );
+    // The allocation is one hop from the root: the trace must show the hop.
+    assert!(json.contains("::eval] -> "), "{json}");
+    assert!(json.contains("::widen ("), "{json}");
+}
+
+#[test]
+fn a1_clean_amortized_push_and_cold_setup_pass() {
+    let (json, code) = lint_fixture("a1_clean.rs", &["--hot-everywhere"]);
+    assert_eq!(code, 0, "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+}
+
+#[test]
+fn b1_bad_traces_block_to_worker_root() {
+    let (json, code) = lint_fixture("b1_bad.rs", &["--hot-everywhere"]);
+    assert_eq!(code, 1, "{json}");
+    assert!(json.contains("\"lint\":\"B1\""), "{json}");
+    assert!(
+        json.contains("`counter.lock()` blocks inside `fn bump`"),
+        "{json}"
+    );
+    assert!(json.contains("::worker_loop] -> "), "{json}");
+    assert!(json.contains("::bump ("), "{json}");
+}
+
+#[test]
+fn b1_clean_compute_only_worker_passes() {
+    let (json, code) = lint_fixture("b1_clean.rs", &["--hot-everywhere"]);
+    assert_eq!(code, 0, "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+}
+
+#[test]
+fn f1_bad_flags_hash_loop_reaching_float_accumulator() {
+    let (json, code) = lint_fixture("f1_bad.rs", &["--hot-everywhere"]);
+    assert_eq!(code, 1, "{json}");
+    assert!(json.contains("\"lint\":\"F1\""), "{json}");
+    assert!(
+        json.contains("hash-ordered iteration over `probs`"),
+        "{json}"
+    );
+    assert!(
+        json.contains("reaches floating-point accumulation"),
+        "{json}"
+    );
+}
+
+#[test]
+fn f1_clean_sorted_iteration_passes() {
+    let (json, code) = lint_fixture("f1_clean.rs", &["--hot-everywhere"]);
+    assert_eq!(code, 0, "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+}
+
+#[test]
+fn w1_bad_flags_unlogged_mutation_before_ack() {
+    let (json, code) = lint_fixture("w1_bad.rs", &["--hot-everywhere"]);
+    assert_eq!(code, 1, "{json}");
+    assert!(json.contains("\"lint\":\"W1\""), "{json}");
+    assert!(
+        json.contains("mutation `update_prob` in `fn handle_command`"),
+        "{json}"
+    );
+    assert!(json.contains("no WAL append"), "{json}");
+}
+
+#[test]
+fn w1_clean_logged_mutation_passes() {
+    let (json, code) = lint_fixture("w1_clean.rs", &["--hot-everywhere"]);
+    assert_eq!(code, 0, "{json}");
+    assert!(json.contains("\"findings\":[]"), "{json}");
+}
+
+#[test]
+fn interproc_fixtures_resolve_every_call_site() {
+    // The fixtures exercise free-fn, method, and cross-fn resolution; all
+    // of their call sites must resolve (the workspace floor is 80%).
+    for name in [
+        "a1_bad.rs",
+        "b1_bad.rs",
+        "f1_bad.rs",
+        "w1_bad.rs",
+        "w1_clean.rs",
+    ] {
+        let (json, _) = lint_fixture(name, &["--hot-everywhere"]);
+        assert!(
+            json.contains("\"resolution_rate\":1.0000"),
+            "{name}: {json}"
+        );
+    }
+}
+
+#[test]
 fn workspace_is_lint_clean() {
     // The self-test: every invariant the linter encodes holds on the
     // workspace's own sources, with warnings promoted to errors — the same

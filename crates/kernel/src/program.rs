@@ -255,6 +255,27 @@ pub struct FlatProgram {
 }
 
 impl FlatProgram {
+    /// A single-node constant program (`len() == 1`, the constant is the
+    /// root). Infallible — the degenerate shape cannot violate the
+    /// builder's child-ordering invariant — so callers on the no-panic
+    /// surface can degrade to it instead of `expect`ing a `finish`.
+    pub fn constant(value: bool) -> FlatProgram {
+        let op = if value {
+            OpTag::ConstTrue
+        } else {
+            OpTag::ConstFalse
+        };
+        FlatProgram {
+            ops: vec![op],
+            a: vec![0],
+            b: vec![0],
+            c: vec![0],
+            children: Vec::new(),
+            vars: Vec::new(),
+            num_vars: 0,
+        }
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.ops.len()

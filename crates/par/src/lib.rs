@@ -93,6 +93,13 @@ struct Shared {
     /// One deque per worker plus a trailing submission inbox for
     /// non-worker threads. Owners pop the back; thieves pop the front.
     queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Fire-and-forget jobs ([`Pool::spawn_detached`]). Kept out of the
+    /// work-stealing deques on purpose: only idle workers pop here, never
+    /// a thread helping inside [`Pool::wait`]. A waiter that picked up a
+    /// detached job (e.g. a background checkpoint) while its caller holds
+    /// engine locks could re-enter those locks and deadlock — detached
+    /// work has no latch, so nothing would ever unblock it.
+    detached: Mutex<VecDeque<Job>>,
     sleep: Mutex<()>,
     wake: Condvar,
     shutdown: AtomicBool,
@@ -108,8 +115,16 @@ impl Shared {
         self.wake.notify_one();
     }
 
+    fn push_detached(&self, job: Job) {
+        self.detached.lock().unwrap().push_back(job);
+        let _guard = self.sleep.lock().unwrap();
+        self.wake.notify_one();
+    }
+
     /// Pop from our own queue's back, else steal from the fronts of the
     /// others, scanning round-robin from our right-hand neighbour.
+    /// Structured work only — detached jobs are reserved for idle workers
+    /// (see [`Shared::detached`]).
     fn try_pop(&self, home: usize) -> Option<Job> {
         if let Some(job) = self.queues[home].lock().unwrap().pop_back() {
             return Some(job);
@@ -125,8 +140,13 @@ impl Shared {
         None
     }
 
+    fn try_pop_detached(&self) -> Option<Job> {
+        self.detached.lock().unwrap().pop_front()
+    }
+
     fn has_jobs(&self) -> bool {
         self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+            || !self.detached.lock().unwrap().is_empty()
     }
 }
 
@@ -279,6 +299,7 @@ impl Pool {
             queues: (0..workers + 1)
                 .map(|_| Mutex::new(VecDeque::new()))
                 .collect(),
+            detached: Mutex::new(VecDeque::new()),
             sleep: Mutex::new(()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -510,6 +531,12 @@ impl Pool {
     /// Panics inside `f` are caught and swallowed — there is no waiter to
     /// re-raise them on. `f` must not capture the last handle to this
     /// pool (dropping it on a worker would try to join that worker).
+    ///
+    /// Detached jobs go to a dedicated queue drained only by **idle
+    /// workers**, never by a thread helping inside a structured wait: a
+    /// helper may be deep in engine code holding locks, and a detached job
+    /// (checkpoint, WAL ship) that re-acquires them would deadlock with no
+    /// latch to break the tie.
     pub fn spawn_detached(&self, f: impl FnOnce() + Send + 'static) {
         if self.inner.threads == 1 {
             let _ = panic::catch_unwind(AssertUnwindSafe(f));
@@ -518,7 +545,7 @@ impl Pool {
         let job: Job = Box::new(move || {
             let _ = panic::catch_unwind(AssertUnwindSafe(f));
         });
-        self.inner.shared.push(self.home_queue(), job);
+        self.inner.shared.push_detached(job);
     }
 
     /// `parallel_map` over `0..n` — the shape sample-chunk sharding wants.
@@ -570,7 +597,9 @@ fn worker_loop(shared: &Arc<Shared>, pool_id: usize, queue: usize) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        if let Some(job) = shared.try_pop(queue) {
+        // Structured work first; detached background jobs fill idle time.
+        let next = shared.try_pop(queue).or_else(|| shared.try_pop_detached());
+        if let Some(job) = next {
             shared.jobs.fetch_add(1, Ordering::Relaxed);
             let start = Instant::now();
             job();
@@ -733,6 +762,34 @@ mod tests {
         }
         // The panic was swallowed; the pool still executes structured work.
         assert_eq!(pool.map_indices(4, |i| i).len(), 4);
+    }
+
+    #[test]
+    fn helping_waiters_never_run_detached_jobs() {
+        // Regression: detached jobs used to land in the work-stealing
+        // deques, so a thread blocked in a structured wait could pick one
+        // up. If the waiter entered the wait while holding a lock the
+        // detached job needs (the checkpoint-during-query shape), that was
+        // a self-deadlock. With the dedicated detached queue the map below
+        // completes while we hold the lock the detached job wants.
+        let pool = Pool::new(2);
+        let lock = Arc::new(Mutex::new(()));
+        let guard = lock.lock().unwrap();
+        let l2 = Arc::clone(&lock);
+        let ran = Arc::new(AtomicBool::new(false));
+        let r2 = Arc::clone(&ran);
+        pool.spawn_detached(move || {
+            let _g = l2.lock().unwrap();
+            r2.store(true, Ordering::Release);
+        });
+        let out = pool.parallel_map((0..64usize).collect(), |i| i * 2);
+        assert_eq!(out.len(), 64);
+        drop(guard);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !ran.load(Ordering::Acquire) {
+            assert!(Instant::now() < deadline, "detached job never ran");
+            std::thread::yield_now();
+        }
     }
 
     #[test]

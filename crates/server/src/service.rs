@@ -389,10 +389,20 @@ impl Service {
                     ViewDefState::Answers { head, body } => ViewDef::answers(head, body),
                 }
                 .map_err(|e| e.to_string())?;
+                // Compile outside the manager lock: the build fans out on
+                // the pool, and a pool submit under this guard stalls every
+                // concurrent view/event path on it.
+                let opts = {
+                    let views = lock(&self.inner.views);
+                    views.options().clone()
+                };
+                let (db, built_at) = self.snapshot();
+                let view =
+                    ViewManager::compile(&opts, name, def, &db).map_err(|e| e.to_string())?;
                 let mut views = lock(&self.inner.views);
-                let (db, _) = self.snapshot();
+                let (db_now, _) = self.snapshot();
                 views
-                    .create(name, def, &db)
+                    .install(view, built_at, &db_now)
                     .map(|_| ())
                     .map_err(|e| e.to_string())
             }
@@ -757,13 +767,15 @@ impl Service {
     /// drop) the store mutex is taken first — same lock order as the data
     /// mutations — so the definition change is WAL-logged atomically with
     /// its application. The manager lock comes next; the database snapshot
-    /// is acquired (and its lock released) inside.
+    /// is acquired (and its lock released) inside. Create is special: the
+    /// expensive compile runs against a snapshot *before* the manager lock
+    /// is taken (see the comment in its arm), and only the install happens
+    /// under it.
     fn run_view(&self, cmd: ViewCommand) -> String {
         let mut store = match cmd {
             ViewCommand::Create { .. } | ViewCommand::Drop { .. } => self.store_guard(),
             _ => None,
         };
-        let mut views = lock(&self.inner.views);
         match cmd {
             ViewCommand::Create { name, query } => {
                 let def_state = match &query {
@@ -782,19 +794,38 @@ impl Service {
                     Err(e) => return format!("error: {e}\n"),
                 };
                 let start = Instant::now();
-                let (db, _) = self.snapshot();
-                let out = match views.create(&name, def, &db) {
+                // Compile before taking the manager lock: the build fans
+                // row compilation out on the pool, and a pool submit under
+                // the views guard stalls every concurrent view/event path
+                // (and can deadlock against a pool whose waiters help). If
+                // the database moves between the compile snapshot and the
+                // install, the view is installed stale and the next refresh
+                // rebuilds it.
+                let (db, built_at) = self.snapshot();
+                let opts = {
+                    let views = lock(&self.inner.views);
+                    views.options().clone()
+                };
+                let compiled = ViewManager::compile(&opts, &name, def, &db);
+                let out = match compiled {
                     Ok(view) => {
-                        let created = format_view_created(view);
-                        match self.log_mutation(
-                            &mut store,
-                            WalOp::ViewCreate {
-                                name,
-                                def: def_state,
-                            },
-                        ) {
-                            Ok(_) => created,
-                            Err(e) => e,
+                        let mut views = lock(&self.inner.views);
+                        let (db_now, _) = self.snapshot();
+                        match views.install(view, built_at, &db_now) {
+                            Ok(view) => {
+                                let created = format_view_created(view);
+                                match self.log_mutation(
+                                    &mut store,
+                                    WalOp::ViewCreate {
+                                        name,
+                                        def: def_state,
+                                    },
+                                ) {
+                                    Ok(_) => created,
+                                    Err(e) => e,
+                                }
+                            }
+                            Err(e) => format!("error: {e}\n"),
                         }
                     }
                     Err(e) => format!("error: {e}\n"),
@@ -803,6 +834,7 @@ impl Service {
                 out
             }
             ViewCommand::Refresh { name } => {
+                let mut views = lock(&self.inner.views);
                 let start = Instant::now();
                 let (db, _) = self.snapshot();
                 let out = match name {
@@ -828,6 +860,7 @@ impl Service {
                 out
             }
             ViewCommand::Drop { name } => {
+                let mut views = lock(&self.inner.views);
                 if views.drop_view(&name) {
                     match self.log_mutation(&mut store, WalOp::ViewDrop { name: name.clone() }) {
                         Ok(_) => format!("view {name} dropped\n"),
@@ -837,11 +870,17 @@ impl Service {
                     format!("error: no view named {name}\n")
                 }
             }
-            ViewCommand::List => format_view_list(views.iter()),
-            ViewCommand::Show { name } => match views.get(&name) {
-                Some(view) => format_view_show(view),
-                None => format!("error: no view named {name}\n"),
-            },
+            ViewCommand::List => {
+                let views = lock(&self.inner.views);
+                format_view_list(views.iter())
+            }
+            ViewCommand::Show { name } => {
+                let views = lock(&self.inner.views);
+                match views.get(&name) {
+                    Some(view) => format_view_show(view),
+                    None => format!("error: no view named {name}\n"),
+                }
+            }
         }
     }
 
@@ -1259,40 +1298,48 @@ mod tests {
 
     #[test]
     fn timeout_degrades_to_the_approximate_engine() {
-        // A 1 ns budget cannot be met even by the lifted engine (the helper
-        // thread alone takes microseconds to start), so the service must
-        // fall back to the approximate path instead of blocking.
-        let mut db = ProbDb::new();
-        for i in 0..6u64 {
-            db.insert("R", [i], 0.3);
-            db.insert("T", [i], 0.4);
-            for j in 0..6u64 {
-                db.insert("S", [i, j], 0.5);
+        // A 1 ns budget can essentially never be met (the helper thread
+        // alone takes microseconds to start), so the service must fall back
+        // to the approximate path instead of blocking. "Essentially": if
+        // the test thread is descheduled right after spawning the helper,
+        // the helper can legitimately finish first and the exact answer is
+        // (correctly) returned — so retry on a fresh service instead of
+        // failing on that scheduler fluke.
+        for attempt in 0..5 {
+            let mut db = ProbDb::new();
+            for i in 0..6u64 {
+                db.insert("R", [i], 0.3);
+                db.insert("T", [i], 0.4);
+                for j in 0..6u64 {
+                    db.insert("S", [i, j], 0.5);
+                }
             }
+            let svc = Service::new(
+                db,
+                ServiceOptions {
+                    query_timeout: Duration::from_nanos(1),
+                    cache_capacity: 16,
+                    degraded_samples: 5_000,
+                },
+            );
+            let (resp, _) = svc.handle_line("query exists x. exists y. R(x) & S(x,y) & T(y)");
+            if !resp.contains("(engine: Approximate)") {
+                eprintln!("attempt {attempt}: helper beat the 1 ns budget: {resp}");
+                continue;
+            }
+            assert_eq!(svc.stats().timeouts(), 1);
+            // The degraded estimate still lands near the truth (plan bounds
+            // clamp it); sanity-check the printed probability parses.
+            let p: f64 = resp
+                .split_whitespace()
+                .nth(2)
+                .unwrap()
+                .parse()
+                .expect("p value");
+            assert!((0.0..=1.0).contains(&p), "{resp}");
+            return;
         }
-        let svc = Service::new(
-            db,
-            ServiceOptions {
-                query_timeout: Duration::from_nanos(1),
-                cache_capacity: 16,
-                degraded_samples: 5_000,
-            },
-        );
-        let (resp, _) = svc.handle_line("query exists x. exists y. R(x) & S(x,y) & T(y)");
-        assert!(
-            resp.contains("(engine: Approximate)"),
-            "expected degraded answer, got: {resp}"
-        );
-        assert_eq!(svc.stats().timeouts(), 1);
-        // The degraded estimate still lands near the truth (plan bounds
-        // clamp it); sanity-check the printed probability parses.
-        let p: f64 = resp
-            .split_whitespace()
-            .nth(2)
-            .unwrap()
-            .parse()
-            .expect("p value");
-        assert!((0.0..=1.0).contains(&p), "{resp}");
+        panic!("helper beat a 1 ns budget five times in a row");
     }
 
     #[test]

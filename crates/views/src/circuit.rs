@@ -78,29 +78,46 @@ impl IncrementalCircuit {
         // each gate into the flat program as it finishes: children always
         // receive a smaller flat index than their parents, so the flat
         // index *is* the topological rank.
+        // All accesses below are checked (`get`/`get_mut`): this crate is on
+        // the P1 no-panic surface, so a malformed arena (dangling child, root
+        // out of bounds) degrades — a missing rank becomes `u32::MAX`, which
+        // the builder rejects at `finish`, which degrades to constant ⊥ —
+        // instead of panicking the request worker.
         let mut b = FlatBuilder::new();
         let mut rank = vec![u32::MAX; n];
         let mut stack: Vec<(u32, bool)> = vec![(root, false)];
         while let Some((i, expanded)) = stack.pop() {
-            if rank[i as usize] != u32::MAX {
+            let slot = i as usize;
+            if rank.get(slot).is_some_and(|&r| r != u32::MAX) {
                 continue;
             }
+            let Some(node) = nodes.get(slot) else {
+                continue;
+            };
             if expanded {
-                rank[i as usize] = match &nodes[i as usize] {
+                let flat = match node {
                     DdnnfNode::True => b.push_const(true),
                     DdnnfNode::False => b.push_const(false),
                     DdnnfNode::Decision { var, hi, lo } => {
-                        b.push_decision(*var, rank[*hi as usize], rank[*lo as usize])
+                        let hi_rank = rank.get(*hi as usize).copied().unwrap_or(u32::MAX);
+                        let lo_rank = rank.get(*lo as usize).copied().unwrap_or(u32::MAX);
+                        b.push_decision(*var, hi_rank, lo_rank)
                     }
                     DdnnfNode::And { children } => {
-                        let kids: Vec<u32> = children.iter().map(|&c| rank[c as usize]).collect();
+                        let kids: Vec<u32> = children
+                            .iter()
+                            .map(|&c| rank.get(c as usize).copied().unwrap_or(u32::MAX))
+                            .collect();
                         b.push_mul(&kids)
                     }
                 };
+                if let Some(r) = rank.get_mut(slot) {
+                    *r = flat;
+                }
                 continue;
             }
             stack.push((i, true));
-            match &nodes[i as usize] {
+            match node {
                 DdnnfNode::True | DdnnfNode::False => {}
                 DdnnfNode::Decision { hi, lo, .. } => {
                     stack.push((*hi, false));
@@ -111,9 +128,7 @@ impl IncrementalCircuit {
                 }
             }
         }
-        let program = b
-            .finish()
-            .expect("a post-order walk of a decision-DNNF flattens cleanly");
+        let program = b.finish().unwrap_or_else(|_| FlatProgram::constant(false));
 
         // Reverse edges and per-variable gate lists, in flat index space.
         let mut parents: Vec<Vec<u32>> = vec![Vec::new(); program.len()];
@@ -122,15 +137,21 @@ impl IncrementalCircuit {
             let i = i as u32;
             match node {
                 pdb_kernel::FlatNode::Decision { var, hi, lo } => {
-                    parents[hi as usize].push(i);
-                    parents[lo as usize].push(i);
-                    if (var as usize) < var_gates.len() {
-                        var_gates[var as usize].push(i);
+                    if let Some(ps) = parents.get_mut(hi as usize) {
+                        ps.push(i);
+                    }
+                    if let Some(ps) = parents.get_mut(lo as usize) {
+                        ps.push(i);
+                    }
+                    if let Some(gs) = var_gates.get_mut(var as usize) {
+                        gs.push(i);
                     }
                 }
                 pdb_kernel::FlatNode::Mul(kids) => {
                     for &c in kids {
-                        parents[c as usize].push(i);
+                        if let Some(ps) = parents.get_mut(c as usize) {
+                            ps.push(i);
+                        }
                     }
                 }
                 _ => {}
@@ -228,9 +249,7 @@ impl IncrementalCircuit {
         } else {
             DdnnfNode::False
         };
-        let mut b = FlatBuilder::new();
-        b.push_const(value);
-        let program = b.finish().expect("a single constant flattens cleanly");
+        let program = FlatProgram::constant(value);
         IncrementalCircuit {
             nodes: vec![node],
             root: 0,
@@ -252,26 +271,45 @@ impl IncrementalCircuit {
     /// actually done, as opposed to the O(size) of a from-scratch pass.
     pub fn set_prob(&mut self, var: u32, p: f64) -> usize {
         let v = var as usize;
-        if v >= self.probs.len() || self.probs[v] == p {
-            return 0;
+        match self.probs.get_mut(v) {
+            Some(slot) if *slot != p => *slot = p,
+            _ => return 0,
         }
-        self.probs[v] = p;
         let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
         let mut queued = vec![false; self.program.len()];
-        for &g in &self.var_gates[v] {
-            queued[g as usize] = true;
+        for &g in self.var_gates.get(v).map(Vec::as_slice).unwrap_or_default() {
+            if let Some(q) = queued.get_mut(g as usize) {
+                *q = true;
+            }
             heap.push(Reverse(g));
         }
         let mut recomputed = 0;
         while let Some(Reverse(g)) = heap.pop() {
             let new = self.program.eval_node(g, &self.probs, &self.values);
             recomputed += 1;
-            if new != self.values[g as usize] {
-                self.values[g as usize] = new;
-                for &parent in &self.parents[g as usize] {
-                    if !queued[parent as usize] {
-                        queued[parent as usize] = true;
-                        heap.push(Reverse(parent));
+            // Checked accesses degrade (P1 surface): a gate index outside
+            // the value table — impossible for a builder-sealed program —
+            // recomputes nothing rather than panicking.
+            let moved = match self.values.get_mut(g as usize) {
+                Some(slot) if *slot != new => {
+                    *slot = new;
+                    true
+                }
+                _ => false,
+            };
+            if moved {
+                for &parent in self
+                    .parents
+                    .get(g as usize)
+                    .map(Vec::as_slice)
+                    .unwrap_or_default()
+                {
+                    match queued.get_mut(parent as usize) {
+                        Some(q) if !*q => {
+                            *q = true;
+                            heap.push(Reverse(parent));
+                        }
+                        _ => {}
                     }
                 }
             }

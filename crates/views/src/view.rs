@@ -512,12 +512,40 @@ impl ViewManager {
 
     /// Registers and materializes a view. Fails if the name is taken or the
     /// initial build fails; on failure nothing is registered.
+    ///
+    /// This convenience runs [`ViewManager::compile`] and
+    /// [`ViewManager::install`] back to back. A server holding the manager
+    /// behind a mutex should call the two halves itself — compile fans row
+    /// compilation out on the thread pool, and submitting pool work while
+    /// holding the manager lock serializes every other view/event path on
+    /// the build (and can deadlock against a pool that helps from waiters).
     pub fn create(&mut self, name: &str, def: ViewDef, db: &ProbDb) -> Result<&View, EngineError> {
         if self.views.contains_key(name) {
             return Err(EngineError::Unsupported(format!(
                 "view {name} already exists (drop it first)"
             )));
         }
+        let built_at = db.version();
+        let view = ViewManager::compile(&self.opts, name, def, db)?;
+        self.install(view, built_at, db)
+    }
+
+    /// The build/refresh options this manager was created with (so callers
+    /// can [`ViewManager::compile`] outside the lock guarding the manager).
+    pub fn options(&self) -> &ViewOptions {
+        &self.opts
+    }
+
+    /// Materializes a view **without touching any manager state**: the
+    /// expensive half of [`ViewManager::create`], safe to run before taking
+    /// whatever lock guards the manager. Row compilation fans out on the
+    /// current thread pool.
+    pub fn compile(
+        opts: &ViewOptions,
+        name: &str,
+        def: ViewDef,
+        db: &ProbDb,
+    ) -> Result<View, EngineError> {
         let mut view = View {
             name: name.to_string(),
             relations: def.relations(),
@@ -530,8 +558,33 @@ impl ViewManager {
             rebuilds: 0,
             incremental_updates: 0,
         };
-        self.build(&mut view, db)?;
-        Ok(self.views.entry(name.to_string()).or_insert(view))
+        build_rows(opts, &mut view, db)?;
+        Ok(view)
+    }
+
+    /// Registers a view produced by [`ViewManager::compile`]. Fails if the
+    /// name is taken. `built_at` is the database version the compile
+    /// snapshot was taken at; if `db` has moved past it the view is
+    /// installed **stale**, so the next refresh rebuilds it — the same
+    /// safety net that covers missed events.
+    pub fn install(
+        &mut self,
+        mut view: View,
+        built_at: u64,
+        db: &ProbDb,
+    ) -> Result<&View, EngineError> {
+        if self.views.contains_key(&view.name) {
+            return Err(EngineError::Unsupported(format!(
+                "view {} already exists (drop it first)",
+                view.name
+            )));
+        }
+        if db.version() != built_at {
+            view.stale = true;
+        }
+        self.recompiles += 1;
+        let name = view.name.clone();
+        Ok(self.views.entry(name).or_insert(view))
     }
 
     /// Unregisters a view. Returns `false` when it does not exist.
@@ -680,14 +733,6 @@ impl ViewManager {
             self.recompiles += 1;
         }
         Ok(outcome)
-    }
-
-    /// Materializes `view` from a snapshot: records the snapshot's version
-    /// vector, numbers its tuples, and compiles every answer row.
-    fn build(&mut self, view: &mut View, db: &ProbDb) -> Result<(), EngineError> {
-        build_rows(&self.opts, view, db)?;
-        self.recompiles += 1;
-        Ok(())
     }
 }
 
