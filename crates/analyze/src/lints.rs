@@ -794,7 +794,7 @@ pub struct LintOptions {
     /// Treat every file as request-path code for P1 (used by fixture
     /// tests; the CLI scopes P1 to `crates/server/src`,
     /// `crates/store/src`, `crates/replica/src`, `crates/kernel/src`,
-    /// and `crates/views/src`).
+    /// `crates/views/src`, and `crates/obs/src`).
     pub p1_everywhere: bool,
 }
 
@@ -806,13 +806,17 @@ pub struct LintOptions {
 /// evaluation kernel (flat programs run inside server workers and view
 /// refreshes; a malformed program must degrade to NaN, not panic), and the
 /// view layer (view compilation and refresh run inside server mutations
-/// and pool jobs; a panic there poisons the service locks).
+/// and pool jobs; a panic there poisons the service locks), and the
+/// observability layer (spans and metric ticks run inline on every hot
+/// path above; a panic while recording would take the query down with
+/// it).
 pub fn p1_applies(path: &str) -> bool {
     path.contains("crates/server/src")
         || path.contains("crates/store/src")
         || path.contains("crates/replica/src")
         || path.contains("crates/kernel/src")
         || path.contains("crates/views/src")
+        || path.contains("crates/obs/src")
 }
 
 /// Runs all four lints over the analyzed set.

@@ -25,6 +25,7 @@ fn service_opts() -> ServiceOptions {
         query_timeout: Duration::ZERO,
         cache_capacity: 1024,
         degraded_samples: 1_000,
+        ..ServiceOptions::default()
     }
 }
 

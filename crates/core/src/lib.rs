@@ -254,7 +254,10 @@ impl ProbDb {
         }
         // 1. Lifted inference.
         if !opts.disable_lifted {
-            if let Ok(p) = pdb_lifted::probability_fo(fo, &self.db) {
+            let mut span = pdb_obs::span(pdb_obs::Stage::Lifted);
+            let lifted = pdb_lifted::probability_fo(fo, &self.db);
+            span.set_bool("safe", lifted.is_ok());
+            if let Ok(p) = lifted {
                 return Ok(Answer {
                     probability: p,
                     method: Method::Lifted,
@@ -264,15 +267,31 @@ impl ProbDb {
             }
         }
         // 2. Grounded inference with a decision budget.
+        let mut compile_span = pdb_obs::span(pdb_obs::Stage::Compile);
         let index = self.db.index();
         let lineage = pdb_lineage::lineage(fo, &self.db, &index);
         let probs: Vec<f64> = index.iter().map(|(_, r)| r.prob).collect();
+        compile_span.set_u64("tuples", probs.len() as u64);
+        drop(compile_span);
         let dpll_opts = DpllOptions {
             max_decisions: opts.exact_budget,
             ..Default::default()
         };
         let pool = pdb_par::current();
-        if let Some(p) = try_exact(&lineage, &probs, dpll_opts, &pool) {
+        let exact = {
+            let mut span = pdb_obs::span(pdb_obs::Stage::Ground);
+            let kernel_before = span.is_recording().then(pdb_kernel::stats);
+            span.set_u64("budget", opts.exact_budget);
+            let exact = try_exact(&lineage, &probs, dpll_opts, &pool);
+            span.set_bool("within_budget", exact.is_some());
+            if let Some(before) = kernel_before {
+                let after = pdb_kernel::stats();
+                span.set_u64("kernel_evals", after.evals - before.evals);
+                span.set_u64("kernel_bytes", after.eval_bytes - before.eval_bytes);
+            }
+            exact
+        };
+        if let Some(p) = exact {
             return Ok(Answer {
                 probability: p,
                 method: Method::Grounded,
@@ -289,17 +308,33 @@ impl ProbDb {
                     .into(),
             ));
         };
-        let dnf = pdb_lineage::ucq_dnf_lineage(&ucq, &self.db, &index);
-        // Chunk-seeded sampling: the estimate is bit-identical for every
-        // pool size (see `karp_luby::estimate_chunked`).
-        let est =
-            pdb_wmc::karp_luby::estimate_chunked(&dnf, &probs, opts.samples, opts.seed, &pool);
-        let bounds = match ucq.disjuncts() {
-            [only] if !only.has_self_join() && only.atoms().len() <= 6 => {
-                let b = pdb_plans::bounds::bounds(only, &self.db);
-                Some((b.lower, b.upper))
+        let est = {
+            let mut span = pdb_obs::span(pdb_obs::Stage::Sample);
+            let kernel_before = span.is_recording().then(pdb_kernel::stats);
+            let dnf = pdb_lineage::ucq_dnf_lineage(&ucq, &self.db, &index);
+            // Chunk-seeded sampling: the estimate is bit-identical for every
+            // pool size (see `karp_luby::estimate_chunked`).
+            let est =
+                pdb_wmc::karp_luby::estimate_chunked(&dnf, &probs, opts.samples, opts.seed, &pool);
+            span.set_u64("samples", opts.samples);
+            if let Some(before) = kernel_before {
+                let after = pdb_kernel::stats();
+                span.set_u64("kernel_flattened", after.flattened - before.flattened);
+                span.set_u64("kernel_evals", after.evals - before.evals);
             }
-            _ => None,
+            est
+        };
+        let bounds = {
+            let mut span = pdb_obs::span(pdb_obs::Stage::Bounds);
+            let bounds = match ucq.disjuncts() {
+                [only] if !only.has_self_join() && only.atoms().len() <= 6 => {
+                    let b = pdb_plans::bounds::bounds(only, &self.db);
+                    Some((b.lower, b.upper))
+                }
+                _ => None,
+            };
+            span.set_bool("plan_bounds", bounds.is_some());
+            bounds
         };
         // The raw estimator is unbiased but can leave [0,1] (and the plan
         // bounds); clamping into any interval known to contain p_D(Q) only

@@ -100,7 +100,8 @@ impl BoolBuilder {
         if self.ops.is_empty() {
             self.push(BOp::Const0, 0, 0);
         }
-        crate::stats::record_flatten();
+        let bytes = self.ops.len() * (1 + 2 * 4) + self.children.len() * 4;
+        crate::stats::record_flatten(bytes);
         FlatBool {
             ops: self.ops,
             a: self.a,

@@ -77,10 +77,7 @@ impl FlatDnf {
         };
         for (i, &end) in self.starts.iter().skip(1).enumerate() {
             let end = end as usize;
-            let term = match self.lits.get(start..end) {
-                Some(t) => t,
-                None => return None,
-            };
+            let term = self.lits.get(start..end)?;
             if term.iter().all(sat) {
                 return Some(i);
             }

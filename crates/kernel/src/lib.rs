@@ -54,4 +54,4 @@ pub mod stats;
 pub use boolean::{BoolBuilder, FlatBool};
 pub use dnf::FlatDnf;
 pub use program::{FlatBuilder, FlatError, FlatNode, FlatProgram, OpTag};
-pub use stats::{stats, KernelStats};
+pub use stats::{metrics, stats, KernelStats};

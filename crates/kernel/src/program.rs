@@ -208,8 +208,7 @@ impl FlatBuilder {
         self.vars.sort_unstable();
         self.vars.dedup();
         let num_vars = self.vars.last().map_or(0, |&v| v as usize + 1);
-        stats::record_flatten();
-        Ok(FlatProgram {
+        let program = FlatProgram {
             ops: self.ops,
             a: self.a,
             b: self.b,
@@ -217,7 +216,9 @@ impl FlatBuilder {
             children: self.children,
             vars: self.vars,
             num_vars,
-        })
+        };
+        stats::record_flatten(program.byte_size());
+        Ok(program)
     }
 }
 

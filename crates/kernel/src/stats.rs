@@ -1,17 +1,24 @@
-//! Process-global kernel counters.
+//! Process-global kernel counters, re-implemented on the pdb-obs primitives.
 //!
 //! The flattening pass and both evaluators tick lock-free atomics so the
 //! server's `stats` command can report how much work runs on the flat
 //! kernels and how well batching amortizes program decode. Counting is
 //! per *evaluation* (one atomic add per program pass), never per node, so
-//! the hot loops stay free of shared-cache-line traffic.
+//! the hot loops stay free of shared-cache-line traffic. The counters are
+//! `const`-constructed [`pdb_obs`] statics — recording never locks or
+//! allocates — and [`metrics::register`] files them with the global metric
+//! registry for the server's Prometheus `metrics` command.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use pdb_obs::{AtomicHistogram, Counter};
 
-static FLATTENED: AtomicU64 = AtomicU64::new(0);
-static EVALS: AtomicU64 = AtomicU64::new(0);
-static BATCHED_EVALS: AtomicU64 = AtomicU64::new(0);
-static EVAL_BYTES: AtomicU64 = AtomicU64::new(0);
+static FLATTENED: Counter = Counter::new();
+static EVALS: Counter = Counter::new();
+static BATCHED_EVALS: Counter = Counter::new();
+static EVAL_BYTES: Counter = Counter::new();
+/// Distribution of `FlatProgram`/`FlatBool` byte sizes at flatten time — the
+/// paper's circuit-size cost model, as a histogram. Flattening happens once
+/// per circuit (outside the eval loops), so a histogram tick is affordable.
+static PROGRAM_BYTES: AtomicHistogram = AtomicHistogram::new();
 
 /// A point-in-time snapshot of the kernel counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -34,37 +41,83 @@ impl KernelStats {
     /// Average program bytes touched per evaluation; drops as batching
     /// amortizes decode across lanes.
     pub fn bytes_per_eval(&self) -> u64 {
-        if self.evals == 0 {
-            0
-        } else {
-            self.eval_bytes / self.evals
-        }
+        self.eval_bytes.checked_div(self.evals).unwrap_or(0)
     }
 }
 
 /// Reads the current counter values.
 pub fn stats() -> KernelStats {
     KernelStats {
-        flattened: FLATTENED.load(Ordering::Relaxed),
-        evals: EVALS.load(Ordering::Relaxed),
-        batched_evals: BATCHED_EVALS.load(Ordering::Relaxed),
-        eval_bytes: EVAL_BYTES.load(Ordering::Relaxed),
+        flattened: FLATTENED.get(),
+        evals: EVALS.get(),
+        batched_evals: BATCHED_EVALS.get(),
+        eval_bytes: EVAL_BYTES.get(),
     }
 }
 
-pub(crate) fn record_flatten() {
-    FLATTENED.fetch_add(1, Ordering::Relaxed);
+pub(crate) fn record_flatten(bytes: usize) {
+    FLATTENED.inc();
+    PROGRAM_BYTES.record(bytes as u64);
 }
 
 pub(crate) fn record_eval(bytes: usize) {
-    EVALS.fetch_add(1, Ordering::Relaxed);
-    EVAL_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    EVALS.inc();
+    EVAL_BYTES.add(bytes as u64);
 }
 
 pub(crate) fn record_batched(bytes: usize, lanes: usize) {
-    BATCHED_EVALS.fetch_add(1, Ordering::Relaxed);
-    EVALS.fetch_add(lanes as u64, Ordering::Relaxed);
-    EVAL_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    BATCHED_EVALS.inc();
+    EVALS.add(lanes as u64);
+    EVAL_BYTES.add(bytes as u64);
+}
+
+/// Prometheus registration and scrape-time publication.
+pub mod metrics {
+    use super::{BATCHED_EVALS, EVALS, EVAL_BYTES, FLATTENED, PROGRAM_BYTES};
+    use pdb_obs::Gauge;
+
+    static BYTES_PER_EVAL: Gauge = Gauge::new();
+
+    /// File the kernel's metrics with the global registry. Idempotent; the
+    /// server calls this (plus [`publish`]) on every `metrics` scrape so the
+    /// families exist even before any kernel work has run.
+    pub fn register() {
+        pdb_obs::register_counter(
+            "pdb_kernel_flattened_total",
+            "circuits lowered to flat programs",
+            &FLATTENED,
+        );
+        pdb_obs::register_counter(
+            "pdb_kernel_evals_total",
+            "flat-program evaluations (each batch lane counts once)",
+            &EVALS,
+        );
+        pdb_obs::register_counter(
+            "pdb_kernel_batched_evals_total",
+            "batched evaluation calls",
+            &BATCHED_EVALS,
+        );
+        pdb_obs::register_counter(
+            "pdb_kernel_eval_bytes_total",
+            "program bytes streamed by all evaluations",
+            &EVAL_BYTES,
+        );
+        pdb_obs::register_histogram(
+            "pdb_kernel_program_bytes",
+            "flat program size at flatten time, bytes",
+            &PROGRAM_BYTES,
+        );
+        pdb_obs::register_gauge(
+            "pdb_kernel_bytes_per_eval",
+            "average program bytes per evaluation (decode amortization)",
+            &BYTES_PER_EVAL,
+        );
+    }
+
+    /// Refresh derived gauges from the raw counters (scrape-time only).
+    pub fn publish() {
+        BYTES_PER_EVAL.set_u64(super::stats().bytes_per_eval());
+    }
 }
 
 #[cfg(test)]
@@ -74,7 +127,7 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let before = stats();
-        record_flatten();
+        record_flatten(64);
         record_eval(100);
         record_batched(100, 64);
         let after = stats();
@@ -94,5 +147,17 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.bytes_per_eval(), 25);
+    }
+
+    #[test]
+    fn metrics_register_and_render() {
+        metrics::register();
+        record_flatten(1000);
+        metrics::publish();
+        let text = pdb_obs::render();
+        assert!(text.contains("# TYPE pdb_kernel_flattened_total counter"));
+        assert!(text.contains("# TYPE pdb_kernel_program_bytes histogram"));
+        assert!(text.contains("# TYPE pdb_kernel_bytes_per_eval gauge"));
+        pdb_obs::expo::validate(&text).expect("kernel metrics must validate");
     }
 }

@@ -1,0 +1,385 @@
+//! A small, strict parser for Prometheus text exposition format 0.0.4.
+//!
+//! Used by the CI `metrics` smoke test (and unit tests here and in
+//! `metrics.rs`) to validate everything the `metrics` command emits. It is a
+//! *validator*, not a full scraper: it checks lexical shape (metric/label
+//! names, float values, escaping), that every sample belongs to a family
+//! declared with `# TYPE` (stricter than Prometheus, which tolerates untyped
+//! samples — our exposition always declares types), and histogram invariants
+//! (`le` present on buckets, cumulative bucket counts non-decreasing, a
+//! `+Inf` bucket equal to `_count`).
+
+use std::collections::BTreeMap;
+
+/// Declared family kind from a `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FamilyKind {
+    Counter,
+    Gauge,
+    Histogram,
+    Summary,
+    Untyped,
+}
+
+impl FamilyKind {
+    fn parse(s: &str) -> Option<FamilyKind> {
+        match s {
+            "counter" => Some(FamilyKind::Counter),
+            "gauge" => Some(FamilyKind::Gauge),
+            "histogram" => Some(FamilyKind::Histogram),
+            "summary" => Some(FamilyKind::Summary),
+            "untyped" => Some(FamilyKind::Untyped),
+            _ => None,
+        }
+    }
+}
+
+/// What a successful validation saw.
+#[derive(Debug, Default)]
+pub struct Summary {
+    /// Family name → declared kind.
+    pub families: BTreeMap<String, FamilyKind>,
+    /// Total sample lines parsed.
+    pub samples: u64,
+}
+
+impl Summary {
+    /// Kind of a declared family, if present.
+    pub fn kind(&self, name: &str) -> Option<FamilyKind> {
+        self.families.get(name).copied()
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => {}
+        _ => return false,
+    }
+    chars.all(is_name_char)
+}
+
+fn valid_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// A parsed sample line: metric name, label pairs, rendered value.
+type Sample = (String, Vec<(String, String)>, String);
+
+/// Split a sample line into (name, label-block-or-empty, value), rejecting
+/// malformed label blocks. Timestamps (a trailing integer) are accepted.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .char_indices()
+        .find(|&(_, c)| !is_name_char(c))
+        .map(|(i, _)| i)
+        .unwrap_or(line.len());
+    let name = line.get(..name_end).unwrap_or("").to_owned();
+    if !valid_metric_name(&name) {
+        return Err(format!("invalid metric name in sample line: {line:?}"));
+    }
+    let rest = line.get(name_end..).unwrap_or("");
+    let (labels, rest) = if let Some(inner) = rest.strip_prefix('{') {
+        let close = inner
+            .find('}')
+            .ok_or_else(|| format!("unterminated label block: {line:?}"))?;
+        let block = inner.get(..close).unwrap_or("");
+        (
+            parse_labels(block)?,
+            inner.get(close + 1..).unwrap_or("").trim_start(),
+        )
+    } else {
+        (Vec::new(), rest.trim_start())
+    };
+    let mut fields = rest.split_whitespace();
+    let value = fields
+        .next()
+        .ok_or_else(|| format!("sample line missing value: {line:?}"))?;
+    if !valid_value(value) {
+        return Err(format!("invalid sample value {value:?} in line: {line:?}"));
+    }
+    if let Some(ts) = fields.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("invalid timestamp {ts:?} in line: {line:?}"));
+        }
+    }
+    if fields.next().is_some() {
+        return Err(format!("trailing garbage in sample line: {line:?}"));
+    }
+    Ok((name, labels, value.to_owned()))
+}
+
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = block.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {block:?}"))?;
+        let key = rest.get(..eq).unwrap_or("").trim();
+        if !valid_metric_name(key) || key.contains(':') {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        let after = rest.get(eq + 1..).unwrap_or("").trim_start();
+        let inner = after
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label value not quoted: {block:?}"))?;
+        // Find the closing quote, honouring backslash escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in inner.char_indices() {
+            if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return Err(format!("invalid escape \\{c} in label value"));
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value: {block:?}"))?;
+        labels.push((key.to_owned(), inner.get(..end).unwrap_or("").to_owned()));
+        rest = inner.get(end + 1..).unwrap_or("").trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels: {block:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Base family name a sample belongs to, honouring histogram suffixes.
+fn family_of<'a>(name: &'a str, families: &BTreeMap<String, FamilyKind>) -> Option<&'a str> {
+    if families.contains_key(name) {
+        return Some(name);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if families.get(base) == Some(&FamilyKind::Histogram) {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+/// Validate `text` as Prometheus exposition. Returns a [`Summary`] on
+/// success, or a description of the first problem found.
+pub fn validate(text: &str) -> Result<Summary, String> {
+    let mut summary = Summary::default();
+    // Per-histogram bookkeeping: (last cumulative bucket value, +Inf value,
+    // _count value).
+    let mut hist: BTreeMap<String, (u64, Option<u64>, Option<u64>)> = BTreeMap::new();
+
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("invalid name in HELP line: {line:?}"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut fields = rest.split_whitespace();
+                let name = fields.next().unwrap_or("");
+                let kind = fields.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("invalid name in TYPE line: {line:?}"));
+                }
+                let kind = FamilyKind::parse(kind)
+                    .ok_or_else(|| format!("invalid kind in TYPE line: {line:?}"))?;
+                if summary.families.insert(name.to_owned(), kind).is_some() {
+                    return Err(format!("duplicate TYPE declaration for {name}"));
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+
+        let (name, labels, value) = parse_sample(line)?;
+        let family = family_of(&name, &summary.families)
+            .ok_or_else(|| format!("sample {name} has no preceding TYPE declaration"))?
+            .to_owned();
+        let kind = summary.families.get(&family).copied();
+        summary.samples += 1;
+
+        match kind {
+            Some(FamilyKind::Counter) => {
+                let v: f64 = match value.as_str() {
+                    "+Inf" => f64::INFINITY,
+                    _ => value.parse().unwrap_or(f64::NAN),
+                };
+                if v.is_nan() || v < 0.0 || v.is_infinite() {
+                    return Err(format!(
+                        "counter {name} has non-finite or negative value {value}"
+                    ));
+                }
+            }
+            Some(FamilyKind::Histogram) => {
+                let entry = hist.entry(family.clone()).or_insert((0, None, None));
+                if name.ends_with("_bucket") {
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.clone())
+                        .ok_or_else(|| format!("histogram bucket {name} missing le label"))?;
+                    let v: u64 = value
+                        .parse::<f64>()
+                        .map_err(|_| format!("bucket value not numeric: {value}"))?
+                        as u64;
+                    if le == "+Inf" {
+                        entry.1 = Some(v);
+                    } else {
+                        if v < entry.0 {
+                            return Err(format!(
+                                "histogram {family} bucket counts not cumulative at le={le}"
+                            ));
+                        }
+                        entry.0 = v;
+                    }
+                } else if name.ends_with("_count") {
+                    entry.2 = value.parse::<f64>().ok().map(|v| v as u64);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (family, (last_bucket, inf, count)) in &hist {
+        let inf = inf.ok_or_else(|| format!("histogram {family} missing +Inf bucket"))?;
+        if inf < *last_bucket {
+            return Err(format!("histogram {family} +Inf bucket below last bucket"));
+        }
+        if let Some(count) = count {
+            if *count != inf {
+                return Err(format!(
+                    "histogram {family}: _count {count} != +Inf bucket {inf}"
+                ));
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let text = "\
+# HELP pdb_server_queries_total queries by engine
+# TYPE pdb_server_queries_total counter
+pdb_server_queries_total{engine=\"lifted\"} 4
+pdb_server_queries_total{engine=\"grounded\"} 2
+# HELP pdb_store_next_lsn next LSN
+# TYPE pdb_store_next_lsn gauge
+pdb_store_next_lsn 17
+# HELP pdb_server_query_latency_us query latency
+# TYPE pdb_server_query_latency_us histogram
+pdb_server_query_latency_us_bucket{le=\"1\"} 1
+pdb_server_query_latency_us_bucket{le=\"3\"} 3
+pdb_server_query_latency_us_bucket{le=\"+Inf\"} 3
+pdb_server_query_latency_us_sum 5
+pdb_server_query_latency_us_count 3
+";
+        let s = validate(text).unwrap();
+        assert_eq!(
+            s.kind("pdb_server_queries_total"),
+            Some(FamilyKind::Counter)
+        );
+        assert_eq!(s.kind("pdb_store_next_lsn"), Some(FamilyKind::Gauge));
+        assert_eq!(
+            s.kind("pdb_server_query_latency_us"),
+            Some(FamilyKind::Histogram)
+        );
+        assert_eq!(s.samples, 8);
+    }
+
+    #[test]
+    fn rejects_untyped_samples() {
+        let err = validate("mystery_metric 1\n").unwrap_err();
+        assert!(err.contains("no preceding TYPE"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_type_kind() {
+        let err = validate("# TYPE foo fancy\n").unwrap_err();
+        assert!(err.contains("invalid kind"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_cumulative_histogram_buckets() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"3\"} 2
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 5
+";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn rejects_histogram_without_inf_bucket() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_sum 9
+h_count 5
+";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("missing +Inf"), "{err}");
+    }
+
+    #[test]
+    fn rejects_count_inf_mismatch() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_count 7
+";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("_count"), "{err}");
+    }
+
+    #[test]
+    fn rejects_negative_counters_and_bad_values() {
+        let err = validate("# TYPE c counter\nc -1\n").unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+        let err = validate("# TYPE g gauge\ng one\n").unwrap_err();
+        assert!(err.contains("invalid sample value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_labels() {
+        assert!(validate("# TYPE c counter\nc{le} 1\n").is_err());
+        assert!(validate("# TYPE c counter\nc{le=\"unterminated} 1\n").is_err());
+        assert!(validate("# TYPE c counter\nc{9bad=\"x\"} 1\n").is_err());
+    }
+
+    #[test]
+    fn accepts_escapes_and_timestamps() {
+        let text = "# TYPE c counter\nc{q=\"say \\\"hi\\\"\\n\"} 1 1700000000\n";
+        let s = validate(text).unwrap();
+        assert_eq!(s.samples, 1);
+    }
+}

@@ -315,12 +315,15 @@ fn session(
                             // and re-request from our position.
                             return SessionEnd::Failed;
                         }
+                        let apply_started = std::time::Instant::now();
                         if target.apply(lsn, &op).is_err() {
                             // The primary applied this op; if we can't, our
                             // state diverged — force a full re-bootstrap.
                             status.next_lsn.store(0, Ordering::SeqCst);
                             return SessionEnd::Failed;
                         }
+                        crate::metrics::APPLY_US.record_duration(apply_started.elapsed());
+                        crate::metrics::RECORDS_APPLIED.inc();
                         status.next_lsn.store(lsn + 1, Ordering::SeqCst);
                         if lsn + 1 > status.primary_lsn() {
                             status.primary_lsn.store(lsn + 1, Ordering::SeqCst);

@@ -34,6 +34,7 @@
 pub mod client;
 pub mod fault;
 pub mod hub;
+pub mod metrics;
 pub mod wire;
 
 pub use client::{

@@ -1,0 +1,80 @@
+//! Prometheus metrics for replication, on both roles.
+//!
+//! The apply path ticks its counter/histogram live (applying a record is a
+//! mutation through the full engine path — µs-scale, so two extra relaxed
+//! atomics are noise); the lag gauges are mirrored from
+//! [`ReplicaStatus`](crate::ReplicaStatus) / [`ReplicaHub`](crate::ReplicaHub)
+//! at scrape time by the server's `metrics` handler, so idle servers still
+//! expose every family.
+
+use crate::client::ReplicaStatus;
+use crate::hub::ReplicaHub;
+use pdb_obs::{AtomicHistogram, Counter, Gauge};
+
+/// Records applied from the stream (replica role).
+pub(crate) static RECORDS_APPLIED: Counter = Counter::new();
+/// Wall time to apply one streamed record, microseconds (replica role).
+pub(crate) static APPLY_US: AtomicHistogram = AtomicHistogram::new();
+/// Snapshot bootstraps (initial + forced re-bootstraps, replica role).
+static BOOTSTRAPS: Counter = Counter::new();
+/// Sessions that ended and were retried (replica role).
+static RECONNECTS: Counter = Counter::new();
+/// Records behind the primary's advertised head (replica role).
+static LAG: Gauge = Gauge::new();
+/// Currently connected replicas (primary role).
+static CONNECTED_REPLICAS: Gauge = Gauge::new();
+/// Records streamed to all replicas (primary role).
+static STREAMED: Counter = Counter::new();
+
+/// File the replication metrics with the global registry. Idempotent; called
+/// by the server on every `metrics` scrape regardless of role.
+pub fn register() {
+    pdb_obs::register_counter(
+        "pdb_replica_records_applied_total",
+        "WAL records applied from the replication stream",
+        &RECORDS_APPLIED,
+    );
+    pdb_obs::register_histogram(
+        "pdb_replica_apply_us",
+        "apply latency per streamed record, microseconds",
+        &APPLY_US,
+    );
+    pdb_obs::register_counter(
+        "pdb_replica_bootstraps_total",
+        "snapshot bootstraps (initial and forced)",
+        &BOOTSTRAPS,
+    );
+    pdb_obs::register_counter(
+        "pdb_replica_reconnects_total",
+        "replication sessions that ended and were retried",
+        &RECONNECTS,
+    );
+    pdb_obs::register_gauge(
+        "pdb_replica_lag_records",
+        "records behind the primary's advertised head",
+        &LAG,
+    );
+    pdb_obs::register_gauge(
+        "pdb_replica_connected_replicas",
+        "replicas currently attached to this primary",
+        &CONNECTED_REPLICAS,
+    );
+    pdb_obs::register_counter(
+        "pdb_replica_streamed_total",
+        "records streamed to all attached replicas",
+        &STREAMED,
+    );
+}
+
+/// Mirror a replica's status into the registry (scrape-time only).
+pub fn publish_replica(status: &ReplicaStatus) {
+    LAG.set_u64(status.lag());
+    BOOTSTRAPS.record_total(status.bootstraps());
+    RECONNECTS.record_total(status.reconnects());
+}
+
+/// Mirror a primary's hub counters into the registry (scrape-time only).
+pub fn publish_primary(hub: &ReplicaHub) {
+    CONNECTED_REPLICAS.set_u64(hub.replica_count() as u64);
+    STREAMED.record_total(hub.streamed());
+}

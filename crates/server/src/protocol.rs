@@ -68,6 +68,21 @@ pub enum Command {
     /// `stats` — engine observability counters (server; the CLI keeps no
     /// counters and says so).
     Stats,
+    /// `metrics` — Prometheus text exposition of every registered counter,
+    /// gauge, and histogram (server, store, replica, kernel, views, pool).
+    Metrics,
+    /// `explain analyze <query>` — run the query with tracing enabled and
+    /// render the span tree (per-stage timings, chosen engine).
+    ExplainAnalyze(String),
+    /// `trace last [--json]` — the most recent captured span tree, as
+    /// indented text or Chrome trace-format JSON.
+    TraceLast {
+        /// Emit Chrome `chrome://tracing` JSON instead of the text tree.
+        json: bool,
+    },
+    /// `slowlog` — dump the ring buffer of queries slower than the
+    /// `--slowlog-threshold` (server).
+    Slowlog,
     /// `source <path>` — run commands from a file (CLI only; the server
     /// refuses to read its own filesystem on behalf of clients).
     Source(String),
@@ -335,6 +350,31 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         }
         "show" => Ok(Command::Show),
         "stats" => Ok(Command::Stats),
+        "metrics" => {
+            if rest.is_empty() {
+                Ok(Command::Metrics)
+            } else {
+                Err("metrics takes no arguments".into())
+            }
+        }
+        "explain" => match rest.split_once(char::is_whitespace) {
+            Some(("analyze", query)) if !query.trim().is_empty() => {
+                Ok(Command::ExplainAnalyze(query.trim().to_string()))
+            }
+            _ => Err("usage: explain analyze <sentence>".into()),
+        },
+        "trace" => match rest {
+            "last" => Ok(Command::TraceLast { json: false }),
+            "last --json" => Ok(Command::TraceLast { json: true }),
+            _ => Err("usage: trace last [--json]".into()),
+        },
+        "slowlog" => {
+            if rest.is_empty() {
+                Ok(Command::Slowlog)
+            } else {
+                Err("slowlog takes no arguments".into())
+            }
+        }
         "source" => {
             if rest.is_empty() {
                 return Err("usage: source <file>".into());
@@ -385,6 +425,10 @@ commands:
   view show <name>               print a view's materialized rows
   show                           print the database
   stats                          engine + cache observability counters
+  metrics                        Prometheus text exposition of all metrics
+  explain analyze <sentence>     run a query and show its span tree
+  trace last [--json]            last captured trace (text or Chrome JSON)
+  slowlog                        queries slower than the slowlog threshold
   source <file>                  run commands from a file (CLI only)
   save <file>                    snapshot the database + views (CLI only)
   open <file>                    load a snapshot saved with `save` (CLI only)
@@ -658,6 +702,35 @@ mod tests {
     }
 
     #[test]
+    fn parses_observability_commands() {
+        assert_eq!(parse_command("metrics").unwrap(), Command::Metrics);
+        assert_eq!(
+            parse_command("explain analyze exists x. R(x)").unwrap(),
+            Command::ExplainAnalyze("exists x. R(x)".into())
+        );
+        assert_eq!(
+            parse_command("trace last").unwrap(),
+            Command::TraceLast { json: false }
+        );
+        assert_eq!(
+            parse_command("trace last --json").unwrap(),
+            Command::TraceLast { json: true }
+        );
+        assert_eq!(parse_command("slowlog").unwrap(), Command::Slowlog);
+        for bad in [
+            "metrics now",
+            "explain",
+            "explain analyze",
+            "explain plan R(x)",
+            "trace",
+            "trace last --xml",
+            "slowlog 5",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
     fn open_disambiguates_snapshots_from_open_world() {
         // Two tokens: λ + sentence (the open-world query).
         assert_eq!(
@@ -785,6 +858,11 @@ mod tests {
                 Command::OpenWorld { lambda, query } => format!("open {lambda} {query}"),
                 Command::Show => "show".into(),
                 Command::Stats => "stats".into(),
+                Command::Metrics => "metrics".into(),
+                Command::ExplainAnalyze(q) => format!("explain analyze {q}"),
+                Command::TraceLast { json: false } => "trace last".into(),
+                Command::TraceLast { json: true } => "trace last --json".into(),
+                Command::Slowlog => "slowlog".into(),
                 Command::Source(p) => format!("source {p}"),
                 Command::Save(p) => format!("save {p}"),
                 Command::Open(p) => format!("open {p}"),
@@ -838,6 +916,11 @@ mod tests {
             },
             Command::Show,
             Command::Stats,
+            Command::Metrics,
+            Command::ExplainAnalyze("exists x. R(x) & S(x,y)".into()),
+            Command::TraceLast { json: false },
+            Command::TraceLast { json: true },
+            Command::Slowlog,
             Command::Source("script.pdb".into()),
             Command::Save("state.pdb".into()),
             Command::Open("state.pdb".into()),

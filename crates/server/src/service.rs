@@ -51,11 +51,13 @@ use crate::protocol::{
 use crate::stats::{KernelSnapshot, PoolSnapshot, Stats, ViewsSnapshot};
 use pdb_core::{Answer, Complexity, EngineError, ProbDb, QueryOptions};
 use pdb_data::Tuple;
+use pdb_obs::{span, with_tracer, with_tracer_under, Stage, Tracer};
 use pdb_replica::{Frame, ReadOnlyReplica, ReplicaFeed, ReplicaHub, ReplicaStatus};
 use pdb_store::snapshot::{decode_snapshot, encode_snapshot};
 use pdb_store::{Store, WalOp};
 use pdb_views::persist::ViewDefState;
 use pdb_views::{ViewDef, ViewManager};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{
     mpsc, Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
@@ -125,6 +127,13 @@ pub struct ServiceOptions {
     pub cache_capacity: usize,
     /// Karp–Luby sample count used by the degraded (post-timeout) path.
     pub degraded_samples: u64,
+    /// When set, every `query` runs under a tracer and any query at least
+    /// this slow is captured — full span tree — into the slowlog ring
+    /// (`slowlog` command) and as the last trace (`trace last`).
+    /// `Some(Duration::ZERO)` traces and logs every query; `None` (the
+    /// default) keeps the query path subscriber-free, where spans cost one
+    /// relaxed atomic load each.
+    pub slowlog_threshold: Option<Duration>,
 }
 
 impl Default for ServiceOptions {
@@ -133,8 +142,22 @@ impl Default for ServiceOptions {
             query_timeout: Duration::from_secs(10),
             cache_capacity: 1024,
             degraded_samples: 20_000,
+            slowlog_threshold: None,
         }
     }
+}
+
+/// Slowlog ring capacity: old entries are dropped once this many slow
+/// queries have been captured without a `slowlog` dump.
+const SLOWLOG_CAPACITY: usize = 32;
+
+/// One captured query trace: the normalized text, the end-to-end latency,
+/// and the span tree (shared with any helper thread still appending).
+#[derive(Clone)]
+struct TraceCapture {
+    query: String,
+    total: Duration,
+    tracer: Tracer,
 }
 
 struct Shared {
@@ -145,6 +168,10 @@ struct Shared {
     opts: ServiceOptions,
     /// Helper threads spawned for timed-out queries that are still running.
     inflight_helpers: AtomicU64,
+    /// The most recent captured trace (`explain analyze` or a slowlog hit).
+    last_trace: Mutex<Option<TraceCapture>>,
+    /// Queries slower than `opts.slowlog_threshold`, newest last.
+    slowlog: Mutex<VecDeque<TraceCapture>>,
     /// The durable store, when serving with `--data-dir`. Lock order:
     /// store → db → views. Every mutation takes the store mutex outermost
     /// (apply in memory, then log, then acknowledge), so a checkpoint —
@@ -238,6 +265,8 @@ impl Service {
                 stats: Stats::default(),
                 opts,
                 inflight_helpers: AtomicU64::new(0),
+                last_trace: Mutex::new(None),
+                slowlog: Mutex::new(VecDeque::new()),
                 store: store.map(Mutex::new),
                 stopping: AtomicBool::new(false),
                 shutdown_hook: Mutex::new(None),
@@ -590,6 +619,10 @@ impl Service {
             Command::Quit => (String::new(), false),
             Command::Help => (format!("{HELP}\n"), true),
             Command::Stats => (self.stats_text(), true),
+            Command::Metrics => (self.metrics_text(), true),
+            Command::ExplainAnalyze(q) => (self.run_explain(&q), true),
+            Command::TraceLast { json } => (self.trace_last(json), true),
+            Command::Slowlog => (self.slowlog_text(), true),
             Command::Source(_) => (
                 "error: source is not available over the wire; run the script \
                  client-side\n"
@@ -901,27 +934,76 @@ impl Service {
     }
 
     fn run_query(&self, text: &str) -> String {
+        let Some(threshold) = self.inner.opts.slowlog_threshold else {
+            // No subscriber: every span below is inert (one relaxed atomic
+            // load), so the hot path stays allocation- and lock-free.
+            return self.run_query_spanned(text, false);
+        };
+        let tracer = Tracer::new();
         let start = Instant::now();
-        let norm = normalize_query(text);
-        let (db, _) = self.snapshot();
-        let key = (
-            CacheKind::Probability,
-            norm.clone(),
-            Self::version_key(&db, &norm),
-        );
+        let out = with_tracer(&tracer, || self.run_query_spanned(text, false));
+        let total = start.elapsed();
+        if total >= threshold {
+            let capture = TraceCapture {
+                query: normalize_query(text),
+                total,
+                tracer,
+            };
+            *lock(&self.inner.last_trace) = Some(capture.clone());
+            let mut log = lock(&self.inner.slowlog);
+            if log.len() >= SLOWLOG_CAPACITY {
+                log.pop_front();
+            }
+            log.push_back(capture);
+        }
+        out
+    }
+
+    /// The query path proper, emitting the cascade span tree (root `query`
+    /// span, `parse` + `cache` children, engine stages recorded inside
+    /// [`pdb_core`]). `force_inline` bypasses the timeout helper thread so
+    /// `explain analyze` traces the full evaluation deterministically.
+    fn run_query_spanned(&self, text: &str, force_inline: bool) -> String {
+        let start = Instant::now();
+        let mut root = span(Stage::Query);
+        let (norm, db, key) = {
+            let _parse = span(Stage::Parse);
+            let norm = normalize_query(text);
+            let (db, _) = self.snapshot();
+            let key = (
+                CacheKind::Probability,
+                norm.clone(),
+                Self::version_key(&db, &norm),
+            );
+            (norm, db, key)
+        };
+        if root.is_recording() {
+            root.set_str("query", norm.clone());
+        }
         let cached = {
-            let mut cache = lock(&self.inner.cache);
-            cache.get(&key).cloned()
+            let mut cache_span = span(Stage::Cache);
+            let hit = {
+                let mut cache = lock(&self.inner.cache);
+                cache.get(&key).cloned()
+            };
+            cache_span.set_bool("hit", matches!(hit, Some(CacheEntry::Answer(_))));
+            hit
         };
         let out = if let Some(CacheEntry::Answer(a)) = cached {
             self.inner.stats.record_cache_hit();
             self.inner.stats.record_method(a.method);
+            if root.is_recording() {
+                root.set_str("engine", format!("{:?}", a.method));
+            }
             format_answer(&a)
         } else {
             self.inner.stats.record_cache_miss();
-            match self.compute_with_timeout(db, &norm, key) {
+            match self.compute_with_timeout(db, &norm, key, force_inline) {
                 Ok(a) => {
                     self.inner.stats.record_method(a.method);
+                    if root.is_recording() {
+                        root.set_str("engine", format!("{:?}", a.method));
+                    }
                     format_answer(&a)
                 }
                 Err(e) => {
@@ -942,9 +1024,10 @@ impl Service {
         db: Arc<ProbDb>,
         norm: &str,
         key: CacheKey,
+        force_inline: bool,
     ) -> Result<Answer, EngineError> {
         let timeout = self.inner.opts.query_timeout;
-        if timeout.is_zero() {
+        if timeout.is_zero() || force_inline {
             let answer = db.query(norm)?;
             self.cache_answer(key, &answer);
             return Ok(answer);
@@ -953,11 +1036,22 @@ impl Service {
         let shared = Arc::clone(&self.inner);
         let text = norm.to_string();
         let helper_key = key.clone();
+        // Forward the active tracer (if any) into the helper thread so the
+        // engine's cascade spans still land under this query's root span.
+        // The tracer shares an Arc'd buffer, so a helper that outlives the
+        // timeout keeps appending to the already-captured trace — late
+        // spans show up when the trace is next rendered.
+        let ctx = pdb_obs::current_context();
         shared.inflight_helpers.fetch_add(1, Ordering::Relaxed);
         let spawned = std::thread::Builder::new()
             .name("pdb-query".into())
             .spawn(move || {
-                let result = db.query(&text);
+                let result = match &ctx {
+                    Some((tracer, parent)) => {
+                        with_tracer_under(tracer, *parent, || db.query(&text))
+                    }
+                    None => db.query(&text),
+                };
                 if let Ok(a) = &result {
                     lock(&shared.cache).insert(helper_key, CacheEntry::Answer(a.clone()));
                 }
@@ -971,6 +1065,8 @@ impl Service {
             // exact-inference work, not panic the worker.
             self.inner.inflight_helpers.fetch_sub(1, Ordering::Relaxed);
             self.inner.stats.record_timeout();
+            let mut degrade = span(Stage::Degrade);
+            degrade.set_u64("samples", self.inner.opts.degraded_samples);
             let (db_now, _) = self.snapshot();
             return self.degraded_answer(&db_now, norm);
         }
@@ -983,6 +1079,8 @@ impl Service {
                 // owns it; re-snapshot by version-stable key is unnecessary:
                 // degrade against the current contents under the same
                 // normalized text).
+                let mut degrade = span(Stage::Degrade);
+                degrade.set_u64("samples", self.inner.opts.degraded_samples);
                 let (db_now, _) = self.snapshot();
                 self.degraded_answer(&db_now, norm)
             }
@@ -1058,6 +1156,97 @@ impl Service {
             Err(e) => format!("parse error: {e}\n"),
         }
     }
+
+    /// `explain analyze <query>`: run the query under a fresh tracer —
+    /// inline, bypassing the timeout helper so the trace covers the whole
+    /// evaluation — and append the rendered span tree to the answer. The
+    /// trace also becomes `trace last`. Counts in `stats` like any query.
+    fn run_explain(&self, text: &str) -> String {
+        let tracer = Tracer::new();
+        let start = Instant::now();
+        let mut out = with_tracer(&tracer, || self.run_query_spanned(text, true));
+        *lock(&self.inner.last_trace) = Some(TraceCapture {
+            query: normalize_query(text),
+            total: start.elapsed(),
+            tracer: tracer.clone(),
+        });
+        out.push_str(&tracer.render_text());
+        out
+    }
+
+    /// The `trace last [--json]` payload: the most recent captured trace
+    /// (from `explain analyze` or a slowlog hit), as the indented span tree
+    /// or as Chrome trace-format JSON (load in `chrome://tracing`).
+    fn trace_last(&self, json: bool) -> String {
+        match lock(&self.inner.last_trace).as_ref() {
+            None => "(no trace captured; run `explain analyze <query>` or start \
+                     the server with --slowlog-threshold)\n"
+                .into(),
+            Some(c) if json => {
+                let mut s = c.tracer.render_chrome_json();
+                s.push('\n');
+                s
+            }
+            Some(c) => format!(
+                "{}  ({}µs total)\n{}",
+                c.query,
+                c.total.as_micros(),
+                c.tracer.render_text()
+            ),
+        }
+    }
+
+    /// The `slowlog` payload: every captured slow query, newest first,
+    /// each with its span tree indented beneath it.
+    fn slowlog_text(&self) -> String {
+        let log = lock(&self.inner.slowlog);
+        if log.is_empty() {
+            return "(slowlog empty)\n".into();
+        }
+        let mut out = String::new();
+        for c in log.iter().rev() {
+            out.push_str(&format!("{}µs  {}\n", c.total.as_micros(), c.query));
+            for line in c.tracer.render_text().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The `metrics` command payload: Prometheus text exposition combining
+    /// this instance's `pdb_server_*` families with the process-global
+    /// registry (store, replica, kernel, views, pool). Registration is
+    /// idempotent and done here so every family exists — zero-valued — even
+    /// on an idle server; externally-tracked stats are mirrored into their
+    /// gauges at scrape time.
+    pub fn metrics_text(&self) -> String {
+        pdb_store::metrics::register();
+        pdb_replica::metrics::register();
+        pdb_kernel::metrics::register();
+        pdb_views::metrics::register();
+        pdb_par::metrics::register();
+        pdb_kernel::metrics::publish();
+        pdb_par::metrics::publish(&pdb_par::current().stats());
+        pdb_views::metrics::publish(lock(&self.inner.views).len());
+        if let Some(role) = self.inner.replica.as_ref() {
+            pdb_replica::metrics::publish_replica(&role.status);
+        }
+        if let Some(hub) = self.inner.replication.as_ref() {
+            pdb_replica::metrics::publish_primary(hub);
+        }
+        let (cache_len, cache_capacity) = {
+            let cache = lock(&self.inner.cache);
+            (cache.len(), cache.capacity())
+        };
+        let mut text = self
+            .inner
+            .stats
+            .render_prometheus(cache_len, cache_capacity);
+        text.push_str(&pdb_obs::render());
+        text
+    }
 }
 
 /// The replication client applies its stream straight into the service, so
@@ -1082,6 +1271,7 @@ mod tests {
             query_timeout: Duration::ZERO,
             cache_capacity: 64,
             degraded_samples: 5_000,
+            ..ServiceOptions::default()
         }
     }
 
@@ -1320,6 +1510,7 @@ mod tests {
                     query_timeout: Duration::from_nanos(1),
                     cache_capacity: 16,
                     degraded_samples: 5_000,
+                    ..ServiceOptions::default()
                 },
             );
             let (resp, _) = svc.handle_line("query exists x. exists y. R(x) & S(x,y) & T(y)");
@@ -1353,6 +1544,7 @@ mod tests {
                 query_timeout: Duration::from_nanos(1),
                 cache_capacity: 16,
                 degraded_samples: 1_000,
+                ..ServiceOptions::default()
             },
         );
         let (first, _) = svc.handle_line(Q);
@@ -1624,6 +1816,97 @@ mod tests {
         // The view absorbed the replicated update incrementally too.
         let (shown, _) = replica.handle_line("view show v");
         assert!(shown.contains("p = 0.200000"), "{shown}");
+    }
+
+    #[test]
+    fn explain_analyze_renders_the_cascade_span_tree() {
+        let svc = seeded_service(inline_opts());
+        let (resp, keep) = svc.handle_line("explain analyze exists x. exists y. R(x) & S(x,y)");
+        assert!(keep);
+        assert!(resp.contains("p = 0.400000"), "{resp}");
+        // The span tree follows the answer: root query span with the chosen
+        // engine, service stages, and the engine stage from pdb-core.
+        assert!(resp.contains("query "), "{resp}");
+        assert!(resp.contains("engine=Lifted"), "{resp}");
+        assert!(resp.contains("parse "), "{resp}");
+        assert!(resp.contains("hit=false"), "{resp}");
+        assert!(resp.contains("lifted "), "{resp}");
+        // The same trace is served by `trace last`, in both renderings.
+        let (last, _) = svc.handle_line("trace last");
+        assert!(last.contains("µs total"), "{last}");
+        assert!(last.contains("query "), "{last}");
+        let (json, _) = svc.handle_line("trace last --json");
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(json.contains("\"cat\":\"cascade\""), "{json}");
+        // A second explain hits the cache and says so in the tree.
+        let (again, _) = svc.handle_line("explain analyze exists x. exists y. R(x) & S(x,y)");
+        assert!(again.contains("hit=true"), "{again}");
+    }
+
+    #[test]
+    fn trace_last_without_a_capture_points_at_explain() {
+        let svc = seeded_service(inline_opts());
+        svc.handle_line(Q); // not traced: no slowlog threshold configured
+        let (resp, _) = svc.handle_line("trace last");
+        assert!(resp.contains("no trace captured"), "{resp}");
+    }
+
+    #[test]
+    fn slowlog_captures_queries_over_the_threshold() {
+        let svc = seeded_service(ServiceOptions {
+            // Zero threshold: every query is "slow" and gets captured.
+            slowlog_threshold: Some(Duration::ZERO),
+            ..inline_opts()
+        });
+        let (empty, _) = svc.handle_line("slowlog");
+        assert_eq!(empty, "(slowlog empty)\n");
+        svc.handle_line(Q);
+        let (log, _) = svc.handle_line("slowlog");
+        assert!(log.contains("exists x. exists y. R(x) & S(x,y)"), "{log}");
+        assert!(log.contains("query "), "slowlog entries carry spans: {log}");
+        // The capture is also the last trace.
+        let (last, _) = svc.handle_line("trace last");
+        assert!(last.contains("µs total"), "{last}");
+        // The ring is bounded: flooding it keeps the newest entries.
+        for i in 0..(SLOWLOG_CAPACITY + 5) {
+            svc.handle_line(&format!("query exists x. R(x) & S(x,{i})"));
+        }
+        assert_eq!(lock(&svc.inner.slowlog).len(), SLOWLOG_CAPACITY);
+    }
+
+    #[test]
+    fn metrics_exposition_is_valid_and_covers_every_crate() {
+        let svc = seeded_service(inline_opts());
+        svc.handle_line(Q);
+        let (text, keep) = svc.handle_line("metrics");
+        assert!(keep);
+        let summary = pdb_obs::expo::validate(&text).expect("valid exposition");
+        // At least one counter, gauge, and histogram from each layer.
+        for family in [
+            "pdb_server_queries_total",
+            "pdb_server_connections_active",
+            "pdb_server_query_latency_us",
+            "pdb_store_wal_appends_total",
+            "pdb_store_next_lsn",
+            "pdb_store_fsync_us",
+            "pdb_replica_records_applied_total",
+            "pdb_replica_lag_records",
+            "pdb_replica_apply_us",
+            "pdb_kernel_evals_total",
+            "pdb_kernel_bytes_per_eval",
+            "pdb_kernel_program_bytes",
+            "pdb_views_recompiles_total",
+            "pdb_views_registered",
+            "pdb_views_refresh_us",
+            "pdb_par_jobs_total",
+            "pdb_par_threads",
+        ] {
+            assert!(summary.kind(family).is_some(), "missing family {family}");
+        }
+        assert!(
+            text.contains("pdb_server_queries_total{engine=\"lifted\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

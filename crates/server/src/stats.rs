@@ -1,96 +1,23 @@
 //! Engine observability: per-method query counters, cache hit/miss rates,
 //! latency percentiles, timeouts, and connection gauges.
 //!
-//! Counters are lock-free atomics so the worker hot path never contends;
-//! the latency histogram sits behind a mutex but records in O(1) into
-//! power-of-two microsecond buckets (an HdrHistogram-style log scale:
-//! coarse, but p50/p95 for a serving system only need bucket resolution).
+//! Everything is lock-free: counters are atomics and the latency histograms
+//! are [`pdb_obs::AtomicHistogram`]s (log₂ microsecond buckets), so the
+//! request path never blocks on — and can never poison — an observability
+//! lock. Percentiles interpolate within their bucket (see `pdb_obs::hist`),
+//! fixing the old bucket-upper-bound reporting that overstated p50/p99 by up
+//! to 2×.
+//!
+//! `Stats` is **per serving instance** (tests rely on fresh instances
+//! starting at zero); the process-global Prometheus registry is a separate
+//! layer, and [`Stats::render_prometheus`] renders this instance's counters
+//! in the same exposition format so the server's `metrics` command can emit
+//! both.
 
 use pdb_core::Method;
+use pdb_obs::{AtomicHistogram, ExpositionBuilder};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
-
-/// Acquires `m`, recovering the guard when a previous holder panicked: a
-/// histogram is valid after any prefix of `record`, so poison only means
-/// another request died and observability must keep working regardless.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Log₂-bucketed latency histogram over microseconds.
-#[derive(Debug)]
-pub struct Histogram {
-    /// `buckets[i]` counts samples with `us.ilog2() == i` (bucket 0 also
-    /// holds `us == 0`).
-    buckets: [u64; 64],
-    count: u64,
-    max_us: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram {
-            buckets: [0; 64],
-            count: 0,
-            max_us: 0,
-        }
-    }
-}
-
-impl Histogram {
-    fn bucket(us: u64) -> usize {
-        if us == 0 {
-            0
-        } else {
-            us.ilog2() as usize
-        }
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        if let Some(slot) = self.buckets.get_mut(Self::bucket(us)) {
-            *slot += 1;
-        }
-        self.count += 1;
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest recorded sample, in µs.
-    pub fn max_us(&self) -> u64 {
-        self.max_us
-    }
-
-    /// The `q`-quantile (`0 < q ≤ 1`) as an upper bound in µs: the top of
-    /// the bucket holding the `⌈q·n⌉`-th smallest sample (capped at the
-    /// observed max). 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Upper edge of bucket i is 2^(i+1) − 1 µs.
-                let top = if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                return top.min(self.max_us);
-            }
-        }
-        self.max_us
-    }
-}
 
 /// Point-in-time view-manager gauges injected into the stats payload (the
 /// manager lives behind its own lock; the render caller snapshots it).
@@ -160,7 +87,7 @@ impl From<pdb_kernel::KernelStats> for KernelSnapshot {
 }
 
 /// Shared counters for one serving instance.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Stats {
     lifted: AtomicU64,
     safe_plan: AtomicU64,
@@ -172,10 +99,10 @@ pub struct Stats {
     cache_misses: AtomicU64,
     active_connections: AtomicU64,
     total_connections: AtomicU64,
-    latency: Mutex<Histogram>,
+    latency: AtomicHistogram,
     /// Latencies of `view create` / `view refresh` commands (the cost of
     /// materialization, kept apart from the query path).
-    view_refresh_latency: Mutex<Histogram>,
+    view_refresh_latency: AtomicHistogram,
 }
 
 impl Stats {
@@ -210,14 +137,14 @@ impl Stats {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one query's end-to-end latency.
+    /// Records one query's end-to-end latency. Lock-free.
     pub fn record_latency(&self, latency: Duration) {
-        lock(&self.latency).record(latency);
+        self.latency.record_duration(latency);
     }
 
     /// Records one view-materialization latency (`view create`/`refresh`).
     pub fn record_view_refresh(&self, latency: Duration) {
-        lock(&self.view_refresh_latency).record(latency);
+        self.view_refresh_latency.record_duration(latency);
     }
 
     /// Marks a connection opened.
@@ -276,8 +203,8 @@ impl Stats {
         } else {
             views.incremental as f64 / maintenance as f64
         };
-        let lat = lock(&self.latency);
-        let vlat = lock(&self.view_refresh_latency);
+        let lat = self.latency.snapshot();
+        let vlat = self.view_refresh_latency.snapshot();
         format!(
             "queries: total={total} lifted={lifted} safe_plan={safe_plan} \
              grounded={grounded} approximate={approximate} errors={errors}\n\
@@ -291,18 +218,18 @@ impl Stats {
              kernel: flattened={} evals={} batched={} bytes_per_eval={}\n\
              timeouts: {}\n\
              connections: active={} total={}\n",
-            lat.quantile_us(0.50),
-            lat.quantile_us(0.95),
-            lat.max_us(),
-            lat.count(),
+            lat.quantile(0.50),
+            lat.quantile(0.95),
+            lat.max,
+            lat.count,
             views.views,
             views.rows,
             views.incremental,
             views.recompiles,
-            vlat.quantile_us(0.50),
-            vlat.quantile_us(0.95),
-            vlat.max_us(),
-            vlat.count(),
+            vlat.quantile(0.50),
+            vlat.quantile(0.95),
+            vlat.max,
+            vlat.count,
             pool.threads,
             pool.jobs,
             pool.steals,
@@ -316,6 +243,81 @@ impl Stats {
             self.total_connections.load(Ordering::Relaxed),
         )
     }
+
+    /// Renders this instance's counters as Prometheus text exposition (the
+    /// `pdb_server_*` families). The server's `metrics` command appends the
+    /// process-global registry ([`pdb_obs::render`]) after this.
+    pub fn render_prometheus(&self, cache_len: usize, cache_capacity: usize) -> String {
+        let mut b = ExpositionBuilder::new();
+        b.counter_samples(
+            "pdb_server_queries_total",
+            "queries answered, by engine",
+            &[
+                ("{engine=\"lifted\"}", self.lifted.load(Ordering::Relaxed)),
+                (
+                    "{engine=\"safe_plan\"}",
+                    self.safe_plan.load(Ordering::Relaxed),
+                ),
+                (
+                    "{engine=\"grounded\"}",
+                    self.grounded.load(Ordering::Relaxed),
+                ),
+                (
+                    "{engine=\"approximate\"}",
+                    self.approximate.load(Ordering::Relaxed),
+                ),
+            ],
+        );
+        b.counter(
+            "pdb_server_query_errors_total",
+            "queries that failed",
+            self.errors.load(Ordering::Relaxed),
+        );
+        b.counter(
+            "pdb_server_timeouts_total",
+            "queries degraded to the approximate engine by timeout",
+            self.timeouts(),
+        );
+        b.counter_samples(
+            "pdb_server_cache_lookups_total",
+            "result-cache probes, by outcome",
+            &[
+                ("{outcome=\"hit\"}", self.cache_hits()),
+                ("{outcome=\"miss\"}", self.cache_misses()),
+            ],
+        );
+        b.gauge(
+            "pdb_server_cache_entries",
+            "live result-cache entries",
+            cache_len as f64,
+        );
+        b.gauge(
+            "pdb_server_cache_capacity",
+            "result-cache capacity",
+            cache_capacity as f64,
+        );
+        b.gauge(
+            "pdb_server_connections_active",
+            "currently open client connections",
+            self.active_connections.load(Ordering::Relaxed) as f64,
+        );
+        b.counter(
+            "pdb_server_connections_total",
+            "client connections accepted",
+            self.total_connections.load(Ordering::Relaxed),
+        );
+        b.histogram(
+            "pdb_server_query_latency_us",
+            "end-to-end query latency, microseconds",
+            &self.latency.snapshot(),
+        );
+        b.histogram(
+            "pdb_server_view_refresh_us",
+            "view create/refresh latency, microseconds",
+            &self.view_refresh_latency.snapshot(),
+        );
+        b.finish()
+    }
 }
 
 #[cfg(test)]
@@ -323,28 +325,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_bound_samples() {
-        let mut h = Histogram::default();
+    fn histogram_quantiles_interpolate_within_buckets() {
+        let h = AtomicHistogram::new();
         for us in [1u64, 2, 3, 10, 100, 1000, 5000] {
-            h.record(Duration::from_micros(us));
+            h.record_duration(Duration::from_micros(us));
         }
         assert_eq!(h.count(), 7);
-        assert_eq!(h.max_us(), 5000);
-        let p50 = h.quantile_us(0.5);
-        // 4th smallest is 10µs → bucket [8,15], upper edge 15.
-        assert!((10..=15).contains(&p50), "p50 = {p50}");
-        assert!(h.quantile_us(0.95) >= 1000);
-        assert!(h.quantile_us(1.0) <= h.max_us());
-        assert!(h.quantile_us(0.5) <= h.quantile_us(0.95));
+        assert_eq!(h.max(), 5000);
+        // Exact pins (the satellite fix): rank 3.5 lands in bucket [8,16),
+        // half-way → 12. The old upper-bound code reported 15.
+        assert_eq!(h.quantile(0.5), 12);
+        // p95 interpolates in [4096,8192) to 6758, capped at the max.
+        assert_eq!(h.quantile(0.95), 5000);
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(1.0) <= h.max());
     }
 
     #[test]
     fn histogram_empty_and_zero() {
-        let mut h = Histogram::default();
-        assert_eq!(h.quantile_us(0.5), 0);
-        h.record(Duration::ZERO);
+        let h = AtomicHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        h.record_duration(Duration::ZERO);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile_us(0.5), 0, "capped at observed max");
+        assert_eq!(h.quantile(0.5), 0, "capped at observed max");
     }
 
     #[test]
@@ -402,5 +405,38 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn prometheus_render_is_valid_and_per_instance() {
+        let s = Stats::default();
+        s.record_method(Method::Lifted);
+        s.record_cache_hit();
+        s.record_latency(Duration::from_micros(100));
+        s.connection_opened();
+        let text = s.render_prometheus(3, 256);
+        let summary = pdb_obs::expo::validate(&text).expect("must be valid exposition");
+        assert_eq!(
+            summary.kind("pdb_server_queries_total"),
+            Some(pdb_obs::expo::FamilyKind::Counter)
+        );
+        assert_eq!(
+            summary.kind("pdb_server_connections_active"),
+            Some(pdb_obs::expo::FamilyKind::Gauge)
+        );
+        assert_eq!(
+            summary.kind("pdb_server_query_latency_us"),
+            Some(pdb_obs::expo::FamilyKind::Histogram)
+        );
+        assert!(text.contains("pdb_server_queries_total{engine=\"lifted\"} 1"));
+        assert!(text.contains("pdb_server_queries_total{engine=\"grounded\"} 0"));
+        assert!(text.contains("pdb_server_cache_lookups_total{outcome=\"hit\"} 1"));
+        assert!(text.contains("pdb_server_query_latency_us_count 1"));
+
+        // A fresh instance starts at zero (per-instance semantics).
+        let fresh = Stats::default();
+        assert!(fresh
+            .render_prometheus(0, 0)
+            .contains("pdb_server_queries_total{engine=\"lifted\"} 0"));
     }
 }

@@ -31,6 +31,7 @@
 pub mod codec;
 pub mod crc;
 pub mod fs;
+pub mod metrics;
 pub mod snapshot;
 pub mod store;
 pub mod wal;

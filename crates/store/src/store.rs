@@ -248,6 +248,8 @@ impl Store {
         }
         self.next_lsn = lsn + 1;
         self.stats.appends += 1;
+        crate::metrics::WAL_APPENDS.inc();
+        crate::metrics::NEXT_LSN.set_u64(self.next_lsn);
         match self.opts.fsync {
             FsyncPolicy::Always => self.sync_wal()?,
             FsyncPolicy::Interval(d) => {
@@ -280,6 +282,7 @@ impl Store {
     /// whatever lock serializes [`Store::append`] while exporting it.
     pub fn checkpoint(&mut self, db: &ProbDb, views: &[ViewState]) -> Result<u64, StoreError> {
         self.ensure_ok()?;
+        let started = Instant::now();
         let lsn = self.next_lsn;
         let snap_path = self.dir.join(format!("snapshot-{lsn}.pdb"));
         let snap_tmp = self.dir.join(format!("snapshot-{lsn}.pdb.tmp"));
@@ -312,6 +315,9 @@ impl Store {
         self.base_lsn = lsn;
         self.last_sync = Instant::now();
         self.stats.checkpoints += 1;
+        crate::metrics::CHECKPOINTS.inc();
+        crate::metrics::CHECKPOINT_US.record_duration(started.elapsed());
+        crate::metrics::NEXT_LSN.set_u64(self.next_lsn);
         for p in self.fs.list(&self.dir)? {
             if let Some(name) = p.file_name().and_then(|n| n.to_str()) {
                 if name.starts_with("snapshot-") && name != format!("snapshot-{lsn}.pdb") {
@@ -375,8 +381,11 @@ impl Store {
     }
 
     fn sync_wal(&mut self) -> Result<(), StoreError> {
+        let started = Instant::now();
         match self.wal.sync() {
             Ok(()) => {
+                crate::metrics::FSYNC_US.record_duration(started.elapsed());
+                crate::metrics::WAL_SYNCS.inc();
                 self.last_sync = Instant::now();
                 self.stats.syncs += 1;
                 Ok(())

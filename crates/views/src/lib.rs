@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod circuit;
+pub mod metrics;
 pub mod persist;
 pub mod view;
 

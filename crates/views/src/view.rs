@@ -139,8 +139,9 @@ impl ViewDef {
 
 /// How one materialized row is maintained.
 enum RowBackend {
-    /// A compiled circuit; probability updates are O(dirty path).
-    Circuit(IncrementalCircuit),
+    /// A compiled circuit (boxed: a circuit is ~an arena of gate values,
+    /// far larger than the `Fallback` variant); updates are O(dirty path).
+    Circuit(Box<IncrementalCircuit>),
     /// Compilation exceeded the budget: the row holds a cascade answer
     /// (possibly approximate, with dissociation bounds) and is refreshed by
     /// re-querying.
@@ -333,7 +334,7 @@ impl View {
         let mut rows = Vec::with_capacity(state.rows.len());
         for row in state.rows {
             let backend = match row.circuit {
-                Some(c) => RowBackend::Circuit(
+                Some(c) => RowBackend::Circuit(Box::new(
                     IncrementalCircuit::from_parts(c.nodes, c.root, c.probs, c.negated, c.scale)
                         .ok_or_else(|| {
                             EngineError::Unsupported(format!(
@@ -341,7 +342,7 @@ impl View {
                                 state.name
                             ))
                         })?,
-                ),
+                )),
                 None => RowBackend::Fallback,
             };
             let probability = match &backend {
@@ -583,6 +584,7 @@ impl ViewManager {
             view.stale = true;
         }
         self.recompiles += 1;
+        crate::metrics::RECOMPILES.inc();
         let name = view.name.clone();
         Ok(self.views.entry(name).or_insert(view))
     }
@@ -639,6 +641,7 @@ impl ViewManager {
             if ok {
                 view.incremental_updates += 1;
                 self.incremental_applied += 1;
+                crate::metrics::INCREMENTAL.inc();
                 absorbed += 1;
             } else {
                 view.stale = true;
@@ -706,6 +709,7 @@ impl ViewManager {
                 Ok(o) => {
                     if o == RefreshOutcome::Rebuilt {
                         self.recompiles += 1;
+                        crate::metrics::RECOMPILES.inc();
                     }
                     out.push((name.clone(), o));
                 }
@@ -731,6 +735,7 @@ impl ViewManager {
         let outcome = refresh_one(&self.opts, view, db)?;
         if outcome == RefreshOutcome::Rebuilt {
             self.recompiles += 1;
+            crate::metrics::RECOMPILES.inc();
         }
         Ok(outcome)
     }
@@ -743,6 +748,7 @@ fn refresh_one(
     view: &mut View,
     db: &ProbDb,
 ) -> Result<RefreshOutcome, EngineError> {
+    let started = std::time::Instant::now();
     let out_of_sync = view
         .relations
         .iter()
@@ -750,7 +756,11 @@ fn refresh_one(
     if !view.stale && !out_of_sync {
         return Ok(RefreshOutcome::Fresh);
     }
+    let mut span = pdb_obs::span(pdb_obs::Stage::Refresh);
+    span.set_str("view", view.name.clone());
     build_rows(opts, view, db)?;
+    span.set_u64("rows", view.rows.len() as u64);
+    crate::metrics::REFRESH_US.record_duration(started.elapsed());
     Ok(RefreshOutcome::Rebuilt)
 }
 
@@ -818,7 +828,7 @@ fn compile_row(
             probability: circuit.probability(),
             bounds: None,
             method: Method::Grounded,
-            backend: RowBackend::Circuit(circuit),
+            backend: RowBackend::Circuit(Box::new(circuit)),
         });
     }
     let opts = DpllOptions {
@@ -855,7 +865,7 @@ fn compile_row(
                 probability: circuit.probability(),
                 bounds: None,
                 method: Method::Grounded,
-                backend: RowBackend::Circuit(circuit),
+                backend: RowBackend::Circuit(Box::new(circuit)),
             })
         }
         None => {

@@ -532,8 +532,11 @@ fn most_frequent_var(clauses: &[Arc<Clause>], counts: &mut [u32]) -> u32 {
 /// hash with an exact comparison. Values are probabilities only — parallel
 /// runs never record traces.
 struct ShardedCache {
-    shards: Vec<Mutex<HashMap<u64, Vec<(Vec<i32>, f64)>>>>,
+    shards: Vec<Mutex<Shard>>,
 }
+
+/// One cache shard: prefilter hash → buckets of `(exact key, probability)`.
+type Shard = HashMap<u64, Vec<(Vec<i32>, f64)>>;
 
 impl ShardedCache {
     fn new(shards: usize) -> ShardedCache {

@@ -48,6 +48,47 @@ fn execute(
             out,
             "stats are tracked by probdb-serve; this CLI keeps no counters"
         )?,
+        Command::Metrics => {
+            // Same registry the server scrapes: register every crate's
+            // families (idempotent), mirror externally-tracked stats, and
+            // render the Prometheus text exposition for this process.
+            probdb::store::metrics::register();
+            probdb::replica::metrics::register();
+            probdb::kernel::metrics::register();
+            probdb::views::metrics::register();
+            probdb::par::metrics::register();
+            probdb::kernel::metrics::publish();
+            probdb::par::metrics::publish(&probdb::par::current().stats());
+            probdb::views::metrics::publish(views.len());
+            write!(out, "{}", probdb::obs::render())?;
+        }
+        Command::ExplainAnalyze(q) => {
+            // Trace the evaluation locally: the engine stages inside
+            // `db.query` record themselves under this root span.
+            let tracer = probdb::obs::Tracer::new();
+            let result = probdb::obs::with_tracer(&tracer, || {
+                let mut root = probdb::obs::span(probdb::obs::Stage::Query);
+                root.set_str("query", q.clone());
+                let r = db.query(&q);
+                if let Ok(a) = &r {
+                    root.set_str("engine", format!("{:?}", a.method));
+                }
+                r
+            });
+            match result {
+                Ok(a) => write!(out, "{}", format_answer(&a))?,
+                Err(e) => writeln!(out, "error: {e}")?,
+            }
+            write!(out, "{}", tracer.render_text())?;
+        }
+        Command::TraceLast { .. } => writeln!(
+            out,
+            "traces are kept by probdb-serve; use `explain analyze <query>` here"
+        )?,
+        Command::Slowlog => writeln!(
+            out,
+            "the slowlog is kept by probdb-serve (start it with --slowlog-threshold)"
+        )?,
         Command::Insert {
             relation,
             tuple,
@@ -382,6 +423,23 @@ mod tests {
     #[test]
     fn stats_points_at_the_server() {
         assert!(run(&["stats"]).contains("probdb-serve"));
+        assert!(run(&["trace last"]).contains("probdb-serve"));
+        assert!(run(&["slowlog"]).contains("probdb-serve"));
+    }
+
+    #[test]
+    fn explain_analyze_and_metrics_work_locally() {
+        let text = run(&[
+            "insert R 1 0.5",
+            "insert S 1 2 0.8",
+            "explain analyze exists x. exists y. R(x) & S(x,y)",
+        ]);
+        assert!(text.contains("p = 0.400000"), "{text}");
+        assert!(text.contains("engine=Lifted"), "{text}");
+        assert!(text.contains("lifted "), "{text}");
+        let metrics = run(&["metrics"]);
+        probdb::obs::expo::validate(&metrics).expect("valid exposition");
+        assert!(metrics.contains("pdb_kernel_evals_total"), "{metrics}");
     }
 
     /// `save` then `open` in a fresh session restores tuples AND views with

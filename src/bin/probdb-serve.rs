@@ -22,6 +22,10 @@
 //! - `--timeout-ms MS` — per-query wall-clock budget before degrading to
 //!   the approximate engine; `0` disables (default 10000)
 //! - `--cache-capacity N` — result-cache entries (default 1024)
+//! - `--slowlog-threshold MS` — trace every query and capture any that
+//!   takes at least MS milliseconds into the slowlog ring (`slowlog` /
+//!   `trace last` commands); `0` captures every query. Off by default
+//!   (spans then cost one atomic load each).
 //! - `--preload FILE` — run a script of commands (typically `insert`/
 //!   `domain` lines) before accepting connections
 //! - `--data-dir DIR` — serve durably: recover from `DIR` on start, WAL
@@ -54,7 +58,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: probdb-serve [--addr HOST:PORT] [--workers N] [--threads N] \
-         [--timeout-ms MS] [--cache-capacity N] [--preload FILE] \
+         [--timeout-ms MS] [--cache-capacity N] [--slowlog-threshold MS] \
+         [--preload FILE] \
          [--data-dir DIR] [--fsync always|never|interval:MS] [--checkpoint-every N] \
          [--replica-of HOST:PORT]"
     );
@@ -67,6 +72,7 @@ struct Args {
     data_dir: Option<PathBuf>,
     store_opts: StoreOptions,
     replica_of: Option<String>,
+    slowlog_threshold: Option<Duration>,
 }
 
 fn parse_args() -> Args {
@@ -76,6 +82,7 @@ fn parse_args() -> Args {
         data_dir: None,
         store_opts: StoreOptions::default(),
         replica_of: None,
+        slowlog_threshold: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -106,6 +113,12 @@ fn parse_args() -> Args {
                 parsed.opts.cache_capacity = value("--cache-capacity")
                     .parse()
                     .unwrap_or_else(|_| usage())
+            }
+            "--slowlog-threshold" => {
+                let ms: u64 = value("--slowlog-threshold")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                parsed.slowlog_threshold = Some(Duration::from_millis(ms));
             }
             "--preload" => parsed.preload = Some(value("--preload")),
             "--replica-of" => parsed.replica_of = Some(value("--replica-of")),
@@ -195,6 +208,7 @@ fn main() {
     let service_opts = ServiceOptions {
         query_timeout: args.opts.query_timeout,
         cache_capacity: args.opts.cache_capacity,
+        slowlog_threshold: args.slowlog_threshold,
         ..ServiceOptions::default()
     };
     let mut replica_client: Option<ReplicaHandle> = None;

@@ -44,9 +44,11 @@
 //! | [`server`] | concurrent TCP query service, result cache, stats | infrastructure |
 //! | [`store`] | durable WAL + snapshots, crash recovery, fault injection | infrastructure |
 //! | [`replica`] | primary/replica WAL shipping for read scale-out | infrastructure |
+//! | [`obs`] | query tracing, metrics registry, Prometheus exposition | infrastructure |
 
 pub use pdb_core as engine;
 pub use pdb_core::{Answer, Complexity, EngineError, Method, ProbDb, QueryOptions};
+pub use pdb_obs as obs;
 pub use pdb_replica as replica;
 pub use pdb_server as server;
 pub use pdb_store as store;

@@ -1,0 +1,181 @@
+//! Metrics smoke test: boot the real `probdb-serve` binary, drive it over
+//! its TCP wire protocol, scrape the `metrics` command, and validate the
+//! output with the in-tree Prometheus text-exposition parser
+//! (`probdb::obs::expo`). This is the CI `metrics` job's test.
+//!
+//! Asserted here, per the observability acceptance criteria: the scrape is
+//! well-formed exposition containing at least one counter, gauge, and
+//! histogram from **each** of server, store, replica, kernel, and views;
+//! `explain analyze` over the wire renders a multi-stage span tree with
+//! per-stage timings and the chosen engine; the slowlog captures traced
+//! queries.
+
+use probdb::obs::expo::{validate, FamilyKind};
+use probdb::server::protocol::read_framed;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+
+/// Spawns `probdb-serve` on an ephemeral port and returns the child plus
+/// the address parsed from its "listening on" banner.
+fn spawn_server(extra_args: &[&str]) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_probdb-serve"))
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg("2")
+        .args(extra_args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn probdb-serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read banner") == 0 {
+            let _ = child.kill();
+            panic!("probdb-serve exited before printing the listening banner");
+        }
+        if let Some(rest) = line.strip_prefix("probdb-serve listening on ") {
+            let addr_text = rest.split_whitespace().next().expect("addr token");
+            break addr_text.parse::<SocketAddr>().expect("parse addr");
+        }
+    };
+    // Keep draining stderr so the child can never block on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    (child, addr)
+}
+
+/// One wire session: sends each line, collects each framed response.
+fn session(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    for line in lines {
+        writeln!(writer, "{line}").expect("send");
+        writer.flush().expect("flush");
+        let resp = read_framed(&mut reader)
+            .expect("read response")
+            .unwrap_or_else(|| panic!("connection closed before reply to {line:?}"));
+        responses.push(resp);
+    }
+    responses
+}
+
+#[test]
+fn scrape_is_valid_exposition_covering_every_layer() {
+    let (mut child, addr) = spawn_server(&["--timeout-ms", "0", "--slowlog-threshold", "0"]);
+    let responses = session(
+        addr,
+        &[
+            "insert R 1 0.5",
+            "insert S 1 2 0.8",
+            "insert S 1 3 0.25",
+            "insert T 2 0.4",
+            "insert T 3 0.9",
+            "view create v query exists x. exists y. R(x) & S(x,y)",
+            "query exists x. exists y. R(x) & S(x,y)",
+            "explain analyze exists x. exists y. R(x) & S(x,y) & T(y)",
+            "query exists x. exists y. R(x) & S(x,y) & T(y)",
+            "trace last",
+            "slowlog",
+            "metrics",
+            "shutdown",
+        ],
+    );
+    let _ = child.wait();
+
+    let explain = &responses[7];
+    assert!(explain.contains("p = "), "answer first: {explain}");
+    assert!(
+        explain.contains("query ") && explain.contains("µs"),
+        "span tree with timings: {explain}"
+    );
+    assert!(explain.contains("engine="), "chosen engine: {explain}");
+    for stage in ["parse ", "cache ", "lifted ", "ground "] {
+        assert!(explain.contains(stage), "missing {stage:?} in: {explain}");
+    }
+
+    let trace = &responses[9];
+    assert!(trace.contains("µs total"), "{trace}");
+    let slowlog = &responses[10];
+    assert!(
+        slowlog.contains("exists x. exists y. R(x) & S(x,y)"),
+        "zero threshold must capture queries: {slowlog}"
+    );
+
+    let metrics = &responses[11];
+    let summary = validate(metrics)
+        .unwrap_or_else(|e| panic!("invalid Prometheus exposition: {e}\n{metrics}"));
+    // One counter, one gauge, and one histogram from each layer.
+    let required = [
+        ("pdb_server_queries_total", FamilyKind::Counter),
+        ("pdb_server_connections_active", FamilyKind::Gauge),
+        ("pdb_server_query_latency_us", FamilyKind::Histogram),
+        ("pdb_store_wal_appends_total", FamilyKind::Counter),
+        ("pdb_store_next_lsn", FamilyKind::Gauge),
+        ("pdb_store_fsync_us", FamilyKind::Histogram),
+        ("pdb_replica_records_applied_total", FamilyKind::Counter),
+        ("pdb_replica_lag_records", FamilyKind::Gauge),
+        ("pdb_replica_apply_us", FamilyKind::Histogram),
+        ("pdb_kernel_evals_total", FamilyKind::Counter),
+        ("pdb_kernel_bytes_per_eval", FamilyKind::Gauge),
+        ("pdb_kernel_program_bytes", FamilyKind::Histogram),
+        ("pdb_views_recompiles_total", FamilyKind::Counter),
+        ("pdb_views_registered", FamilyKind::Gauge),
+        ("pdb_views_refresh_us", FamilyKind::Histogram),
+        ("pdb_par_jobs_total", FamilyKind::Counter),
+        ("pdb_par_utilization", FamilyKind::Gauge),
+    ];
+    for (family, kind) in required {
+        assert_eq!(
+            summary.kind(family),
+            Some(kind),
+            "family {family} missing or mistyped in scrape:\n{metrics}"
+        );
+    }
+    // The memory-only server ran queries, so the engine counters moved.
+    assert!(
+        metrics.contains("pdb_server_queries_total{engine=\"lifted\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("pdb_views_registered 1"),
+        "view gauge published at scrape time: {metrics}"
+    );
+}
+
+#[test]
+fn durable_server_moves_store_metrics() {
+    let dir = std::env::temp_dir().join(format!("probdb-metrics-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let (mut child, addr) = spawn_server(&[
+        "--timeout-ms",
+        "0",
+        "--data-dir",
+        dir.to_str().expect("utf-8 temp dir"),
+    ]);
+    let responses = session(
+        addr,
+        &["insert R 1 0.5", "insert R 2 0.25", "metrics", "shutdown"],
+    );
+    let _ = child.wait();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let metrics = &responses[2];
+    validate(metrics).unwrap_or_else(|e| panic!("invalid exposition: {e}"));
+    // Two WAL appends were acknowledged before the scrape.
+    assert!(
+        metrics.contains("pdb_store_wal_appends_total 2"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("pdb_store_next_lsn 2"), "{metrics}");
+}

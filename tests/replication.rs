@@ -139,6 +139,7 @@ fn inline_opts() -> ServiceOptions {
         query_timeout: Duration::ZERO,
         cache_capacity: 64,
         degraded_samples: 5_000,
+        ..ServiceOptions::default()
     }
 }
 
